@@ -1,0 +1,179 @@
+package spebench_test
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+
+	"spe/internal/cc"
+	"spe/internal/corpus"
+	"spe/internal/minicc"
+	"spe/internal/skeleton"
+	"spe/internal/spe"
+)
+
+// Ablation benchmarks for the design choices called out in DESIGN.md:
+// enumeration granularity (§4.3), the threshold cutoff (§5.2.1), and the
+// contribution of individual optimization passes to the compiler-coverage
+// signal.
+
+func ablationCorpus(b *testing.B) []*skeleton.Skeleton {
+	b.Helper()
+	progs := corpus.Seeds()
+	progs = append(progs, corpus.Generate(corpus.Config{N: 30, Seed: 31337})...)
+	sks := make([]*skeleton.Skeleton, 0, len(progs))
+	for _, src := range progs {
+		f, err := cc.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, err := cc.Analyze(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sk, err := skeleton.Build(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sks = append(sks, sk)
+	}
+	return sks
+}
+
+// BenchmarkAblationGranularity compares intra- vs inter-procedural
+// enumeration set sizes (the paper's §4.3 tradeoff: intra approximates the
+// global solution but enumerates fewer variants per file).
+func BenchmarkAblationGranularity(b *testing.B) {
+	sks := ablationCorpus(b)
+	var intra, inter *big.Int
+	for i := 0; i < b.N; i++ {
+		intra = new(big.Int)
+		inter = new(big.Int)
+		for _, sk := range sks {
+			intra.Add(intra, spe.Count(sk, spe.Options{Mode: spe.ModeCanonical, Granularity: spe.Intra}))
+			inter.Add(inter, spe.Count(sk, spe.Options{Mode: spe.ModeCanonical, Granularity: spe.Inter}))
+		}
+		if intra.Cmp(inter) > 0 {
+			b.Fatalf("intra %s exceeds inter %s", intra, inter)
+		}
+	}
+	logExperiment(b, "ablation-granularity",
+		fmt.Sprintf("intra-procedural total: %s\ninter-procedural total: %s", intra, inter))
+}
+
+// BenchmarkAblationThreshold sweeps the per-file variant threshold and
+// reports how many corpus files are retained at each cutoff (the paper
+// picks 10K to retain 90%).
+func BenchmarkAblationThreshold(b *testing.B) {
+	sks := ablationCorpus(b)
+	var lines string
+	for i := 0; i < b.N; i++ {
+		lines = ""
+		for _, thr := range []int64{100, 1_000, 10_000, 100_000, 1_000_000} {
+			kept := 0
+			for _, sk := range sks {
+				c := spe.Count(sk, spe.Options{Mode: spe.ModeCanonical})
+				if c.Cmp(big.NewInt(thr)) <= 0 {
+					kept++
+				}
+			}
+			lines += fmt.Sprintf("threshold %8d: %d/%d files retained\n", thr, kept, len(sks))
+		}
+	}
+	logExperiment(b, "ablation-threshold", lines)
+}
+
+// BenchmarkAblationOptLevels measures which -O levels expose which seeded
+// bugs on one triggering family (the paper's Figure 10b observation that
+// -O3 finds more bugs than -O1).
+func BenchmarkAblationOptLevels(b *testing.B) {
+	src := `
+int main() {
+    int v1 = 0;
+    int v2 = 3;
+    for (int i = 0; i < 4; i++) {
+        if (i > 5) { v2 += 10 / v1; }
+        v2 += i;
+    }
+    printf("%d\n", v2);
+    return 0;
+}
+`
+	prog := cc.MustAnalyze(src)
+	var lines string
+	for i := 0; i < b.N; i++ {
+		lines = ""
+		for _, opt := range minicc.OptLevels {
+			c := &minicc.Compiler{Version: "trunk", Opt: opt, Seeded: true}
+			ro := c.Run(prog, minicc.ExecConfig{})
+			sym := "clean"
+			switch {
+			case ro.Compile.Crash != nil:
+				sym = "crash " + ro.Compile.Crash.BugID
+			case !ro.Compile.Ok():
+				sym = "compile error"
+			case !ro.Exec.Ok():
+				sym = "miscompiled (trap)"
+			}
+			lines += fmt.Sprintf("-O%d: %s\n", opt, sym)
+		}
+	}
+	logExperiment(b, "ablation-optlevels", lines)
+}
+
+// BenchmarkNaiveVsCanonicalEnumeration contrasts the cost of enumerating
+// the naive Cartesian product against the canonical set on the motivating
+// Figure 1 skeleton.
+func BenchmarkNaiveVsCanonicalEnumeration(b *testing.B) {
+	sk := skeleton.MustBuild(`
+int a, b;
+int main() {
+    b = b - a;
+    if (a)
+        a = a - b;
+    return 0;
+}
+`)
+	b.Run("canonical", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n, err := spe.Enumerate(sk, spe.Options{Mode: spe.ModeCanonical, Granularity: spe.Inter},
+				func(spe.Variant) bool { return true })
+			if err != nil || n != 64 {
+				b.Fatalf("n=%d err=%v", n, err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n, err := spe.Enumerate(sk, spe.Options{Mode: spe.ModeNaive, Granularity: spe.Inter},
+				func(spe.Variant) bool { return true })
+			if err != nil || n != 128 {
+				b.Fatalf("n=%d err=%v", n, err)
+			}
+		}
+	})
+}
+
+// TestCorpusWideInvariants sweeps structural invariants over the whole
+// corpus: canonical <= paper-model naive, counts are positive, and the
+// intra-procedural product never exceeds the inter-procedural count.
+func TestCorpusWideInvariants(t *testing.T) {
+	progs := corpus.Seeds()
+	progs = append(progs, corpus.Generate(corpus.Config{N: 40, Seed: 777})...)
+	for i, src := range progs {
+		sk := skeleton.MustBuild(src)
+		naive := spe.Count(sk, spe.Options{Mode: spe.ModeNaive})
+		canon := spe.Count(sk, spe.Options{Mode: spe.ModeCanonical})
+		intra := spe.Count(sk, spe.Options{Mode: spe.ModeCanonical, Granularity: spe.Intra})
+		inter := spe.Count(sk, spe.Options{Mode: spe.ModeCanonical, Granularity: spe.Inter})
+		if canon.Sign() <= 0 || naive.Sign() <= 0 {
+			t.Errorf("corpus[%d]: non-positive counts %s/%s", i, canon, naive)
+		}
+		if canon.Cmp(naive) > 0 {
+			t.Errorf("corpus[%d]: canonical %s exceeds naive %s", i, canon, naive)
+		}
+		if intra.Cmp(inter) > 0 {
+			t.Errorf("corpus[%d]: intra %s exceeds inter %s", i, intra, inter)
+		}
+	}
+}

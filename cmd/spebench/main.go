@@ -1,0 +1,74 @@
+// Command spebench regenerates the paper's tables and figures (see
+// DESIGN.md §5 for the experiment index and EXPERIMENTS.md for recorded
+// results).
+//
+// Usage:
+//
+//	spebench [-quick] [experiment...]
+//
+// where experiment is any of: table1 table2 table3 table4 fig8 fig9 fig10
+// example6. With no arguments, all experiments run in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spe/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use a reduced scale for a fast run")
+	flag.Parse()
+	scale := experiments.Scale{}
+	if *quick {
+		scale = experiments.Scale{
+			CorpusFiles:    40,
+			MaxVariants:    60,
+			CoverageFiles:  10,
+			CoverageVars:   10,
+			CampaignCorpus: 10,
+		}
+	}
+	which := flag.Args()
+	if len(which) == 0 {
+		which = []string{"example6", "table1", "table2", "fig8", "table3", "table4", "fig10", "fig9", "generality"}
+	}
+	for _, name := range which {
+		start := time.Now()
+		out, err := run(name, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spebench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", name, time.Since(start).Seconds(), out)
+	}
+}
+
+func run(name string, scale experiments.Scale) (string, error) {
+	switch name {
+	case "table1":
+		return experiments.Table1(scale)
+	case "table2":
+		return experiments.Table2(scale)
+	case "table3":
+		return experiments.Table3(scale)
+	case "table4":
+		out, _, err := experiments.Table4(scale)
+		return out, err
+	case "fig8":
+		return experiments.Figure8(scale)
+	case "fig9":
+		return experiments.Figure9(scale)
+	case "fig10":
+		return experiments.Figure10(scale)
+	case "example6":
+		return experiments.Example6(), nil
+	case "generality":
+		return experiments.Generality(scale)
+	default:
+		return "", fmt.Errorf("unknown experiment %q", name)
+	}
+}

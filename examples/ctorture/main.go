@@ -1,0 +1,28 @@
+// Ctorture: the paper's §5.2 size-reduction study — build a c-torture-style
+// corpus, derive every skeleton, and compare the naive and SPE enumeration
+// set sizes (Tables 1 and 2, Figure 8).
+//
+// Run with: go run ./examples/ctorture
+package main
+
+import (
+	"fmt"
+
+	"spe/internal/experiments"
+)
+
+func main() {
+	scale := experiments.Scale{CorpusFiles: 80}
+	for _, f := range []func(experiments.Scale) (string, error){
+		experiments.Table1,
+		experiments.Table2,
+		experiments.Figure8,
+	} {
+		out, err := f(scale)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(out)
+	}
+	fmt.Println(experiments.Example6())
+}

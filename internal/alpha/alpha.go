@@ -1,0 +1,153 @@
+// Package alpha implements program alpha-equivalence (paper §3.2): the
+// compact alpha-renaming relation between programs, canonical forms, and a
+// brute-force orbit oracle used to validate the enumeration engine.
+//
+// Two programs are compact-alpha-equivalent iff one can be transformed into
+// the other by renaming variables within their interchangeability groups
+// (same scope, same type, same declaration shape, same visibility). The
+// canonical form renames every variable to a deterministic name derived
+// from its group and its first-use order, so textual equality of canonical
+// forms decides equivalence.
+package alpha
+
+import (
+	"fmt"
+
+	"spe/internal/cc"
+	"spe/internal/partition"
+	"spe/internal/skeleton"
+)
+
+// Canonicalize returns the canonical form of a program: every variable is
+// renamed to v<group>_<k>, where k is the variable's rank in the order of
+// first use among its interchangeability group (unused variables follow in
+// declaration order). Compact-alpha-equivalent programs (w.r.t. the group
+// relation of package skeleton) have identical canonical forms.
+func Canonicalize(src string) (string, error) {
+	f, err := cc.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	prog, err := cc.Analyze(f)
+	if err != nil {
+		return "", err
+	}
+	sk, err := skeleton.Build(prog)
+	if err != nil {
+		return "", err
+	}
+	return CanonicalizeSkeleton(sk), nil
+}
+
+// MustCanonicalize is Canonicalize, panicking on error.
+func MustCanonicalize(src string) string {
+	out, err := Canonicalize(src)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// CanonicalizeSkeleton renders the canonical form of the skeleton's own
+// program (its original filling).
+func CanonicalizeSkeleton(sk *skeleton.Skeleton) string {
+	return RenderCanonical(sk, sk.OriginalFill())
+}
+
+// RenderCanonical renders the canonical form of the program realized by the
+// given filling of sk.
+func RenderCanonical(sk *skeleton.Skeleton, fill []partition.VarRef) string {
+	// rank[g][i] = canonical index of member i of group g
+	rank := make([]map[int]int, len(sk.Groups))
+	next := make([]int, len(sk.Groups))
+	for g := range rank {
+		rank[g] = make(map[int]int, len(sk.Groups[g].Syms))
+	}
+	for _, vr := range fill {
+		if _, ok := rank[vr.Group][vr.Index]; !ok {
+			rank[vr.Group][vr.Index] = next[vr.Group]
+			next[vr.Group]++
+		}
+	}
+	// unused members follow in declaration order
+	for g := range sk.Groups {
+		for i := range sk.Groups[g].Syms {
+			if _, ok := rank[g][i]; !ok {
+				rank[g][i] = next[g]
+				next[g]++
+			}
+		}
+	}
+	// Uses are named by first-use rank; declaration slots are named by
+	// their position within the group. Group members' declarations are
+	// interchangeable (identical shape, scope, and visibility), so binding
+	// the rank-r name to the slot-r declaration realizes a valid compact
+	// alpha-renaming, and the declaration text becomes independent of the
+	// filling — exactly what a canonical form requires.
+	slotName := func(sym *cc.Symbol) string {
+		for g, grp := range sk.Groups {
+			for i, s := range grp.Syms {
+				if s.ID == sym.ID {
+					return fmt.Sprintf("v%d_%d", g, i)
+				}
+			}
+		}
+		return sym.Name // functions and other non-grouped symbols
+	}
+	holeName := make(map[*cc.Ident]string, len(fill))
+	for i, vr := range fill {
+		holeName[sk.Holes[i].Ident] = fmt.Sprintf("v%d_%d", vr.Group, rank[vr.Group][vr.Index])
+	}
+	p := cc.Printer{
+		Rename: func(id *cc.Ident) string {
+			if n, ok := holeName[id]; ok {
+				return n
+			}
+			if id.Sym != nil && id.Sym.Kind != cc.SymFunc {
+				return slotName(id.Sym)
+			}
+			return id.Name
+		},
+		RenameDecl: func(d *cc.VarDecl) string {
+			if d.Sym != nil {
+				return slotName(d.Sym)
+			}
+			return d.Name
+		},
+	}
+	return p.File(sk.Prog.File)
+}
+
+// Equivalent reports whether two programs are compact-alpha-equivalent,
+// i.e. whether their canonical forms coincide.
+func Equivalent(src1, src2 string) (bool, error) {
+	c1, err := Canonicalize(src1)
+	if err != nil {
+		return false, fmt.Errorf("alpha: first program: %w", err)
+	}
+	c2, err := Canonicalize(src2)
+	if err != nil {
+		return false, fmt.Errorf("alpha: second program: %w", err)
+	}
+	return c1 == c2, nil
+}
+
+// EquivalentFills reports whether two fillings of the same skeleton realize
+// compact-alpha-equivalent programs.
+func EquivalentFills(sk *skeleton.Skeleton, f1, f2 []partition.VarRef) bool {
+	p := sk.Problem()
+	return partition.FillKey(p.CanonicalizeFill(f1)) == partition.FillKey(p.CanonicalizeFill(f2))
+}
+
+// OrbitCount returns the exact number of compact-alpha-equivalence classes
+// among all naive fillings of the skeleton, by brute-force enumeration.
+// Exponential; intended as a test oracle on small skeletons.
+func OrbitCount(sk *skeleton.Skeleton) int {
+	p := sk.Problem()
+	seen := make(map[string]bool)
+	p.EachNaive(func(fill []partition.VarRef) bool {
+		seen[partition.FillKey(p.CanonicalizeFill(fill))] = true
+		return true
+	})
+	return len(seen)
+}

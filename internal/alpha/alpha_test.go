@@ -1,0 +1,193 @@
+package alpha
+
+import (
+	"math/big"
+	"testing"
+
+	"spe/internal/partition"
+	"spe/internal/skeleton"
+)
+
+func TestEquivalentFigure6(t *testing.T) {
+	// Paper Figure 6: P, P1, P2 are alpha-equivalent. Our group relation
+	// refuses to exchange variables with different initializers, so we use
+	// the uninitialized analogue, where a<->b and c<->d are exchangeable.
+	p := `
+int main() {
+    int a, b;
+    int c, d;
+    b = c + d;
+    a = b;
+    return a;
+}
+`
+	p1 := `
+int main() {
+    int a, b;
+    int c, d;
+    a = d + c;
+    b = a;
+    return b;
+}
+`
+	eq, err := Equivalent(p, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("P and its compact-alpha-renaming must be equivalent")
+	}
+}
+
+func TestNonEquivalent(t *testing.T) {
+	// Paper Example 2: <a,b,a,a,a,b> vs <a,b,b,b,a,b> are not equivalent.
+	p := `
+int a, b;
+int main() {
+    a = b;
+    a = a - a;
+    return b;
+}
+`
+	p2 := `
+int a, b;
+int main() {
+    a = b;
+    b = b - a;
+    return b;
+}
+`
+	eq, err := Equivalent(p, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Error("programs with different partitions must not be equivalent")
+	}
+}
+
+func TestEquivalenceRespectsScopes(t *testing.T) {
+	// Renaming a global into a local crosses scopes and is not a compact
+	// alpha-renaming: the programs below use b (global) vs c (local) at
+	// the same hole and must be inequivalent even though the usage pattern
+	// is isomorphic.
+	pGlobal := `
+int a, b;
+int main() {
+    a = b;
+    if (1) {
+        int c, d;
+        a = b;
+    }
+    return a;
+}
+`
+	pLocal := `
+int a, b;
+int main() {
+    a = b;
+    if (1) {
+        int c, d;
+        a = c;
+    }
+    return a;
+}
+`
+	eq, err := Equivalent(pGlobal, pLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Error("global/local usage must not be conflated across scopes")
+	}
+}
+
+func TestCanonicalizeIdempotent(t *testing.T) {
+	srcs := []string{
+		"int a, b;\nint main() { b = b - a; if (a) a = a - b; return 0; }",
+		"int main() { int x, y; x = y; { int z; z = x; } return y; }",
+	}
+	for _, src := range srcs {
+		c1 := MustCanonicalize(src)
+		c2 := MustCanonicalize(c1)
+		if c1 != c2 {
+			t.Errorf("canonicalization not idempotent:\n--- 1 ---\n%s\n--- 2 ---\n%s", c1, c2)
+		}
+	}
+}
+
+func TestRenderCanonicalConsistentWithFillCanonicalization(t *testing.T) {
+	// End-to-end: two fillings are fill-equivalent iff their rendered
+	// programs canonicalize to the same text.
+	sk := skeleton.MustBuild(`
+int a, b;
+int main() {
+    a = b;
+    b = a;
+    if (1) {
+        int c, d;
+        c = d;
+    }
+    return a;
+}
+`)
+	p := sk.Problem()
+	var fills [][]partition.VarRef
+	p.EachNaive(func(fill []partition.VarRef) bool {
+		fills = append(fills, append([]partition.VarRef(nil), fill...))
+		return len(fills) < 64
+	})
+	for i := 0; i < len(fills); i += 7 {
+		for j := i; j < len(fills); j += 13 {
+			fillEq := EquivalentFills(sk, fills[i], fills[j])
+			texti := RenderCanonical(sk, fills[i])
+			textj := RenderCanonical(sk, fills[j])
+			if fillEq != (texti == textj) {
+				t.Fatalf("fill equivalence %v but text equivalence %v for fills %v / %v",
+					fillEq, texti == textj, fills[i], fills[j])
+			}
+		}
+	}
+}
+
+func TestOrbitCountMatchesCanonicalCount(t *testing.T) {
+	srcs := []string{
+		"int a, b;\nint main() { a = b; b = a; return 0; }",
+		"int main() { int x, y, z; x = y + z; return x; }",
+		"int a, b;\nint main() { a = b; if (1) { int c, d; c = d; } a = a; b = b; return 0; }",
+	}
+	for _, src := range srcs {
+		sk := skeleton.MustBuild(src)
+		want := OrbitCount(sk)
+		got := sk.Problem().CanonicalCount()
+		if got.Cmp(big.NewInt(int64(want))) != 0 {
+			t.Errorf("%q: canonical count %s, brute-force orbits %d", src[:20], got, want)
+		}
+	}
+}
+
+func TestCanonicalFormsOfEnumerationAreDistinct(t *testing.T) {
+	sk := skeleton.MustBuild("int a, b;\nint main() { b = b - a; if (a) a = a - b; return 0; }")
+	p := sk.Problem()
+	texts := make(map[string]bool)
+	p.EachCanonical(func(fill []partition.VarRef) bool {
+		text := RenderCanonical(sk, fill)
+		if texts[text] {
+			t.Fatalf("two canonical fillings render to the same canonical text:\n%s", text)
+		}
+		texts[text] = true
+		return true
+	})
+	if len(texts) != 64 {
+		t.Errorf("distinct canonical texts = %d, want 64", len(texts))
+	}
+}
+
+func TestEquivalentErrors(t *testing.T) {
+	if _, err := Equivalent("int main() {", "int main() { return 0; }"); err == nil {
+		t.Error("want error for unparsable first program")
+	}
+	if _, err := Equivalent("int main() { return 0; }", "int x = ;"); err == nil {
+		t.Error("want error for unparsable second program")
+	}
+}

@@ -1,0 +1,521 @@
+package cc
+
+// This file defines the abstract syntax tree for the C subset. Nodes carry
+// positions for error reporting and, after semantic analysis, resolved
+// symbol and type information.
+
+// Node is the interface implemented by all AST nodes.
+type Node interface{ NodePos() Pos }
+
+// File is a translation unit: a sequence of top-level declarations.
+type File struct {
+	Decls []Decl
+	// Structs maps struct tags to their resolved types (filled by sema).
+	Structs map[string]*StructType
+}
+
+// NodePos implements Node.
+func (f *File) NodePos() Pos {
+	if len(f.Decls) > 0 {
+		return f.Decls[0].NodePos()
+	}
+	return Pos{1, 1}
+}
+
+// Decl is a top-level or block-level declaration.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// StorageClass describes a declaration's storage class specifier.
+type StorageClass int
+
+// Storage classes.
+const (
+	StorageNone StorageClass = iota
+	StorageStatic
+	StorageExtern
+)
+
+// VarDecl declares a single variable (a multi-declarator declaration is
+// parsed into several VarDecls sharing a position).
+type VarDecl struct {
+	Pos     Pos
+	Name    string
+	Type    Type
+	Init    Expr // nil if none; for arrays/structs an InitList
+	Storage StorageClass
+	Sym     *Symbol // filled by sema
+}
+
+func (d *VarDecl) declNode() {}
+
+// NodePos implements Node.
+func (d *VarDecl) NodePos() Pos { return d.Pos }
+
+// FuncDecl declares (and possibly defines) a function.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Ret    Type
+	Params []*VarDecl
+	Body   *BlockStmt // nil for prototypes
+	Sym    *Symbol
+}
+
+func (d *FuncDecl) declNode() {}
+
+// NodePos implements Node.
+func (d *FuncDecl) NodePos() Pos { return d.Pos }
+
+// StructDecl introduces a struct type definition.
+type StructDecl struct {
+	Pos  Pos
+	Type *StructType
+}
+
+func (d *StructDecl) declNode() {}
+
+// NodePos implements Node.
+func (d *StructDecl) NodePos() Pos { return d.Pos }
+
+// Stmt is a statement.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// BlockStmt is a brace-enclosed statement list opening a new scope.
+type BlockStmt struct {
+	Pos   Pos
+	List  []Stmt
+	Scope *Scope // filled by sema
+}
+
+func (s *BlockStmt) stmtNode() {}
+
+// NodePos implements Node.
+func (s *BlockStmt) NodePos() Pos { return s.Pos }
+
+// DeclStmt wraps one or more variable declarations appearing in a block.
+type DeclStmt struct {
+	Pos   Pos
+	Decls []*VarDecl
+}
+
+func (s *DeclStmt) stmtNode() {}
+
+// NodePos implements Node.
+func (s *DeclStmt) NodePos() Pos { return s.Pos }
+
+// ExprStmt is an expression evaluated for effect.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+func (s *ExprStmt) stmtNode() {}
+
+// NodePos implements Node.
+func (s *ExprStmt) NodePos() Pos { return s.Pos }
+
+// EmptyStmt is a lone semicolon.
+type EmptyStmt struct{ Pos Pos }
+
+func (s *EmptyStmt) stmtNode() {}
+
+// NodePos implements Node.
+func (s *EmptyStmt) NodePos() Pos { return s.Pos }
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // nil if absent
+}
+
+func (s *IfStmt) stmtNode() {}
+
+// NodePos implements Node.
+func (s *IfStmt) NodePos() Pos { return s.Pos }
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+func (s *WhileStmt) stmtNode() {}
+
+// NodePos implements Node.
+func (s *WhileStmt) NodePos() Pos { return s.Pos }
+
+// DoWhileStmt is a do/while loop.
+type DoWhileStmt struct {
+	Pos  Pos
+	Body Stmt
+	Cond Expr
+}
+
+func (s *DoWhileStmt) stmtNode() {}
+
+// NodePos implements Node.
+func (s *DoWhileStmt) NodePos() Pos { return s.Pos }
+
+// ForStmt is a for loop. Init may be a DeclStmt or ExprStmt or nil; Cond and
+// Post may be nil.
+type ForStmt struct {
+	Pos   Pos
+	Init  Stmt
+	Cond  Expr
+	Post  Expr
+	Body  Stmt
+	Scope *Scope // scope of the init declaration, filled by sema
+}
+
+func (s *ForStmt) stmtNode() {}
+
+// NodePos implements Node.
+func (s *ForStmt) NodePos() Pos { return s.Pos }
+
+// ReturnStmt returns from a function.
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr // nil for bare return
+}
+
+func (s *ReturnStmt) stmtNode() {}
+
+// NodePos implements Node.
+func (s *ReturnStmt) NodePos() Pos { return s.Pos }
+
+// BreakStmt breaks the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+func (s *BreakStmt) stmtNode() {}
+
+// NodePos implements Node.
+func (s *BreakStmt) NodePos() Pos { return s.Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+func (s *ContinueStmt) stmtNode() {}
+
+// NodePos implements Node.
+func (s *ContinueStmt) NodePos() Pos { return s.Pos }
+
+// GotoStmt jumps to a label.
+type GotoStmt struct {
+	Pos   Pos
+	Label string
+}
+
+func (s *GotoStmt) stmtNode() {}
+
+// NodePos implements Node.
+func (s *GotoStmt) NodePos() Pos { return s.Pos }
+
+// LabeledStmt attaches a label to a statement.
+type LabeledStmt struct {
+	Pos   Pos
+	Label string
+	Stmt  Stmt
+}
+
+func (s *LabeledStmt) stmtNode() {}
+
+// NodePos implements Node.
+func (s *LabeledStmt) NodePos() Pos { return s.Pos }
+
+// Expr is an expression. After sema, ExprType reports its type.
+type Expr interface {
+	Node
+	exprNode()
+	// ExprType returns the resolved type (nil before sema).
+	ExprType() Type
+}
+
+// Ident is a variable or function reference. Each Ident use-site is a
+// potential skeleton hole.
+type Ident struct {
+	Pos  Pos
+	Name string
+	Sym  *Symbol // filled by sema
+	// Visible lists the symbols in scope at this use, in declaration order,
+	// filled by sema. It defines the hole variable set v_i of the paper.
+	Visible []*Symbol
+	// FuncIdx is the index of the function containing this use, or -1 for
+	// uses in global initializers; filled by sema.
+	FuncIdx int
+}
+
+func (e *Ident) exprNode() {}
+
+// NodePos implements Node.
+func (e *Ident) NodePos() Pos { return e.Pos }
+
+// ExprType implements Expr.
+func (e *Ident) ExprType() Type {
+	if e.Sym == nil {
+		return nil
+	}
+	return e.Sym.Type
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos  Pos
+	Text string // original spelling
+	Val  int64
+	Type Type
+}
+
+func (e *IntLit) exprNode() {}
+
+// NodePos implements Node.
+func (e *IntLit) NodePos() Pos { return e.Pos }
+
+// ExprType implements Expr.
+func (e *IntLit) ExprType() Type { return e.Type }
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	Pos  Pos
+	Text string
+	Val  float64
+	Type Type
+}
+
+func (e *FloatLit) exprNode() {}
+
+// NodePos implements Node.
+func (e *FloatLit) NodePos() Pos { return e.Pos }
+
+// ExprType implements Expr.
+func (e *FloatLit) ExprType() Type { return e.Type }
+
+// CharLit is a character constant (type int, as in C).
+type CharLit struct {
+	Pos  Pos
+	Val  byte
+	Type Type
+}
+
+func (e *CharLit) exprNode() {}
+
+// NodePos implements Node.
+func (e *CharLit) NodePos() Pos { return e.Pos }
+
+// ExprType implements Expr.
+func (e *CharLit) ExprType() Type { return e.Type }
+
+// StringLit is a string literal (type char*).
+type StringLit struct {
+	Pos  Pos
+	Val  string
+	Type Type
+}
+
+func (e *StringLit) exprNode() {}
+
+// NodePos implements Node.
+func (e *StringLit) NodePos() Pos { return e.Pos }
+
+// ExprType implements Expr.
+func (e *StringLit) ExprType() Type { return e.Type }
+
+// UnaryExpr is a prefix unary operation: one of + - ! ~ * & ++ --.
+type UnaryExpr struct {
+	Pos  Pos
+	Op   string
+	X    Expr
+	Type Type
+}
+
+func (e *UnaryExpr) exprNode() {}
+
+// NodePos implements Node.
+func (e *UnaryExpr) NodePos() Pos { return e.Pos }
+
+// ExprType implements Expr.
+func (e *UnaryExpr) ExprType() Type { return e.Type }
+
+// PostfixExpr is a postfix ++ or --.
+type PostfixExpr struct {
+	Pos  Pos
+	Op   string // "++" or "--"
+	X    Expr
+	Type Type
+}
+
+func (e *PostfixExpr) exprNode() {}
+
+// NodePos implements Node.
+func (e *PostfixExpr) NodePos() Pos { return e.Pos }
+
+// ExprType implements Expr.
+func (e *PostfixExpr) ExprType() Type { return e.Type }
+
+// BinaryExpr is an infix binary operation (arithmetic, relational, logical,
+// bitwise, shift).
+type BinaryExpr struct {
+	Pos  Pos
+	Op   string
+	X, Y Expr
+	Type Type
+}
+
+func (e *BinaryExpr) exprNode() {}
+
+// NodePos implements Node.
+func (e *BinaryExpr) NodePos() Pos { return e.Pos }
+
+// ExprType implements Expr.
+func (e *BinaryExpr) ExprType() Type { return e.Type }
+
+// AssignExpr is an assignment, possibly compound (=, +=, ...).
+type AssignExpr struct {
+	Pos  Pos
+	Op   string
+	LHS  Expr
+	RHS  Expr
+	Type Type
+}
+
+func (e *AssignExpr) exprNode() {}
+
+// NodePos implements Node.
+func (e *AssignExpr) NodePos() Pos { return e.Pos }
+
+// ExprType implements Expr.
+func (e *AssignExpr) ExprType() Type { return e.Type }
+
+// CondExpr is the ternary conditional operator.
+type CondExpr struct {
+	Pos        Pos
+	Cond, T, F Expr
+	Type       Type
+}
+
+func (e *CondExpr) exprNode() {}
+
+// NodePos implements Node.
+func (e *CondExpr) NodePos() Pos { return e.Pos }
+
+// ExprType implements Expr.
+func (e *CondExpr) ExprType() Type { return e.Type }
+
+// CallExpr is a function call. Fun is an Ident in the subset.
+type CallExpr struct {
+	Pos  Pos
+	Fun  *Ident
+	Args []Expr
+	Type Type
+}
+
+func (e *CallExpr) exprNode() {}
+
+// NodePos implements Node.
+func (e *CallExpr) NodePos() Pos { return e.Pos }
+
+// ExprType implements Expr.
+func (e *CallExpr) ExprType() Type { return e.Type }
+
+// IndexExpr is array/pointer subscripting a[i].
+type IndexExpr struct {
+	Pos  Pos
+	X    Expr
+	Idx  Expr
+	Type Type
+}
+
+func (e *IndexExpr) exprNode() {}
+
+// NodePos implements Node.
+func (e *IndexExpr) NodePos() Pos { return e.Pos }
+
+// ExprType implements Expr.
+func (e *IndexExpr) ExprType() Type { return e.Type }
+
+// MemberExpr is struct member access: X.Name or X->Name (Arrow).
+type MemberExpr struct {
+	Pos   Pos
+	X     Expr
+	Name  string
+	Arrow bool
+	Type  Type
+}
+
+func (e *MemberExpr) exprNode() {}
+
+// NodePos implements Node.
+func (e *MemberExpr) NodePos() Pos { return e.Pos }
+
+// ExprType implements Expr.
+func (e *MemberExpr) ExprType() Type { return e.Type }
+
+// CastExpr is an explicit cast (T)X.
+type CastExpr struct {
+	Pos  Pos
+	To   Type
+	X    Expr
+	Type Type
+}
+
+func (e *CastExpr) exprNode() {}
+
+// NodePos implements Node.
+func (e *CastExpr) NodePos() Pos { return e.Pos }
+
+// ExprType implements Expr.
+func (e *CastExpr) ExprType() Type { return e.Type }
+
+// SizeofExpr is sizeof(expr) or sizeof(type).
+type SizeofExpr struct {
+	Pos    Pos
+	X      Expr // nil when OfType is set
+	OfType Type // nil when X is set
+	Type   Type
+}
+
+func (e *SizeofExpr) exprNode() {}
+
+// NodePos implements Node.
+func (e *SizeofExpr) NodePos() Pos { return e.Pos }
+
+// ExprType implements Expr.
+func (e *SizeofExpr) ExprType() Type { return e.Type }
+
+// CommaExpr is the comma operator: evaluate all, yield the last.
+type CommaExpr struct {
+	Pos  Pos
+	List []Expr
+	Type Type
+}
+
+func (e *CommaExpr) exprNode() {}
+
+// NodePos implements Node.
+func (e *CommaExpr) NodePos() Pos { return e.Pos }
+
+// ExprType implements Expr.
+func (e *CommaExpr) ExprType() Type { return e.Type }
+
+// InitList is a brace initializer for arrays and structs.
+type InitList struct {
+	Pos  Pos
+	List []Expr
+	Type Type
+}
+
+func (e *InitList) exprNode() {}
+
+// NodePos implements Node.
+func (e *InitList) NodePos() Pos { return e.Pos }
+
+// ExprType implements Expr.
+func (e *InitList) ExprType() Type { return e.Type }

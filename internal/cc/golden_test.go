@@ -1,0 +1,165 @@
+package cc
+
+import "testing"
+
+// Golden tests pin the printer's concrete output format; skeleton
+// rendering, alpha-canonicalization, and the harness all rely on its
+// stability.
+
+func TestGoldenPrintFormats(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "simple function",
+			src:  "int main() { int a = 1; return a; }",
+			want: `int main(void) {
+    int a = 1;
+    return a;
+}
+`,
+		},
+		{
+			name: "globals and struct",
+			src:  "struct s { int x; }; struct s v; int g = 2;",
+			want: `struct s {
+    int x;
+};
+struct s v;
+int g = 2;
+`,
+		},
+		{
+			name: "control flow",
+			src:  "int main() { int i; for (i = 0; i < 3; i++) { if (i) continue; else break; } while (i) i--; return 0; }",
+			want: `int main(void) {
+    int i;
+    for (i = 0; i < 3; i++) {
+        if (i)
+            continue;
+        else
+            break;
+    }
+    while (i)
+        i--;
+    return 0;
+}
+`,
+		},
+		{
+			name: "pointers and arrays",
+			src:  "int main() { int a[3] = {1, 2, 3}; int *p = &a[0]; return *p + a[1]; }",
+			want: `int main(void) {
+    int a[3] = {1, 2, 3};
+    int *p = &a[0];
+    return *p + a[1];
+}
+`,
+		},
+		{
+			name: "goto and label",
+			src:  "int main() { int x = 0; l: x++; if (x < 2) goto l; return x; }",
+			want: `int main(void) {
+    int x = 0;
+    l:
+    x++;
+    if (x < 2)
+        goto l;
+    return x;
+}
+`,
+		},
+		{
+			name: "ternary precedence",
+			src:  "int main() { int a = 1, b = 2; return a ? b : a + b; }",
+			want: `int main(void) {
+    int a = 1;
+    int b = 2;
+    return a ? b : a + b;
+}
+`,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := MustParse(c.src)
+			got := PrintFile(f)
+			if got != c.want {
+				t.Errorf("golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, c.want)
+			}
+		})
+	}
+}
+
+func TestGoldenTypeSizes(t *testing.T) {
+	cases := []struct {
+		typ  Type
+		want int
+	}{
+		{TypeVoid, 0},
+		{TypeChar, 1},
+		{&BasicType{Kind: Short}, 2},
+		{TypeInt, 4},
+		{TypeUInt, 4},
+		{TypeLong, 8},
+		{TypeFloat, 4},
+		{TypeDouble, 8},
+		{&PointerType{Elem: TypeChar}, 8},
+		{&ArrayType{Elem: TypeInt, Len: 5}, 20},
+		{&StructType{Tag: "s", Fields: []Field{{Name: "a", Type: TypeInt}, {Name: "b", Type: TypeChar}}}, 5},
+		{&FuncType{Ret: TypeInt}, 8},
+	}
+	for _, c := range cases {
+		if got := c.typ.Size(); got != c.want {
+			t.Errorf("%s.Size() = %d, want %d", c.typ, got, c.want)
+		}
+	}
+}
+
+func TestTypePredicates(t *testing.T) {
+	if !IsArithmetic(TypeInt) || !IsArithmetic(TypeDouble) || IsArithmetic(&PointerType{Elem: TypeInt}) {
+		t.Error("IsArithmetic misclassifies")
+	}
+	if !IsIntegerType(TypeChar) || IsIntegerType(TypeFloat) {
+		t.Error("IsIntegerType misclassifies")
+	}
+	if !IsScalar(&PointerType{Elem: TypeInt}) || IsScalar(&StructType{Tag: "s"}) {
+		t.Error("IsScalar misclassifies")
+	}
+	if Decay(&ArrayType{Elem: TypeInt, Len: 2}).String() != "int*" {
+		t.Error("Decay fails on arrays")
+	}
+	if Decay(TypeInt) != Type(TypeInt) {
+		t.Error("Decay changes scalars")
+	}
+	if !SameType(TypeInt, &BasicType{Kind: Int}) || SameType(TypeInt, TypeUInt) {
+		t.Error("SameType misclassifies")
+	}
+}
+
+func TestStructFieldIndex(t *testing.T) {
+	st := &StructType{Tag: "s", Fields: []Field{{Name: "a", Type: TypeInt}, {Name: "b", Type: TypeChar}}}
+	if st.FieldIndex("a") != 0 || st.FieldIndex("b") != 1 || st.FieldIndex("z") != -1 {
+		t.Error("FieldIndex wrong")
+	}
+}
+
+func TestBasicTypePredicates(t *testing.T) {
+	unsigned := []BasicKind{UChar, UShort, UInt, ULong}
+	for _, k := range unsigned {
+		if !(&BasicType{Kind: k}).IsUnsigned() {
+			t.Errorf("%v not unsigned", k)
+		}
+	}
+	signed := []BasicKind{Char, Short, Int, Long}
+	for _, k := range signed {
+		if (&BasicType{Kind: k}).IsUnsigned() {
+			t.Errorf("%v unsigned", k)
+		}
+	}
+	if !(&BasicType{Kind: Float}).IsFloat() || (&BasicType{Kind: Int}).IsFloat() {
+		t.Error("IsFloat misclassifies")
+	}
+}

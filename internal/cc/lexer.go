@@ -1,0 +1,346 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer converts C source text into a token stream. It handles line and
+// block comments, all integer literal bases with suffixes, floating
+// literals, character and string literals with escapes, and the full C
+// punctuator set.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// LexError describes a lexical error at a source position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *LexError) Error() string { return fmt.Sprintf("%s: lex error: %s", e.Pos, e.Msg) }
+
+func (l *Lexer) errorf(format string, args ...interface{}) error {
+	return &LexError{Pos: Pos{l.line, l.col}, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+// skipSpaceAndComments consumes whitespace, // and /* */ comments, and
+// preprocessor lines (which are ignored: the corpus is preprocessor-free
+// except for occasional #include lines in seeds, which we tolerate and drop).
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := Pos{l.line, l.col}
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &LexError{Pos: start, Msg: "unterminated block comment"}
+			}
+		case c == '#' && l.col == 1:
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// punctuators, longest first within each leading byte, checked greedily.
+var punct3 = []string{"<<=", ">>=", "..."}
+var punct2 = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+	"++", "--", "->",
+}
+
+// Next returns the next token, or an error.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := Pos{l.line, l.col}
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		kind := IDENT
+		if keywords[text] {
+			kind = KEYWORD
+		}
+		return Token{Kind: kind, Text: text, Pos: pos}, nil
+	case isDigit(c) || c == '.' && isDigit(l.peek2()):
+		return l.lexNumber(pos)
+	case c == '\'':
+		return l.lexCharLit(pos)
+	case c == '"':
+		return l.lexStringLit(pos)
+	}
+	// punctuators
+	rest := l.src[l.off:]
+	for _, p := range punct3 {
+		if strings.HasPrefix(rest, p) {
+			for range p {
+				l.advance()
+			}
+			return Token{Kind: PUNCT, Text: p, Pos: pos}, nil
+		}
+	}
+	for _, p := range punct2 {
+		if strings.HasPrefix(rest, p) {
+			l.advance()
+			l.advance()
+			return Token{Kind: PUNCT, Text: p, Pos: pos}, nil
+		}
+	}
+	switch c {
+	case '+', '-', '*', '/', '%', '=', '<', '>', '!', '~', '&', '|', '^',
+		'(', ')', '{', '}', '[', ']', ';', ',', '.', '?', ':':
+		l.advance()
+		return Token{Kind: PUNCT, Text: string(c), Pos: pos}, nil
+	}
+	return Token{}, l.errorf("unexpected character %q", c)
+}
+
+func (l *Lexer) lexNumber(pos Pos) (Token, error) {
+	start := l.off
+	isFloat := false
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		if !isHexDigit(l.peek()) {
+			return Token{}, l.errorf("malformed hex literal")
+		}
+		for l.off < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+	} else {
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		if l.peek() == '.' {
+			isFloat = true
+			l.advance()
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		if l.peek() == 'e' || l.peek() == 'E' {
+			save := l.off
+			l.advance()
+			if l.peek() == '+' || l.peek() == '-' {
+				l.advance()
+			}
+			if isDigit(l.peek()) {
+				isFloat = true
+				for l.off < len(l.src) && isDigit(l.peek()) {
+					l.advance()
+				}
+			} else {
+				// not an exponent after all; back up (cannot happen with
+				// valid C, but keep the lexer total)
+				l.off = save
+			}
+		}
+	}
+	// suffixes
+	if isFloat {
+		if l.peek() == 'f' || l.peek() == 'F' || l.peek() == 'l' || l.peek() == 'L' {
+			l.advance()
+		}
+		return Token{Kind: FLOATLIT, Text: l.src[start:l.off], Pos: pos}, nil
+	}
+	for l.peek() == 'u' || l.peek() == 'U' || l.peek() == 'l' || l.peek() == 'L' {
+		l.advance()
+	}
+	return Token{Kind: INTLIT, Text: l.src[start:l.off], Pos: pos}, nil
+}
+
+func (l *Lexer) lexEscape() (byte, error) {
+	// called after consuming the backslash
+	if l.off >= len(l.src) {
+		return 0, l.errorf("unterminated escape sequence")
+	}
+	c := l.advance()
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	case 'a':
+		return 7, nil
+	case 'b':
+		return 8, nil
+	case 'f':
+		return 12, nil
+	case 'v':
+		return 11, nil
+	case 'x':
+		v := 0
+		n := 0
+		for l.off < len(l.src) && isHexDigit(l.peek()) && n < 2 {
+			d := l.advance()
+			switch {
+			case d >= '0' && d <= '9':
+				v = v*16 + int(d-'0')
+			case d >= 'a' && d <= 'f':
+				v = v*16 + int(d-'a'+10)
+			default:
+				v = v*16 + int(d-'A'+10)
+			}
+			n++
+		}
+		if n == 0 {
+			return 0, l.errorf("malformed hex escape")
+		}
+		return byte(v), nil
+	default:
+		return 0, l.errorf("unknown escape \\%c", c)
+	}
+}
+
+func (l *Lexer) lexCharLit(pos Pos) (Token, error) {
+	l.advance() // opening quote
+	if l.off >= len(l.src) {
+		return Token{}, l.errorf("unterminated character literal")
+	}
+	var val byte
+	c := l.advance()
+	if c == '\\' {
+		v, err := l.lexEscape()
+		if err != nil {
+			return Token{}, err
+		}
+		val = v
+	} else {
+		val = c
+	}
+	if l.off >= len(l.src) || l.peek() != '\'' {
+		return Token{}, l.errorf("unterminated character literal")
+	}
+	l.advance()
+	return Token{Kind: CHARLIT, Text: string(val), Pos: pos}, nil
+}
+
+func (l *Lexer) lexStringLit(pos Pos) (Token, error) {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			return Token{}, l.errorf("unterminated string literal")
+		}
+		c := l.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			v, err := l.lexEscape()
+			if err != nil {
+				return Token{}, err
+			}
+			sb.WriteByte(v)
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	return Token{Kind: STRINGLIT, Text: sb.String(), Pos: pos}, nil
+}
+
+// LexAll tokenizes the entire input, excluding the trailing EOF token.
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == EOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}

@@ -1,0 +1,131 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func texts(toks []Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll("int a = 42;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"int", "a", "=", "42", ";"}
+	got := texts(toks)
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("tokens = %v, want %v", got, want)
+	}
+	if toks[0].Kind != KEYWORD || toks[1].Kind != IDENT || toks[3].Kind != INTLIT {
+		t.Errorf("kinds = %v", kinds(toks))
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "a <<= b >>= c << d >> e <= f >= g == h != i && j || k -> l ++ -- += -= *= /= %= &= |= ^= ..."
+	toks, err := LexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tok := range toks {
+		if tok.Kind == PUNCT {
+			ops = append(ops, tok.Text)
+		}
+	}
+	want := []string{"<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "..."}
+	if strings.Join(ops, " ") != strings.Join(want, " ") {
+		t.Errorf("ops = %v\nwant %v", ops, want)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind TokenKind
+	}{
+		{"0", INTLIT}, {"123", INTLIT}, {"0x1f", INTLIT}, {"0X1F", INTLIT},
+		{"07", INTLIT}, {"42u", INTLIT}, {"42UL", INTLIT}, {"42l", INTLIT},
+		{"1.5", FLOATLIT}, {"1.", FLOATLIT}, {".5", FLOATLIT},
+		{"1e10", FLOATLIT}, {"1.5e-3", FLOATLIT}, {"2.5f", FLOATLIT},
+	}
+	for _, c := range cases {
+		toks, err := LexAll(c.src)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if len(toks) != 1 || toks[0].Kind != c.kind {
+			t.Errorf("%q lexed to %v (%v), want single %v", c.src, texts(toks), kinds(toks), c.kind)
+		}
+	}
+}
+
+func TestLexCharAndString(t *testing.T) {
+	toks, err := LexAll(`'a' '\n' '\0' '\x41' "hello\n" "a\"b"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "a" || toks[1].Text != "\n" || toks[2].Text != "\x00" || toks[3].Text != "A" {
+		t.Errorf("char lits = %q %q %q %q", toks[0].Text, toks[1].Text, toks[2].Text, toks[3].Text)
+	}
+	if toks[4].Text != "hello\n" || toks[5].Text != `a"b` {
+		t.Errorf("string lits = %q %q", toks[4].Text, toks[5].Text)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := LexAll("a // line comment\nb /* block\ncomment */ c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(texts(toks), ""); got != "abc" {
+		t.Errorf("after comments: %q, want abc", got)
+	}
+}
+
+func TestLexPreprocessorLinesDropped(t *testing.T) {
+	toks, err := LexAll("#include <stdio.h>\nint a;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "int" {
+		t.Errorf("first token %q, want int", toks[0].Text)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("int\n  a;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("int at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("a at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'x", `"unterminated`, "/* unterminated", "'\\q'", "@", "$"} {
+		if _, err := LexAll(src); err == nil {
+			t.Errorf("LexAll(%q) succeeded, want error", src)
+		}
+	}
+}

@@ -1,0 +1,788 @@
+package cc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser is a recursive-descent parser for the C subset. Errors are
+// reported with positions; the parser stops at the first error.
+type Parser struct {
+	toks    []Token
+	pos     int
+	structs map[string]*StructType
+	// pendingStorage holds a storage class seen by parseDeclSpecifiers
+	// until the declaration parser consumes it.
+	pendingStorage StorageClass
+}
+
+// ParseError describes a syntax error.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("%s: syntax error: %s", e.Pos, e.Msg) }
+
+type parseBail struct{ err error }
+
+// Parse parses a complete translation unit.
+func Parse(src string) (*File, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, structs: make(map[string]*StructType)}
+	var file *File
+	err = p.catch(func() { file = p.parseFile() })
+	if err != nil {
+		return nil, err
+	}
+	return file, nil
+}
+
+// MustParse parses src and panics on error; intended for tests and seeds.
+func MustParse(src string) *File {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func (p *Parser) catch(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if b, ok := r.(parseBail); ok {
+				err = b.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return nil
+}
+
+func (p *Parser) errorf(pos Pos, format string, args ...interface{}) {
+	panic(parseBail{&ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}})
+}
+
+func (p *Parser) cur() Token {
+	if p.pos >= len(p.toks) {
+		last := Pos{1, 1}
+		if len(p.toks) > 0 {
+			last = p.toks[len(p.toks)-1].Pos
+		}
+		return Token{Kind: EOF, Pos: last}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *Parser) peekAt(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return Token{Kind: EOF}
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *Parser) next() Token {
+	t := p.cur()
+	p.pos++
+	return t
+}
+
+func (p *Parser) at(text string) bool {
+	t := p.cur()
+	return (t.Kind == PUNCT || t.Kind == KEYWORD) && t.Text == text
+}
+
+func (p *Parser) accept(text string) bool {
+	if p.at(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(text string) Token {
+	if !p.at(text) {
+		p.errorf(p.cur().Pos, "expected %q, found %s", text, p.cur())
+	}
+	return p.next()
+}
+
+func (p *Parser) expectIdent() Token {
+	if p.cur().Kind != IDENT {
+		p.errorf(p.cur().Pos, "expected identifier, found %s", p.cur())
+	}
+	return p.next()
+}
+
+// ---------------------------------------------------------------- file
+
+func (p *Parser) parseFile() *File {
+	file := &File{Structs: p.structs}
+	for p.cur().Kind != EOF {
+		file.Decls = append(file.Decls, p.parseTopDecl()...)
+	}
+	return file
+}
+
+func (p *Parser) parseTopDecl() []Decl {
+	pos := p.cur().Pos
+	if !IsTypeStart(p.cur()) {
+		p.errorf(pos, "expected declaration, found %s", p.cur())
+	}
+	base, isStructDef := p.parseDeclSpecifiers()
+	// a bare "struct s { ... };" definition
+	if isStructDef != nil && p.accept(";") {
+		return []Decl{&StructDecl{Pos: pos, Type: isStructDef}}
+	}
+	storage := p.pendingStorage
+	p.pendingStorage = StorageNone
+
+	name, typ := p.parseDeclarator(base)
+	if p.at("(") {
+		return []Decl{p.parseFuncRest(pos, name, typ, storage)}
+	}
+	// variable declaration list
+	var decls []Decl
+	d := &VarDecl{Pos: pos, Name: name, Type: typ, Storage: storage}
+	if p.accept("=") {
+		d.Init = p.parseInitializer()
+	}
+	decls = append(decls, d)
+	for p.accept(",") {
+		n2, t2 := p.parseDeclarator(base)
+		d2 := &VarDecl{Pos: p.cur().Pos, Name: n2, Type: t2, Storage: storage}
+		if p.accept("=") {
+			d2.Init = p.parseInitializer()
+		}
+		decls = append(decls, d2)
+	}
+	p.expect(";")
+	return decls
+}
+
+func (p *Parser) parseFuncRest(pos Pos, name string, ret Type, storage StorageClass) Decl {
+	p.expect("(")
+	fd := &FuncDecl{Pos: pos, Name: name, Ret: ret}
+	if p.at("void") && p.peekAt(1).Text == ")" {
+		p.next()
+	}
+	for !p.at(")") {
+		ppos := p.cur().Pos
+		if !IsTypeStart(p.cur()) {
+			p.errorf(ppos, "expected parameter type, found %s", p.cur())
+		}
+		base, _ := p.parseDeclSpecifiers()
+		p.pendingStorage = StorageNone
+		pname, ptyp := p.parseDeclarator(base)
+		ptyp = Decay(ptyp) // parameters of array type decay to pointers
+		fd.Params = append(fd.Params, &VarDecl{Pos: ppos, Name: pname, Type: ptyp})
+		if !p.accept(",") {
+			break
+		}
+	}
+	p.expect(")")
+	if p.accept(";") {
+		return fd // prototype
+	}
+	fd.Body = p.parseBlock()
+	return fd
+}
+
+// ---------------------------------------------------------------- types
+
+// parseDeclSpecifiers parses the leading type specifier sequence (possibly
+// including a struct definition) and records any storage class in
+// p.pendingStorage. It returns the base type and, if a struct body was
+// defined inline, the struct type.
+func (p *Parser) parseDeclSpecifiers() (Type, *StructType) {
+	unsigned := false
+	signed := false
+	longCount := 0
+	var baseKind BasicKind = -1
+	var structDef *StructType
+	var structRef *StructType
+	sawSpec := false
+
+	for {
+		t := p.cur()
+		if t.Kind != KEYWORD {
+			break
+		}
+		switch t.Text {
+		case "const", "volatile", "register", "inline":
+			p.next() // qualifiers are accepted and ignored
+			continue
+		case "static":
+			p.pendingStorage = StorageStatic
+			p.next()
+			continue
+		case "extern":
+			p.pendingStorage = StorageExtern
+			p.next()
+			continue
+		case "unsigned":
+			unsigned = true
+			sawSpec = true
+			p.next()
+			continue
+		case "signed":
+			signed = true
+			sawSpec = true
+			p.next()
+			continue
+		case "long":
+			longCount++
+			sawSpec = true
+			p.next()
+			continue
+		case "void", "char", "short", "int", "float", "double":
+			if baseKind >= 0 && !(baseKind == Int && t.Text == "int") {
+				p.errorf(t.Pos, "conflicting type specifiers")
+			}
+			switch t.Text {
+			case "void":
+				baseKind = Void
+			case "char":
+				baseKind = Char
+			case "short":
+				baseKind = Short
+			case "int":
+				if baseKind < 0 {
+					baseKind = Int
+				}
+			case "float":
+				baseKind = Float
+			case "double":
+				baseKind = Double
+			}
+			sawSpec = true
+			p.next()
+			continue
+		case "struct":
+			pos := p.next().Pos
+			st, def := p.parseStructSpecifier(pos)
+			if def {
+				structDef = st
+			}
+			structRef = st
+			sawSpec = true
+			continue
+		case "union", "enum", "typedef", "switch", "case", "default", "auto":
+			p.errorf(t.Pos, "unsupported construct %q", t.Text)
+		}
+		break
+	}
+	if structRef != nil {
+		return structRef, structDef
+	}
+	if !sawSpec {
+		p.errorf(p.cur().Pos, "expected type specifier, found %s", p.cur())
+	}
+	_ = signed
+	// resolve basic kind with long/unsigned modifiers
+	kind := Int
+	if baseKind >= 0 {
+		kind = baseKind
+	}
+	if longCount > 0 && (kind == Int) {
+		kind = Long
+	}
+	if longCount > 0 && kind == Double {
+		kind = Double // long double treated as double
+	}
+	if unsigned {
+		switch kind {
+		case Char:
+			kind = UChar
+		case Short:
+			kind = UShort
+		case Int:
+			kind = UInt
+		case Long:
+			kind = ULong
+		}
+	}
+	return &BasicType{Kind: kind}, nil
+}
+
+func (p *Parser) parseStructSpecifier(pos Pos) (*StructType, bool) {
+	var tag string
+	if p.cur().Kind == IDENT {
+		tag = p.next().Text
+	}
+	if !p.at("{") {
+		if tag == "" {
+			p.errorf(pos, "anonymous struct requires a body")
+		}
+		st, ok := p.structs[tag]
+		if !ok {
+			// forward reference: create an incomplete struct
+			st = &StructType{Tag: tag}
+			p.structs[tag] = st
+		}
+		return st, false
+	}
+	p.expect("{")
+	if tag == "" {
+		tag = fmt.Sprintf("anon%d", len(p.structs))
+	}
+	st, exists := p.structs[tag]
+	if !exists {
+		st = &StructType{Tag: tag}
+		p.structs[tag] = st
+	}
+	st.Fields = nil
+	for !p.at("}") {
+		if !IsTypeStart(p.cur()) {
+			p.errorf(p.cur().Pos, "expected field declaration, found %s", p.cur())
+		}
+		base, _ := p.parseDeclSpecifiers()
+		p.pendingStorage = StorageNone
+		for {
+			fname, ftyp := p.parseDeclarator(base)
+			st.Fields = append(st.Fields, Field{Name: fname, Type: ftyp})
+			if !p.accept(",") {
+				break
+			}
+		}
+		p.expect(";")
+	}
+	p.expect("}")
+	return st, true
+}
+
+// parseDeclarator parses pointer stars, a name, and array suffixes,
+// returning the declared name and full type.
+func (p *Parser) parseDeclarator(base Type) (string, Type) {
+	typ := base
+	for p.accept("*") {
+		for p.at("const") || p.at("volatile") {
+			p.next()
+		}
+		typ = &PointerType{Elem: typ}
+	}
+	name := ""
+	if p.cur().Kind == IDENT {
+		name = p.next().Text
+	}
+	// array suffixes, innermost last: int a[2][3] is array 2 of array 3 of int
+	var dims []int
+	for p.accept("[") {
+		if p.at("]") {
+			p.errorf(p.cur().Pos, "array size required in the subset")
+		}
+		sz := p.parseConstIntExpr()
+		p.expect("]")
+		dims = append(dims, sz)
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		typ = &ArrayType{Elem: typ, Len: dims[i]}
+	}
+	return name, typ
+}
+
+// parseAbstractType parses a type name as used in casts and sizeof.
+func (p *Parser) parseAbstractType() Type {
+	base, _ := p.parseDeclSpecifiers()
+	p.pendingStorage = StorageNone
+	typ := base
+	for p.accept("*") {
+		typ = &PointerType{Elem: typ}
+	}
+	return typ
+}
+
+func (p *Parser) parseConstIntExpr() int {
+	t := p.cur()
+	if t.Kind != INTLIT {
+		p.errorf(t.Pos, "expected integer constant, found %s", t)
+	}
+	p.next()
+	v, err := parseIntText(t.Text)
+	if err != nil {
+		p.errorf(t.Pos, "bad integer literal %q", t.Text)
+	}
+	return int(v)
+}
+
+// ---------------------------------------------------------------- stmts
+
+func (p *Parser) parseBlock() *BlockStmt {
+	pos := p.expect("{").Pos
+	b := &BlockStmt{Pos: pos}
+	for !p.at("}") {
+		if p.cur().Kind == EOF {
+			p.errorf(pos, "unterminated block")
+		}
+		b.List = append(b.List, p.parseStmt())
+	}
+	p.expect("}")
+	return b
+}
+
+func (p *Parser) parseStmt() Stmt {
+	t := p.cur()
+	// label: only when IDENT followed by ':' and not '::'
+	if t.Kind == IDENT && p.peekAt(1).Text == ":" {
+		p.next()
+		p.next()
+		// a label directly before '}' labels an empty statement
+		if p.at("}") {
+			return &LabeledStmt{Pos: t.Pos, Label: t.Text, Stmt: &EmptyStmt{Pos: t.Pos}}
+		}
+		return &LabeledStmt{Pos: t.Pos, Label: t.Text, Stmt: p.parseStmt()}
+	}
+	switch {
+	case p.at("{"):
+		return p.parseBlock()
+	case p.at(";"):
+		p.next()
+		return &EmptyStmt{Pos: t.Pos}
+	case p.at("if"):
+		p.next()
+		p.expect("(")
+		cond := p.parseExpr()
+		p.expect(")")
+		then := p.parseStmt()
+		var els Stmt
+		if p.accept("else") {
+			els = p.parseStmt()
+		}
+		return &IfStmt{Pos: t.Pos, Cond: cond, Then: then, Else: els}
+	case p.at("while"):
+		p.next()
+		p.expect("(")
+		cond := p.parseExpr()
+		p.expect(")")
+		return &WhileStmt{Pos: t.Pos, Cond: cond, Body: p.parseStmt()}
+	case p.at("do"):
+		p.next()
+		body := p.parseStmt()
+		p.expect("while")
+		p.expect("(")
+		cond := p.parseExpr()
+		p.expect(")")
+		p.expect(";")
+		return &DoWhileStmt{Pos: t.Pos, Body: body, Cond: cond}
+	case p.at("for"):
+		p.next()
+		p.expect("(")
+		f := &ForStmt{Pos: t.Pos}
+		if !p.at(";") {
+			if IsTypeStart(p.cur()) {
+				f.Init = p.parseDeclStmt()
+			} else {
+				e := p.parseExpr()
+				f.Init = &ExprStmt{Pos: e.NodePos(), X: e}
+				p.expect(";")
+			}
+		} else {
+			p.next()
+		}
+		if !p.at(";") {
+			f.Cond = p.parseExpr()
+		}
+		p.expect(";")
+		if !p.at(")") {
+			f.Post = p.parseExpr()
+		}
+		p.expect(")")
+		f.Body = p.parseStmt()
+		return f
+	case p.at("return"):
+		p.next()
+		r := &ReturnStmt{Pos: t.Pos}
+		if !p.at(";") {
+			r.X = p.parseExpr()
+		}
+		p.expect(";")
+		return r
+	case p.at("break"):
+		p.next()
+		p.expect(";")
+		return &BreakStmt{Pos: t.Pos}
+	case p.at("continue"):
+		p.next()
+		p.expect(";")
+		return &ContinueStmt{Pos: t.Pos}
+	case p.at("goto"):
+		p.next()
+		lbl := p.expectIdent()
+		p.expect(";")
+		return &GotoStmt{Pos: t.Pos, Label: lbl.Text}
+	case IsTypeStart(t):
+		return p.parseDeclStmt()
+	}
+	e := p.parseExpr()
+	p.expect(";")
+	return &ExprStmt{Pos: t.Pos, X: e}
+}
+
+// parseDeclStmt parses a local declaration statement, consuming the
+// trailing semicolon.
+func (p *Parser) parseDeclStmt() *DeclStmt {
+	pos := p.cur().Pos
+	base, _ := p.parseDeclSpecifiers()
+	storage := p.pendingStorage
+	p.pendingStorage = StorageNone
+	ds := &DeclStmt{Pos: pos}
+	for {
+		name, typ := p.parseDeclarator(base)
+		if name == "" {
+			p.errorf(pos, "expected declarator name")
+		}
+		d := &VarDecl{Pos: pos, Name: name, Type: typ, Storage: storage}
+		if p.accept("=") {
+			d.Init = p.parseInitializer()
+		}
+		ds.Decls = append(ds.Decls, d)
+		if !p.accept(",") {
+			break
+		}
+	}
+	p.expect(";")
+	return ds
+}
+
+func (p *Parser) parseInitializer() Expr {
+	if p.at("{") {
+		pos := p.next().Pos
+		il := &InitList{Pos: pos}
+		for !p.at("}") {
+			il.List = append(il.List, p.parseInitializer())
+			if !p.accept(",") {
+				break
+			}
+		}
+		p.expect("}")
+		return il
+	}
+	return p.parseAssign()
+}
+
+// ---------------------------------------------------------------- exprs
+
+// parseExpr parses a full expression including the comma operator.
+func (p *Parser) parseExpr() Expr {
+	e := p.parseAssign()
+	if !p.at(",") {
+		return e
+	}
+	ce := &CommaExpr{Pos: e.NodePos(), List: []Expr{e}}
+	for p.accept(",") {
+		ce.List = append(ce.List, p.parseAssign())
+	}
+	return ce
+}
+
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"&=": true, "|=": true, "^=": true, "<<=": true, ">>=": true,
+}
+
+func (p *Parser) parseAssign() Expr {
+	lhs := p.parseConditional()
+	t := p.cur()
+	if t.Kind == PUNCT && assignOps[t.Text] {
+		p.next()
+		rhs := p.parseAssign()
+		return &AssignExpr{Pos: t.Pos, Op: t.Text, LHS: lhs, RHS: rhs}
+	}
+	return lhs
+}
+
+func (p *Parser) parseConditional() Expr {
+	cond := p.parseBinary(0)
+	if !p.at("?") {
+		return cond
+	}
+	pos := p.next().Pos
+	thenE := p.parseExpr()
+	p.expect(":")
+	elseE := p.parseConditional()
+	return &CondExpr{Pos: pos, Cond: cond, T: thenE, F: elseE}
+}
+
+// binary operator precedence levels, lowest first.
+var binaryLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", ">", "<=", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *Parser) parseBinary(level int) Expr {
+	if level == len(binaryLevels) {
+		return p.parseUnary()
+	}
+	lhs := p.parseBinary(level + 1)
+	for {
+		t := p.cur()
+		if t.Kind != PUNCT || !contains(binaryLevels[level], t.Text) {
+			return lhs
+		}
+		p.next()
+		rhs := p.parseBinary(level + 1)
+		lhs = &BinaryExpr{Pos: t.Pos, Op: t.Text, X: lhs, Y: rhs}
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Parser) parseUnary() Expr {
+	t := p.cur()
+	switch {
+	case p.at("++") || p.at("--"):
+		p.next()
+		x := p.parseUnary()
+		return &UnaryExpr{Pos: t.Pos, Op: t.Text, X: x}
+	case p.at("+") || p.at("-") || p.at("!") || p.at("~") || p.at("*") || p.at("&"):
+		p.next()
+		x := p.parseUnary()
+		return &UnaryExpr{Pos: t.Pos, Op: t.Text, X: x}
+	case p.at("sizeof"):
+		p.next()
+		if p.at("(") && IsTypeStart(p.peekAt(1)) {
+			p.expect("(")
+			typ := p.parseAbstractType()
+			p.expect(")")
+			return &SizeofExpr{Pos: t.Pos, OfType: typ}
+		}
+		x := p.parseUnary()
+		return &SizeofExpr{Pos: t.Pos, X: x}
+	case p.at("(") && IsTypeStart(p.peekAt(1)):
+		p.expect("(")
+		typ := p.parseAbstractType()
+		p.expect(")")
+		x := p.parseUnary()
+		return &CastExpr{Pos: t.Pos, To: typ, X: x}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() Expr {
+	e := p.parsePrimary()
+	for {
+		t := p.cur()
+		switch {
+		case p.at("("):
+			id, ok := e.(*Ident)
+			if !ok {
+				p.errorf(t.Pos, "calls through non-identifier expressions are unsupported")
+			}
+			p.next()
+			call := &CallExpr{Pos: t.Pos, Fun: id}
+			for !p.at(")") {
+				call.Args = append(call.Args, p.parseAssign())
+				if !p.accept(",") {
+					break
+				}
+			}
+			p.expect(")")
+			e = call
+		case p.at("["):
+			p.next()
+			idx := p.parseExpr()
+			p.expect("]")
+			e = &IndexExpr{Pos: t.Pos, X: e, Idx: idx}
+		case p.at("."):
+			p.next()
+			name := p.expectIdent()
+			e = &MemberExpr{Pos: t.Pos, X: e, Name: name.Text}
+		case p.at("->"):
+			p.next()
+			name := p.expectIdent()
+			e = &MemberExpr{Pos: t.Pos, X: e, Name: name.Text, Arrow: true}
+		case p.at("++") || p.at("--"):
+			p.next()
+			e = &PostfixExpr{Pos: t.Pos, Op: t.Text, X: e}
+		default:
+			return e
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() Expr {
+	t := p.cur()
+	switch t.Kind {
+	case IDENT:
+		p.next()
+		return &Ident{Pos: t.Pos, Name: t.Text}
+	case INTLIT:
+		p.next()
+		v, err := parseIntText(t.Text)
+		if err != nil {
+			p.errorf(t.Pos, "bad integer literal %q", t.Text)
+		}
+		typ := Type(TypeInt)
+		lower := strings.ToLower(t.Text)
+		switch {
+		case strings.Contains(lower, "ul") || strings.Contains(lower, "lu"):
+			typ = TypeULong
+		case strings.HasSuffix(lower, "u"):
+			typ = TypeUInt
+		case strings.HasSuffix(lower, "l"):
+			typ = TypeLong
+		}
+		return &IntLit{Pos: t.Pos, Text: t.Text, Val: v, Type: typ}
+	case FLOATLIT:
+		p.next()
+		text := strings.TrimRight(t.Text, "fFlL")
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			p.errorf(t.Pos, "bad float literal %q", t.Text)
+		}
+		typ := Type(TypeDouble)
+		if strings.HasSuffix(strings.ToLower(t.Text), "f") {
+			typ = TypeFloat
+		}
+		return &FloatLit{Pos: t.Pos, Text: t.Text, Val: v, Type: typ}
+	case CHARLIT:
+		p.next()
+		return &CharLit{Pos: t.Pos, Val: t.Text[0], Type: TypeInt}
+	case STRINGLIT:
+		p.next()
+		return &StringLit{Pos: t.Pos, Val: t.Text, Type: &PointerType{Elem: TypeChar}}
+	case PUNCT:
+		if t.Text == "(" {
+			p.next()
+			e := p.parseExpr()
+			p.expect(")")
+			return e
+		}
+	}
+	p.errorf(t.Pos, "expected expression, found %s", t)
+	return nil
+}
+
+func parseIntText(text string) (int64, error) {
+	trimmed := strings.TrimRight(strings.ToLower(text), "ul")
+	if trimmed == "" {
+		return 0, fmt.Errorf("empty literal")
+	}
+	// strconv handles 0x and 0 octal prefixes with base 0
+	u, err := strconv.ParseUint(trimmed, 0, 64)
+	if err != nil {
+		return 0, err
+	}
+	return int64(u), nil
+}

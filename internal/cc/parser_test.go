@@ -1,0 +1,300 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseGlobalDecls(t *testing.T) {
+	f := MustParse("int a, b = 1; double d = 2.5; char *s = \"hi\"; int arr[4];")
+	if len(f.Decls) != 5 {
+		t.Fatalf("got %d decls, want 5", len(f.Decls))
+	}
+	a := f.Decls[0].(*VarDecl)
+	if a.Name != "a" || a.Type.String() != "int" || a.Init != nil {
+		t.Errorf("decl a = %+v", a)
+	}
+	b := f.Decls[1].(*VarDecl)
+	if b.Name != "b" || b.Init == nil {
+		t.Errorf("decl b = %+v", b)
+	}
+	s := f.Decls[3].(*VarDecl)
+	if s.Type.String() != "char*" {
+		t.Errorf("s type = %s, want char*", s.Type)
+	}
+	arr := f.Decls[4].(*VarDecl)
+	if at, ok := arr.Type.(*ArrayType); !ok || at.Len != 4 {
+		t.Errorf("arr type = %s", arr.Type)
+	}
+}
+
+func TestParseFunction(t *testing.T) {
+	f := MustParse(`
+int add(int x, int y) {
+    return x + y;
+}
+void nop(void) { }
+`)
+	fd := f.Decls[0].(*FuncDecl)
+	if fd.Name != "add" || len(fd.Params) != 2 || fd.Ret.String() != "int" {
+		t.Fatalf("add = %+v", fd)
+	}
+	ret := fd.Body.List[0].(*ReturnStmt)
+	bin := ret.X.(*BinaryExpr)
+	if bin.Op != "+" {
+		t.Errorf("return op = %q", bin.Op)
+	}
+	nop := f.Decls[1].(*FuncDecl)
+	if len(nop.Params) != 0 || nop.Ret.String() != "void" {
+		t.Errorf("nop = %+v", nop)
+	}
+}
+
+func TestParseStruct(t *testing.T) {
+	f := MustParse(`
+struct s { char c[1]; int n; };
+struct s a, b;
+int use(struct s *p) { return p->n + a.n; }
+`)
+	sd := f.Decls[0].(*StructDecl)
+	if sd.Type.Tag != "s" || len(sd.Type.Fields) != 2 {
+		t.Fatalf("struct = %+v", sd.Type)
+	}
+	if sd.Type.Fields[0].Type.String() != "char[1]" {
+		t.Errorf("field c type = %s", sd.Type.Fields[0].Type)
+	}
+	a := f.Decls[1].(*VarDecl)
+	if a.Type.String() != "struct s" {
+		t.Errorf("a type = %s", a.Type)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	f := MustParse(`
+int main() {
+    int i;
+    for (i = 0; i < 10; i++) {
+        if (i % 2) continue;
+        else break;
+    }
+    while (i) i--;
+    do i++; while (i < 5);
+    goto done;
+done:
+    return 0;
+}
+`)
+	body := f.Decls[0].(*FuncDecl).Body.List
+	if _, ok := body[1].(*ForStmt); !ok {
+		t.Errorf("stmt 1 is %T, want ForStmt", body[1])
+	}
+	if _, ok := body[2].(*WhileStmt); !ok {
+		t.Errorf("stmt 2 is %T, want WhileStmt", body[2])
+	}
+	if _, ok := body[3].(*DoWhileStmt); !ok {
+		t.Errorf("stmt 3 is %T, want DoWhileStmt", body[3])
+	}
+	if g, ok := body[4].(*GotoStmt); !ok || g.Label != "done" {
+		t.Errorf("stmt 4 = %+v", body[4])
+	}
+	if l, ok := body[5].(*LabeledStmt); !ok || l.Label != "done" {
+		t.Errorf("stmt 5 = %+v", body[5])
+	}
+}
+
+func TestParseForWithDecl(t *testing.T) {
+	f := MustParse("int main() { for (int i = 0; i < 3; i++) ; return 0; }")
+	fs := f.Decls[0].(*FuncDecl).Body.List[0].(*ForStmt)
+	ds, ok := fs.Init.(*DeclStmt)
+	if !ok || ds.Decls[0].Name != "i" {
+		t.Fatalf("for init = %+v", fs.Init)
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	f := MustParse("int a = 1 + 2 * 3;")
+	init := f.Decls[0].(*VarDecl).Init.(*BinaryExpr)
+	if init.Op != "+" {
+		t.Fatalf("top op = %q, want +", init.Op)
+	}
+	rhs := init.Y.(*BinaryExpr)
+	if rhs.Op != "*" {
+		t.Errorf("rhs op = %q, want *", rhs.Op)
+	}
+}
+
+func TestParseAssignRightAssociative(t *testing.T) {
+	f := MustParse("int main() { int a, b, c; a = b = c = 1; return a; }")
+	es := f.Decls[0].(*FuncDecl).Body.List[1].(*ExprStmt)
+	top := es.X.(*AssignExpr)
+	if _, ok := top.RHS.(*AssignExpr); !ok {
+		t.Errorf("assignment is not right-associative: RHS is %T", top.RHS)
+	}
+}
+
+func TestParseTernaryAndNestedConditional(t *testing.T) {
+	// Paper Figure 3's shape: nested conditionals with member access.
+	f := MustParse(`
+struct s { char c[1]; };
+struct s a, b, c;
+int d; int e;
+void bar(void) {
+    e ? (d == 0 ? b : c).c : (d == 0 ? b : c).c;
+}
+`)
+	es := f.Decls[len(f.Decls)-1].(*FuncDecl).Body.List[0].(*ExprStmt)
+	cond := es.X.(*CondExpr)
+	m, ok := cond.T.(*MemberExpr)
+	if !ok || m.Name != "c" {
+		t.Fatalf("true branch = %T", cond.T)
+	}
+	if _, ok := m.X.(*CondExpr); !ok {
+		t.Errorf("member base = %T, want CondExpr", m.X)
+	}
+}
+
+func TestParsePointerOperations(t *testing.T) {
+	f := MustParse(`
+int a = 0;
+int main() {
+    int *p = &a, *q = p;
+    *p = 1;
+    *q = 2;
+    return a;
+}
+`)
+	body := f.Decls[1].(*FuncDecl).Body.List
+	ds := body[0].(*DeclStmt)
+	if len(ds.Decls) != 2 || ds.Decls[0].Type.String() != "int*" {
+		t.Fatalf("pointer decls = %+v", ds)
+	}
+	as := body[1].(*ExprStmt).X.(*AssignExpr)
+	u, ok := as.LHS.(*UnaryExpr)
+	if !ok || u.Op != "*" {
+		t.Errorf("LHS = %T", as.LHS)
+	}
+}
+
+func TestParseCastsAndSizeof(t *testing.T) {
+	f := MustParse("int main() { int a; a = (int)2.5; a = (int)sizeof(int); a = (int)sizeof a; return a; }")
+	body := f.Decls[0].(*FuncDecl).Body.List
+	c1 := body[1].(*ExprStmt).X.(*AssignExpr).RHS.(*CastExpr)
+	if c1.To.String() != "int" {
+		t.Errorf("cast to %s", c1.To)
+	}
+	c2 := body[2].(*ExprStmt).X.(*AssignExpr).RHS.(*CastExpr).X.(*SizeofExpr)
+	if c2.OfType == nil || c2.OfType.String() != "int" {
+		t.Errorf("sizeof(type) = %+v", c2)
+	}
+	c3 := body[3].(*ExprStmt).X.(*AssignExpr).RHS.(*CastExpr).X.(*SizeofExpr)
+	if c3.X == nil {
+		t.Errorf("sizeof expr = %+v", c3)
+	}
+}
+
+func TestParseCommaExpr(t *testing.T) {
+	f := MustParse("int main() { int a, b; a = 1, b = 2; return b; }")
+	es := f.Decls[0].(*FuncDecl).Body.List[1].(*ExprStmt)
+	ce, ok := es.X.(*CommaExpr)
+	if !ok || len(ce.List) != 2 {
+		t.Fatalf("comma expr = %T %+v", es.X, es.X)
+	}
+}
+
+func TestParseInitList(t *testing.T) {
+	f := MustParse("int c[2] = {0, 1}; struct s { int x; int y; }; struct s v = {1, 2};")
+	c := f.Decls[0].(*VarDecl)
+	il, ok := c.Init.(*InitList)
+	if !ok || len(il.List) != 2 {
+		t.Fatalf("array init = %+v", c.Init)
+	}
+}
+
+func TestParseUnsignedLongTypes(t *testing.T) {
+	f := MustParse("unsigned long ul; unsigned u; long l; unsigned char uc; short s; unsigned short us;")
+	wants := []string{"unsigned long", "unsigned int", "long", "unsigned char", "short", "unsigned short"}
+	for i, w := range wants {
+		d := f.Decls[i].(*VarDecl)
+		if d.Type.String() != w {
+			t.Errorf("decl %d type = %s, want %s", i, d.Type, w)
+		}
+	}
+}
+
+func TestParseStorageClasses(t *testing.T) {
+	f := MustParse("static int si; extern int ei; int main() { static int x = 1; return x; }")
+	if f.Decls[0].(*VarDecl).Storage != StorageStatic {
+		t.Error("si not static")
+	}
+	if f.Decls[1].(*VarDecl).Storage != StorageExtern {
+		t.Error("ei not extern")
+	}
+	inner := f.Decls[2].(*FuncDecl).Body.List[0].(*DeclStmt).Decls[0]
+	if inner.Storage != StorageStatic {
+		t.Error("x not static")
+	}
+}
+
+func TestParseMultiDimArray(t *testing.T) {
+	f := MustParse("int m[2][3];")
+	at := f.Decls[0].(*VarDecl).Type.(*ArrayType)
+	if at.Len != 2 {
+		t.Fatalf("outer len = %d", at.Len)
+	}
+	in := at.Elem.(*ArrayType)
+	if in.Len != 3 || in.Elem.String() != "int" {
+		t.Fatalf("inner = %s", in)
+	}
+	if at.Size() != 24 {
+		t.Errorf("size = %d, want 24", at.Size())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"int a = ;",
+		"int main() { return 0 }",
+		"int main() { if return; }",
+		"union u { int x; };",
+		"typedef int myint;",
+		"int main() { switch (1) {} }",
+		"int a[];",
+		"int main() { (1)(); }",
+		"int 3x;",
+		"int main() { int a; a = ; }",
+		"int main() {",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("int main() {\n  return 0\n}")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "3:") {
+		t.Errorf("error %q lacks line 3 position", err)
+	}
+}
+
+func TestParseFig2Shape(t *testing.T) {
+	// Paper Figure 2 adapted (alias attribute replaced by pointer aliasing).
+	src := `
+int a = 0;
+int b = 0;
+int main() {
+    int *p = &a, *q = &b;
+    *p = 1;
+    *q = 2;
+    return a;
+}
+`
+	f := MustParse(src)
+	if len(f.Decls) != 3 {
+		t.Fatalf("decls = %d", len(f.Decls))
+	}
+}

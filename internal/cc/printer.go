@@ -1,0 +1,473 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Printer renders an AST back to C source. It is precedence-aware (emitting
+// parentheses only where required) and supports two hooks used by the SPE
+// machinery:
+//
+//   - Rename maps an *Ident to the name to print, letting skeleton fillings
+//     be rendered without mutating or cloning the AST;
+//   - Omit suppresses statements, letting the Orion-style mutation baseline
+//     render statement-deletion variants without cloning.
+type Printer struct {
+	// Rename, if non-nil, supplies the name for each identifier use.
+	Rename func(*Ident) string
+	// RenameDecl, if non-nil, supplies the declared name for variables and
+	// parameters (used by alpha-canonicalization, which renames
+	// declarations and uses consistently).
+	RenameDecl func(*VarDecl) string
+	// Omit, if non-nil, reports statements to drop (replaced by ';').
+	Omit map[Stmt]bool
+
+	sb     strings.Builder
+	indent int
+}
+
+// PrintFile renders a whole translation unit with default settings.
+func PrintFile(f *File) string {
+	var p Printer
+	return p.File(f)
+}
+
+// File renders a translation unit.
+func (p *Printer) File(f *File) string {
+	p.sb.Reset()
+	printed := make(map[string]bool)
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *StructDecl:
+			p.structDef(d.Type)
+			printed[d.Type.Tag] = true
+		case *VarDecl:
+			// a global whose type is a struct defined inline elsewhere
+			p.varDecl(d, true)
+			p.raw(";\n")
+		case *FuncDecl:
+			p.funcDecl(d)
+		}
+	}
+	return p.sb.String()
+}
+
+func (p *Printer) raw(s string) { p.sb.WriteString(s) }
+
+func (p *Printer) line(s string) {
+	for i := 0; i < p.indent; i++ {
+		p.sb.WriteString("    ")
+	}
+	p.sb.WriteString(s)
+}
+
+func (p *Printer) structDef(st *StructType) {
+	p.line("struct " + st.Tag + " {\n")
+	p.indent++
+	for _, f := range st.Fields {
+		p.line(declString(f.Type, f.Name) + ";\n")
+	}
+	p.indent--
+	p.line("};\n")
+}
+
+// declString renders a declaration of name with type t using C declarator
+// syntax (handling pointers and arrays).
+func declString(t Type, name string) string {
+	switch t := t.(type) {
+	case *PointerType:
+		inner := declString(t.Elem, "*"+name)
+		return inner
+	case *ArrayType:
+		return declString(t.Elem, fmt.Sprintf("%s[%d]", name, t.Len))
+	default:
+		if name == "" {
+			return t.String()
+		}
+		return t.String() + " " + name
+	}
+}
+
+func storagePrefix(s StorageClass) string {
+	switch s {
+	case StorageStatic:
+		return "static "
+	case StorageExtern:
+		return "extern "
+	default:
+		return ""
+	}
+}
+
+func (p *Printer) varDecl(d *VarDecl, top bool) {
+	if top {
+		p.line("")
+	}
+	p.raw(storagePrefix(d.Storage))
+	name := d.Name
+	if p.RenameDecl != nil {
+		name = p.RenameDecl(d)
+	}
+	p.raw(declString(d.Type, name))
+	if d.Init != nil {
+		p.raw(" = ")
+		p.expr(d.Init, precAssign)
+	}
+}
+
+func (p *Printer) funcDecl(d *FuncDecl) {
+	p.line(declString(d.Ret, d.Name))
+	p.raw("(")
+	if len(d.Params) == 0 {
+		p.raw("void")
+	}
+	for i, par := range d.Params {
+		if i > 0 {
+			p.raw(", ")
+		}
+		name := par.Name
+		if p.RenameDecl != nil {
+			name = p.RenameDecl(par)
+		}
+		p.raw(declString(par.Type, name))
+	}
+	p.raw(")")
+	if d.Body == nil {
+		p.raw(";\n")
+		return
+	}
+	p.raw(" ")
+	p.blockInline(d.Body)
+	p.raw("\n")
+}
+
+func (p *Printer) blockInline(b *BlockStmt) {
+	p.raw("{\n")
+	p.indent++
+	for _, st := range b.List {
+		p.stmt(st)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *Printer) stmt(st Stmt) {
+	if p.Omit != nil && p.Omit[st] {
+		p.line(";\n")
+		return
+	}
+	switch st := st.(type) {
+	case *BlockStmt:
+		p.line("")
+		p.blockInline(st)
+		p.raw("\n")
+	case *DeclStmt:
+		// one declarator per line so that printing is a fixed point under
+		// reparsing (a multi-declarator statement reparses to several)
+		for _, d := range st.Decls {
+			p.line("")
+			p.varDecl(d, false)
+			p.raw(";\n")
+		}
+	case *ExprStmt:
+		p.line("")
+		p.expr(st.X, precComma)
+		p.raw(";\n")
+	case *EmptyStmt:
+		p.line(";\n")
+	case *IfStmt:
+		p.line("if (")
+		p.expr(st.Cond, precComma)
+		p.raw(")")
+		p.nested(st.Then)
+		if st.Else != nil {
+			p.line("else")
+			p.nested(st.Else)
+		}
+	case *WhileStmt:
+		p.line("while (")
+		p.expr(st.Cond, precComma)
+		p.raw(")")
+		p.nested(st.Body)
+	case *DoWhileStmt:
+		p.line("do")
+		p.nested(st.Body)
+		p.line("while (")
+		p.expr(st.Cond, precComma)
+		p.raw(");\n")
+	case *ForStmt:
+		p.line("for (")
+		switch init := st.Init.(type) {
+		case nil:
+			p.raw(";")
+		case *DeclStmt:
+			for i, d := range init.Decls {
+				if i > 0 {
+					p.raw(", ")
+					p.raw(d.Name)
+					if d.Init != nil {
+						p.raw(" = ")
+						p.expr(d.Init, precAssign)
+					}
+					continue
+				}
+				p.varDecl(d, false)
+			}
+			p.raw(";")
+		case *ExprStmt:
+			p.expr(init.X, precComma)
+			p.raw(";")
+		}
+		if st.Cond != nil {
+			p.raw(" ")
+			p.expr(st.Cond, precComma)
+		}
+		p.raw(";")
+		if st.Post != nil {
+			p.raw(" ")
+			p.expr(st.Post, precComma)
+		}
+		p.raw(")")
+		p.nested(st.Body)
+	case *ReturnStmt:
+		if st.X == nil {
+			p.line("return;\n")
+		} else {
+			p.line("return ")
+			p.expr(st.X, precComma)
+			p.raw(";\n")
+		}
+	case *BreakStmt:
+		p.line("break;\n")
+	case *ContinueStmt:
+		p.line("continue;\n")
+	case *GotoStmt:
+		p.line("goto " + st.Label + ";\n")
+	case *LabeledStmt:
+		if _, ok := st.Stmt.(*EmptyStmt); ok {
+			p.line(st.Label + ":;\n")
+			return
+		}
+		p.line(st.Label + ":\n")
+		p.stmt(st.Stmt)
+	default:
+		panic(fmt.Sprintf("printer: unknown statement %T", st))
+	}
+}
+
+// nested renders a statement as the body of a control construct.
+func (p *Printer) nested(st Stmt) {
+	if b, ok := st.(*BlockStmt); ok && (p.Omit == nil || !p.Omit[st]) {
+		p.raw(" ")
+		p.blockInline(b)
+		p.raw("\n")
+		return
+	}
+	p.raw("\n")
+	p.indent++
+	p.stmt(st)
+	p.indent--
+}
+
+// Operator precedence levels for printing; higher binds tighter.
+const (
+	precComma = iota
+	precAssign
+	precCond
+	precLor
+	precLand
+	precBitor
+	precBitxor
+	precBitand
+	precEq
+	precRel
+	precShift
+	precAdd
+	precMul
+	precUnary
+	precPostfix
+	precPrimary
+)
+
+var binPrec = map[string]int{
+	"||": precLor, "&&": precLand, "|": precBitor, "^": precBitxor,
+	"&": precBitand, "==": precEq, "!=": precEq,
+	"<": precRel, ">": precRel, "<=": precRel, ">=": precRel,
+	"<<": precShift, ">>": precShift,
+	"+": precAdd, "-": precAdd,
+	"*": precMul, "/": precMul, "%": precMul,
+}
+
+// expr renders e; parens are emitted when e's precedence is below min.
+func (p *Printer) expr(e Expr, min int) {
+	switch e := e.(type) {
+	case *Ident:
+		if p.Rename != nil {
+			p.raw(p.Rename(e))
+		} else {
+			p.raw(e.Name)
+		}
+	case *IntLit:
+		p.raw(e.Text)
+	case *FloatLit:
+		p.raw(e.Text)
+	case *CharLit:
+		p.raw("'" + escapeChar(e.Val) + "'")
+	case *StringLit:
+		p.raw("\"" + escapeString(e.Val) + "\"")
+	case *UnaryExpr:
+		p.parenIf(precUnary < min, func() {
+			p.raw(e.Op)
+			// avoid gluing "- -x" into "--x"
+			if u, ok := e.X.(*UnaryExpr); ok && (u.Op == e.Op && (e.Op == "-" || e.Op == "+" || e.Op == "&")) {
+				p.raw(" ")
+			}
+			p.expr(e.X, precUnary)
+		})
+	case *PostfixExpr:
+		p.parenIf(precPostfix < min, func() {
+			p.expr(e.X, precPostfix)
+			p.raw(e.Op)
+		})
+	case *BinaryExpr:
+		prec := binPrec[e.Op]
+		p.parenIf(prec < min, func() {
+			p.expr(e.X, prec)
+			p.raw(" " + e.Op + " ")
+			p.expr(e.Y, prec+1)
+		})
+	case *AssignExpr:
+		p.parenIf(precAssign < min, func() {
+			p.expr(e.LHS, precUnary)
+			p.raw(" " + e.Op + " ")
+			p.expr(e.RHS, precAssign)
+		})
+	case *CondExpr:
+		p.parenIf(precCond < min, func() {
+			p.expr(e.Cond, precLor)
+			p.raw(" ? ")
+			p.expr(e.T, precAssign)
+			p.raw(" : ")
+			p.expr(e.F, precCond)
+		})
+	case *CallExpr:
+		p.parenIf(precPostfix < min, func() {
+			p.expr(e.Fun, precPostfix)
+			p.raw("(")
+			for i, a := range e.Args {
+				if i > 0 {
+					p.raw(", ")
+				}
+				p.expr(a, precAssign)
+			}
+			p.raw(")")
+		})
+	case *IndexExpr:
+		p.parenIf(precPostfix < min, func() {
+			p.expr(e.X, precPostfix)
+			p.raw("[")
+			p.expr(e.Idx, precComma)
+			p.raw("]")
+		})
+	case *MemberExpr:
+		p.parenIf(precPostfix < min, func() {
+			p.expr(e.X, precPostfix)
+			if e.Arrow {
+				p.raw("->")
+			} else {
+				p.raw(".")
+			}
+			p.raw(e.Name)
+		})
+	case *CastExpr:
+		p.parenIf(precUnary < min, func() {
+			p.raw("(" + declString(e.To, "") + ")")
+			p.expr(e.X, precUnary)
+		})
+	case *SizeofExpr:
+		p.parenIf(precUnary < min, func() {
+			if e.OfType != nil {
+				p.raw("sizeof(" + declString(e.OfType, "") + ")")
+			} else {
+				p.raw("sizeof ")
+				p.expr(e.X, precUnary)
+			}
+		})
+	case *CommaExpr:
+		p.parenIf(precComma < min, func() {
+			for i, x := range e.List {
+				if i > 0 {
+					p.raw(", ")
+				}
+				p.expr(x, precAssign)
+			}
+		})
+	case *InitList:
+		p.raw("{")
+		for i, x := range e.List {
+			if i > 0 {
+				p.raw(", ")
+			}
+			p.expr(x, precAssign)
+		}
+		p.raw("}")
+	default:
+		panic(fmt.Sprintf("printer: unknown expression %T", e))
+	}
+}
+
+func (p *Printer) parenIf(need bool, f func()) {
+	if need {
+		p.raw("(")
+		f()
+		p.raw(")")
+		return
+	}
+	f()
+}
+
+func escapeChar(c byte) string {
+	switch c {
+	case '\n':
+		return "\\n"
+	case '\t':
+		return "\\t"
+	case '\r':
+		return "\\r"
+	case 0:
+		return "\\0"
+	case '\\':
+		return "\\\\"
+	case '\'':
+		return "\\'"
+	}
+	if c < 32 || c > 126 {
+		return fmt.Sprintf("\\x%02x", c)
+	}
+	return string(c)
+}
+
+func escapeString(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '"':
+			sb.WriteString("\\\"")
+		case '\\':
+			sb.WriteString("\\\\")
+		case '\n':
+			sb.WriteString("\\n")
+		case '\t':
+			sb.WriteString("\\t")
+		default:
+			if c < 32 || c > 126 {
+				fmt.Fprintf(&sb, "\\x%02x", c)
+			} else {
+				sb.WriteByte(c)
+			}
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,124 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+)
+
+// reprint parses src, prints it, reparses the print, and reprints; the two
+// prints must agree (printer fixed point) and the reparse must succeed.
+func reprint(t *testing.T, src string) string {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	out1 := PrintFile(f)
+	f2, err := Parse(out1)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\nprinted:\n%s", err, out1)
+	}
+	out2 := PrintFile(f2)
+	if out1 != out2 {
+		t.Fatalf("printer not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+	}
+	return out1
+}
+
+func TestPrintRoundTrips(t *testing.T) {
+	sources := []string{
+		"int a, b = 1;\nint main() { b = b - a; if (a) a = a - b; return 0; }",
+		"struct s { char c[1]; };\nstruct s a, b, c;\nint d; int e;\nvoid bar(void) { e ? (d == 0 ? b : c).c : (d == 0 ? b : c).c; }",
+		"int a = 0;\nint main() { int *p = &a, *q = &a; *p = 1; *q = 2; return a; }",
+		"int main() { int x = 0; for (int i = 0; i < 10; i++) x += i; return x; }",
+		"int main() { int a = 1; { int b = 2; a = b; } do a--; while (a); return a; }",
+		"char ch = 'x'; char nl = '\\n';\nint main() { printf(\"%c%c\", ch, nl); return 0; }",
+		"int main() { int a = 5, b = 2; return a / b + a % b - (a << 1) + (a >> 1); }",
+		"int main() { int a = 1; a += 2; a -= 1; a *= 3; a /= 2; a %= 3; a &= 7; a |= 8; a ^= 1; a <<= 2; a >>= 1; return a; }",
+		"unsigned long n = 42ul;\nint main() { return (int)n; }",
+		"int m[2][3];\nint main() { m[1][2] = 7; return m[1][2]; }",
+		"int main() { int p = 0; trick: if (p) return p; p = 1; goto trick; return 0; }",
+		"double u[10];\nint a, b, d, e;\nstatic void foo(int *p1) { double c = 0.0; for (; a < 5; a++) { b = 0; for (; b < 5; b++) c = c + u[a + 5 * a]; u[a] *= 2; } *p1 = (int)c; }\nint main() { int r; foo(&r); return 0; }",
+	}
+	for i, src := range sources {
+		t.Run(strings.Fields(src)[0]+string(rune('A'+i)), func(t *testing.T) {
+			reprint(t, src)
+		})
+	}
+}
+
+func TestPrintPrecedenceParens(t *testing.T) {
+	// (1+2)*3 must keep its parens; 1+2*3 must not gain them.
+	out := reprint(t, "int a = (1 + 2) * 3; int b = 1 + 2 * 3;")
+	if !strings.Contains(out, "(1 + 2) * 3") {
+		t.Errorf("lost required parens:\n%s", out)
+	}
+	if strings.Contains(out, "1 + (2 * 3)") {
+		t.Errorf("inserted redundant parens:\n%s", out)
+	}
+}
+
+func TestPrintUnaryMinusSpacing(t *testing.T) {
+	out := reprint(t, "int a = 1; int main() { return - -a; }")
+	if strings.Contains(out, "--a") {
+		t.Errorf("glued unary minuses into predecrement:\n%s", out)
+	}
+}
+
+func TestPrintRenameHook(t *testing.T) {
+	prog := MustAnalyze("int a, b;\nint main() { a = b; return a; }")
+	p := Printer{Rename: func(id *Ident) string {
+		if id.Sym != nil && id.Sym.Kind != SymFunc {
+			return strings.ToUpper(id.Name)
+		}
+		return id.Name
+	}}
+	out := p.File(prog.File)
+	if !strings.Contains(out, "A = B") || !strings.Contains(out, "return A") {
+		t.Errorf("rename hook not applied:\n%s", out)
+	}
+	// declarations keep their names: the hook only fires on Ident nodes
+	if !strings.Contains(out, "int a") || !strings.Contains(out, "int b") {
+		t.Errorf("declarations were renamed:\n%s", out)
+	}
+}
+
+func TestPrintOmitHook(t *testing.T) {
+	f := MustParse("int main() { int a = 1; a = 2; return a; }")
+	body := f.Decls[0].(*FuncDecl).Body
+	p := Printer{Omit: map[Stmt]bool{body.List[1]: true}}
+	out := p.File(f)
+	if strings.Contains(out, "a = 2") {
+		t.Errorf("omitted statement still printed:\n%s", out)
+	}
+	if _, err := Parse(out); err != nil {
+		t.Errorf("omitted-variant does not reparse: %v\n%s", err, out)
+	}
+}
+
+func TestPrintStringEscapes(t *testing.T) {
+	out := reprint(t, `int main() { printf("a\"b\n\t\\"); return 0; }`)
+	if !strings.Contains(out, `"a\"b\n\t\\"`) {
+		t.Errorf("escapes mangled:\n%s", out)
+	}
+}
+
+func TestDeclString(t *testing.T) {
+	cases := []struct {
+		typ  Type
+		name string
+		want string
+	}{
+		{TypeInt, "x", "int x"},
+		{&PointerType{Elem: TypeInt}, "p", "int *p"},
+		{&PointerType{Elem: &PointerType{Elem: TypeChar}}, "pp", "char **pp"},
+		{&ArrayType{Elem: TypeInt, Len: 4}, "a", "int a[4]"},
+		{&ArrayType{Elem: &ArrayType{Elem: TypeInt, Len: 3}, Len: 2}, "m", "int m[2][3]"},
+		{&PointerType{Elem: TypeDouble}, "", "double *"},
+	}
+	for _, c := range cases {
+		if got := declString(c.typ, c.name); got != c.want {
+			t.Errorf("declString(%s, %q) = %q, want %q", c.typ, c.name, got, c.want)
+		}
+	}
+}

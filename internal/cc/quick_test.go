@@ -1,0 +1,105 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"strings"
+)
+
+// TestQuickLexerTotal: the lexer never panics and either tokenizes or
+// returns an error on arbitrary printable input.
+func TestQuickLexerTotal(t *testing.T) {
+	f := func(raw []byte) bool {
+		// restrict to printable ASCII plus whitespace so the corpus stays
+		// in the lexer's input domain
+		var sb strings.Builder
+		for _, b := range raw {
+			c := b%95 + 32
+			sb.WriteByte(c)
+		}
+		_, _ = LexAll(sb.String())
+		return true // totality is the property
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParserTotal: the parser never panics on arbitrary token soup.
+func TestQuickParserTotal(t *testing.T) {
+	words := []string{
+		"int", "char", "double", "struct", "if", "else", "while", "for",
+		"return", "goto", "a", "b", "x", "1", "2", "0x1f", "1.5",
+		"(", ")", "{", "}", "[", "]", ";", ",", "=", "+", "-", "*", "/",
+		"&", "&&", "==", "<", "?", ":", "\"s\"", "'c'",
+	}
+	f := func(raw []byte) bool {
+		var sb strings.Builder
+		for _, b := range raw {
+			sb.WriteString(words[int(b)%len(words)])
+			sb.WriteByte(' ')
+		}
+		_, _ = Parse(sb.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPrinterFixedPoint: printing a parsed program and reparsing it
+// reaches a fixed point for a generated family of programs.
+func TestQuickPrinterFixedPoint(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		ops := []string{"+", "-", "*", "&", "|", "^"}
+		src := "int main() { int x = " + itoa(int(a%10)) +
+			"; int y = x " + ops[int(b)%len(ops)] + " " + itoa(int(c%9)+1) +
+			"; if (x " + []string{"<", ">", "=="}[int(c)%3] + " y) y = x; return y & 63; }"
+		f1, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		p1 := PrintFile(f1)
+		f2, err := Parse(p1)
+		if err != nil {
+			return false
+		}
+		return PrintFile(f2) == p1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+// TestQuickTruncatedInputsError: every prefix of a valid program either
+// parses or errors cleanly — no panics, no hangs.
+func TestQuickTruncatedInputsError(t *testing.T) {
+	const full = `
+struct s { int x; };
+struct s v;
+int g = 2;
+int add(int a, int b) { return a + b; }
+int main() {
+    int i, n = 0;
+    for (i = 0; i < 4; i++) { n += add(i, g); }
+    v.x = n;
+    return v.x;
+}
+`
+	for cut := 0; cut <= len(full); cut++ {
+		_, _ = Parse(full[:cut])
+	}
+}

@@ -1,0 +1,640 @@
+package cc
+
+import "fmt"
+
+// Symbol is a resolved program entity: variable, parameter, or function.
+type Symbol struct {
+	ID      int // dense, unique within a File
+	Name    string
+	Type    Type
+	Kind    SymKind
+	Scope   *Scope
+	FuncIdx int // index of the enclosing function among FuncDecls; -1 for globals
+	// DeclHasInit records whether the declaration carries an initializer;
+	// part of the "declaration shape" used to form interchangeability
+	// groups (two variables with different initializers are not
+	// exchangeable by a renaming that fixes the skeleton).
+	DeclHasInit bool
+	// InitLiteral is the canonical spelling of a constant initializer, or
+	// "" when absent/non-constant. Two variables are interchangeable only
+	// if these agree.
+	InitLiteral string
+	Storage     StorageClass
+}
+
+// SymKind classifies symbols.
+type SymKind int
+
+// Symbol kinds.
+const (
+	SymVar SymKind = iota
+	SymParam
+	SymFunc
+)
+
+func (k SymKind) String() string {
+	switch k {
+	case SymVar:
+		return "variable"
+	case SymParam:
+		return "parameter"
+	default:
+		return "function"
+	}
+}
+
+// Scope is a lexical scope. The global scope has Parent == nil. Function
+// parameters live in a scope between the global scope and the body block.
+type Scope struct {
+	ID      int
+	Parent  *Scope
+	Syms    []*Symbol // in declaration order
+	FuncIdx int       // -1 for the global scope
+	Depth   int
+}
+
+// Lookup finds name in this scope or an ancestor; nil if absent.
+func (s *Scope) Lookup(name string) *Symbol {
+	for sc := s; sc != nil; sc = sc.Parent {
+		for i := len(sc.Syms) - 1; i >= 0; i-- {
+			if sc.Syms[i].Name == name {
+				return sc.Syms[i]
+			}
+		}
+	}
+	return nil
+}
+
+// SemaError describes a semantic error.
+type SemaError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *SemaError) Error() string { return fmt.Sprintf("%s: semantic error: %s", e.Pos, e.Msg) }
+
+// Program is a semantically analyzed translation unit.
+type Program struct {
+	File    *File
+	Global  *Scope
+	Scopes  []*Scope  // all scopes, by ID
+	Symbols []*Symbol // all symbols, by ID
+	Funcs   []*FuncDecl
+	// Uses lists every variable-reference Ident in source order: these are
+	// the skeleton holes.
+	Uses []*Ident
+	// Labels maps function index to its declared label set.
+	Labels []map[string]bool
+}
+
+type semaCtx struct {
+	prog    *Program
+	errs    []error
+	curFunc int
+}
+
+// Analyze resolves names, scopes, and types for file, returning the
+// analyzed Program. Builtin functions printf, abort, and exit are
+// predeclared. Analysis continues after recoverable errors; the first error
+// (if any) is returned alongside the partial result.
+func Analyze(file *File) (*Program, error) {
+	prog := &Program{File: file}
+	ctx := &semaCtx{prog: prog, curFunc: -1}
+	global := ctx.newScope(nil, -1)
+	prog.Global = global
+
+	// predeclare builtins
+	for _, b := range []struct {
+		name string
+		typ  *FuncType
+	}{
+		{"printf", &FuncType{Ret: TypeInt, Params: []Type{&PointerType{Elem: TypeChar}}}},
+		{"abort", &FuncType{Ret: TypeVoid}},
+		{"exit", &FuncType{Ret: TypeVoid, Params: []Type{TypeInt}}},
+	} {
+		ctx.declare(global, &Symbol{Name: b.name, Type: b.typ, Kind: SymFunc, FuncIdx: -1}, Pos{0, 0})
+	}
+
+	// pass 1: declare all functions (allows forward calls)
+	for _, d := range file.Decls {
+		if fd, ok := d.(*FuncDecl); ok {
+			if existing := findOwn(global, fd.Name); existing != nil {
+				if existing.Kind != SymFunc {
+					ctx.errorf(fd.Pos, "%s redeclared as function", fd.Name)
+				}
+				fd.Sym = existing
+				continue
+			}
+			params := make([]Type, len(fd.Params))
+			for i, p := range fd.Params {
+				params[i] = p.Type
+			}
+			sym := &Symbol{Name: fd.Name, Type: &FuncType{Ret: fd.Ret, Params: params}, Kind: SymFunc, FuncIdx: -1}
+			ctx.declare(global, sym, fd.Pos)
+			fd.Sym = sym
+		}
+	}
+
+	// pass 2: globals and function bodies in source order
+	funcIdx := 0
+	for _, d := range file.Decls {
+		switch d := d.(type) {
+		case *VarDecl:
+			ctx.declareVar(global, d)
+		case *StructDecl:
+			// nothing to resolve
+		case *FuncDecl:
+			if d.Body == nil {
+				continue
+			}
+			ctx.curFunc = funcIdx
+			prog.Funcs = append(prog.Funcs, d)
+			prog.Labels = append(prog.Labels, collectLabels(d.Body))
+			paramScope := ctx.newScope(global, funcIdx)
+			for _, p := range d.Params {
+				if p.Name == "" {
+					continue
+				}
+				sym := &Symbol{Name: p.Name, Type: p.Type, Kind: SymParam, FuncIdx: funcIdx}
+				ctx.declare(paramScope, sym, p.Pos)
+				p.Sym = sym
+			}
+			ctx.block(paramScope, d.Body)
+			ctx.checkLabels(d, funcIdx)
+			funcIdx++
+			ctx.curFunc = -1
+		}
+	}
+	var first error
+	if len(ctx.errs) > 0 {
+		first = ctx.errs[0]
+	}
+	return prog, first
+}
+
+// MustAnalyze parses and analyzes src, panicking on any error.
+func MustAnalyze(src string) *Program {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	p, err := Analyze(f)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func findOwn(s *Scope, name string) *Symbol {
+	for _, sym := range s.Syms {
+		if sym.Name == name {
+			return sym
+		}
+	}
+	return nil
+}
+
+func (c *semaCtx) errorf(pos Pos, format string, args ...interface{}) {
+	c.errs = append(c.errs, &SemaError{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *semaCtx) newScope(parent *Scope, funcIdx int) *Scope {
+	depth := 0
+	if parent != nil {
+		depth = parent.Depth + 1
+	}
+	s := &Scope{ID: len(c.prog.Scopes), Parent: parent, FuncIdx: funcIdx, Depth: depth}
+	c.prog.Scopes = append(c.prog.Scopes, s)
+	return s
+}
+
+func (c *semaCtx) declare(s *Scope, sym *Symbol, pos Pos) {
+	if existing := findOwn(s, sym.Name); existing != nil && sym.Kind != SymFunc {
+		c.errorf(pos, "%s redeclared in this scope", sym.Name)
+	}
+	sym.ID = len(c.prog.Symbols)
+	sym.Scope = s
+	c.prog.Symbols = append(c.prog.Symbols, sym)
+	s.Syms = append(s.Syms, sym)
+}
+
+func (c *semaCtx) declareVar(s *Scope, d *VarDecl) {
+	// The initializer is resolved before the name becomes visible, matching
+	// C's rule for the subset (we disallow self-reference in initializers).
+	if d.Init != nil {
+		c.expr(s, d.Init)
+	}
+	spelling := constantSpelling(d.Init)
+	if spelling == "≠" {
+		// non-constant initializers are never interchangeable: make the
+		// spelling unique per declaration site
+		spelling = fmt.Sprintf("≠%d:%d", d.Pos.Line, d.Pos.Col)
+	}
+	sym := &Symbol{
+		Name:        d.Name,
+		Type:        d.Type,
+		Kind:        SymVar,
+		FuncIdx:     c.curFunc,
+		DeclHasInit: d.Init != nil,
+		InitLiteral: spelling,
+		Storage:     d.Storage,
+	}
+	c.declare(s, sym, d.Pos)
+	d.Sym = sym
+}
+
+// constantSpelling returns a canonical string for simple constant
+// initializers, used to decide variable interchangeability.
+func constantSpelling(e Expr) string {
+	switch e := e.(type) {
+	case nil:
+		return ""
+	case *IntLit:
+		return fmt.Sprintf("i%d", e.Val)
+	case *FloatLit:
+		return fmt.Sprintf("f%g", e.Val)
+	case *CharLit:
+		return fmt.Sprintf("c%d", e.Val)
+	case *StringLit:
+		return "s" + e.Val
+	case *UnaryExpr:
+		if inner := constantSpelling(e.X); inner != "" {
+			return e.Op + inner
+		}
+	case *InitList:
+		s := "{"
+		for _, x := range e.List {
+			inner := constantSpelling(x)
+			if inner == "" {
+				return "≠" // non-constant: never interchangeable
+			}
+			s += inner + ","
+		}
+		return s + "}"
+	}
+	return "≠"
+}
+
+func (c *semaCtx) block(parent *Scope, b *BlockStmt) {
+	scope := c.newScope(parent, c.curFunc)
+	b.Scope = scope
+	for _, st := range b.List {
+		c.stmt(scope, st)
+	}
+}
+
+func (c *semaCtx) stmt(s *Scope, st Stmt) {
+	switch st := st.(type) {
+	case *BlockStmt:
+		c.block(s, st)
+	case *DeclStmt:
+		for _, d := range st.Decls {
+			c.declareVar(s, d)
+		}
+	case *ExprStmt:
+		c.expr(s, st.X)
+	case *EmptyStmt:
+	case *IfStmt:
+		c.expr(s, st.Cond)
+		c.stmt(s, st.Then)
+		if st.Else != nil {
+			c.stmt(s, st.Else)
+		}
+	case *WhileStmt:
+		c.expr(s, st.Cond)
+		c.stmt(s, st.Body)
+	case *DoWhileStmt:
+		c.stmt(s, st.Body)
+		c.expr(s, st.Cond)
+	case *ForStmt:
+		scope := c.newScope(s, c.curFunc)
+		st.Scope = scope
+		if st.Init != nil {
+			c.stmt(scope, st.Init)
+		}
+		if st.Cond != nil {
+			c.expr(scope, st.Cond)
+		}
+		if st.Post != nil {
+			c.expr(scope, st.Post)
+		}
+		c.stmt(scope, st.Body)
+	case *ReturnStmt:
+		if st.X != nil {
+			c.expr(s, st.X)
+		}
+	case *BreakStmt, *ContinueStmt, *GotoStmt:
+	case *LabeledStmt:
+		c.stmt(s, st.Stmt)
+	default:
+		panic(fmt.Sprintf("sema: unknown statement %T", st))
+	}
+}
+
+// visibleSymbols snapshots all variable/parameter symbols visible from s,
+// outermost first, shadowed names excluded.
+func visibleSymbols(s *Scope) []*Symbol {
+	var chain []*Scope
+	for sc := s; sc != nil; sc = sc.Parent {
+		chain = append(chain, sc)
+	}
+	shadow := make(map[string]bool)
+	var out []*Symbol
+	// innermost-first to honor shadowing, then reverse for stable order
+	for _, sc := range chain {
+		for i := len(sc.Syms) - 1; i >= 0; i-- {
+			sym := sc.Syms[i]
+			if sym.Kind == SymFunc || shadow[sym.Name] {
+				continue
+			}
+			shadow[sym.Name] = true
+			out = append(out, sym)
+		}
+	}
+	// reverse into outermost-first declaration order
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+func (c *semaCtx) expr(s *Scope, e Expr) Type {
+	switch e := e.(type) {
+	case *Ident:
+		sym := s.Lookup(e.Name)
+		if sym == nil {
+			c.errorf(e.Pos, "undeclared identifier %q", e.Name)
+			return nil
+		}
+		e.Sym = sym
+		if sym.Kind != SymFunc {
+			e.Visible = visibleSymbols(s)
+			e.FuncIdx = c.curFunc
+			c.prog.Uses = append(c.prog.Uses, e)
+		}
+		return Decay(sym.Type)
+	case *IntLit:
+		return e.Type
+	case *FloatLit:
+		return e.Type
+	case *CharLit:
+		return e.Type
+	case *StringLit:
+		return e.Type
+	case *UnaryExpr:
+		xt := c.expr(s, e.X)
+		switch e.Op {
+		case "*":
+			if pt, ok := Decay(xt).(*PointerType); ok {
+				e.Type = pt.Elem
+			} else if xt != nil {
+				c.errorf(e.Pos, "cannot dereference non-pointer type %s", xt)
+			}
+		case "&":
+			if xt != nil {
+				e.Type = &PointerType{Elem: undecayed(e.X, xt)}
+			}
+		case "!":
+			e.Type = TypeInt
+		default:
+			e.Type = promote(xt)
+		}
+		return e.Type
+	case *PostfixExpr:
+		e.Type = c.expr(s, e.X)
+		return e.Type
+	case *BinaryExpr:
+		xt := c.expr(s, e.X)
+		yt := c.expr(s, e.Y)
+		switch e.Op {
+		case "==", "!=", "<", ">", "<=", ">=", "&&", "||":
+			e.Type = TypeInt
+		default:
+			e.Type = arithResult(Decay(xt), Decay(yt))
+		}
+		return e.Type
+	case *AssignExpr:
+		lt := c.expr(s, e.LHS)
+		c.expr(s, e.RHS)
+		if !isLvalue(e.LHS) {
+			c.errorf(e.Pos, "assignment to non-lvalue")
+		}
+		e.Type = lt
+		return e.Type
+	case *CondExpr:
+		c.expr(s, e.Cond)
+		tt := c.expr(s, e.T)
+		ft := c.expr(s, e.F)
+		e.Type = arithResult(Decay(tt), Decay(ft))
+		if e.Type == nil {
+			e.Type = Decay(tt)
+		}
+		return e.Type
+	case *CallExpr:
+		sym := s.Lookup(e.Fun.Name)
+		if sym == nil {
+			c.errorf(e.Pos, "call to undeclared function %q", e.Fun.Name)
+		} else {
+			e.Fun.Sym = sym
+			if ft, ok := sym.Type.(*FuncType); ok {
+				e.Type = ft.Ret
+			} else {
+				c.errorf(e.Pos, "%q is not a function", e.Fun.Name)
+			}
+		}
+		for _, a := range e.Args {
+			c.expr(s, a)
+		}
+		if e.Type == nil {
+			e.Type = TypeInt
+		}
+		return e.Type
+	case *IndexExpr:
+		xt := c.expr(s, e.X)
+		c.expr(s, e.Idx)
+		switch t := Decay(xt).(type) {
+		case *PointerType:
+			e.Type = t.Elem
+		default:
+			if xt != nil {
+				c.errorf(e.Pos, "cannot index type %s", xt)
+			}
+		}
+		return e.Type
+	case *MemberExpr:
+		xt := c.expr(s, e.X)
+		var st *StructType
+		if e.Arrow {
+			pt, ok := Decay(xt).(*PointerType)
+			if !ok {
+				c.errorf(e.Pos, "-> applied to non-pointer")
+				return nil
+			}
+			st, ok = pt.Elem.(*StructType)
+			if !ok {
+				c.errorf(e.Pos, "-> applied to pointer to non-struct")
+				return nil
+			}
+		} else {
+			var ok bool
+			st, ok = xt.(*StructType)
+			if !ok {
+				c.errorf(e.Pos, ". applied to non-struct type")
+				return nil
+			}
+		}
+		idx := st.FieldIndex(e.Name)
+		if idx < 0 {
+			c.errorf(e.Pos, "struct %s has no field %q", st.Tag, e.Name)
+			return nil
+		}
+		e.Type = st.Fields[idx].Type
+		return e.Type
+	case *CastExpr:
+		c.expr(s, e.X)
+		e.Type = e.To
+		return e.Type
+	case *SizeofExpr:
+		if e.X != nil {
+			c.expr(s, e.X)
+		}
+		e.Type = TypeULong
+		return e.Type
+	case *CommaExpr:
+		var last Type
+		for _, x := range e.List {
+			last = c.expr(s, x)
+		}
+		e.Type = last
+		return e.Type
+	case *InitList:
+		for _, x := range e.List {
+			c.expr(s, x)
+		}
+		e.Type = nil
+		return nil
+	default:
+		panic(fmt.Sprintf("sema: unknown expression %T", e))
+	}
+}
+
+// undecayed returns the type of x before array decay when x denotes an
+// object (used for &arr).
+func undecayed(x Expr, decayed Type) Type {
+	if id, ok := x.(*Ident); ok && id.Sym != nil {
+		return id.Sym.Type
+	}
+	return decayed
+}
+
+func isLvalue(e Expr) bool {
+	switch e := e.(type) {
+	case *Ident:
+		return true
+	case *IndexExpr, *MemberExpr:
+		return true
+	case *UnaryExpr:
+		return e.Op == "*"
+	default:
+		return false
+	}
+}
+
+func promote(t Type) Type {
+	b, ok := Decay(t).(*BasicType)
+	if !ok {
+		return Decay(t)
+	}
+	switch b.Kind {
+	case Char, UChar, Short, UShort:
+		return TypeInt
+	}
+	return b
+}
+
+// arithResult computes the usual arithmetic conversion result; pointer
+// arithmetic yields the pointer type.
+func arithResult(a, b Type) Type {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if pt, ok := a.(*PointerType); ok {
+		return pt
+	}
+	if pt, ok := b.(*PointerType); ok {
+		return pt
+	}
+	ab, aok := a.(*BasicType)
+	bb, bok := b.(*BasicType)
+	if !aok || !bok {
+		return a
+	}
+	pa, pb := promote(ab).(*BasicType), promote(bb).(*BasicType)
+	if pa.Kind >= pb.Kind {
+		return pa
+	}
+	return pb
+}
+
+func collectLabels(b *BlockStmt) map[string]bool {
+	labels := make(map[string]bool)
+	var walk func(Stmt)
+	walk = func(st Stmt) {
+		switch st := st.(type) {
+		case *LabeledStmt:
+			labels[st.Label] = true
+			walk(st.Stmt)
+		case *BlockStmt:
+			for _, s := range st.List {
+				walk(s)
+			}
+		case *IfStmt:
+			walk(st.Then)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *WhileStmt:
+			walk(st.Body)
+		case *DoWhileStmt:
+			walk(st.Body)
+		case *ForStmt:
+			walk(st.Body)
+		}
+	}
+	walk(b)
+	return labels
+}
+
+func (c *semaCtx) checkLabels(fd *FuncDecl, funcIdx int) {
+	labels := c.prog.Labels[funcIdx]
+	var walk func(Stmt)
+	walk = func(st Stmt) {
+		switch st := st.(type) {
+		case *GotoStmt:
+			if !labels[st.Label] {
+				c.errorf(st.Pos, "goto undefined label %q", st.Label)
+			}
+		case *LabeledStmt:
+			walk(st.Stmt)
+		case *BlockStmt:
+			for _, s := range st.List {
+				walk(s)
+			}
+		case *IfStmt:
+			walk(st.Then)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *WhileStmt:
+			walk(st.Body)
+		case *DoWhileStmt:
+			walk(st.Body)
+		case *ForStmt:
+			walk(st.Body)
+		}
+	}
+	walk(fd.Body)
+}

@@ -1,0 +1,280 @@
+package cc
+
+import (
+	"testing"
+)
+
+func TestAnalyzeResolvesUses(t *testing.T) {
+	prog := MustAnalyze(`
+int a, b = 1;
+int main() {
+    b = b - a;
+    if (a)
+        a = a - b;
+    return 0;
+}
+`)
+	// uses: b, b, a, a, a, a, b -> 7 variable references
+	if len(prog.Uses) != 7 {
+		t.Fatalf("uses = %d, want 7", len(prog.Uses))
+	}
+	for _, u := range prog.Uses {
+		if u.Sym == nil {
+			t.Errorf("use %q at %v unresolved", u.Name, u.Pos)
+		}
+		if len(u.Visible) == 0 {
+			t.Errorf("use %q has empty visible set", u.Name)
+		}
+	}
+	// all uses see both globals
+	for _, u := range prog.Uses {
+		if len(u.Visible) != 2 {
+			t.Errorf("use %q sees %d symbols, want 2", u.Name, len(u.Visible))
+		}
+	}
+}
+
+func TestAnalyzeScopesFigure6(t *testing.T) {
+	// Paper Figure 6: a, b global to main; c, d in the if-block scope.
+	prog := MustAnalyze(`
+int main() {
+    int a = 1, b = 0;
+    if (a) {
+        int c = 3, d = 5;
+        b = c + d;
+    }
+    printf("%d", a);
+    printf("%d", b);
+    return 0;
+}
+`)
+	// holes: a(if) b c d (inner), a, b (printf) = 6 uses
+	if len(prog.Uses) != 6 {
+		t.Fatalf("uses = %d, want 6", len(prog.Uses))
+	}
+	byName := map[string]*Ident{}
+	for _, u := range prog.Uses {
+		byName[u.Name] = u
+	}
+	// the use of c sees a, b, c (d not yet declared at c's initializer? no:
+	// c is used in "b = c + d" after both declared, so sees all four)
+	if got := len(byName["c"].Visible); got != 4 {
+		t.Errorf("use of c sees %d symbols, want 4", got)
+	}
+	// the printf use of a sees only a, b
+	var lastA *Ident
+	for _, u := range prog.Uses {
+		if u.Name == "a" {
+			lastA = u
+		}
+	}
+	if got := len(lastA.Visible); got != 2 {
+		t.Errorf("printf use of a sees %d symbols, want 2", got)
+	}
+}
+
+func TestAnalyzeVisibilityOrderAndShadowing(t *testing.T) {
+	prog := MustAnalyze(`
+int x = 1;
+int main() {
+    int y = 2;
+    {
+        int x = 3;
+        y = x;
+    }
+    return y;
+}
+`)
+	// the use of x in "y = x" must resolve to the inner x
+	var useX *Ident
+	for _, u := range prog.Uses {
+		if u.Name == "x" {
+			useX = u
+		}
+	}
+	if useX == nil || useX.Sym.Scope.Depth < 2 {
+		t.Fatalf("x resolved to %+v", useX.Sym)
+	}
+	// shadowed global x must not be in the visible set twice
+	names := map[string]int{}
+	for _, s := range useX.Visible {
+		names[s.Name]++
+	}
+	if names["x"] != 1 {
+		t.Errorf("x appears %d times in visible set", names["x"])
+	}
+}
+
+func TestAnalyzeDeclarationPointVisibility(t *testing.T) {
+	prog := MustAnalyze(`
+int main() {
+    int a = 1;
+    int b = a;
+    int c = 2;
+    return b + c;
+}
+`)
+	// the use of a in b's initializer must not see b or c yet
+	useA := prog.Uses[0]
+	if useA.Name != "a" {
+		t.Fatalf("first use = %q", useA.Name)
+	}
+	if len(useA.Visible) != 1 || useA.Visible[0].Name != "a" {
+		var names []string
+		for _, s := range useA.Visible {
+			names = append(names, s.Name)
+		}
+		t.Errorf("a's visible set = %v, want [a]", names)
+	}
+}
+
+func TestAnalyzeParamsAndFuncs(t *testing.T) {
+	prog := MustAnalyze(`
+int g;
+int add(int x, int y) { return x + y + g; }
+int main() { return add(1, 2); }
+`)
+	if len(prog.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(prog.Funcs))
+	}
+	add := prog.Funcs[0]
+	if add.Params[0].Sym == nil || add.Params[0].Sym.Kind != SymParam {
+		t.Errorf("param x = %+v", add.Params[0].Sym)
+	}
+	// uses in add: x, y, g
+	if len(prog.Uses) != 3 {
+		t.Errorf("uses = %d, want 3 (function names are not holes)", len(prog.Uses))
+	}
+}
+
+func TestAnalyzeTypes(t *testing.T) {
+	prog := MustAnalyze(`
+struct s { int n; char c; };
+struct s v;
+int arr[3];
+int main() {
+    int *p = &arr[0];
+    double d = 1.5;
+    v.n = 1;
+    p[1] = (int)d;
+    return v.n + *p;
+}
+`)
+	_ = prog
+	f := prog.Funcs[0]
+	// v.n assignment has type int
+	as := f.Body.List[2].(*ExprStmt).X.(*AssignExpr)
+	if as.Type.String() != "int" {
+		t.Errorf("v.n type = %s", as.Type)
+	}
+	m := as.LHS.(*MemberExpr)
+	if m.Type.String() != "int" {
+		t.Errorf("member type = %s", m.Type)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	cases := []string{
+		"int main() { return x; }",                                    // undeclared
+		"int main() { int a; int a; return 0; }",                      // redeclared
+		"int main() { 1 = 2; return 0; }",                             // non-lvalue assign
+		"int main() { goto nowhere; return 0; }",                      // missing label
+		"int main() { return missing(); }",                            // undeclared function
+		"struct s { int n; }; int main() { struct s v; return v.q; }", // no field
+		"int main() { int a; return a.x; }",                           // member of non-struct
+		"int main() { int a; return *a; }",                            // deref non-pointer
+	}
+	for _, src := range cases {
+		f, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if _, err := Analyze(f); err == nil {
+			t.Errorf("Analyze(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestAnalyzeBuiltins(t *testing.T) {
+	prog := MustAnalyze(`int main() { printf("%d", 1); exit(0); abort(); return 0; }`)
+	if len(prog.Uses) != 0 {
+		t.Errorf("builtin calls must not create holes; uses = %d", len(prog.Uses))
+	}
+}
+
+func TestAnalyzeForScope(t *testing.T) {
+	prog := MustAnalyze(`
+int main() {
+    int s = 0;
+    for (int i = 0; i < 4; i++)
+        s = s + i;
+    return s;
+}
+`)
+	// uses: i (cond), i (post), s, s, i (body), s (return) = 6
+	if len(prog.Uses) != 6 {
+		t.Fatalf("uses = %d, want 6", len(prog.Uses))
+	}
+	// the return-site use of s must not see i
+	last := prog.Uses[len(prog.Uses)-1]
+	if last.Name != "s" {
+		t.Fatalf("last use = %q", last.Name)
+	}
+	for _, v := range last.Visible {
+		if v.Name == "i" {
+			t.Error("loop variable i escapes its for-scope")
+		}
+	}
+	// a body use of i sees both s and i
+	for _, u := range prog.Uses {
+		if u.Name == "i" && len(u.Visible) != 2 {
+			t.Errorf("use of i sees %d symbols, want 2", len(u.Visible))
+		}
+	}
+}
+
+func TestAnalyzeInitializerSpellings(t *testing.T) {
+	prog := MustAnalyze(`
+int a = 1, b = 1, c = 2, d;
+int main() { return a + b + c + d; }
+`)
+	sym := func(name string) *Symbol {
+		for _, s := range prog.Symbols {
+			if s.Name == name {
+				return s
+			}
+		}
+		return nil
+	}
+	if sym("a").InitLiteral != sym("b").InitLiteral {
+		t.Error("a and b have equal initializers but different spellings")
+	}
+	if sym("a").InitLiteral == sym("c").InitLiteral {
+		t.Error("a and c have different initializers but equal spellings")
+	}
+	if sym("d").DeclHasInit {
+		t.Error("d has no initializer")
+	}
+}
+
+func TestAnalyzeUsesInSourceOrder(t *testing.T) {
+	prog := MustAnalyze(`
+int a, b;
+int main() {
+    a = b;
+    b = a;
+    return 0;
+}
+`)
+	var names []string
+	for _, u := range prog.Uses {
+		names = append(names, u.Name)
+	}
+	want := []string{"a", "b", "b", "a"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("uses order = %v, want %v", names, want)
+		}
+	}
+}

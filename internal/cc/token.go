@@ -1,0 +1,102 @@
+// Package cc implements a self-contained frontend for a substantial subset
+// of C: lexer, recursive-descent parser, typed AST, scope-aware semantic
+// analysis, and a precedence-aware source printer. It is the substrate on
+// which skeletal program enumeration (skeleton extraction, enumeration, and
+// differential compiler testing) operates.
+//
+// The subset covers the features exercised by the SPE paper's evaluation
+// corpus: global and local variable declarations with initializers; the
+// integer and floating basic types with signedness; pointers, fixed-size
+// arrays, and struct types; functions with parameters; the full C statement
+// repertoire including goto/labels; and the full C expression grammar with
+// assignment operators, the conditional operator, casts, sizeof, and
+// pointer/array/struct accesses.
+package cc
+
+import "fmt"
+
+// TokenKind enumerates lexical token categories.
+type TokenKind int
+
+// Token kinds.
+const (
+	EOF TokenKind = iota
+	IDENT
+	INTLIT
+	FLOATLIT
+	CHARLIT
+	STRINGLIT
+	KEYWORD
+	PUNCT
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case EOF:
+		return "EOF"
+	case IDENT:
+		return "identifier"
+	case INTLIT:
+		return "integer literal"
+	case FLOATLIT:
+		return "float literal"
+	case CHARLIT:
+		return "char literal"
+	case STRINGLIT:
+		return "string literal"
+	case KEYWORD:
+		return "keyword"
+	case PUNCT:
+		return "punctuator"
+	default:
+		return "unknown"
+	}
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string // raw text; for INTLIT the literal spelling, etc.
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	if t.Kind == EOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// keywords recognized by the lexer. Unsupported C keywords are still lexed
+// as keywords so the parser can report a precise error.
+var keywords = map[string]bool{
+	"void": true, "char": true, "short": true, "int": true, "long": true,
+	"float": true, "double": true, "signed": true, "unsigned": true,
+	"struct": true, "union": true, "enum": true, "typedef": true,
+	"if": true, "else": true, "while": true, "for": true, "do": true,
+	"return": true, "break": true, "continue": true, "goto": true,
+	"switch": true, "case": true, "default": true,
+	"sizeof": true, "static": true, "extern": true, "const": true,
+	"volatile": true, "register": true, "auto": true, "inline": true,
+}
+
+// typeKeywords are keywords that can begin a declaration.
+var typeKeywords = map[string]bool{
+	"void": true, "char": true, "short": true, "int": true, "long": true,
+	"float": true, "double": true, "signed": true, "unsigned": true,
+	"struct": true, "static": true, "extern": true, "const": true,
+	"volatile": true, "register": true,
+}
+
+// IsTypeStart reports whether tok can begin a declaration.
+func IsTypeStart(tok Token) bool {
+	return tok.Kind == KEYWORD && typeKeywords[tok.Text]
+}

@@ -1,0 +1,209 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BasicKind enumerates the scalar types of the subset.
+type BasicKind int
+
+// Basic type kinds, ordered roughly by conversion rank.
+const (
+	Void BasicKind = iota
+	Char
+	UChar
+	Short
+	UShort
+	Int
+	UInt
+	Long
+	ULong
+	Float
+	Double
+)
+
+var basicNames = map[BasicKind]string{
+	Void: "void", Char: "char", UChar: "unsigned char",
+	Short: "short", UShort: "unsigned short",
+	Int: "int", UInt: "unsigned int",
+	Long: "long", ULong: "unsigned long",
+	Float: "float", Double: "double",
+}
+
+// Type is the interface implemented by all types in the subset.
+type Type interface {
+	// String returns the canonical spelling used for type equality.
+	String() string
+	// Size returns the size in bytes under the ILP32-like model used by the
+	// interpreter and compiler (char=1, short=2, int=4, long=8, float=4,
+	// double=8, pointer=8).
+	Size() int
+}
+
+// BasicType is a scalar builtin type.
+type BasicType struct{ Kind BasicKind }
+
+func (t *BasicType) String() string { return basicNames[t.Kind] }
+
+// Size implements Type.
+func (t *BasicType) Size() int {
+	switch t.Kind {
+	case Void:
+		return 0
+	case Char, UChar:
+		return 1
+	case Short, UShort:
+		return 2
+	case Int, UInt, Float:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// IsUnsigned reports whether the kind is an unsigned integer type.
+func (t *BasicType) IsUnsigned() bool {
+	switch t.Kind {
+	case UChar, UShort, UInt, ULong:
+		return true
+	}
+	return false
+}
+
+// IsInteger reports whether the kind is an integer type.
+func (t *BasicType) IsInteger() bool {
+	switch t.Kind {
+	case Char, UChar, Short, UShort, Int, UInt, Long, ULong:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether the kind is a floating type.
+func (t *BasicType) IsFloat() bool { return t.Kind == Float || t.Kind == Double }
+
+// PointerType is a pointer to Elem.
+type PointerType struct{ Elem Type }
+
+func (t *PointerType) String() string { return t.Elem.String() + "*" }
+
+// Size implements Type.
+func (t *PointerType) Size() int { return 8 }
+
+// ArrayType is a fixed-size array of Elem.
+type ArrayType struct {
+	Elem Type
+	Len  int
+}
+
+func (t *ArrayType) String() string { return fmt.Sprintf("%s[%d]", t.Elem.String(), t.Len) }
+
+// Size implements Type.
+func (t *ArrayType) Size() int { return t.Elem.Size() * t.Len }
+
+// Field is a struct member.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// StructType is a struct with named fields. Struct identity is nominal:
+// two struct types are equal iff their tags are equal.
+type StructType struct {
+	Tag    string
+	Fields []Field
+}
+
+func (t *StructType) String() string { return "struct " + t.Tag }
+
+// Size implements Type (no padding: the subset's ABI packs fields).
+func (t *StructType) Size() int {
+	total := 0
+	for _, f := range t.Fields {
+		total += f.Type.Size()
+	}
+	return total
+}
+
+// FieldIndex returns the index of the named field, or -1.
+func (t *StructType) FieldIndex(name string) int {
+	for i, f := range t.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FuncType is a function type.
+type FuncType struct {
+	Ret    Type
+	Params []Type
+}
+
+func (t *FuncType) String() string {
+	var sb strings.Builder
+	sb.WriteString(t.Ret.String())
+	sb.WriteString("(")
+	for i, p := range t.Params {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(p.String())
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Size implements Type.
+func (t *FuncType) Size() int { return 8 }
+
+// Shared singletons for common basic types.
+var (
+	TypeVoid   = &BasicType{Kind: Void}
+	TypeChar   = &BasicType{Kind: Char}
+	TypeInt    = &BasicType{Kind: Int}
+	TypeUInt   = &BasicType{Kind: UInt}
+	TypeLong   = &BasicType{Kind: Long}
+	TypeULong  = &BasicType{Kind: ULong}
+	TypeFloat  = &BasicType{Kind: Float}
+	TypeDouble = &BasicType{Kind: Double}
+)
+
+// SameType reports whether two types are identical (by canonical spelling).
+func SameType(a, b Type) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.String() == b.String()
+}
+
+// IsArithmetic reports whether t is an integer or floating type.
+func IsArithmetic(t Type) bool {
+	b, ok := t.(*BasicType)
+	return ok && (b.IsInteger() || b.IsFloat())
+}
+
+// IsIntegerType reports whether t is an integer type.
+func IsIntegerType(t Type) bool {
+	b, ok := t.(*BasicType)
+	return ok && b.IsInteger()
+}
+
+// IsScalar reports whether t is arithmetic or a pointer.
+func IsScalar(t Type) bool {
+	if _, ok := t.(*PointerType); ok {
+		return true
+	}
+	return IsArithmetic(t)
+}
+
+// Decay converts array types to pointer types (array-to-pointer decay) and
+// leaves other types unchanged.
+func Decay(t Type) Type {
+	if at, ok := t.(*ArrayType); ok {
+		return &PointerType{Elem: at.Elem}
+	}
+	return t
+}

@@ -1,0 +1,374 @@
+// Package ccomp is the reproduction's second compiler under test, standing
+// in for CompCert in the paper's generality experiment (§5.3: "in about
+// three weeks, we have reported 29 CompCert crashing bugs ... 25 have been
+// fixed").
+//
+// Like CompCert, ccomp has a semantically trustworthy backend — execution
+// delegates to the reference interpreter, the analogue of a verified
+// middle-end — so it exhibits no wrong-code bugs at all. Its seeded defects
+// are exclusively frontend crashes: the elaboration phase rejects or
+// mishandles unusual-but-legal input shapes, exactly the bug class the
+// paper found (Appendix A, Figures 12(e) and 12(g): an unchecked
+// incomplete type and an "Unbound struct A" assertion in the frontend).
+package ccomp
+
+import (
+	"fmt"
+
+	"spe/internal/cc"
+	"spe/internal/interp"
+)
+
+// Bug is a seeded frontend defect.
+type Bug struct {
+	// ID is the simulated issue number (the paper's CompCert issues 121,
+	// 125, ... are the models).
+	ID string
+	// Signature is the assertion message shown on the crash.
+	Signature string
+	// Fixed marks bugs addressed upstream (25 of the paper's 29 were
+	// fixed); Check still reports them unless testing the fixed build.
+	Fixed bool
+	// Trigger inspects the analyzed program.
+	Trigger func(prog *cc.Program) bool
+}
+
+// registry holds the seeded frontend bugs, modeled on the construct
+// classes of the paper's CompCert reports.
+var registry = []Bug{
+	{
+		ID:        "121",
+		Signature: "Unbound struct: parameter with incomplete struct type",
+		Fixed:     true,
+		Trigger: func(prog *cc.Program) bool {
+			// a function parameter whose struct type has no fields defined
+			for _, fd := range prog.Funcs {
+				for _, p := range fd.Params {
+					if st, ok := p.Type.(*cc.StructType); ok && len(st.Fields) == 0 {
+						return true
+					}
+				}
+			}
+			return false
+		},
+	},
+	{
+		ID:        "125",
+		Signature: "Elab: initializer for incomplete union/struct object",
+		Fixed:     true,
+		Trigger: func(prog *cc.Program) bool {
+			// brace-initialized object whose aggregate type is empty
+			found := false
+			eachVarDecl(prog, func(d *cc.VarDecl) {
+				if _, ok := d.Init.(*cc.InitList); !ok {
+					return
+				}
+				if st, ok := d.Type.(*cc.StructType); ok && len(st.Fields) == 0 {
+					found = true
+				}
+			})
+			return found
+		},
+	},
+	{
+		ID:        "137",
+		Signature: "Elab: goto into the scope of a declared object",
+		Fixed:     false,
+		Trigger: func(prog *cc.Program) bool {
+			// a backward goto whose target label precedes a declaration in
+			// the same block (the Figure 11(d) shape)
+			found := false
+			for fi, fd := range prog.Funcs {
+				labels := prog.Labels[fi]
+				if len(labels) == 0 {
+					continue
+				}
+				var walk func(st cc.Stmt)
+				walk = func(st cc.Stmt) {
+					switch st := st.(type) {
+					case *cc.BlockStmt:
+						sawLabel := false
+						for _, s := range st.List {
+							if _, ok := s.(*cc.LabeledStmt); ok {
+								sawLabel = true
+							}
+							if _, ok := s.(*cc.DeclStmt); ok && sawLabel {
+								found = true
+							}
+							walk(s)
+						}
+					case *cc.IfStmt:
+						walk(st.Then)
+						if st.Else != nil {
+							walk(st.Else)
+						}
+					case *cc.WhileStmt:
+						walk(st.Body)
+					case *cc.DoWhileStmt:
+						walk(st.Body)
+					case *cc.ForStmt:
+						walk(st.Body)
+					case *cc.LabeledStmt:
+						walk(st.Stmt)
+					}
+				}
+				walk(fd.Body)
+			}
+			return found
+		},
+	},
+	{
+		ID:        "143",
+		Signature: "Elab: conditional expression with identical aggregate arms",
+		Fixed:     true,
+		Trigger: func(prog *cc.Program) bool {
+			// struct-typed conditional whose arms are the same variable —
+			// the degenerate shape enumeration produces from Figure 3
+			found := false
+			eachExpr(prog, func(e cc.Expr) {
+				ce, ok := e.(*cc.CondExpr)
+				if !ok {
+					return
+				}
+				ti, ok1 := ce.T.(*cc.Ident)
+				fi, ok2 := ce.F.(*cc.Ident)
+				if ok1 && ok2 && ti.Sym != nil && ti.Sym == fi.Sym {
+					if _, isStruct := ti.Sym.Type.(*cc.StructType); isStruct {
+						found = true
+					}
+				}
+			})
+			return found
+		},
+	},
+	{
+		ID:        "150",
+		Signature: "Elab: redundant cast chain of depth 3",
+		Fixed:     false,
+		Trigger: func(prog *cc.Program) bool {
+			found := false
+			eachExpr(prog, func(e cc.Expr) {
+				c1, ok := e.(*cc.CastExpr)
+				if !ok {
+					return
+				}
+				c2, ok := c1.X.(*cc.CastExpr)
+				if !ok {
+					return
+				}
+				if _, ok := c2.X.(*cc.CastExpr); ok {
+					found = true
+				}
+			})
+			return found
+		},
+	},
+}
+
+// Registry returns the seeded frontend bugs.
+func Registry() []Bug { return append([]Bug(nil), registry...) }
+
+// CrashError is a ccomp frontend crash.
+type CrashError struct {
+	BugID     string
+	Signature string
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("ccomp: assertion failed: %s", e.Signature)
+}
+
+// Compiler configures a ccomp run. WithFixes drops the bugs the paper
+// reports as fixed.
+type Compiler struct {
+	WithFixes bool
+}
+
+// Compile elaborates the program, crashing on seeded frontend bugs. On
+// success the "compiled" semantics are, by construction, the reference
+// semantics (the verified-backend property).
+func (c *Compiler) Compile(prog *cc.Program) *CrashError {
+	for i := range registry {
+		b := &registry[i]
+		if c.WithFixes && b.Fixed {
+			continue
+		}
+		if b.Trigger(prog) {
+			return &CrashError{BugID: b.ID, Signature: b.Signature}
+		}
+	}
+	return nil
+}
+
+// Run compiles and, on success, executes with reference semantics.
+func (c *Compiler) Run(prog *cc.Program, cfg interp.Config) (*interp.Result, *CrashError) {
+	if ce := c.Compile(prog); ce != nil {
+		return nil, ce
+	}
+	return interp.Run(prog, cfg), nil
+}
+
+func eachVarDecl(prog *cc.Program, f func(*cc.VarDecl)) {
+	for _, d := range prog.File.Decls {
+		if vd, ok := d.(*cc.VarDecl); ok {
+			f(vd)
+		}
+	}
+	var walk func(st cc.Stmt)
+	walk = func(st cc.Stmt) {
+		switch st := st.(type) {
+		case *cc.BlockStmt:
+			for _, s := range st.List {
+				walk(s)
+			}
+		case *cc.DeclStmt:
+			for _, d := range st.Decls {
+				f(d)
+			}
+		case *cc.IfStmt:
+			walk(st.Then)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *cc.WhileStmt:
+			walk(st.Body)
+		case *cc.DoWhileStmt:
+			walk(st.Body)
+		case *cc.ForStmt:
+			if st.Init != nil {
+				walk(st.Init)
+			}
+			walk(st.Body)
+		case *cc.LabeledStmt:
+			walk(st.Stmt)
+		}
+	}
+	for _, fd := range prog.Funcs {
+		walk(fd.Body)
+	}
+}
+
+func eachExpr(prog *cc.Program, f func(cc.Expr)) {
+	var walkE func(cc.Expr)
+	walkE = func(e cc.Expr) {
+		if e == nil {
+			return
+		}
+		f(e)
+		switch e := e.(type) {
+		case *cc.UnaryExpr:
+			walkE(e.X)
+		case *cc.PostfixExpr:
+			walkE(e.X)
+		case *cc.BinaryExpr:
+			walkE(e.X)
+			walkE(e.Y)
+		case *cc.AssignExpr:
+			walkE(e.LHS)
+			walkE(e.RHS)
+		case *cc.CondExpr:
+			walkE(e.Cond)
+			walkE(e.T)
+			walkE(e.F)
+		case *cc.CallExpr:
+			for _, a := range e.Args {
+				walkE(a)
+			}
+		case *cc.IndexExpr:
+			walkE(e.X)
+			walkE(e.Idx)
+		case *cc.MemberExpr:
+			walkE(e.X)
+		case *cc.CastExpr:
+			walkE(e.X)
+		case *cc.SizeofExpr:
+			walkE(e.X)
+		case *cc.CommaExpr:
+			for _, x := range e.List {
+				walkE(x)
+			}
+		case *cc.InitList:
+			for _, x := range e.List {
+				walkE(x)
+			}
+		}
+	}
+	var walkS func(st cc.Stmt)
+	walkS = func(st cc.Stmt) {
+		switch st := st.(type) {
+		case *cc.BlockStmt:
+			for _, s := range st.List {
+				walkS(s)
+			}
+		case *cc.DeclStmt:
+			for _, d := range st.Decls {
+				walkE(d.Init)
+			}
+		case *cc.ExprStmt:
+			walkE(st.X)
+		case *cc.IfStmt:
+			walkE(st.Cond)
+			walkS(st.Then)
+			if st.Else != nil {
+				walkS(st.Else)
+			}
+		case *cc.WhileStmt:
+			walkE(st.Cond)
+			walkS(st.Body)
+		case *cc.DoWhileStmt:
+			walkS(st.Body)
+			walkE(st.Cond)
+		case *cc.ForStmt:
+			if st.Init != nil {
+				walkS(st.Init)
+			}
+			walkE(st.Cond)
+			walkE(st.Post)
+			walkS(st.Body)
+		case *cc.ReturnStmt:
+			walkE(st.X)
+		case *cc.LabeledStmt:
+			walkS(st.Stmt)
+		}
+	}
+	for _, d := range prog.File.Decls {
+		if vd, ok := d.(*cc.VarDecl); ok {
+			walkE(vd.Init)
+		}
+	}
+	for _, fd := range prog.Funcs {
+		walkS(fd.Body)
+	}
+}
+
+// Hunt enumerates skeleton variants of the corpus and collects the seeded
+// frontend crashes found — the paper's three-week CompCert campaign in
+// miniature. It returns distinct bug IDs with sample test cases.
+type HuntFinding struct {
+	BugID     string
+	Signature string
+	TestCase  string
+}
+
+// Hunt runs a crash-hunting campaign over pre-analyzed variants supplied
+// by the caller as source texts.
+func Hunt(variants []string, withFixes bool) ([]HuntFinding, error) {
+	comp := &Compiler{WithFixes: withFixes}
+	seen := map[string]bool{}
+	var out []HuntFinding
+	for _, src := range variants {
+		f, err := cc.Parse(src)
+		if err != nil {
+			continue
+		}
+		prog, err := cc.Analyze(f)
+		if err != nil {
+			continue
+		}
+		if ce := comp.Compile(prog); ce != nil && !seen[ce.BugID] {
+			seen[ce.BugID] = true
+			out = append(out, HuntFinding{BugID: ce.BugID, Signature: ce.Signature, TestCase: src})
+		}
+	}
+	return out, nil
+}

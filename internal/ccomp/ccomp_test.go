@@ -1,0 +1,202 @@
+package ccomp
+
+import (
+	"testing"
+
+	"spe/internal/cc"
+	"spe/internal/interp"
+	"spe/internal/skeleton"
+	"spe/internal/spe"
+)
+
+func TestCleanProgramCompiles(t *testing.T) {
+	prog := cc.MustAnalyze(`int main() { int a = 1; return a + 1; }`)
+	c := &Compiler{}
+	if ce := c.Compile(prog); ce != nil {
+		t.Fatalf("clean program crashed: %v", ce)
+	}
+	res, ce := c.Run(prog, interp.Config{})
+	if ce != nil {
+		t.Fatal(ce)
+	}
+	if res.Exit != 2 {
+		t.Errorf("exit = %d, want 2", res.Exit)
+	}
+}
+
+func TestBug121IncompleteParam(t *testing.T) {
+	// paper Figure 12(g): parameter with incomplete struct type
+	prog := cc.MustAnalyze(`
+struct A;
+void foo(struct A a) { }
+int main() { return 0; }
+`)
+	c := &Compiler{}
+	ce := c.Compile(prog)
+	if ce == nil || ce.BugID != "121" {
+		t.Fatalf("expected bug 121, got %v", ce)
+	}
+	// fixed build accepts it
+	fixed := &Compiler{WithFixes: true}
+	if ce := fixed.Compile(prog); ce != nil {
+		t.Errorf("fixed build still crashes: %v", ce)
+	}
+}
+
+func TestBug125IncompleteInit(t *testing.T) {
+	// paper Figure 12(e): initializer for an incomplete type
+	prog := cc.MustAnalyze(`
+struct U;
+struct U u = {0};
+int main() { return 0; }
+`)
+	c := &Compiler{}
+	ce := c.Compile(prog)
+	if ce == nil || ce.BugID != "125" {
+		t.Fatalf("expected bug 125, got %v", ce)
+	}
+}
+
+func TestBug137GotoOverDecl(t *testing.T) {
+	prog := cc.MustAnalyze(`
+int main() {
+    int *p = 0;
+trick:
+    if (p)
+        return *p;
+    int x = 0;
+    p = &x;
+    goto trick;
+    return 9;
+}
+`)
+	c := &Compiler{}
+	ce := c.Compile(prog)
+	if ce == nil || ce.BugID != "137" {
+		t.Fatalf("expected bug 137, got %v", ce)
+	}
+}
+
+func TestBug143IdenticalAggregateArms(t *testing.T) {
+	prog := cc.MustAnalyze(`
+struct s { int c; };
+struct s a, b;
+int d;
+int main() { int r = (d ? a : a).c; return r; }
+`)
+	c := &Compiler{}
+	ce := c.Compile(prog)
+	if ce == nil || ce.BugID != "143" {
+		t.Fatalf("expected bug 143, got %v", ce)
+	}
+	// the non-degenerate conditional is fine
+	ok := cc.MustAnalyze(`
+struct s { int c; };
+struct s a, b;
+int d;
+int main() { int r = (d ? a : b).c; return r; }
+`)
+	if ce := c.Compile(ok); ce != nil {
+		t.Errorf("distinct arms crashed: %v", ce)
+	}
+}
+
+func TestBug150CastChain(t *testing.T) {
+	prog := cc.MustAnalyze(`int main() { return (int)(long)(int)1; }`)
+	c := &Compiler{}
+	ce := c.Compile(prog)
+	if ce == nil || ce.BugID != "150" {
+		t.Fatalf("expected bug 150, got %v", ce)
+	}
+}
+
+func TestVerifiedBackendProperty(t *testing.T) {
+	// when compilation succeeds, ccomp's semantics equal the reference by
+	// construction — the CompCert analogy
+	prog := cc.MustAnalyze(`
+int main() {
+    int s = 0;
+    for (int i = 0; i < 5; i++) s += i;
+    printf("%d\n", s);
+    return s;
+}`)
+	c := &Compiler{}
+	res, ce := c.Run(prog, interp.Config{})
+	if ce != nil {
+		t.Fatal(ce)
+	}
+	ref := interp.Run(prog, interp.Config{})
+	if res.Exit != ref.Exit || res.Output != ref.Output {
+		t.Error("verified backend diverged from reference")
+	}
+}
+
+func TestHuntFindsEnumeratedCrash(t *testing.T) {
+	// SPE enumeration of the Figure 3 seed produces the identical-arm
+	// variant (d ? a : a).c, which crashes ccomp's elaborator — the exact
+	// mechanism of the paper's CompCert findings
+	seed := `
+struct s { int c; };
+struct s a, b;
+int d;
+int main() {
+    a.c = 1;
+    b.c = 2;
+    int r = (d ? a : b).c;
+    printf("%d\n", r);
+    return 0;
+}
+`
+	sk := skeleton.MustBuild(seed)
+	var variants []string
+	_, err := spe.Enumerate(sk, spe.Options{Mode: spe.ModeCanonical}, func(v spe.Variant) bool {
+		variants = append(variants, v.Source)
+		return len(variants) < 300
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Hunt(variants, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found143 := false
+	for _, f := range findings {
+		if f.BugID == "143" {
+			found143 = true
+		}
+	}
+	if !found143 {
+		t.Errorf("enumeration did not expose bug 143 over %d variants", len(variants))
+	}
+	// the original seed itself must not crash
+	prog := cc.MustAnalyze(seed)
+	if ce := (&Compiler{}).Compile(prog); ce != nil {
+		t.Errorf("original seed crashes: %v", ce)
+	}
+}
+
+func TestRegistryShape(t *testing.T) {
+	bugs := Registry()
+	if len(bugs) < 5 {
+		t.Fatalf("registry has %d bugs", len(bugs))
+	}
+	fixed := 0
+	ids := map[string]bool{}
+	for _, b := range bugs {
+		if ids[b.ID] {
+			t.Errorf("duplicate id %s", b.ID)
+		}
+		ids[b.ID] = true
+		if b.Fixed {
+			fixed++
+		}
+		if b.Signature == "" || b.Trigger == nil {
+			t.Errorf("bug %s incomplete", b.ID)
+		}
+	}
+	// the paper: 25 of 29 fixed — a majority fixed here too
+	if fixed*2 < len(bugs) {
+		t.Errorf("only %d/%d fixed; expected a majority", fixed, len(bugs))
+	}
+}

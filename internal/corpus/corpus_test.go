@@ -1,0 +1,107 @@
+package corpus
+
+import (
+	"testing"
+
+	"spe/internal/interp"
+	"spe/internal/skeleton"
+)
+
+func TestSeedsAreCleanAndDeterministic(t *testing.T) {
+	for i, src := range Seeds() {
+		prog, err := analyze(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", i, err, src)
+		}
+		r := interp.Run(prog, interp.Config{})
+		if !r.Defined() {
+			t.Errorf("seed %d has UB/limit: %v %v\n%s", i, r.UB, r.Limit, src)
+		}
+		// skeletons must build
+		sk, err := skeleton.Build(prog)
+		if err != nil {
+			t.Errorf("seed %d: skeleton: %v", i, err)
+			continue
+		}
+		if len(sk.Holes) == 0 {
+			t.Errorf("seed %d has no holes", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{N: 10, Seed: 1})
+	b := Generate(Config{N: 10, Seed: 1})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+	}
+	c := Generate(Config{N: 10, Seed: 2})
+	same := 0
+	for i := range c {
+		if c[i] == a[i] {
+			same++
+		}
+	}
+	if same == len(c) {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestGeneratedProgramsAreClean(t *testing.T) {
+	for i, src := range Generate(Config{N: 30, Seed: 7}) {
+		prog, err := analyze(src)
+		if err != nil {
+			t.Fatalf("program %d: %v\n%s", i, err, src)
+		}
+		r := interp.Run(prog, interp.Config{})
+		if !r.Defined() {
+			t.Errorf("program %d has UB: %v\n%s", i, r.UB, src)
+		}
+		if _, err := skeleton.Build(prog); err != nil {
+			t.Errorf("program %d: skeleton: %v", i, err)
+		}
+	}
+}
+
+func TestGeneratedCharacteristicsNearTable2(t *testing.T) {
+	progs := Generate(Config{N: 60, Seed: 42})
+	var holes, scopes, funcs, vars float64
+	for _, src := range progs {
+		prog, err := analyze(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk, err := skeleton.Build(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := sk.ComputeStats()
+		holes += float64(st.Holes)
+		scopes += float64(st.Scopes)
+		funcs += float64(st.Funcs)
+		vars += st.Vars
+	}
+	n := float64(len(progs))
+	holes /= n
+	scopes /= n
+	funcs /= n
+	vars /= n
+	// Table 2 reports 7.34 holes, 2.77 scopes, 1.85 funcs, 3.46 vars/hole;
+	// the synthetic corpus should be in the same regime (loose bands).
+	if holes < 4 || holes > 25 {
+		t.Errorf("avg holes = %.2f, want ~7 (band 4..25)", holes)
+	}
+	if scopes < 1.5 || scopes > 6 {
+		t.Errorf("avg scopes = %.2f, want ~2.8 (band 1.5..6)", scopes)
+	}
+	if funcs < 1 || funcs > 3 {
+		t.Errorf("avg funcs = %.2f, want ~1.85", funcs)
+	}
+	if vars < 2 || vars > 8 {
+		t.Errorf("avg vars/hole = %.2f, want ~3.5 (band 2..8)", vars)
+	}
+	t.Logf("corpus characteristics: holes=%.2f scopes=%.2f funcs=%.2f vars/hole=%.2f",
+		holes, scopes, funcs, vars)
+}

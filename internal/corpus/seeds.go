@@ -1,0 +1,194 @@
+package corpus
+
+// Seeds returns the handwritten corpus: small programs adapted from the
+// paper's figures (1, 2, 3, 11, 12) and c-torture-style snippets. Each is
+// UB-free under its original filling; enumerated variants are re-checked
+// by the harness.
+func Seeds() []string {
+	return []string{
+		// paper Figure 1 (P1 skeleton family, initialized to stay defined)
+		`int main() {
+    int a = 0, b = 1;
+    b = b - a;
+    if (a)
+        a = a - b;
+    printf("%d %d\n", a, b);
+    return 0;
+}`,
+		// paper Figure 2 (alias attribute replaced by two pointers)
+		`int a = 0;
+int b = 0;
+int main() {
+    a = 0;
+    int *p = &a, *q = &a;
+    *p = 1;
+    *q = 2;
+    printf("%d\n", a + b);
+    return a;
+}`,
+		// paper Figure 3 (struct field via nested conditionals)
+		`struct s { int c; };
+struct s a, b, c;
+int d; int e;
+int main() {
+    b.c = 1;
+    c.c = 2;
+    int r = e ? (e == 0 ? b : c).c : (d == 0 ? b : c).c;
+    printf("%d\n", r);
+    return 0;
+}`,
+		// paper Figure 6
+		`int main() {
+    int a = 1, b = 0;
+    if (a) {
+        int c = 3, d = 5;
+        b = c + d;
+    }
+    printf("%d", a);
+    printf("%d", b);
+    return 0;
+}`,
+		// paper Figure 11(b): irreducible loop via goto
+		`int a; int b;
+int main() {
+    if (b)
+        ;
+    else {
+        int c = 0;
+        a = c;
+l1:
+        a = a + 1;
+    }
+    if (a < 3) goto l1;
+    printf("%d\n", a);
+    return 0;
+}`,
+		// paper Figure 11(c) shape: nested loops over an array
+		`double u[20];
+int a, b;
+void fn1(int p1) {
+    int lim = p1;
+    for (a = 0; a < lim; a++) {
+        b = 0;
+        for (; b < 3; b++)
+            u[a + 3 * b] = u[a + 3 * b] + 1.0;
+    }
+}
+int main() {
+    int i;
+    for (i = 0; i < 20; i++) u[i] = 0.0;
+    fn1(2);
+    printf("%g\n", u[0] + u[3]);
+    return 0;
+}`,
+		// paper Figure 11(d): goto over a declaration
+		`int main() {
+    int *p = 0;
+trick:
+    if (p)
+        return *p;
+    int x = 0;
+    p = &x;
+    goto trick;
+    return 9;
+}`,
+		// paper Figure 12(b) shape: loop with strided array accesses
+		`double u[30];
+int a, b, d, e;
+static void foo(int *p1) {
+    double c = 0.0;
+    for (a = 0; a < 5; a++) {
+        b = 0;
+        for (; b < 5; b++)
+            c = c + u[a + 5 * b];
+        u[6 * a] = u[6 * a] * 2.0;
+    }
+    *p1 = (int)c;
+}
+int main() {
+    int r = 0;
+    int i;
+    for (i = 0; i < 30; i++) u[i] = 1.0;
+    foo(&r);
+    printf("%d\n", r);
+    return 0;
+}`,
+		// paper Figure 12(c) shape: static locals
+		`int counter() {
+    static int n = 0;
+    n = n + 1;
+    return n;
+}
+int main() {
+    int a = counter();
+    int b = counter();
+    printf("%d %d\n", a, b);
+    return a + b;
+}`,
+		// c-torture style: accumulating helper calls
+		`int g1 = 5, g2 = 7;
+int swap() {
+    int t = g1;
+    g1 = g2;
+    g2 = t;
+    return g1 - g2;
+}
+int main() {
+    int d = swap();
+    d = d + swap();
+    printf("%d %d %d\n", g1, g2, d);
+    return 0;
+}`,
+		// c-torture style: chars and shifts
+		`int main() {
+    int c = 3;
+    int r = c << 2;
+    r = r >> 1;
+    r = r ^ (c << 1);
+    printf("%d\n", r);
+    return r & 15;
+}`,
+		// c-torture style: comma and conditional mix
+		`int main() {
+    int a = 2, b = 5, c = 0;
+    c = (a = a + 1, b - a);
+    b = c > 0 ? a : b;
+    printf("%d %d %d\n", a, b, c);
+    return 0;
+}`,
+		// unsigned wraparound (defined)
+		`int main() {
+    unsigned int u = 4294967290u;
+    unsigned int step = 3u;
+    u = u + step;
+    u = u + step;
+    printf("%u\n", u);
+    return 0;
+}`,
+		// pointer walk over an array
+		`int main() {
+    int arr[6] = {1, 2, 3, 4, 5, 6};
+    int *p = arr;
+    int *q = &arr[5];
+    int s = 0;
+    while (p < q) {
+        s += *p;
+        p = p + 1;
+    }
+    printf("%d\n", s);
+    return s & 63;
+}`,
+		// do-while with break/continue
+		`int main() {
+    int i = 0, s = 0;
+    do {
+        i++;
+        if (i == 3) continue;
+        if (i > 7) break;
+        s += i;
+    } while (i < 10);
+    printf("%d %d\n", i, s);
+    return 0;
+}`,
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spe/internal/cc"
+	"spe/internal/ccomp"
+	"spe/internal/report"
+	"spe/internal/skeleton"
+	"spe/internal/spe"
+)
+
+// Generality reproduces the paper's §5.3 generality claim — SPE applied to
+// a verified-backend compiler (CompCert's role) finds frontend crashes and
+// only frontend crashes — by hunting over enumerated variants of the
+// corpus with the ccomp elaborator.
+func Generality(scale Scale) (string, error) {
+	scale = scale.withDefaults()
+	progs := Corpus(scale)
+	if len(progs) > 40 {
+		progs = progs[:40]
+	}
+	var variants []string
+	for _, src := range progs {
+		f, err := cc.Parse(src)
+		if err != nil {
+			return "", err
+		}
+		prog, err := cc.Analyze(f)
+		if err != nil {
+			return "", err
+		}
+		sk, err := skeleton.Build(prog)
+		if err != nil {
+			return "", err
+		}
+		n := 0
+		_, err = spe.Enumerate(sk, spe.Options{Mode: spe.ModeCanonical}, func(v spe.Variant) bool {
+			variants = append(variants, v.Source)
+			n++
+			return n < scale.MaxVariants/2
+		})
+		if err != nil {
+			return "", err
+		}
+	}
+	findings, err := ccomp.Hunt(variants, false)
+	if err != nil {
+		return "", err
+	}
+	fixedFindings, err := ccomp.Hunt(variants, true)
+	if err != nil {
+		return "", err
+	}
+	t := &report.Table{
+		Title:  "Generality (§5.3): ccomp (verified-backend compiler) crash findings",
+		Header: []string{"Bug", "Signature", "Fixed upstream"},
+	}
+	fixedSet := map[string]bool{}
+	for _, b := range ccomp.Registry() {
+		if b.Fixed {
+			fixedSet[b.ID] = true
+		}
+	}
+	for _, f := range findings {
+		fixed := "no"
+		if fixedSet[f.BugID] {
+			fixed = "yes"
+		}
+		t.AddRow(f.BugID, f.Signature, fixed)
+	}
+	out := t.String()
+	out += fmt.Sprintf("\n%d crash bugs over %d variants (%d still present after upstream fixes);\n"+
+		"all findings are frontend crashes — wrong code is impossible by the verified-backend construction\n"+
+		"(paper: 29 CompCert crashing bugs, 25 fixed, all frontend)\n",
+		len(findings), len(variants), len(fixedFindings))
+	return out, nil
+}

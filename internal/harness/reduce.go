@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"spe/internal/cc"
+	"spe/internal/interp"
+	"spe/internal/minicc"
+	"spe/internal/reduce"
+)
+
+// reduceFinding shrinks a finding's sample test case while preserving its
+// symptom — the paper's pre-filing reduction step (§6, C-Reduce's role).
+// The interestingness predicate re-runs the classification: a crash
+// finding must keep crashing with the same signature; a wrong-code or
+// performance finding must keep diverging from the reference.
+func reduceFinding(fd *Finding, cfg Config) {
+	ver := "trunk"
+	if len(fd.Versions) > 0 {
+		ver = fd.Versions[0]
+	}
+	opt := 3
+	if len(fd.OptLevels) > 0 {
+		opt = fd.OptLevels[0]
+	}
+	pred := findingPredicate(fd, ver, opt, cfg)
+	res, err := reduce.Reduce(fd.TestCase, pred, reduce.Options{MaxChecks: 400})
+	if err != nil {
+		return
+	}
+	fd.TestCase = res.Source
+}
+
+// parseAnalyze parses and analyzes a source text.
+func parseAnalyze(src string) (*cc.Program, error) {
+	f, err := cc.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return cc.Analyze(f)
+}
+
+// findingPredicate builds the interestingness test for one finding.
+func findingPredicate(fd *Finding, ver string, opt int, cfg Config) reduce.Predicate {
+	return func(prog *cc.Program) bool {
+		comp := &minicc.Compiler{Version: ver, Opt: opt, Seeded: true}
+		switch fd.Kind {
+		case minicc.BugCrash:
+			out := comp.Compile(prog)
+			return out.Crash != nil && out.Crash.Signature == fd.Signature
+		case minicc.BugPerformance:
+			out := comp.Compile(prog)
+			return out.Timeout != nil
+		default:
+			ref := interp.Run(prog, interp.Config{MaxSteps: cfg.Steps})
+			if !ref.Defined() {
+				return false // a reduction must stay UB-free to count
+			}
+			ro := comp.Run(prog, minicc.ExecConfig{MaxSteps: ref.Steps*20 + 50_000})
+			if !ro.Compile.Ok() {
+				return false
+			}
+			ex := ro.Exec
+			return !ex.Ok() || ex.Exit != ref.Exit || ex.Output != ref.Output || ex.Aborted != ref.Aborted
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"spe/internal/corpus"
+	"spe/internal/minicc"
+)
+
+func TestCampaignWithReduction(t *testing.T) {
+	// run a small campaign with test-case reduction enabled; the reduced
+	// crash case must still trigger the same signature and be no larger
+	// than the found variant
+	rep, err := Run(Config{
+		Corpus:             corpus.Seeds()[:4], // includes Figures 1-3
+		Versions:           []string{"trunk"},
+		MaxVariantsPerFile: 200,
+		ReduceTestCases:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crash *Finding
+	for _, fd := range rep.Findings {
+		if fd.Kind == minicc.BugCrash && fd.BugID == "69801" {
+			crash = fd
+		}
+	}
+	if crash == nil {
+		t.Fatal("fold-ternary crash not found")
+	}
+	// the reduced case still crashes identically
+	pred := findingPredicate(crash, crash.Versions[0], crash.OptLevels[0], Config{}.withDefaults())
+	prog, err := parseAnalyze(crash.TestCase)
+	if err != nil {
+		t.Fatalf("reduced case invalid: %v\n%s", err, crash.TestCase)
+	}
+	if !pred(prog) {
+		t.Fatalf("reduced case lost the crash:\n%s", crash.TestCase)
+	}
+	// it must be lean: no printf noise left around the trigger
+	if strings.Count(crash.TestCase, "printf") > 1 {
+		t.Errorf("reduction left noise:\n%s", crash.TestCase)
+	}
+	t.Logf("reduced crash case (%d bytes):\n%s", len(crash.TestCase), crash.TestCase)
+}

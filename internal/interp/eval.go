@@ -1,0 +1,744 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"spe/internal/cc"
+)
+
+// eval evaluates an expression to a scalar value; aggregate-typed
+// expressions evaluate to a pointer to their storage (array decay, struct
+// by reference).
+func (m *machine) eval(e cc.Expr) Value {
+	m.step(e.NodePos())
+	switch e := e.(type) {
+	case *cc.IntLit:
+		return IntValue(e.Val, e.Type)
+	case *cc.FloatLit:
+		return FloatValue(e.Val, e.Type)
+	case *cc.CharLit:
+		return IntValue(int64(e.Val), cc.TypeInt)
+	case *cc.StringLit:
+		return m.stringValue(e)
+	case *cc.Ident:
+		return m.loadIdent(e)
+	case *cc.UnaryExpr:
+		return m.evalUnary(e)
+	case *cc.PostfixExpr:
+		return m.evalPostfix(e)
+	case *cc.BinaryExpr:
+		return m.evalBinary(e)
+	case *cc.AssignExpr:
+		return m.evalAssign(e)
+	case *cc.CondExpr:
+		if m.evalCond(e.Cond) {
+			return m.evalBranch(e.T, e)
+		}
+		return m.evalBranch(e.F, e)
+	case *cc.CallExpr:
+		v, has := m.evalCall(e)
+		if !has {
+			m.ub(UBNoReturnValue, e.Pos, "value of %s() used but function returned without a value", e.Fun.Name)
+		}
+		return v
+	case *cc.IndexExpr:
+		ptr := m.lvalue(e)
+		return m.load(ptr, e.NodePos(), e.ExprType())
+	case *cc.MemberExpr:
+		ptr := m.lvalue(e)
+		return m.load(ptr, e.NodePos(), e.ExprType())
+	case *cc.CastExpr:
+		v := m.eval(e.X)
+		return m.convert(v, e.To, e.Pos)
+	case *cc.SizeofExpr:
+		t := e.OfType
+		if t == nil {
+			t = e.X.ExprType()
+		}
+		if t == nil {
+			t = cc.TypeInt
+		}
+		return IntValue(int64(t.Size()), cc.TypeULong)
+	case *cc.CommaExpr:
+		var last Value
+		for i, x := range e.List {
+			if i == len(e.List)-1 {
+				last = m.eval(x)
+			} else {
+				m.evalDiscard(x)
+			}
+		}
+		return last
+	default:
+		panic(fmt.Sprintf("interp: unknown expression %T", e))
+	}
+}
+
+// evalBranch evaluates one arm of a conditional; aggregate arms yield their
+// storage pointer.
+func (m *machine) evalBranch(e cc.Expr, parent *cc.CondExpr) Value {
+	if isAggregate(e.ExprType()) {
+		ptr := m.lvalue(e)
+		return PtrValue(ptr, &cc.PointerType{Elem: e.ExprType()})
+	}
+	return m.eval(e)
+}
+
+func isAggregate(t cc.Type) bool {
+	switch t.(type) {
+	case *cc.StructType, *cc.ArrayType:
+		return true
+	}
+	return false
+}
+
+// evalDiscard evaluates an expression for effect, tolerating functions that
+// return no value.
+func (m *machine) evalDiscard(e cc.Expr) {
+	if call, ok := e.(*cc.CallExpr); ok {
+		m.step(call.Pos)
+		m.evalCall(call)
+		return
+	}
+	if comma, ok := e.(*cc.CommaExpr); ok {
+		for _, x := range comma.List {
+			m.evalDiscard(x)
+		}
+		return
+	}
+	m.eval(e)
+}
+
+// stringValue interns a string literal as a char array object and returns a
+// pointer to its first cell.
+func (m *machine) stringValue(e *cc.StringLit) Value {
+	if m.strLits == nil {
+		m.strLits = make(map[*cc.StringLit]*Object)
+	}
+	obj, ok := m.strLits[e]
+	if !ok {
+		obj = &Object{ID: -1, Name: "strlit", Live: true, Persistent: true, Cells: make([]Cell, len(e.Val)+1)}
+		for i := 0; i < len(e.Val); i++ {
+			obj.Cells[i] = Cell{Val: IntValue(int64(e.Val[i]), cc.TypeChar), Init: true}
+		}
+		obj.Cells[len(e.Val)] = Cell{Val: IntValue(0, cc.TypeChar), Init: true}
+		m.strLits[e] = obj
+	}
+	return PtrValue(Pointer{Obj: obj, Off: 0, Elem: cc.TypeChar}, &cc.PointerType{Elem: cc.TypeChar})
+}
+
+// loadIdent reads a variable; arrays decay to pointers, structs evaluate to
+// their storage pointer.
+func (m *machine) loadIdent(e *cc.Ident) Value {
+	sym := e.Sym
+	if sym == nil {
+		m.ub(UBUninitRead, e.Pos, "unresolved identifier %q", e.Name)
+	}
+	obj := m.lookupVar(sym, e.Pos)
+	switch t := sym.Type.(type) {
+	case *cc.ArrayType:
+		return PtrValue(Pointer{Obj: obj, Off: 0, Elem: t.Elem}, &cc.PointerType{Elem: t.Elem})
+	case *cc.StructType:
+		return PtrValue(Pointer{Obj: obj, Off: 0, Elem: t}, &cc.PointerType{Elem: t})
+	default:
+		return m.load(Pointer{Obj: obj, Off: 0, Elem: sym.Type}, e.Pos, sym.Type)
+	}
+}
+
+// load reads the scalar at ptr.
+func (m *machine) load(ptr Pointer, pos cc.Pos, t cc.Type) Value {
+	if isAggregate(t) {
+		// aggregates load as a pointer to their storage
+		return PtrValue(Pointer{Obj: ptr.Obj, Off: ptr.Off, Elem: elemOf(t)}, &cc.PointerType{Elem: elemOf(t)})
+	}
+	m.checkAccess(ptr, pos, false)
+	cell := ptr.Obj.Cells[ptr.Off]
+	if !cell.Init {
+		m.ub(UBUninitRead, pos, "object %s cell %d", ptr.Obj.Name, ptr.Off)
+	}
+	return cell.Val
+}
+
+func elemOf(t cc.Type) cc.Type {
+	if at, ok := t.(*cc.ArrayType); ok {
+		return at.Elem
+	}
+	return t
+}
+
+// store writes a scalar to ptr.
+func (m *machine) store(ptr Pointer, v Value, pos cc.Pos) {
+	m.checkAccess(ptr, pos, true)
+	ptr.Obj.Cells[ptr.Off] = Cell{Val: v, Init: true}
+}
+
+func (m *machine) checkAccess(ptr Pointer, pos cc.Pos, write bool) {
+	if ptr.IsNull() {
+		m.ub(UBNullDeref, pos, "")
+	}
+	if !ptr.Obj.Live {
+		m.ub(UBDangling, pos, "object %s is out of scope", ptr.Obj.Name)
+	}
+	if ptr.Off < 0 || ptr.Off >= len(ptr.Obj.Cells) {
+		m.ub(UBOutOfBounds, pos, "offset %d of object %s (%d cells)", ptr.Off, ptr.Obj.Name, len(ptr.Obj.Cells))
+	}
+}
+
+// lvalue computes the location of an lvalue expression.
+func (m *machine) lvalue(e cc.Expr) Pointer {
+	switch e := e.(type) {
+	case *cc.Ident:
+		if e.Sym == nil {
+			m.ub(UBUninitRead, e.Pos, "unresolved identifier %q", e.Name)
+		}
+		obj := m.lookupVar(e.Sym, e.Pos)
+		return Pointer{Obj: obj, Off: 0, Elem: elemOf(e.Sym.Type)}
+	case *cc.UnaryExpr:
+		if e.Op != "*" {
+			m.ub(UBNullDeref, e.Pos, "not an lvalue")
+		}
+		v := m.eval(e.X)
+		if v.Kind != VPtr {
+			m.ub(UBNullDeref, e.Pos, "dereferencing non-pointer value")
+		}
+		return v.P
+	case *cc.IndexExpr:
+		base := m.eval(e.X) // pointer (possibly decayed array)
+		if base.Kind != VPtr {
+			m.ub(UBNullDeref, e.Pos, "indexing non-pointer value")
+		}
+		idx := m.eval(e.Idx)
+		if idx.Kind != VInt {
+			m.ub(UBOutOfBounds, e.Pos, "non-integer index")
+		}
+		scale := cellCount(base.P.Elem)
+		return Pointer{Obj: base.P.Obj, Off: base.P.Off + int(idx.I)*scale, Elem: elemOf(base.P.Elem)}
+	case *cc.MemberExpr:
+		var base Pointer
+		var st *cc.StructType
+		if e.Arrow {
+			v := m.eval(e.X)
+			if v.Kind != VPtr {
+				m.ub(UBNullDeref, e.Pos, "-> on non-pointer")
+			}
+			base = v.P
+			pt, _ := cc.Decay(e.X.ExprType()).(*cc.PointerType)
+			if pt != nil {
+				st, _ = pt.Elem.(*cc.StructType)
+			}
+		} else {
+			base = m.lvalue(e.X)
+			st, _ = e.X.ExprType().(*cc.StructType)
+		}
+		if st == nil {
+			m.ub(UBNullDeref, e.Pos, "member access on non-struct")
+		}
+		fi := st.FieldIndex(e.Name)
+		if fi < 0 {
+			m.ub(UBOutOfBounds, e.Pos, "no field %q", e.Name)
+		}
+		return Pointer{Obj: base.Obj, Off: base.Off + fieldOffset(st, fi), Elem: elemOf(st.Fields[fi].Type)}
+	case *cc.CondExpr:
+		if m.evalCond(e.Cond) {
+			return m.lvalue(e.T)
+		}
+		return m.lvalue(e.F)
+	default:
+		m.ub(UBNullDeref, e.NodePos(), "expression is not an lvalue")
+		panic("unreachable")
+	}
+}
+
+func (m *machine) evalUnary(e *cc.UnaryExpr) Value {
+	switch e.Op {
+	case "&":
+		ptr := m.lvalue(e.X)
+		return PtrValue(ptr, e.Type)
+	case "*":
+		v := m.eval(e.X)
+		if v.Kind != VPtr {
+			m.ub(UBNullDeref, e.Pos, "dereferencing non-pointer")
+		}
+		return m.load(v.P, e.Pos, e.Type)
+	case "!":
+		return IntValue(b2i(m.eval(e.X).IsZero()), cc.TypeInt)
+	case "-":
+		v := m.eval(e.X)
+		if v.Kind == VFloat {
+			return FloatValue(-v.F, v.Typ)
+		}
+		return m.intArith("-", IntValue(0, v.Typ), v, e.Pos, v.Typ)
+	case "+":
+		return m.eval(e.X)
+	case "~":
+		v := m.eval(e.X)
+		if v.Kind != VInt {
+			m.ub(UBShift, e.Pos, "~ on non-integer")
+		}
+		t := promoteType(v.Typ)
+		return IntValue(^v.I, t)
+	case "++", "--":
+		ptr := m.lvalue(e.X)
+		old := m.load(ptr, e.Pos, e.X.ExprType())
+		op := "+"
+		if e.Op == "--" {
+			op = "-"
+		}
+		nv := m.addSub(op, old, IntValue(1, cc.TypeInt), e.Pos, old.Typ)
+		m.store(ptr, nv, e.Pos)
+		return nv
+	default:
+		panic("interp: unknown unary " + e.Op)
+	}
+}
+
+func (m *machine) evalPostfix(e *cc.PostfixExpr) Value {
+	ptr := m.lvalue(e.X)
+	old := m.load(ptr, e.Pos, e.X.ExprType())
+	op := "+"
+	if e.Op == "--" {
+		op = "-"
+	}
+	nv := m.addSub(op, old, IntValue(1, cc.TypeInt), e.Pos, old.Typ)
+	m.store(ptr, nv, e.Pos)
+	return old
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (m *machine) evalBinary(e *cc.BinaryExpr) Value {
+	switch e.Op {
+	case "&&":
+		if !m.evalCond(e.X) {
+			return IntValue(0, cc.TypeInt)
+		}
+		return IntValue(b2i(m.evalCond(e.Y)), cc.TypeInt)
+	case "||":
+		if m.evalCond(e.X) {
+			return IntValue(1, cc.TypeInt)
+		}
+		return IntValue(b2i(m.evalCond(e.Y)), cc.TypeInt)
+	}
+	x := m.eval(e.X)
+	y := m.eval(e.Y)
+	return m.binop(e.Op, x, y, e.Pos, e.Type)
+}
+
+// binop dispatches a (non-short-circuit) binary operation.
+func (m *machine) binop(op string, x, y Value, pos cc.Pos, resType cc.Type) Value {
+	// pointer arithmetic and comparisons
+	if x.Kind == VPtr || y.Kind == VPtr {
+		return m.ptrOp(op, x, y, pos)
+	}
+	if x.Kind == VFloat || y.Kind == VFloat {
+		return m.floatOp(op, x, y, pos)
+	}
+	switch op {
+	case "+", "-", "*", "/", "%":
+		t := usualArith(x.Typ, y.Typ)
+		return m.intArith(op, x, y, pos, t)
+	case "<<", ">>":
+		return m.shift(op, x, y, pos)
+	case "&", "|", "^":
+		t := usualArith(x.Typ, y.Typ)
+		var r int64
+		switch op {
+		case "&":
+			r = x.I & y.I
+		case "|":
+			r = x.I | y.I
+		case "^":
+			r = x.I ^ y.I
+		}
+		return IntValue(r, t)
+	case "==", "!=", "<", ">", "<=", ">=":
+		return IntValue(b2i(intCompare(op, x, y)), cc.TypeInt)
+	default:
+		panic("interp: unknown binop " + op)
+	}
+}
+
+func intCompare(op string, x, y Value) bool {
+	t := usualArith(x.Typ, y.Typ)
+	if isUnsigned(t) {
+		a, b := uint64(truncInt(x.I, t)), uint64(truncInt(y.I, t))
+		// normalize sub-64-bit widths to their unsigned value
+		if w := widthOf(t); w < 64 {
+			mask := uint64(1)<<w - 1
+			a &= mask
+			b &= mask
+		}
+		switch op {
+		case "==":
+			return a == b
+		case "!=":
+			return a != b
+		case "<":
+			return a < b
+		case ">":
+			return a > b
+		case "<=":
+			return a <= b
+		default:
+			return a >= b
+		}
+	}
+	a, b := x.I, y.I
+	switch op {
+	case "==":
+		return a == b
+	case "!=":
+		return a != b
+	case "<":
+		return a < b
+	case ">":
+		return a > b
+	case "<=":
+		return a <= b
+	default:
+		return a >= b
+	}
+}
+
+// addSub performs x op 1 style increments honoring pointer types.
+func (m *machine) addSub(op string, x, y Value, pos cc.Pos, t cc.Type) Value {
+	if x.Kind == VPtr {
+		return m.ptrOp(op, x, y, pos)
+	}
+	if x.Kind == VFloat {
+		return m.floatOp(op, x, y, pos)
+	}
+	return m.intArith(op, x, y, pos, t)
+}
+
+// intArith performs integer arithmetic with signed-overflow detection.
+func (m *machine) intArith(op string, x, y Value, pos cc.Pos, t cc.Type) Value {
+	if isUnsigned(t) {
+		w := widthOf(t)
+		a, b := uint64(x.I), uint64(y.I)
+		if w < 64 {
+			mask := uint64(1)<<w - 1
+			a &= mask
+			b &= mask
+		}
+		var r uint64
+		switch op {
+		case "+":
+			r = a + b
+		case "-":
+			r = a - b
+		case "*":
+			r = a * b
+		case "/":
+			if b == 0 {
+				m.ub(UBDivByZero, pos, "")
+			}
+			r = a / b
+		case "%":
+			if b == 0 {
+				m.ub(UBDivByZero, pos, "")
+			}
+			r = a % b
+		}
+		return IntValue(int64(r), t)
+	}
+	a, b := x.I, y.I
+	var r int64
+	switch op {
+	case "+":
+		r = a + b
+		if (a > 0 && b > 0 && r < a) || (a < 0 && b < 0 && r > a) {
+			m.ub(UBSignedOverflow, pos, "%d + %d", a, b)
+		}
+	case "-":
+		r = a - b
+		if (b < 0 && r < a) || (b > 0 && r > a) {
+			m.ub(UBSignedOverflow, pos, "%d - %d", a, b)
+		}
+	case "*":
+		r = a * b
+		if a != 0 && (r/a != b || (a == -1 && b == math.MinInt64)) {
+			m.ub(UBSignedOverflow, pos, "%d * %d", a, b)
+		}
+	case "/":
+		if b == 0 {
+			m.ub(UBDivByZero, pos, "")
+		}
+		if a == math.MinInt64 && b == -1 {
+			m.ub(UBSignedOverflow, pos, "INT_MIN / -1")
+		}
+		r = a / b
+	case "%":
+		if b == 0 {
+			m.ub(UBDivByZero, pos, "")
+		}
+		if a == math.MinInt64 && b == -1 {
+			m.ub(UBSignedOverflow, pos, "INT_MIN %% -1")
+		}
+		r = a % b
+	}
+	// the result must be representable in t
+	if tr := truncInt(r, t); tr != r {
+		m.ub(UBSignedOverflow, pos, "result %d not representable in %s", r, t)
+	}
+	return IntValue(r, t)
+}
+
+func (m *machine) shift(op string, x, y Value, pos cc.Pos) Value {
+	t := promoteType(x.Typ)
+	w := widthOf(t)
+	if y.I < 0 || uint(y.I) >= w {
+		m.ub(UBShift, pos, "shift count %d for %d-bit type", y.I, w)
+	}
+	if isUnsigned(t) {
+		a := uint64(truncInt(x.I, t))
+		if w < 64 {
+			a &= uint64(1)<<w - 1
+		}
+		var r uint64
+		if op == "<<" {
+			r = a << uint(y.I)
+		} else {
+			r = a >> uint(y.I)
+		}
+		return IntValue(int64(r), t)
+	}
+	if op == "<<" {
+		if x.I < 0 {
+			m.ub(UBShift, pos, "left shift of negative value %d", x.I)
+		}
+		r := x.I << uint(y.I)
+		if truncInt(r, t) != r || r < 0 {
+			m.ub(UBShift, pos, "left shift overflow")
+		}
+		return IntValue(r, t)
+	}
+	return IntValue(x.I>>uint(y.I), t)
+}
+
+func (m *machine) floatOp(op string, x, y Value, pos cc.Pos) Value {
+	a := toF(x)
+	b := toF(y)
+	t := cc.Type(cc.TypeDouble)
+	switch op {
+	case "+":
+		return FloatValue(a+b, t)
+	case "-":
+		return FloatValue(a-b, t)
+	case "*":
+		return FloatValue(a*b, t)
+	case "/":
+		return FloatValue(a/b, t) // IEEE division by zero is defined
+	case "==", "!=", "<", ">", "<=", ">=":
+		var r bool
+		switch op {
+		case "==":
+			r = a == b
+		case "!=":
+			r = a != b
+		case "<":
+			r = a < b
+		case ">":
+			r = a > b
+		case "<=":
+			r = a <= b
+		default:
+			r = a >= b
+		}
+		return IntValue(b2i(r), cc.TypeInt)
+	default:
+		m.ub(UBShift, pos, "invalid float operation %s", op)
+		panic("unreachable")
+	}
+}
+
+func toF(v Value) float64 {
+	if v.Kind == VFloat {
+		return v.F
+	}
+	if isUnsigned(v.Typ) {
+		return float64(uint64(v.I))
+	}
+	return float64(v.I)
+}
+
+func (m *machine) ptrOp(op string, x, y Value, pos cc.Pos) Value {
+	switch op {
+	case "+", "-":
+		if x.Kind == VPtr && y.Kind == VInt {
+			delta := int(y.I) * cellCount(x.P.Elem)
+			if op == "-" {
+				delta = -delta
+			}
+			np := Pointer{Obj: x.P.Obj, Off: x.P.Off + delta, Elem: x.P.Elem}
+			if np.Obj != nil && (np.Off < 0 || np.Off > len(np.Obj.Cells)) {
+				m.ub(UBOutOfBounds, pos, "pointer arithmetic past object %s", np.Obj.Name)
+			}
+			return PtrValue(np, x.Typ)
+		}
+		if x.Kind == VInt && y.Kind == VPtr && op == "+" {
+			return m.ptrOp("+", y, x, pos)
+		}
+		if x.Kind == VPtr && y.Kind == VPtr && op == "-" {
+			if x.P.Obj != y.P.Obj {
+				m.ub(UBOutOfBounds, pos, "subtracting pointers to different objects")
+			}
+			scale := cellCount(x.P.Elem)
+			return IntValue(int64((x.P.Off-y.P.Off)/scale), cc.TypeLong)
+		}
+	case "==", "!=":
+		same := x.Kind == VPtr && y.Kind == VPtr && x.P.Obj == y.P.Obj && x.P.Off == y.P.Off
+		if x.Kind == VInt && x.I == 0 {
+			same = y.P.IsNull()
+		}
+		if y.Kind == VInt && y.I == 0 {
+			same = x.P.IsNull()
+		}
+		if op == "!=" {
+			same = !same
+		}
+		return IntValue(b2i(same), cc.TypeInt)
+	case "<", ">", "<=", ">=":
+		if x.Kind != VPtr || y.Kind != VPtr || x.P.Obj != y.P.Obj {
+			m.ub(UBOutOfBounds, pos, "relational comparison of unrelated pointers")
+		}
+		return IntValue(b2i(intCompare(op, IntValue(int64(x.P.Off), cc.TypeLong), IntValue(int64(y.P.Off), cc.TypeLong))), cc.TypeInt)
+	}
+	m.ub(UBOutOfBounds, pos, "invalid pointer operation %s", op)
+	panic("unreachable")
+}
+
+func (m *machine) evalAssign(e *cc.AssignExpr) Value {
+	ptr := m.lvalue(e.LHS)
+	lt := e.LHS.ExprType()
+	if st, ok := lt.(*cc.StructType); ok && e.Op == "=" {
+		// struct assignment copies all cells
+		rv := m.eval(e.RHS)
+		if rv.Kind != VPtr {
+			m.ub(UBOutOfBounds, e.Pos, "struct assignment from non-struct")
+		}
+		n := cellCount(st)
+		for i := 0; i < n; i++ {
+			src := Pointer{Obj: rv.P.Obj, Off: rv.P.Off + i}
+			m.checkAccess(src, e.Pos, false)
+			cell := rv.P.Obj.Cells[rv.P.Off+i]
+			if !cell.Init {
+				m.ub(UBUninitRead, e.Pos, "copy of uninitialized struct field")
+			}
+			dst := Pointer{Obj: ptr.Obj, Off: ptr.Off + i}
+			m.store(dst, cell.Val, e.Pos)
+		}
+		return PtrValue(ptr, &cc.PointerType{Elem: st})
+	}
+	var v Value
+	if e.Op == "=" {
+		v = m.convert(m.eval(e.RHS), valueType(lt), e.Pos)
+	} else {
+		old := m.load(ptr, e.Pos, lt)
+		rhs := m.eval(e.RHS)
+		op := e.Op[:len(e.Op)-1]
+		v = m.convert(m.binop(op, old, rhs, e.Pos, lt), valueType(lt), e.Pos)
+	}
+	m.store(ptr, v, e.Pos)
+	return v
+}
+
+func (m *machine) evalCall(e *cc.CallExpr) (Value, bool) {
+	name := e.Fun.Name
+	switch name {
+	case "printf":
+		return m.builtinPrintf(e), true
+	case "abort":
+		panic(abortPanic{})
+	case "exit":
+		code := 0
+		if len(e.Args) > 0 {
+			code = int(uint8(m.eval(e.Args[0]).I))
+		}
+		panic(exitPanic{code: code})
+	}
+	fn, ok := m.funcs[name]
+	if !ok {
+		m.limit("call to undefined function %q at %s", name, e.Pos)
+	}
+	args := make([]Value, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = m.eval(a)
+	}
+	return m.call(fn, args, e.Pos)
+}
+
+// convert converts v to type t (integer truncation, int<->float, pointer
+// casts).
+func (m *machine) convert(v Value, t cc.Type, pos cc.Pos) Value {
+	switch tt := t.(type) {
+	case *cc.PointerType:
+		switch v.Kind {
+		case VPtr:
+			return PtrValue(Pointer{Obj: v.P.Obj, Off: v.P.Off, Elem: tt.Elem}, t)
+		case VInt:
+			if v.I == 0 {
+				return PtrValue(Pointer{Elem: tt.Elem}, t)
+			}
+			// integers forged into pointers dereference as UB later
+			return PtrValue(Pointer{Obj: &Object{Name: "forged", Live: false}, Off: int(v.I), Elem: tt.Elem}, t)
+		}
+		return v
+	case *cc.BasicType:
+		if tt.IsFloat() {
+			return FloatValue(toF(v), t)
+		}
+		switch v.Kind {
+		case VFloat:
+			if math.IsNaN(v.F) || v.F >= 9.3e18 || v.F <= -9.3e18 {
+				m.ub(UBSignedOverflow, pos, "float-to-int conversion of %g", v.F)
+			}
+			return IntValue(int64(v.F), t)
+		case VPtr:
+			// pointer-to-integer: a stable synthetic address
+			addr := int64(0)
+			if v.P.Obj != nil {
+				addr = int64(v.P.Obj.ID)*1_000_000 + int64(v.P.Off)
+			}
+			return IntValue(addr, t)
+		default:
+			return IntValue(v.I, t)
+		}
+	}
+	return v
+}
+
+// promoteType applies the integer promotions.
+func promoteType(t cc.Type) cc.Type {
+	bt, ok := t.(*cc.BasicType)
+	if !ok {
+		return t
+	}
+	switch bt.Kind {
+	case cc.Char, cc.UChar, cc.Short, cc.UShort:
+		return cc.TypeInt
+	}
+	return t
+}
+
+// usualArith applies the usual arithmetic conversions for integers.
+func usualArith(a, b cc.Type) cc.Type {
+	pa, _ := promoteType(a).(*cc.BasicType)
+	pb, _ := promoteType(b).(*cc.BasicType)
+	if pa == nil {
+		return b
+	}
+	if pb == nil {
+		return a
+	}
+	if pa.Kind >= pb.Kind {
+		return pa
+	}
+	return pb
+}

@@ -1,0 +1,292 @@
+package interp
+
+import (
+	"fmt"
+
+	"spe/internal/cc"
+)
+
+// execBlock executes a block statement.
+func (m *machine) execBlock(b *cc.BlockStmt) flow {
+	return m.execList(b.List)
+}
+
+// execList executes a statement list, handling goto targeting any label
+// contained in the list (possibly nested).
+func (m *machine) execList(stmts []cc.Stmt) flow {
+	i := 0
+	for i < len(stmts) {
+		f := m.exec(stmts[i])
+		if f == flowGoto {
+			j := findLabel(stmts, m.gotoLabel)
+			if j < 0 {
+				return flowGoto // propagate to an enclosing list
+			}
+			m.seeking = true
+			i = j
+			continue
+		}
+		if f != flowNormal {
+			return f
+		}
+		i++
+	}
+	return flowNormal
+}
+
+// findLabel returns the index of the statement containing label, or -1.
+func findLabel(stmts []cc.Stmt, label string) int {
+	for i, st := range stmts {
+		if stmtContainsLabel(st, label) {
+			return i
+		}
+	}
+	return -1
+}
+
+func stmtContainsLabel(st cc.Stmt, label string) bool {
+	switch st := st.(type) {
+	case *cc.LabeledStmt:
+		return st.Label == label || stmtContainsLabel(st.Stmt, label)
+	case *cc.BlockStmt:
+		return findLabel(st.List, label) >= 0
+	case *cc.IfStmt:
+		if stmtContainsLabel(st.Then, label) {
+			return true
+		}
+		return st.Else != nil && stmtContainsLabel(st.Else, label)
+	case *cc.WhileStmt:
+		return stmtContainsLabel(st.Body, label)
+	case *cc.DoWhileStmt:
+		return stmtContainsLabel(st.Body, label)
+	case *cc.ForStmt:
+		return stmtContainsLabel(st.Body, label)
+	default:
+		return false
+	}
+}
+
+// exec executes one statement. In seeking mode (an in-flight goto), it
+// skips statements until the target label is reached, descending into
+// compound statements that contain it.
+func (m *machine) exec(st cc.Stmt) flow {
+	if m.seeking {
+		return m.execSeeking(st)
+	}
+	m.step(st.NodePos())
+	m.executed[st] = true
+	switch st := st.(type) {
+	case *cc.BlockStmt:
+		return m.execList(st.List)
+	case *cc.DeclStmt:
+		for _, d := range st.Decls {
+			m.execDecl(d)
+		}
+		return flowNormal
+	case *cc.ExprStmt:
+		m.evalDiscard(st.X)
+		return flowNormal
+	case *cc.EmptyStmt:
+		return flowNormal
+	case *cc.IfStmt:
+		cond := m.evalCond(st.Cond)
+		if cond {
+			return m.exec(st.Then)
+		}
+		if st.Else != nil {
+			return m.exec(st.Else)
+		}
+		return flowNormal
+	case *cc.WhileStmt:
+		for {
+			if !m.evalCond(st.Cond) {
+				return flowNormal
+			}
+			f := m.exec(st.Body)
+			switch f {
+			case flowBreak:
+				return flowNormal
+			case flowReturn, flowGoto:
+				return f
+			}
+		}
+	case *cc.DoWhileStmt:
+		for {
+			f := m.exec(st.Body)
+			switch f {
+			case flowBreak:
+				return flowNormal
+			case flowReturn, flowGoto:
+				return f
+			}
+			if !m.evalCond(st.Cond) {
+				return flowNormal
+			}
+		}
+	case *cc.ForStmt:
+		if st.Init != nil {
+			if f := m.exec(st.Init); f != flowNormal {
+				return f
+			}
+		}
+		for {
+			if st.Cond != nil && !m.evalCond(st.Cond) {
+				return flowNormal
+			}
+			f := m.exec(st.Body)
+			switch f {
+			case flowBreak:
+				return flowNormal
+			case flowReturn, flowGoto:
+				return f
+			}
+			if st.Post != nil {
+				m.evalDiscard(st.Post)
+			}
+		}
+	case *cc.ReturnStmt:
+		if st.X != nil {
+			m.retVal = m.eval(st.X)
+			m.retSet = true
+		} else {
+			m.retSet = false
+		}
+		return flowReturn
+	case *cc.BreakStmt:
+		return flowBreak
+	case *cc.ContinueStmt:
+		return flowContinue
+	case *cc.GotoStmt:
+		m.gotoLabel = st.Label
+		return flowGoto
+	case *cc.LabeledStmt:
+		return m.exec(st.Stmt)
+	default:
+		panic(fmt.Sprintf("interp: unknown statement %T", st))
+	}
+}
+
+// execSeeking advances toward the goto target label.
+func (m *machine) execSeeking(st cc.Stmt) flow {
+	label := m.gotoLabel
+	switch st := st.(type) {
+	case *cc.LabeledStmt:
+		if st.Label == label {
+			m.seeking = false
+			return m.exec(st.Stmt)
+		}
+		return m.execSeeking(st.Stmt)
+	case *cc.BlockStmt:
+		if findLabel(st.List, label) < 0 {
+			return flowNormal // skip: target not here
+		}
+		return m.execList(st.List)
+	case *cc.IfStmt:
+		if stmtContainsLabel(st.Then, label) {
+			return m.exec(st.Then)
+		}
+		if st.Else != nil && stmtContainsLabel(st.Else, label) {
+			return m.exec(st.Else)
+		}
+		return flowNormal
+	case *cc.WhileStmt:
+		if !stmtContainsLabel(st.Body, label) {
+			return flowNormal
+		}
+		// enter the loop body at the label, then continue looping normally
+		for first := true; ; first = false {
+			if !first {
+				if !m.evalCond(st.Cond) {
+					return flowNormal
+				}
+			}
+			f := m.exec(st.Body)
+			switch f {
+			case flowBreak:
+				return flowNormal
+			case flowReturn, flowGoto:
+				return f
+			}
+		}
+	case *cc.DoWhileStmt:
+		if !stmtContainsLabel(st.Body, label) {
+			return flowNormal
+		}
+		for {
+			f := m.exec(st.Body)
+			switch f {
+			case flowBreak:
+				return flowNormal
+			case flowReturn, flowGoto:
+				return f
+			}
+			if !m.evalCond(st.Cond) {
+				return flowNormal
+			}
+		}
+	case *cc.ForStmt:
+		if !stmtContainsLabel(st.Body, label) {
+			return flowNormal
+		}
+		for first := true; ; first = false {
+			if !first {
+				if st.Post != nil {
+					m.evalDiscard(st.Post)
+				}
+				if st.Cond != nil && !m.evalCond(st.Cond) {
+					return flowNormal
+				}
+			}
+			f := m.exec(st.Body)
+			switch f {
+			case flowBreak:
+				return flowNormal
+			case flowReturn, flowGoto:
+				return f
+			}
+		}
+	default:
+		return flowNormal // skip simple statements while seeking
+	}
+}
+
+// execDecl allocates a local variable and runs its initializer. Static
+// locals are allocated and initialized exactly once and persist across
+// calls (C semantics).
+func (m *machine) execDecl(d *cc.VarDecl) {
+	if d.Storage == cc.StorageStatic {
+		if m.statics == nil {
+			m.statics = make(map[*cc.Symbol]*Object)
+		}
+		obj, ok := m.statics[d.Sym]
+		if !ok {
+			obj = m.alloc(d.Sym.Type, d.Name)
+			obj.Persistent = true
+			m.statics[d.Sym] = obj
+			if d.Init != nil {
+				m.initObject(obj, d.Sym.Type, d.Init)
+			} else {
+				m.zeroObject(obj, d.Sym.Type)
+			}
+		}
+		if len(m.frames) > 0 {
+			m.frames[len(m.frames)-1].vars[d.Sym] = obj
+		}
+		return
+	}
+	obj := m.alloc(d.Sym.Type, d.Name)
+	if len(m.frames) > 0 {
+		m.frames[len(m.frames)-1].vars[d.Sym] = obj
+	} else {
+		m.globals[d.Sym] = obj
+	}
+	if d.Init != nil {
+		m.initObject(obj, d.Sym.Type, d.Init)
+	}
+}
+
+// evalCond evaluates a controlling expression to a boolean, flagging
+// uninitialized reads.
+func (m *machine) evalCond(e cc.Expr) bool {
+	return !m.eval(e).IsZero()
+}

@@ -1,0 +1,452 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"spe/internal/cc"
+)
+
+func run(t *testing.T, src string) *Result {
+	t.Helper()
+	prog := cc.MustAnalyze(src)
+	return Run(prog, Config{})
+}
+
+func mustExit(t *testing.T, src string, want int) *Result {
+	t.Helper()
+	r := run(t, src)
+	if !r.Defined() {
+		t.Fatalf("not defined: UB=%v Limit=%v", r.UB, r.Limit)
+	}
+	if r.Aborted {
+		t.Fatal("aborted")
+	}
+	if r.Exit != want {
+		t.Fatalf("exit = %d, want %d", r.Exit, want)
+	}
+	return r
+}
+
+func mustUB(t *testing.T, src string, kind UBKind) {
+	t.Helper()
+	r := run(t, src)
+	if r.UB == nil {
+		t.Fatalf("no UB detected (exit %d, output %q)", r.Exit, r.Output)
+	}
+	if r.UB.Kind != kind {
+		t.Fatalf("UB kind = %v, want %v (%v)", r.UB.Kind, kind, r.UB)
+	}
+}
+
+func TestArithmeticBasics(t *testing.T) {
+	mustExit(t, "int main() { return 2 + 3 * 4; }", 14)
+	mustExit(t, "int main() { return (2 + 3) * 4; }", 20)
+	mustExit(t, "int main() { return 17 / 5 + 17 % 5; }", 5)
+	mustExit(t, "int main() { return 1 << 4; }", 16)
+	mustExit(t, "int main() { return 255 >> 4; }", 15)
+	mustExit(t, "int main() { return (5 & 3) + (5 | 3) + (5 ^ 3); }", 14)
+	mustExit(t, "int main() { return 10 - 3 - 2; }", 5)
+	mustExit(t, "int main() { return -5 + 10; }", 5)
+	mustExit(t, "int main() { return ~0 + 2; }", 1)
+	mustExit(t, "int main() { return !0 + !5; }", 1)
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	mustExit(t, "int main() { return (1 < 2) + (2 <= 2) + (3 > 2) + (2 >= 3) + (1 == 1) + (1 != 1); }", 4)
+	mustExit(t, "int main() { return (1 && 2) + (0 || 3) + (0 && 1) + (0 || 0); }", 2)
+	// short-circuit: the divide by zero must not run
+	mustExit(t, "int main() { int x = 0; return (x && (1 / x)) + 7; }", 7)
+	mustExit(t, "int main() { int x = 1; return (x || (1 / 0)) + 7; }", 8)
+}
+
+func TestVariablesAndAssignment(t *testing.T) {
+	mustExit(t, "int main() { int a = 1, b = 2; a = b; return a + b; }", 4)
+	mustExit(t, "int main() { int a = 10; a += 5; a -= 3; a *= 2; a /= 4; a %= 4; return a; }", 2)
+	mustExit(t, "int main() { int a = 1; a <<= 3; a >>= 1; a |= 2; a &= 6; a ^= 1; return a; }", 7)
+	mustExit(t, "int main() { int a = 0; int b = (a = 5); return a + b; }", 10)
+}
+
+func TestIncrementDecrement(t *testing.T) {
+	mustExit(t, "int main() { int a = 5; return a++ + a; }", 11)
+	mustExit(t, "int main() { int a = 5; return ++a + a; }", 12)
+	mustExit(t, "int main() { int a = 5; return a-- - a; }", 1)
+	mustExit(t, "int main() { int a = 5; return --a; }", 4)
+}
+
+func TestControlFlow(t *testing.T) {
+	mustExit(t, `int main() { int s = 0, i; for (i = 1; i <= 10; i++) s += i; return s; }`, 55)
+	mustExit(t, `int main() { int s = 0, i = 0; while (i < 5) { s += i; i++; } return s; }`, 10)
+	mustExit(t, `int main() { int i = 0; do i++; while (i < 3); return i; }`, 3)
+	mustExit(t, `int main() { int i, s = 0; for (i = 0; i < 10; i++) { if (i == 5) break; if (i % 2) continue; s += i; } return s; }`, 6)
+	mustExit(t, `int main() { if (1) return 7; else return 8; }`, 7)
+	mustExit(t, `int main() { if (0) return 7; else return 8; }`, 8)
+	mustExit(t, `int main() { return 1 ? 4 : 5; }`, 4)
+}
+
+func TestGoto(t *testing.T) {
+	mustExit(t, `
+int main() {
+    int i = 0;
+loop:
+    i++;
+    if (i < 5) goto loop;
+    return i;
+}`, 5)
+	// paper Figure 11(d): goto backward over a declaration
+	mustExit(t, `
+int main() {
+    int *p = 0;
+trick:
+    if (p)
+        return *p;
+    int x = 0;
+    p = &x;
+    goto trick;
+    return 9;
+}`, 0)
+	// forward goto into a nested block
+	mustExit(t, `
+int main() {
+    int r = 1;
+    goto inside;
+    r = 100;
+    {
+        r = 200;
+inside:
+        r += 41;
+    }
+    return r;
+}`, 42)
+}
+
+func TestFunctions(t *testing.T) {
+	mustExit(t, `
+int add(int x, int y) { return x + y; }
+int main() { return add(add(1, 2), 4); }`, 7)
+	mustExit(t, `
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() { return fib(10); }`, 55)
+	mustExit(t, `
+int counter() { static int n = 0; n++; return n; }
+int main() { counter(); counter(); return counter(); }`, 3)
+	// void function and fall-through-main
+	mustExit(t, `
+int g;
+void setg(int v) { g = v; }
+int main() { setg(3); return g; }`, 3)
+}
+
+func TestPointers(t *testing.T) {
+	mustExit(t, `
+int a = 0;
+int main() {
+    int *p = &a, *q = &a;
+    *p = 1;
+    *q = 2;
+    return a;
+}`, 2)
+	mustExit(t, `
+int main() {
+    int x = 5;
+    int *p = &x;
+    *p += 2;
+    return x;
+}`, 7)
+	mustExit(t, `
+int main() {
+    int arr[5] = {1, 2, 3, 4, 5};
+    int *p = arr;
+    p = p + 2;
+    return *p + p[1] + *(p - 1);
+}`, 9)
+	// pointer difference
+	mustExit(t, `
+int main() {
+    int arr[5];
+    int *p = &arr[4], *q = &arr[1];
+    return (int)(p - q);
+}`, 3)
+}
+
+func TestArrays(t *testing.T) {
+	mustExit(t, `
+int main() {
+    int a[4] = {1, 2, 3};
+    return a[0] + a[1] + a[2] + a[3];
+}`, 6) // trailing element zero-filled
+	mustExit(t, `
+int m[2][3];
+int main() {
+    m[1][2] = 7;
+    m[0][1] = 3;
+    return m[1][2] + m[0][1];
+}`, 10)
+}
+
+func TestStructs(t *testing.T) {
+	mustExit(t, `
+struct s { int x; int y; };
+struct s v;
+int main() {
+    v.x = 3;
+    v.y = 4;
+    return v.x + v.y;
+}`, 7)
+	mustExit(t, `
+struct s { int x; int y; };
+int main() {
+    struct s a = {1, 2}, b;
+    b = a;
+    b.x += 10;
+    return a.x + b.x + b.y;
+}`, 14)
+	mustExit(t, `
+struct s { int n; };
+int get(struct s *p) { return p->n; }
+int main() {
+    struct s v = {41};
+    v.n++;
+    return get(&v);
+}`, 42)
+	// paper Figure 3 shape: member of conditional expression
+	mustExit(t, `
+struct s { int c; };
+struct s a, b, c;
+int d; int e;
+int main() {
+    b.c = 1;
+    c.c = 2;
+    return e ? (d == 0 ? b : c).c : (d == 0 ? b : c).c;
+}`, 1)
+}
+
+func TestGlobalsZeroInitialized(t *testing.T) {
+	mustExit(t, "int g;\nint main() { return g; }", 0)
+	mustExit(t, "int arr[3];\nint main() { return arr[0] + arr[1] + arr[2]; }", 0)
+}
+
+func TestUnsignedWraparound(t *testing.T) {
+	// unsigned arithmetic wraps: defined behavior
+	mustExit(t, `
+int main() {
+    unsigned int u = 4294967295u;
+    u = u + 1u;
+    return (int)u;
+}`, 0)
+	mustExit(t, `
+int main() {
+    unsigned char c = 255;
+    c = c + 1;
+    return c;
+}`, 0)
+}
+
+func TestCharShortTruncation(t *testing.T) {
+	mustExit(t, `
+int main() {
+    char c = (char)300;
+    return c == 44;
+}`, 1)
+	mustExit(t, `
+int main() {
+    short s = (short)65536;
+    return s == 0;
+}`, 1)
+}
+
+func TestFloats(t *testing.T) {
+	mustExit(t, `
+int main() {
+    double d = 1.5;
+    d = d * 4.0;
+    return (int)d;
+}`, 6)
+	r := mustExit(t, `
+int main() {
+    double d = 2.5;
+    printf("%g %f", d, d);
+    return 0;
+}`, 0)
+	if !strings.Contains(r.Output, "2.5") || !strings.Contains(r.Output, "2.500000") {
+		t.Errorf("float output = %q", r.Output)
+	}
+}
+
+func TestPrintf(t *testing.T) {
+	r := mustExit(t, `
+int main() {
+    printf("%d %u %x %c %s|", -1, 7u, 255, 65, "hi");
+    printf("%05d %ld", 42, 1234567890123l);
+    return 0;
+}`, 0)
+	want := "-1 7 ff A hi|00042 1234567890123"
+	if r.Output != want {
+		t.Errorf("output = %q, want %q", r.Output, want)
+	}
+}
+
+func TestExitAndAbort(t *testing.T) {
+	r := run(t, `int main() { exit(3); return 0; }`)
+	if !r.Defined() || r.Exit != 3 {
+		t.Errorf("exit(3): %+v", r)
+	}
+	r = run(t, `int main() { abort(); return 0; }`)
+	if !r.Aborted {
+		t.Errorf("abort not detected: %+v", r)
+	}
+}
+
+// --- undefined behavior detection ---
+
+func TestUBUninitializedRead(t *testing.T) {
+	mustUB(t, `int main() { int a; return a; }`, UBUninitRead)
+	mustUB(t, `int main() { int a, b; b = a + 1; return b; }`, UBUninitRead)
+	mustUB(t, `int main() { int arr[3]; return arr[1]; }`, UBUninitRead)
+}
+
+func TestUBDivByZero(t *testing.T) {
+	mustUB(t, `int main() { int z = 0; return 5 / z; }`, UBDivByZero)
+	mustUB(t, `int main() { int z = 0; return 5 % z; }`, UBDivByZero)
+}
+
+func TestUBSignedOverflow(t *testing.T) {
+	mustUB(t, `int main() { int x = 2147483647; x = x + 1; return 0; }`, UBSignedOverflow)
+	mustUB(t, `int main() { int x = -2147483647; x = x - 2; return 0; }`, UBSignedOverflow)
+	mustUB(t, `int main() { int x = 65536; x = x * 65536; return 0; }`, UBSignedOverflow)
+}
+
+func TestUBShift(t *testing.T) {
+	mustUB(t, `int main() { int x = 1; return x << 32; }`, UBShift)
+	mustUB(t, `int main() { int x = 1; int n = -1; return x << n; }`, UBShift)
+	mustUB(t, `int main() { int x = -1; return x << 1; }`, UBShift)
+}
+
+func TestUBOutOfBounds(t *testing.T) {
+	mustUB(t, `int main() { int arr[3]; arr[3] = 1; return 0; }`, UBOutOfBounds)
+	mustUB(t, `int main() { int arr[3]; arr[-1] = 1; return 0; }`, UBOutOfBounds)
+	mustUB(t, `int main() { int arr[2]; int *p = arr; p = p + 5; return 0; }`, UBOutOfBounds)
+}
+
+func TestUBNullDeref(t *testing.T) {
+	mustUB(t, `int main() { int *p = 0; return *p; }`, UBNullDeref)
+	mustUB(t, `int main() { int *p = 0; *p = 1; return 0; }`, UBNullDeref)
+}
+
+func TestUBDanglingPointer(t *testing.T) {
+	mustUB(t, `
+int *f() { int x = 1; return &x; }
+int main() { int *p = f(); return *p; }`, UBDangling)
+}
+
+func TestUBMissingReturnValue(t *testing.T) {
+	mustUB(t, `
+int f(int x) { if (x > 0) return 1; }
+int main() { return f(-1); }`, UBNoReturnValue)
+	// unused missing return value is fine
+	mustExit(t, `
+int f(int x) { if (x > 0) return 1; }
+int main() { f(-1); return 0; }`, 0)
+}
+
+func TestOnePastEndPointerAllowed(t *testing.T) {
+	mustExit(t, `
+int main() {
+    int arr[3];
+    int *p = &arr[0];
+    p = p + 3; /* one past the end: defined */
+    return (int)(p - arr);
+}`, 3)
+}
+
+func TestStepLimit(t *testing.T) {
+	prog := cc.MustAnalyze(`int main() { for (;;) ; return 0; }`)
+	r := Run(prog, Config{MaxSteps: 1000})
+	if r.Limit == nil {
+		t.Fatal("infinite loop not stopped")
+	}
+}
+
+func TestStackLimit(t *testing.T) {
+	prog := cc.MustAnalyze(`
+int f(int n) { return f(n + 0); }
+int main() { return f(1); }`)
+	r := Run(prog, Config{MaxDepth: 64})
+	if r.Limit == nil {
+		t.Fatal("unbounded recursion not stopped")
+	}
+}
+
+func TestExecutedStatementTracking(t *testing.T) {
+	prog := cc.MustAnalyze(`
+int main() {
+    int a = 1;
+    if (a) {
+        a = 2;
+    } else {
+        a = 3;
+    }
+    return a;
+}`)
+	r := Run(prog, Config{})
+	if !r.Defined() || r.Exit != 2 {
+		t.Fatalf("result %+v", r)
+	}
+	// the else branch must not be marked executed
+	executedAssign3 := false
+	for st := range r.Executed {
+		var p cc.Printer
+		_ = p
+		if es, ok := st.(*cc.ExprStmt); ok {
+			if as, ok := es.X.(*cc.AssignExpr); ok {
+				if il, ok := as.RHS.(*cc.IntLit); ok && il.Val == 3 {
+					executedAssign3 = true
+				}
+			}
+		}
+	}
+	if executedAssign3 {
+		t.Error("dead branch marked as executed")
+	}
+}
+
+func TestFigure1SemanticsDiffer(t *testing.T) {
+	// The three variable usage patterns of paper Figure 1 have different
+	// semantics; SPE's premise is that they exercise different dataflow.
+	p2 := run(t, `
+int main() {
+    int a, b = 1;
+    a = b - b;
+    if (a)
+        a = a - b;
+    return a;
+}`)
+	if !p2.Defined() || p2.Exit != 0 {
+		t.Errorf("P2: %+v", p2)
+	}
+	p3 := run(t, `
+int main() {
+    int a, b = 1;
+    a = b - b;
+    if (b)
+        a = b - b;
+    return a + b;
+}`)
+	if !p3.Defined() || p3.Exit != 1 {
+		t.Errorf("P3: %+v", p3)
+	}
+}
+
+func TestCommaAndCast(t *testing.T) {
+	mustExit(t, `int main() { int a; a = (1, 2, 3); return a; }`, 3)
+	mustExit(t, `int main() { return (int)2.9 + (int)(char)257; }`, 3)
+	mustExit(t, `int main() { return (int)sizeof(int) + (int)sizeof(double); }`, 12)
+}
+
+func TestStringIndexing(t *testing.T) {
+	mustExit(t, `
+int main() {
+    char *s = "abc";
+    return s[0] + s[2] - 2 * 'a' - 2;
+}`, 0)
+}

@@ -1,0 +1,332 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+
+	"spe/internal/cc"
+)
+
+// Config bounds an execution.
+type Config struct {
+	// MaxSteps limits the number of statements+expressions evaluated
+	// (default 2,000,000).
+	MaxSteps int64
+	// MaxDepth limits call-stack depth (default 256).
+	MaxDepth int
+	// MaxOutput limits printf output bytes (default 1 MiB).
+	MaxOutput int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 2_000_000
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 256
+	}
+	if c.MaxOutput == 0 {
+		c.MaxOutput = 1 << 20
+	}
+	return c
+}
+
+// Result is the outcome of running a program.
+type Result struct {
+	// Output is everything printed via printf.
+	Output string
+	// Exit is the process exit code (defined only when UB and Limit are
+	// nil and Aborted is false).
+	Exit int
+	// UB is non-nil when execution encountered undefined behavior.
+	UB *UBError
+	// Limit is non-nil when a resource limit stopped execution.
+	Limit *LimitError
+	// Aborted reports a call to abort().
+	Aborted bool
+	// Steps is the number of evaluation steps performed.
+	Steps int64
+	// Executed records every statement that was actually executed,
+	// for dead-region detection by the mutation baseline.
+	Executed map[cc.Stmt]bool
+}
+
+// Defined reports whether the program has a defined result (no UB, no
+// resource exhaustion).
+func (r *Result) Defined() bool { return r.UB == nil && r.Limit == nil }
+
+// Run interprets the program's main function.
+func Run(prog *cc.Program, cfg Config) (res *Result) {
+	cfg = cfg.withDefaults()
+	m := &machine{
+		prog:     prog,
+		cfg:      cfg,
+		globals:  make(map[*cc.Symbol]*Object),
+		funcs:    make(map[string]*cc.FuncDecl),
+		executed: make(map[cc.Stmt]bool),
+	}
+	res = &Result{Executed: m.executed}
+	defer func() {
+		if r := recover(); r != nil {
+			switch p := r.(type) {
+			case ubPanic:
+				res.UB = p.err
+			case limitPanic:
+				res.Limit = p.err
+			case exitPanic:
+				res.Exit = p.code
+			case abortPanic:
+				res.Aborted = true
+			default:
+				panic(r)
+			}
+		}
+		res.Output = m.out.String()
+		res.Steps = m.steps
+	}()
+
+	for _, fd := range prog.Funcs {
+		m.funcs[fd.Name] = fd
+	}
+	// initialize globals in declaration order
+	for _, d := range prog.File.Decls {
+		if vd, ok := d.(*cc.VarDecl); ok {
+			obj := m.alloc(vd.Sym.Type, vd.Name)
+			m.globals[vd.Sym] = obj
+			if vd.Init != nil {
+				m.initObject(obj, vd.Sym.Type, vd.Init)
+			} else {
+				// file-scope objects are zero-initialized in C
+				m.zeroObject(obj, vd.Sym.Type)
+			}
+		}
+	}
+	mainFn, ok := m.funcs["main"]
+	if !ok {
+		res.Limit = &LimitError{Msg: "no main function"}
+		return res
+	}
+	v, has := m.call(mainFn, nil, cc.Pos{Line: 0, Col: 0})
+	if has {
+		res.Exit = int(uint8(v.I))
+	} else {
+		res.Exit = 0 // C99 5.1.2.2.3: falling off main returns 0
+	}
+	return res
+}
+
+type ubPanic struct{ err *UBError }
+type limitPanic struct{ err *LimitError }
+type exitPanic struct{ code int }
+type abortPanic struct{}
+
+// flow is the control-flow signal threaded through statement execution.
+type flow int
+
+const (
+	flowNormal flow = iota
+	flowBreak
+	flowContinue
+	flowReturn
+	flowGoto
+)
+
+type machine struct {
+	prog     *cc.Program
+	cfg      Config
+	globals  map[*cc.Symbol]*Object
+	frames   []*frame
+	funcs    map[string]*cc.FuncDecl
+	out      strings.Builder
+	steps    int64
+	nextID   int
+	executed map[cc.Stmt]bool
+
+	// return value of the innermost returning function
+	retVal Value
+	retSet bool
+	// target label of an in-flight goto
+	gotoLabel string
+	// seeking is true while unwinding forward to a goto target
+	seeking bool
+	// string literal objects are interned per literal node
+	strLits map[*cc.StringLit]*Object
+	// statics holds static-local objects, initialized once and persistent
+	// across calls
+	statics map[*cc.Symbol]*Object
+}
+
+type frame struct {
+	fn   *cc.FuncDecl
+	vars map[*cc.Symbol]*Object
+}
+
+func (m *machine) ub(kind UBKind, pos cc.Pos, format string, args ...interface{}) {
+	panic(ubPanic{&UBError{Kind: kind, Pos: pos, Msg: fmt.Sprintf(format, args...)}})
+}
+
+func (m *machine) limit(format string, args ...interface{}) {
+	panic(limitPanic{&LimitError{Msg: fmt.Sprintf(format, args...)}})
+}
+
+func (m *machine) step(pos cc.Pos) {
+	m.steps++
+	if m.steps > m.cfg.MaxSteps {
+		m.limit("step budget exhausted at %s", pos)
+	}
+}
+
+func (m *machine) alloc(t cc.Type, name string) *Object {
+	m.nextID++
+	return &Object{ID: m.nextID, Cells: make([]Cell, cellCount(t)), Live: true, Name: name}
+}
+
+func (m *machine) zeroObject(obj *Object, t cc.Type) {
+	st := scalarType(t)
+	for i := range obj.Cells {
+		obj.Cells[i] = Cell{Val: zeroOf(st), Init: true}
+	}
+}
+
+func zeroOf(t cc.Type) Value {
+	switch {
+	case isFloatType(t):
+		return FloatValue(0, t)
+	default:
+		if _, ok := t.(*cc.PointerType); ok {
+			return PtrValue(Pointer{}, t)
+		}
+		return IntValue(0, t)
+	}
+}
+
+// initObject evaluates an initializer into obj.
+func (m *machine) initObject(obj *Object, t cc.Type, init cc.Expr) {
+	switch init := init.(type) {
+	case *cc.InitList:
+		m.initCells(obj, 0, t, init)
+		// C zero-fills the remainder of a partially initialized aggregate
+		st := scalarType(t)
+		for i := range obj.Cells {
+			if !obj.Cells[i].Init {
+				obj.Cells[i] = Cell{Val: zeroOf(st), Init: true}
+			}
+		}
+	default:
+		v := m.eval(init)
+		v = m.convert(v, valueType(t), init.NodePos())
+		obj.Cells[0] = Cell{Val: v, Init: true}
+	}
+}
+
+// initCells fills cells from an initializer list, returning the next cell.
+func (m *machine) initCells(obj *Object, off int, t cc.Type, il *cc.InitList) int {
+	switch t := t.(type) {
+	case *cc.ArrayType:
+		elemCells := cellCount(t.Elem)
+		for i, e := range il.List {
+			if i >= t.Len {
+				m.ub(UBOutOfBounds, il.Pos, "excess array initializers")
+			}
+			if sub, ok := e.(*cc.InitList); ok {
+				m.initCells(obj, off+i*elemCells, t.Elem, sub)
+			} else {
+				v := m.convert(m.eval(e), valueType(t.Elem), e.NodePos())
+				obj.Cells[off+i*elemCells] = Cell{Val: v, Init: true}
+			}
+		}
+		return off + t.Len*elemCells
+	case *cc.StructType:
+		fo := off
+		for i, e := range il.List {
+			if i >= len(t.Fields) {
+				m.ub(UBOutOfBounds, il.Pos, "excess struct initializers")
+			}
+			ft := t.Fields[i].Type
+			if sub, ok := e.(*cc.InitList); ok {
+				m.initCells(obj, fo, ft, sub)
+			} else {
+				v := m.convert(m.eval(e), valueType(ft), e.NodePos())
+				obj.Cells[fo] = Cell{Val: v, Init: true}
+			}
+			fo += cellCount(ft)
+		}
+		return off + cellCount(t)
+	default:
+		if len(il.List) != 1 {
+			m.ub(UBOutOfBounds, il.Pos, "scalar initializer list")
+		}
+		v := m.convert(m.eval(il.List[0]), valueType(t), il.Pos)
+		obj.Cells[off] = Cell{Val: v, Init: true}
+		return off + 1
+	}
+}
+
+// valueType maps a declared type to the scalar type stored in cells (arrays
+// of T store T cells; pointers and scalars store themselves).
+func valueType(t cc.Type) cc.Type {
+	return scalarType(t)
+}
+
+// call invokes fn with evaluated arguments, returning its value (if any).
+func (m *machine) call(fn *cc.FuncDecl, args []Value, pos cc.Pos) (Value, bool) {
+	if len(m.frames) >= m.cfg.MaxDepth {
+		m.limit("call depth exceeded at %s", pos)
+	}
+	fr := &frame{fn: fn, vars: make(map[*cc.Symbol]*Object)}
+	for i, p := range fn.Params {
+		obj := m.alloc(p.Type, p.Name)
+		var v Value
+		if i < len(args) {
+			v = m.convert(args[i], valueType(p.Type), pos)
+		} else {
+			v = zeroOf(valueType(p.Type))
+		}
+		obj.Cells[0] = Cell{Val: v, Init: true}
+		if p.Sym != nil {
+			fr.vars[p.Sym] = obj
+		}
+	}
+	m.frames = append(m.frames, fr)
+	defer func() {
+		for _, obj := range fr.vars {
+			if !obj.Persistent {
+				obj.Live = false
+			}
+		}
+		m.frames = m.frames[:len(m.frames)-1]
+	}()
+
+	m.retSet = false
+	f := m.execBlock(fn.Body)
+	if f == flowGoto {
+		m.ub(UBOutOfBounds, pos, "goto to label %q escaped function", m.gotoLabel)
+	}
+	if m.retSet {
+		ret := m.retVal
+		m.retSet = false
+		return ret, true
+	}
+	return Value{}, false
+}
+
+// lookupVar finds the object bound to a symbol.
+func (m *machine) lookupVar(sym *cc.Symbol, pos cc.Pos) *Object {
+	if len(m.frames) > 0 {
+		if obj, ok := m.frames[len(m.frames)-1].vars[sym]; ok {
+			return obj
+		}
+	}
+	if obj, ok := m.globals[sym]; ok {
+		return obj
+	}
+	// a local of an enclosing block not yet allocated (e.g. jumped over by
+	// goto before its DeclStmt ran): allocate lazily, uninitialized
+	obj := m.alloc(sym.Type, sym.Name)
+	if len(m.frames) > 0 && sym.FuncIdx >= 0 {
+		m.frames[len(m.frames)-1].vars[sym] = obj
+	} else {
+		m.globals[sym] = obj
+	}
+	return obj
+}

@@ -1,0 +1,193 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+
+	"spe/internal/cc"
+)
+
+// FormatPrintf renders a printf format string against a value stream. It is
+// shared by the reference interpreter and the minicc VM so that both
+// produce byte-identical output for identical values — a requirement for
+// differential testing (an output mismatch must imply a miscompilation,
+// never a formatting divergence).
+//
+// next returns successive arguments; readStr resolves a char* value to its
+// NUL-terminated contents. Either may report failure, which aborts
+// formatting with ok=false.
+func FormatPrintf(format string, next func() (Value, bool), readStr func(Value) (string, bool)) (string, bool) {
+	var sb strings.Builder
+	i := 0
+	for i < len(format) {
+		c := format[i]
+		if c != '%' {
+			sb.WriteByte(c)
+			i++
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		spec := "%"
+		for i < len(format) && (format[i] == '-' || format[i] == '0' || format[i] == '+' || format[i] == ' ') {
+			spec += string(format[i])
+			i++
+		}
+		for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+			spec += string(format[i])
+			i++
+		}
+		if i < len(format) && format[i] == '.' {
+			spec += "."
+			i++
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				spec += string(format[i])
+				i++
+			}
+		}
+		long := 0
+		for i < len(format) && (format[i] == 'l' || format[i] == 'h') {
+			if format[i] == 'l' {
+				long++
+			}
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		conv := format[i]
+		i++
+		switch conv {
+		case '%':
+			sb.WriteByte('%')
+		case 'd', 'i':
+			v, ok := next()
+			if !ok {
+				return sb.String(), false
+			}
+			n := v.I
+			if long == 0 {
+				n = int64(int32(n))
+			}
+			fmt.Fprintf(&sb, spec+"d", n)
+		case 'u':
+			v, ok := next()
+			if !ok {
+				return sb.String(), false
+			}
+			var n uint64
+			if long == 0 {
+				n = uint64(uint32(v.I))
+			} else {
+				n = uint64(v.I)
+			}
+			fmt.Fprintf(&sb, spec+"d", n)
+		case 'x', 'X':
+			v, ok := next()
+			if !ok {
+				return sb.String(), false
+			}
+			var n uint64
+			if long == 0 {
+				n = uint64(uint32(v.I))
+			} else {
+				n = uint64(v.I)
+			}
+			fmt.Fprintf(&sb, spec+string(conv), n)
+		case 'c':
+			v, ok := next()
+			if !ok {
+				return sb.String(), false
+			}
+			sb.WriteByte(byte(v.I))
+		case 'f', 'g', 'e':
+			v, ok := next()
+			if !ok {
+				return sb.String(), false
+			}
+			fmt.Fprintf(&sb, spec+string(conv), toF(v))
+		case 's':
+			v, ok := next()
+			if !ok {
+				return sb.String(), false
+			}
+			s, ok := readStr(v)
+			if !ok {
+				return sb.String(), false
+			}
+			sb.WriteString(s)
+		case 'p':
+			v, ok := next()
+			if !ok {
+				return sb.String(), false
+			}
+			if v.Kind == VPtr && !v.P.IsNull() {
+				fmt.Fprintf(&sb, "0x%x", v.P.Obj.ID*1_000_000+v.P.Off)
+			} else {
+				sb.WriteString("(nil)")
+			}
+		default:
+			sb.WriteString(spec)
+			sb.WriteByte(conv)
+		}
+	}
+	return sb.String(), true
+}
+
+// ToFloat exposes the numeric coercion used by %f/%g for sharing with the
+// minicc VM.
+func ToFloat(v Value) float64 { return toF(v) }
+
+// builtinPrintf implements the printf builtin for the reference
+// interpreter.
+func (m *machine) builtinPrintf(e *cc.CallExpr) Value {
+	if len(e.Args) == 0 {
+		m.limit("printf with no format at %s", e.Pos)
+	}
+	fv := m.eval(e.Args[0])
+	format := m.readCString(fv, e.Pos)
+	argi := 1
+	next := func() (Value, bool) {
+		if argi >= len(e.Args) {
+			m.limit("printf: missing argument for conversion at %s", e.Pos)
+		}
+		v := m.eval(e.Args[argi])
+		argi++
+		return v, true
+	}
+	readStr := func(v Value) (string, bool) {
+		return m.readCString(v, e.Pos), true
+	}
+	out, _ := FormatPrintf(format, next, readStr)
+	m.out.WriteString(out)
+	if m.out.Len() > m.cfg.MaxOutput {
+		m.limit("output budget exhausted")
+	}
+	return IntValue(int64(len(out)), cc.TypeInt)
+}
+
+// readCString reads a NUL-terminated string through a char pointer.
+func (m *machine) readCString(v Value, pos cc.Pos) string {
+	if v.Kind != VPtr {
+		m.ub(UBNullDeref, pos, "%%s argument is not a pointer")
+	}
+	var sb strings.Builder
+	p := v.P
+	for n := 0; ; n++ {
+		if n > 1<<16 {
+			m.limit("unterminated string at %s", pos)
+		}
+		m.checkAccess(p, pos, false)
+		cell := p.Obj.Cells[p.Off]
+		if !cell.Init {
+			m.ub(UBUninitRead, pos, "string read")
+		}
+		if cell.Val.I == 0 {
+			return sb.String()
+		}
+		sb.WriteByte(byte(cell.Val.I))
+		p.Off++
+	}
+}

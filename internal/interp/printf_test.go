@@ -1,0 +1,111 @@
+package interp
+
+import (
+	"testing"
+
+	"spe/internal/cc"
+)
+
+func runOut(t *testing.T, src string) string {
+	t.Helper()
+	prog := cc.MustAnalyze(src)
+	r := Run(prog, Config{})
+	if !r.Defined() {
+		t.Fatalf("UB/limit: %v %v", r.UB, r.Limit)
+	}
+	return r.Output
+}
+
+func TestPrintfWidthAndFlags(t *testing.T) {
+	cases := []struct {
+		call string
+		want string
+	}{
+		{`printf("%5d", 42)`, "   42"},
+		{`printf("%-5d|", 42)`, "42   |"},
+		{`printf("%05d", 42)`, "00042"},
+		{`printf("%+d", 42)`, "+42"},
+		{`printf("%%")`, "%"},
+		{`printf("%x", 255)`, "ff"},
+		{`printf("%X", 255)`, "FF"},
+		{`printf("%08x", 255)`, "000000ff"},
+		{`printf("%c%c", 72, 105)`, "Hi"},
+		{`printf("%u", -1)`, "4294967295"},
+		{`printf("%lu", -1l)`, "18446744073709551615"},
+		{`printf("%.2f", 3.14159)`, "3.14"},
+		{`printf("%10.3f", 3.14159)`, "     3.142"},
+		{`printf("%e", 1500.0)`, "1.500000e+03"},
+	}
+	for _, c := range cases {
+		src := "int main() { " + c.call + "; return 0; }"
+		if got := runOut(t, src); got != c.want {
+			t.Errorf("%s => %q, want %q", c.call, got, c.want)
+		}
+	}
+}
+
+func TestPrintfStringConversions(t *testing.T) {
+	out := runOut(t, `
+int main() {
+    char buf[4];
+    buf[0] = 'a';
+    buf[1] = 'b';
+    buf[2] = 0;
+    printf("[%s]", buf);
+    printf("[%s]", "literal");
+    return 0;
+}`)
+	if out != "[ab][literal]" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestPrintfReturnsLength(t *testing.T) {
+	prog := cc.MustAnalyze(`
+int main() {
+    int n = printf("abcd");
+    return n;
+}`)
+	r := Run(prog, Config{})
+	if r.Exit != 4 {
+		t.Errorf("printf return = %d, want 4", r.Exit)
+	}
+}
+
+func TestPrintfUnknownConversionLenient(t *testing.T) {
+	out := runOut(t, `int main() { printf("a%qz"); return 0; }`)
+	if out != "a%qz" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFormatPrintfSharedSemantics(t *testing.T) {
+	// the shared formatter must agree with what the interpreter printed
+	// for negative ints under %d with and without length modifiers
+	out := runOut(t, `int main() { long big = 3000000000l; printf("%d %ld", (int)big, big); return 0; }`)
+	// (int)3000000000 truncates to -1294967296 in 32-bit
+	if out != "-1294967296 3000000000" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestPrintfMissingArgumentIsLimit(t *testing.T) {
+	prog := cc.MustAnalyze(`int main() { printf("%d"); return 0; }`)
+	r := Run(prog, Config{})
+	if r.Limit == nil {
+		t.Errorf("missing printf argument not flagged: %+v", r)
+	}
+}
+
+func TestOutputBudget(t *testing.T) {
+	prog := cc.MustAnalyze(`
+int main() {
+    int i;
+    for (i = 0; i < 100000; i++) printf("xxxxxxxxxxxxxxxx");
+    return 0;
+}`)
+	r := Run(prog, Config{MaxOutput: 4096})
+	if r.Limit == nil {
+		t.Error("output budget not enforced")
+	}
+}

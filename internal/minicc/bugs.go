@@ -1,0 +1,253 @@
+package minicc
+
+import "fmt"
+
+// BugKind classifies seeded bugs with the paper's Table 4 taxonomy.
+type BugKind int
+
+// Bug kinds.
+const (
+	BugCrash BugKind = iota
+	BugWrongCode
+	BugPerformance
+)
+
+func (k BugKind) String() string {
+	switch k {
+	case BugCrash:
+		return "crash"
+	case BugWrongCode:
+		return "wrong code"
+	default:
+		return "performance"
+	}
+}
+
+// Versions lists the compiler releases of the simulated history, oldest
+// first. The last entry is the development trunk.
+var Versions = []string{"4.8", "5.3", "6.0", "trunk"}
+
+// VersionIndex returns the index of a version name, or -1.
+func VersionIndex(name string) int {
+	for i, v := range Versions {
+		if v == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Bug is one seeded compiler defect with the metadata reported in the
+// paper's Figure 10: priority, component, affected versions, and the
+// minimum optimization level at which it manifests.
+type Bug struct {
+	// ID is the simulated bugzilla number.
+	ID string
+	// Hook is the code location key consulted by the passes.
+	Hook string
+	Kind BugKind
+	// Component uses the paper's Figure 10(d) vocabulary.
+	Component string
+	// Priority 1 (release-blocking) .. 5.
+	Priority int
+	// IntroducedIn / FixedIn index Versions; FixedIn == -1 means unfixed
+	// (still present in trunk).
+	IntroducedIn int
+	FixedIn      int
+	// MinOpt is the lowest -O level at which the bug can trigger.
+	MinOpt int
+	// Signature is the diagnostic printed on a crash (Table 3).
+	Signature string
+}
+
+// registry is the full seeded-bug population. The IDs and signatures are
+// modeled on the bug classes reported in the paper (§2, §5.3, Appendix A);
+// the triggers live in the lowering and optimization passes.
+var registry = []Bug{
+	{ID: "69801", Hook: "fold-ternary-equal-operands", Kind: BugCrash, Component: "C",
+		Priority: 1, IntroducedIn: 0, FixedIn: -1, MinOpt: 0,
+		Signature: "internal compiler error: in operand_equal_p, at fold-const.c:2904"},
+	{ID: "69740", Hook: "frontend-goto-irreducible", Kind: BugCrash, Component: "Middle-end",
+		Priority: 2, IntroducedIn: 1, FixedIn: -1, MinOpt: 2,
+		Signature: "internal compiler error: in verify_loop_structure, at cfgloop.c:1644"},
+	{ID: "70202", Hook: "frontend-nested-struct-member", Kind: BugCrash, Component: "C",
+		Priority: 3, IntroducedIn: 0, FixedIn: -1, MinOpt: 0,
+		Signature: "internal compiler error: in build_base_path, at cp/class.c:304"},
+	{ID: "28045", Hook: "frontend-deep-ternary", Kind: BugCrash, Component: "C",
+		Priority: 3, IntroducedIn: 2, FixedIn: -1, MinOpt: 0,
+		Signature: "Assertion `Num < NumOperands && \"Invalid child # of SDNode!\"' failed"},
+	{ID: "67619", Hook: "constfold-div-overflow", Kind: BugCrash, Component: "Middle-end",
+		Priority: 2, IntroducedIn: 0, FixedIn: 2, MinOpt: 1,
+		Signature: "internal compiler error: in fold_binary_loc, at fold-const.c:9921"},
+	{ID: "70138", Hook: "constfold-sub-self", Kind: BugWrongCode, Component: "Tree-optimization",
+		Priority: 2, IntroducedIn: 1, FixedIn: -1, MinOpt: 2,
+		Signature: ""},
+	{ID: "69951", Hook: "alias-store-forward", Kind: BugWrongCode, Component: "RTL-optimization",
+		Priority: 2, IntroducedIn: 0, FixedIn: -1, MinOpt: 2,
+		Signature: ""},
+	{ID: "26973", Hook: "licm-hoist-conditional", Kind: BugWrongCode, Component: "Tree-optimization",
+		Priority: 2, IntroducedIn: 2, FixedIn: -1, MinOpt: 3,
+		Signature: ""},
+	{ID: "26994", Hook: "dce-dead-store-call", Kind: BugWrongCode, Component: "Tree-optimization",
+		Priority: 2, IntroducedIn: 1, FixedIn: -1, MinOpt: 1,
+		Signature: ""},
+	{ID: "71405", Hook: "cse-commutes-sub", Kind: BugWrongCode, Component: "Tree-optimization",
+		Priority: 3, IntroducedIn: 2, FixedIn: -1, MinOpt: 2,
+		Signature: ""},
+	{ID: "69737", Hook: "cse-crash-deep-expr", Kind: BugCrash, Component: "Tree-optimization",
+		Priority: 3, IntroducedIn: 0, FixedIn: 1, MinOpt: 2,
+		Signature: "internal compiler error: in vn_reference_lookup, at tree-ssa-sccvn.c:2086"},
+	{ID: "69941", Hook: "constprop-branch-label", Kind: BugCrash, Component: "Tree-optimization",
+		Priority: 3, IntroducedIn: 1, FixedIn: -1, MinOpt: 2,
+		Signature: "internal compiler error: in assign_by_spills, at lra-assigns.c:1281"},
+	{ID: "70586", Hook: "simplifycfg-merge-label", Kind: BugCrash, Component: "RTL-optimization",
+		Priority: 1, IntroducedIn: 2, FixedIn: -1, MinOpt: 1,
+		Signature: "error in backend: Do not know how to split the result of this operator!"},
+	{ID: "70199", Hook: "licm-crash-nested-loop", Kind: BugCrash, Component: "Middle-end",
+		Priority: 2, IntroducedIn: 0, FixedIn: -1, MinOpt: 3,
+		Signature: "internal compiler error: in verify_dominators, at dominance.c:1039"},
+	{ID: "70251", Hook: "backend-block-limit", Kind: BugCrash, Component: "Target",
+		Priority: 4, IntroducedIn: 0, FixedIn: -1, MinOpt: 1,
+		Signature: "error in backend: Access past stack top!"},
+	{ID: "69619", Hook: "perf-exponential-fold", Kind: BugPerformance, Component: "Middle-end",
+		Priority: 4, IntroducedIn: 0, FixedIn: -1, MinOpt: 1,
+		Signature: ""},
+	{ID: "70589", Hook: "constprop-negzero", Kind: BugWrongCode, Component: "Tree-optimization",
+		Priority: 3, IntroducedIn: 0, FixedIn: 1, MinOpt: 2,
+		Signature: ""},
+	{ID: "69933", Hook: "copyprop-through-branch", Kind: BugWrongCode, Component: "RTL-optimization",
+		Priority: 3, IntroducedIn: 0, FixedIn: 2, MinOpt: 1,
+		Signature: ""},
+	{ID: "70222", Hook: "vm-uchar-wrap", Kind: BugWrongCode, Component: "Target",
+		Priority: 2, IntroducedIn: 0, FixedIn: -1, MinOpt: 0,
+		Signature: ""},
+	{ID: "69764", Hook: "frontend-char-shift", Kind: BugCrash, Component: "C",
+		Priority: 3, IntroducedIn: 0, FixedIn: 1, MinOpt: 0,
+		Signature: "internal compiler error: in tree_to_uhwi, at tree.h:3837"},
+}
+
+// Registry returns all seeded bugs.
+func Registry() []Bug { return append([]Bug(nil), registry...) }
+
+// BugByID looks up one bug.
+func BugByID(id string) (Bug, bool) {
+	for _, b := range registry {
+		if b.ID == id {
+			return b, true
+		}
+	}
+	return Bug{}, false
+}
+
+// BugSet is the set of bugs active for one (version, optimization level)
+// compilation.
+type BugSet struct {
+	active map[string]*Bug
+}
+
+// EmptyBugSet returns a set with no active bugs (a correct compiler).
+func EmptyBugSet() *BugSet { return &BugSet{active: map[string]*Bug{}} }
+
+// BugsFor computes the active bug set for a version index and -O level:
+// bugs introduced at or before the version, not yet fixed, whose MinOpt is
+// satisfied.
+func BugsFor(version, opt int) *BugSet {
+	s := &BugSet{active: make(map[string]*Bug)}
+	for i := range registry {
+		b := &registry[i]
+		if b.IntroducedIn > version {
+			continue
+		}
+		if b.FixedIn >= 0 && b.FixedIn <= version {
+			continue
+		}
+		if opt < b.MinOpt {
+			continue
+		}
+		s.active[b.Hook] = b
+	}
+	return s
+}
+
+// Without returns a copy of the set with one hook deactivated.
+func (s *BugSet) Without(hook string) *BugSet {
+	out := &BugSet{active: make(map[string]*Bug, len(s.active))}
+	for k, v := range s.active {
+		if k != hook {
+			out.active[k] = v
+		}
+	}
+	return out
+}
+
+// Hooks returns the active hooks, for iteration by the harness.
+func (s *BugSet) Hooks() []string {
+	var out []string
+	for k := range s.active {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Active reports whether the named hook has an active bug.
+func (s *BugSet) Active(hook string) bool {
+	if s == nil {
+		return false
+	}
+	_, ok := s.active[hook]
+	return ok
+}
+
+// Lookup returns the active bug at a hook.
+func (s *BugSet) Lookup(hook string) (*Bug, bool) {
+	if s == nil {
+		return nil, false
+	}
+	b, ok := s.active[hook]
+	return b, ok
+}
+
+// MaybeCrash panics with the hook's crash signature when the bug is active
+// and the trigger predicate holds.
+func (s *BugSet) MaybeCrash(cov *Coverage, hook string, trigger func() bool) {
+	b, ok := s.Lookup(hook)
+	if !ok {
+		return
+	}
+	if b.Kind != BugCrash {
+		return
+	}
+	if trigger() {
+		panic(&CrashError{Signature: b.Signature, Component: b.Component, BugID: b.ID})
+	}
+}
+
+// CheckRegistry validates registry invariants (unique IDs and hooks, sane
+// version ranges); used by tests.
+func CheckRegistry() error {
+	ids := make(map[string]bool)
+	hooks := make(map[string]bool)
+	for _, b := range registry {
+		if ids[b.ID] {
+			return fmt.Errorf("duplicate bug id %s", b.ID)
+		}
+		ids[b.ID] = true
+		if hooks[b.Hook] {
+			return fmt.Errorf("duplicate bug hook %s", b.Hook)
+		}
+		hooks[b.Hook] = true
+		if b.IntroducedIn < 0 || b.IntroducedIn >= len(Versions) {
+			return fmt.Errorf("bug %s: bad IntroducedIn %d", b.ID, b.IntroducedIn)
+		}
+		if b.FixedIn >= 0 && b.FixedIn <= b.IntroducedIn {
+			return fmt.Errorf("bug %s: fixed before introduced", b.ID)
+		}
+		if b.Priority < 1 || b.Priority > 5 {
+			return fmt.Errorf("bug %s: bad priority %d", b.ID, b.Priority)
+		}
+		if b.Kind == BugCrash && b.Signature == "" {
+			return fmt.Errorf("crash bug %s lacks a signature", b.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package minicc
+
+import "sort"
+
+// Coverage records which instrumentation sites inside the compiler were
+// exercised by a compilation. It stands in for the gcov function/line
+// coverage measurements of the paper's Figure 9: a "function" is a
+// component group (the prefix before the first dot of a site name) and a
+// "line" is an individual site.
+type Coverage struct {
+	counts map[string]int
+}
+
+// opNames maps operator spellings to site-name components.
+var opNames = map[string]string{
+	"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+	"&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr",
+	"==": "eq", "!=": "ne", "<": "lt", ">": "gt", "<=": "le", ">=": "ge",
+	"!": "not", "~": "bnot",
+}
+
+// allSites is the static registry of instrumentation sites. Hit panics on
+// unregistered names, keeping this list in sync with the code. Several
+// families are parameterized by operator — the "lines" of the compiler
+// that only specific constant/value patterns reach, which is what makes
+// coverage sensitive to variable usage patterns (paper Figure 9).
+var allSites = buildSites()
+
+func buildSites() []string {
+	sites := []string{
+		"lower.entry", "lower.func", "lower.exprstmt", "lower.if", "lower.while",
+		"lower.dowhile", "lower.for", "lower.return", "lower.goto", "lower.decl",
+		"lower.assign", "lower.call", "lower.cond", "lower.condlvalue",
+		"lower.shortcircuit",
+
+		"constfold.entry", "constfold.bin", "constfold.un", "constfold.conv",
+		"constfold.branch", "constfold.branch.taken", "constfold.branch.dropped",
+
+		"constprop.entry", "constprop.meet", "constprop.replace", "constprop.branch",
+
+		"copyprop.entry", "copyprop.replace",
+
+		"cse.entry", "cse.hit", "cse.commute",
+
+		"dce.entry", "dce.remove", "dce.deadstore",
+
+		"simplifycfg.entry", "simplifycfg.unreachable", "simplifycfg.merge",
+		"simplifycfg.thread",
+
+		"licm.entry", "licm.loop", "licm.hoist",
+
+		"alias.entry", "alias.forward", "alias.clobber",
+
+		"vm.entry", "vm.call", "vm.load", "vm.store", "vm.bin", "vm.branch",
+		"vm.printf",
+	}
+	binOps := []string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", "==", "!=", "<", ">", "<=", ">="}
+	for _, op := range binOps {
+		n := opNames[op]
+		sites = append(sites,
+			"constfold.bin."+n,
+			"constprop.replace."+n,
+			"cse.hit."+n,
+			"licm.hoist."+n,
+			"vm.bin."+n,
+		)
+	}
+	// folding results: zero/nonzero constants steer different downstream
+	// simplifications
+	for _, n := range []string{"zero", "nonzero", "negative"} {
+		sites = append(sites, "constfold.result."+n)
+	}
+	return sites
+}
+
+var allSiteSet = func() map[string]bool {
+	m := make(map[string]bool, len(allSites))
+	for _, s := range allSites {
+		m[s] = true
+	}
+	return m
+}()
+
+// NewCoverage returns an empty coverage recorder.
+func NewCoverage() *Coverage {
+	return &Coverage{counts: make(map[string]int)}
+}
+
+// Hit records one execution of a site. A nil receiver is a no-op recorder.
+func (c *Coverage) Hit(site string) {
+	if c == nil {
+		return
+	}
+	if !allSiteSet[site] {
+		panic("minicc: unregistered coverage site " + site)
+	}
+	c.counts[site]++
+}
+
+// HitOp records a hit on an operator-parameterized site family.
+func (c *Coverage) HitOp(family, op string) {
+	if c == nil {
+		return
+	}
+	n, ok := opNames[op]
+	if !ok {
+		return
+	}
+	site := family + "." + n
+	if !allSiteSet[site] {
+		return
+	}
+	c.counts[site]++
+}
+
+// Merge accumulates another coverage record into c.
+func (c *Coverage) Merge(other *Coverage) {
+	if c == nil || other == nil {
+		return
+	}
+	for k, v := range other.counts {
+		c.counts[k] += v
+	}
+}
+
+// SiteCount returns the hit count of a site.
+func (c *Coverage) SiteCount(site string) int {
+	if c == nil {
+		return 0
+	}
+	return c.counts[site]
+}
+
+// LineCoverage is the fraction of registered sites hit at least once.
+func (c *Coverage) LineCoverage() float64 {
+	if c == nil || len(allSites) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, s := range allSites {
+		if c.counts[s] > 0 {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(allSites))
+}
+
+// FunctionCoverage is the fraction of component groups (site-name prefixes)
+// hit at least once.
+func (c *Coverage) FunctionCoverage() float64 {
+	groups := make(map[string]bool)
+	hit := make(map[string]bool)
+	for _, s := range allSites {
+		g := groupOf(s)
+		groups[g] = true
+		if c != nil && c.counts[s] > 0 {
+			hit[g] = true
+		}
+	}
+	if len(groups) == 0 {
+		return 0
+	}
+	return float64(len(hit)) / float64(len(groups))
+}
+
+func groupOf(site string) string {
+	for i := 0; i < len(site); i++ {
+		if site[i] == '.' {
+			return site[:i]
+		}
+	}
+	return site
+}
+
+// Sites returns all registered sites, sorted.
+func Sites() []string {
+	out := append([]string(nil), allSites...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,148 @@
+package minicc
+
+// CFG analyses: reachability, predecessors, iterative dominators, and
+// natural-loop detection, used by SimplifyCFG and LICM.
+
+// preds computes predecessor lists over reachable blocks.
+func preds(f *Func) map[*Block][]*Block {
+	p := make(map[*Block][]*Block)
+	for _, b := range reachable(f) {
+		for _, s := range b.Succs() {
+			p[s] = append(p[s], b)
+		}
+	}
+	return p
+}
+
+// reachable returns the blocks reachable from the entry, in reverse
+// post-order-ish DFS order (entry first).
+func reachable(f *Func) []*Block {
+	seen := make(map[*Block]bool)
+	var out []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		if b == nil || seen[b] {
+			return
+		}
+		seen[b] = true
+		out = append(out, b)
+		for _, s := range b.Succs() {
+			dfs(s)
+		}
+	}
+	dfs(f.Entry)
+	return out
+}
+
+// dominators computes the immediate-dominator-closure: dom[b] is the set of
+// blocks dominating b (including b itself). Iterative dataflow over the
+// reachable subgraph.
+func dominators(f *Func) map[*Block]map[*Block]bool {
+	blocks := reachable(f)
+	pr := preds(f)
+	dom := make(map[*Block]map[*Block]bool, len(blocks))
+	all := make(map[*Block]bool, len(blocks))
+	for _, b := range blocks {
+		all[b] = true
+	}
+	for _, b := range blocks {
+		if b == f.Entry {
+			dom[b] = map[*Block]bool{b: true}
+		} else {
+			d := make(map[*Block]bool, len(all))
+			for k := range all {
+				d[k] = true
+			}
+			dom[b] = d
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range blocks {
+			if b == f.Entry {
+				continue
+			}
+			var inter map[*Block]bool
+			for _, p := range pr[b] {
+				if inter == nil {
+					inter = make(map[*Block]bool, len(dom[p]))
+					for k := range dom[p] {
+						inter[k] = true
+					}
+					continue
+				}
+				for k := range inter {
+					if !dom[p][k] {
+						delete(inter, k)
+					}
+				}
+			}
+			if inter == nil {
+				inter = make(map[*Block]bool)
+			}
+			inter[b] = true
+			if len(inter) != len(dom[b]) {
+				dom[b] = inter
+				changed = true
+				continue
+			}
+			for k := range inter {
+				if !dom[b][k] {
+					dom[b] = inter
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return dom
+}
+
+// loop is a natural loop: a header plus its body blocks.
+type loop struct {
+	header *Block
+	body   map[*Block]bool // includes the header
+}
+
+// naturalLoops finds natural loops via back edges (t -> h where h dominates
+// t), merging loops sharing a header.
+func naturalLoops(f *Func) []*loop {
+	dom := dominators(f)
+	pr := preds(f)
+	byHeader := make(map[*Block]*loop)
+	var order []*Block
+	for _, b := range reachable(f) {
+		for _, s := range b.Succs() {
+			if dom[b][s] { // back edge b -> s
+				lp, ok := byHeader[s]
+				if !ok {
+					lp = &loop{header: s, body: map[*Block]bool{s: true}}
+					byHeader[s] = lp
+					order = append(order, s)
+				}
+				// collect the loop body by backward walk from the tail
+				var stack []*Block
+				if !lp.body[b] {
+					lp.body[b] = true
+					stack = append(stack, b)
+				}
+				for len(stack) > 0 {
+					n := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, p := range pr[n] {
+						if !lp.body[p] {
+							lp.body[p] = true
+							stack = append(stack, p)
+						}
+					}
+				}
+			}
+		}
+	}
+	out := make([]*loop, 0, len(order))
+	for _, h := range order {
+		out = append(out, byHeader[h])
+	}
+	return out
+}

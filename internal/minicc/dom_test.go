@@ -1,0 +1,126 @@
+package minicc
+
+import "testing"
+
+// mkCFG builds a function from an adjacency description. Each entry maps a
+// block index to its successors: one successor = jump, two = branch (on a
+// dummy register), zero = return. Block 0 is the entry.
+func mkCFG(t *testing.T, succs [][]int) *Func {
+	t.Helper()
+	f := &Func{Name: "t"}
+	blocks := make([]*Block, len(succs))
+	for i := range succs {
+		blocks[i] = f.NewBlock("b")
+	}
+	for i, ss := range succs {
+		switch len(ss) {
+		case 0:
+			blocks[i].Term = Term{Kind: TermRet}
+		case 1:
+			blocks[i].Term = Term{Kind: TermJmp, To: blocks[ss[0]]}
+		case 2:
+			blocks[i].Term = Term{Kind: TermBr, Cond: 1, To: blocks[ss[0]], Else: blocks[ss[1]]}
+		default:
+			t.Fatalf("block %d has %d successors", i, len(ss))
+		}
+	}
+	f.Entry = blocks[0]
+	return f
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	// 0 -> 1 | 2; 1 -> 3; 2 -> 3; 3 ret
+	f := mkCFG(t, [][]int{{1, 2}, {3}, {3}, {}})
+	dom := dominators(f)
+	b := f.Blocks
+	if !dom[b[3]][b[0]] {
+		t.Error("entry must dominate the join")
+	}
+	if dom[b[3]][b[1]] || dom[b[3]][b[2]] {
+		t.Error("neither branch arm dominates the join")
+	}
+	if !dom[b[1]][b[0]] || !dom[b[2]][b[0]] {
+		t.Error("entry must dominate both arms")
+	}
+	for _, blk := range b {
+		if !dom[blk][blk] {
+			t.Errorf("b%d must dominate itself", blk.ID)
+		}
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	// 0 -> 1 (header); 1 -> 2 | 3; 2 -> 1 (latch); 3 ret
+	f := mkCFG(t, [][]int{{1}, {2, 3}, {1}, {}})
+	dom := dominators(f)
+	b := f.Blocks
+	if !dom[b[2]][b[1]] {
+		t.Error("header must dominate the latch")
+	}
+	if !dom[b[3]][b[1]] {
+		t.Error("header must dominate the exit")
+	}
+	loops := naturalLoops(f)
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	lp := loops[0]
+	if lp.header != b[1] {
+		t.Errorf("loop header = b%d, want b1", lp.header.ID)
+	}
+	if !lp.body[b[1]] || !lp.body[b[2]] || lp.body[b[3]] || lp.body[b[0]] {
+		t.Errorf("loop body incorrect: %v", lp.body)
+	}
+}
+
+func TestNaturalLoopsNested(t *testing.T) {
+	// 0 -> 1; 1 -> 2 | 5; 2 -> 3 | 4; 3 -> 2 (inner latch); 4 -> 1 (outer
+	// latch); 5 ret
+	f := mkCFG(t, [][]int{{1}, {2, 5}, {3, 4}, {2}, {1}, {}})
+	loops := naturalLoops(f)
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(loops))
+	}
+	var inner, outer *loop
+	for _, lp := range loops {
+		if lp.header == f.Blocks[2] {
+			inner = lp
+		}
+		if lp.header == f.Blocks[1] {
+			outer = lp
+		}
+	}
+	if inner == nil || outer == nil {
+		t.Fatal("missing inner or outer loop")
+	}
+	if len(inner.body) != 2 {
+		t.Errorf("inner body = %d blocks, want 2", len(inner.body))
+	}
+	// the outer loop contains the inner loop's blocks
+	for blk := range inner.body {
+		if !outer.body[blk] {
+			t.Errorf("outer loop missing inner block b%d", blk.ID)
+		}
+	}
+}
+
+func TestReachableSkipsOrphans(t *testing.T) {
+	f := mkCFG(t, [][]int{{1}, {}, {1}}) // block 2 unreachable
+	r := reachable(f)
+	if len(r) != 2 {
+		t.Errorf("reachable = %d blocks, want 2", len(r))
+	}
+	pr := preds(f)
+	if len(pr[f.Blocks[1]]) != 1 {
+		t.Errorf("preds of b1 = %d, want 1 (orphan must not count)", len(pr[f.Blocks[1]]))
+	}
+}
+
+func TestIrreducibleGraphNoNaturalLoop(t *testing.T) {
+	// 0 -> 1 | 2; 1 -> 2; 2 -> 1; neither 1 nor 2 dominates the other, so
+	// the cycle is irreducible: no back edge, no natural loop
+	f := mkCFG(t, [][]int{{1, 2}, {2}, {1}})
+	if loops := naturalLoops(f); len(loops) != 0 {
+		t.Errorf("irreducible cycle reported %d natural loops", len(loops))
+	}
+}

@@ -1,0 +1,108 @@
+package minicc
+
+import (
+	"testing"
+
+	"spe/internal/cc"
+	"spe/internal/corpus"
+	"spe/internal/interp"
+	"spe/internal/skeleton"
+	"spe/internal/spe"
+)
+
+// TestDifferentialGeneratedCorpus is the repository's strongest integration
+// test: for a generated corpus, the *unseeded* compiler must agree with the
+// reference interpreter at every optimization level. Any mismatch is a real
+// miscompilation in our own optimizer (not a seeded bug).
+func TestDifferentialGeneratedCorpus(t *testing.T) {
+	progs := corpus.Seeds()
+	progs = append(progs, corpus.Generate(corpus.Config{N: 40, Seed: 1234})...)
+	for i, src := range progs {
+		prog := analyzeT(t, src)
+		ref := interp.Run(prog, interp.Config{})
+		if !ref.Defined() {
+			t.Fatalf("corpus[%d] has UB: %v", i, ref.UB)
+		}
+		for _, opt := range OptLevels {
+			c := &Compiler{Opt: opt}
+			ro := c.Run(prog, ExecConfig{})
+			if !ro.Compile.Ok() {
+				t.Errorf("corpus[%d] -O%d: compile failed: %+v\n%s", i, opt, ro.Compile, src)
+				continue
+			}
+			ex := ro.Exec
+			if ex.Aborted != ref.Aborted {
+				t.Errorf("corpus[%d] -O%d: abort mismatch\n%s", i, opt, src)
+				continue
+			}
+			if !ex.Aborted && (!ex.Ok() || ex.Exit != ref.Exit || ex.Output != ref.Output) {
+				t.Errorf("corpus[%d] -O%d: got (%d, %q, trap=%q), want (%d, %q)\n%s",
+					i, opt, ex.Exit, ex.Output, ex.Trap, ref.Exit, ref.Output, src)
+			}
+		}
+	}
+}
+
+// TestDifferentialEnumeratedVariants extends the differential check to
+// enumerated variants: every UB-free re-filling must also compile
+// correctly with the unseeded optimizer. This exercises optimizer paths
+// (equal-operand folding, aliasing patterns, dead branches) that original
+// programs rarely reach — the paper's core premise.
+func TestDifferentialEnumeratedVariants(t *testing.T) {
+	progs := corpus.Seeds()
+	progs = append(progs, corpus.Generate(corpus.Config{N: 10, Seed: 555})...)
+	checked := 0
+	for i, src := range progs {
+		prog := analyzeT(t, src)
+		sk, err := skeleton.Build(prog)
+		if err != nil {
+			t.Fatalf("corpus[%d]: %v", i, err)
+		}
+		n := 0
+		_, err = spe.Enumerate(sk, spe.Options{Mode: spe.ModeCanonical}, func(v spe.Variant) bool {
+			n++
+			vf, err := cc.Parse(v.Source)
+			if err != nil {
+				t.Errorf("corpus[%d] variant %d does not parse: %v", i, v.Index, err)
+				return false
+			}
+			vp, err := cc.Analyze(vf)
+			if err != nil {
+				t.Errorf("corpus[%d] variant %d does not analyze: %v", i, v.Index, err)
+				return false
+			}
+			ref := interp.Run(vp, interp.Config{MaxSteps: 300_000})
+			if !ref.Defined() {
+				return n < 25 // UB variant: skipped, like the harness does
+			}
+			for _, opt := range []int{0, 3} {
+				c := &Compiler{Opt: opt}
+				ro := c.Run(vp, ExecConfig{MaxSteps: 1_200_000})
+				if !ro.Compile.Ok() {
+					t.Errorf("corpus[%d] variant %d -O%d: compile failed: %+v\n%s",
+						i, v.Index, opt, ro.Compile, v.Source)
+					return false
+				}
+				ex := ro.Exec
+				if ex.Aborted != ref.Aborted {
+					t.Errorf("corpus[%d] variant %d -O%d: abort mismatch\n%s", i, v.Index, opt, v.Source)
+					return false
+				}
+				if !ex.Aborted && (!ex.Ok() || ex.Exit != ref.Exit || ex.Output != ref.Output) {
+					t.Errorf("corpus[%d] variant %d -O%d: got (%d, %q, trap=%q), want (%d, %q)\n%s",
+						i, v.Index, opt, ex.Exit, ex.Output, ex.Trap, ref.Exit, ref.Output, v.Source)
+					return false
+				}
+			}
+			checked++
+			return n < 25
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if checked < 100 {
+		t.Errorf("only %d clean variants differentially checked", checked)
+	}
+	t.Logf("differentially checked %d enumerated variants", checked)
+}

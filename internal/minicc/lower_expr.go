@@ -1,0 +1,482 @@
+package minicc
+
+import (
+	"spe/internal/cc"
+)
+
+// place is a lowered lvalue: either a promoted variable register or a
+// memory address register.
+type place struct {
+	varReg Reg // non-zero: register-promoted variable
+	addr   Reg // otherwise: address of the storage
+	typ    cc.Type
+}
+
+// expr lowers an expression to a value register.
+func (l *lowerer) expr(e cc.Expr) Reg {
+	switch e := e.(type) {
+	case *cc.IntLit:
+		r := l.f.NewReg()
+		l.emit(Instr{Op: OpConst, Dst: r, Val: Const{I: e.Val}, Type: e.Type, Pos: e.Pos})
+		return r
+	case *cc.FloatLit:
+		r := l.f.NewReg()
+		l.emit(Instr{Op: OpConst, Dst: r, Val: Const{IsFloat: true, F: e.Val}, Type: e.Type, Pos: e.Pos})
+		return r
+	case *cc.CharLit:
+		return l.constInt(int64(e.Val), cc.TypeInt, e.Pos)
+	case *cc.StringLit:
+		r := l.f.NewReg()
+		l.emit(Instr{Op: OpConst, Dst: r, Val: Const{IsStr: true, Str: e.Val}, Type: e.Type, Pos: e.Pos})
+		return r
+	case *cc.Ident:
+		return l.loadPlace(l.place(e), e.Pos)
+	case *cc.UnaryExpr:
+		return l.unary(e)
+	case *cc.PostfixExpr:
+		p := l.place(e.X)
+		// snapshot the old value: loadPlace may return the variable's own
+		// register, which the increment below would clobber
+		cur := l.loadPlace(p, e.Pos)
+		old := l.f.NewReg()
+		l.emit(Instr{Op: OpCopy, Dst: old, A: cur, Pos: e.Pos})
+		one := l.constInt(1, cc.TypeInt, e.Pos)
+		op := "+"
+		if e.Op == "--" {
+			op = "-"
+		}
+		nv := l.f.NewReg()
+		l.emit(Instr{Op: OpBin, Dst: nv, A: old, B: one, BinOp: op, Type: exprType(e.X), Pos: e.Pos})
+		v := l.convTo(nv, scalarOf(p.typ), e.Pos)
+		l.storePlace(p, v, e.Pos)
+		return old
+	case *cc.BinaryExpr:
+		return l.binary(e)
+	case *cc.AssignExpr:
+		return l.assign(e)
+	case *cc.CondExpr:
+		return l.cond(e)
+	case *cc.CallExpr:
+		return l.call(e, true)
+	case *cc.IndexExpr, *cc.MemberExpr:
+		p := l.place(e)
+		return l.loadPlace(p, e.NodePos())
+	case *cc.CastExpr:
+		v := l.expr(e.X)
+		return l.convTo(v, e.To, e.Pos)
+	case *cc.SizeofExpr:
+		t := e.OfType
+		if t == nil && e.X != nil {
+			t = e.X.ExprType()
+		}
+		size := int64(4)
+		if t != nil {
+			size = int64(t.Size())
+		}
+		return l.constInt(size, cc.TypeULong, e.Pos)
+	case *cc.CommaExpr:
+		var last Reg
+		for i, x := range e.List {
+			if i == len(e.List)-1 {
+				last = l.expr(x)
+			} else {
+				l.exprDiscard(x)
+			}
+		}
+		return last
+	default:
+		l.unsupported(e.NodePos(), "expression %T", e)
+		return NoReg
+	}
+}
+
+func exprType(e cc.Expr) cc.Type {
+	t := e.ExprType()
+	if t == nil {
+		return cc.TypeInt
+	}
+	return t
+}
+
+// exprDiscard lowers an expression for effect only.
+func (l *lowerer) exprDiscard(e cc.Expr) {
+	switch e := e.(type) {
+	case *cc.CallExpr:
+		l.call(e, false)
+	case *cc.CommaExpr:
+		for _, x := range e.List {
+			l.exprDiscard(x)
+		}
+	case *cc.AssignExpr, *cc.PostfixExpr:
+		l.expr(e)
+	case *cc.UnaryExpr:
+		if e.Op == "++" || e.Op == "--" {
+			l.expr(e)
+			return
+		}
+		l.expr(e)
+	default:
+		l.expr(e)
+	}
+}
+
+// place lowers an lvalue expression.
+func (l *lowerer) place(e cc.Expr) place {
+	switch e := e.(type) {
+	case *cc.Ident:
+		sym := e.Sym
+		if sym == nil {
+			l.unsupported(e.Pos, "unresolved identifier %q", e.Name)
+		}
+		l.bindVar(sym)
+		if r, ok := l.f.VarRegs[sym]; ok {
+			return place{varReg: r, typ: sym.Type}
+		}
+		addr := l.f.NewReg()
+		l.emit(Instr{Op: OpAddrVar, Dst: addr, Sym: sym, Pos: e.Pos})
+		return place{addr: addr, typ: sym.Type}
+	case *cc.UnaryExpr:
+		if e.Op != "*" {
+			l.unsupported(e.Pos, "lvalue %s", e.Op)
+		}
+		v := l.expr(e.X)
+		return place{addr: v, typ: exprType(e)}
+	case *cc.IndexExpr:
+		base := l.expr(e.X)
+		idx := l.expr(e.Idx)
+		elem := exprType(e)
+		addr := l.f.NewReg()
+		l.emit(Instr{Op: OpAddrIdx, Dst: addr, A: base, B: idx, Scale: cellCountOf(elem), Pos: e.Pos})
+		return place{addr: addr, typ: elem}
+	case *cc.MemberExpr:
+		l.bugs.MaybeCrash(l.cov, "frontend-nested-struct-member", func() bool {
+			// member access chains of depth >= 3 (x.a.b.c or mixed ->)
+			depth := 0
+			for cur := cc.Expr(e); ; {
+				m, ok := cur.(*cc.MemberExpr)
+				if !ok {
+					break
+				}
+				depth++
+				cur = m.X
+			}
+			return depth >= 3
+		})
+		var base Reg
+		var st *cc.StructType
+		if e.Arrow {
+			base = l.expr(e.X)
+			if pt, ok := cc.Decay(exprType(e.X)).(*cc.PointerType); ok {
+				st, _ = pt.Elem.(*cc.StructType)
+			}
+		} else {
+			p := l.place(e.X)
+			base = l.placeAddr(p, e.Pos)
+			st, _ = exprType(e.X).(*cc.StructType)
+		}
+		if st == nil {
+			l.unsupported(e.Pos, "member access on non-struct")
+		}
+		fi := st.FieldIndex(e.Name)
+		off := 0
+		for j := 0; j < fi; j++ {
+			off += cellCountOf(st.Fields[j].Type)
+		}
+		idx := l.constInt(int64(off), cc.TypeInt, e.Pos)
+		addr := l.f.NewReg()
+		l.emit(Instr{Op: OpAddrIdx, Dst: addr, A: base, B: idx, Scale: 1, Pos: e.Pos})
+		return place{addr: addr, typ: st.Fields[fi].Type}
+	case *cc.CondExpr:
+		// lvalue conditional (used by struct-member-of-ternary, Fig. 3):
+		// branch to compute the chosen address into a shared register
+		l.cov.Hit("lower.condlvalue")
+		l.bugs.MaybeCrash(l.cov, "fold-ternary-equal-operands", func() bool {
+			return equalShape(e.T, e.F)
+		})
+		cond := l.expr(e.Cond)
+		out := l.f.NewReg()
+		tB := l.f.NewBlock("clv.true")
+		fB := l.f.NewBlock("clv.false")
+		jB := l.f.NewBlock("clv.join")
+		l.terminate(Term{Kind: TermBr, Cond: cond, To: tB, Else: fB, Pos: e.Pos}, tB)
+		tp := l.place(e.T)
+		l.emit(Instr{Op: OpCopy, Dst: out, A: l.placeAddr(tp, e.Pos), Pos: e.Pos})
+		l.terminate(Term{Kind: TermJmp, To: jB}, fB)
+		fp := l.place(e.F)
+		l.emit(Instr{Op: OpCopy, Dst: out, A: l.placeAddr(fp, e.Pos), Pos: e.Pos})
+		l.terminate(Term{Kind: TermJmp, To: jB}, jB)
+		return place{addr: out, typ: exprType(e)}
+	default:
+		l.unsupported(e.NodePos(), "lvalue %T", e)
+		return place{}
+	}
+}
+
+// placeAddr materializes the address of a place (forcing memory for
+// register-promoted variables is impossible; callers ensure aggregates and
+// address-taken variables are memory-resident).
+func (l *lowerer) placeAddr(p place, pos cc.Pos) Reg {
+	if p.varReg != NoReg {
+		l.unsupported(pos, "address of register variable")
+	}
+	return p.addr
+}
+
+// loadPlace reads a place's value; aggregates yield their address (decay).
+func (l *lowerer) loadPlace(p place, pos cc.Pos) Reg {
+	if p.varReg != NoReg {
+		return p.varReg
+	}
+	if isAggregateType(p.typ) {
+		return p.addr
+	}
+	r := l.f.NewReg()
+	l.emit(Instr{Op: OpLoad, Dst: r, A: p.addr, Type: p.typ, Pos: pos})
+	return r
+}
+
+// storePlace writes v to a place, copying cell-wise for struct assignment.
+func (l *lowerer) storePlace(p place, v Reg, pos cc.Pos) {
+	if p.varReg != NoReg {
+		l.emit(Instr{Op: OpCopy, Dst: p.varReg, A: v, Pos: pos})
+		return
+	}
+	if st, ok := p.typ.(*cc.StructType); ok {
+		// struct assignment: v is the source address; copy each cell
+		n := cellCountOf(st)
+		for i := 0; i < n; i++ {
+			idx := l.constInt(int64(i), cc.TypeInt, pos)
+			src := l.f.NewReg()
+			l.emit(Instr{Op: OpAddrIdx, Dst: src, A: v, B: idx, Scale: 1, Pos: pos})
+			val := l.f.NewReg()
+			l.emit(Instr{Op: OpLoad, Dst: val, A: src, Pos: pos})
+			idx2 := l.constInt(int64(i), cc.TypeInt, pos)
+			dst := l.f.NewReg()
+			l.emit(Instr{Op: OpAddrIdx, Dst: dst, A: p.addr, B: idx2, Scale: 1, Pos: pos})
+			l.emit(Instr{Op: OpStore, A: dst, B: val, Pos: pos})
+		}
+		return
+	}
+	l.emit(Instr{Op: OpStore, A: p.addr, B: v, Pos: pos})
+}
+
+func (l *lowerer) unary(e *cc.UnaryExpr) Reg {
+	switch e.Op {
+	case "&":
+		p := l.place(e.X)
+		return l.placeAddr(p, e.Pos)
+	case "*":
+		v := l.expr(e.X)
+		if isAggregateType(exprType(e)) {
+			return v
+		}
+		r := l.f.NewReg()
+		l.emit(Instr{Op: OpLoad, Dst: r, A: v, Type: exprType(e), Pos: e.Pos})
+		return r
+	case "+":
+		return l.expr(e.X)
+	case "-", "!", "~":
+		v := l.expr(e.X)
+		r := l.f.NewReg()
+		l.emit(Instr{Op: OpUn, Dst: r, A: v, UnOp: e.Op, Type: exprType(e), Pos: e.Pos})
+		return r
+	case "++", "--":
+		p := l.place(e.X)
+		old := l.loadPlace(p, e.Pos)
+		one := l.constInt(1, cc.TypeInt, e.Pos)
+		op := "+"
+		if e.Op == "--" {
+			op = "-"
+		}
+		nv := l.f.NewReg()
+		l.emit(Instr{Op: OpBin, Dst: nv, A: old, B: one, BinOp: op, Type: exprType(e.X), Pos: e.Pos})
+		l.storePlace(p, nv, e.Pos)
+		return nv
+	default:
+		l.unsupported(e.Pos, "unary %s", e.Op)
+		return NoReg
+	}
+}
+
+func (l *lowerer) binary(e *cc.BinaryExpr) Reg {
+	if e.Op == "<<" || e.Op == ">>" {
+		l.bugs.MaybeCrash(l.cov, "frontend-char-shift", func() bool {
+			bt, ok := exprType(e.X).(*cc.BasicType)
+			return ok && (bt.Kind == cc.Char || bt.Kind == cc.UChar)
+		})
+	}
+	switch e.Op {
+	case "&&", "||":
+		l.cov.Hit("lower.shortcircuit")
+		// result register assigned in both arms
+		out := l.f.NewReg()
+		rhsB := l.f.NewBlock("sc.rhs")
+		joinB := l.f.NewBlock("sc.join")
+		shortB := l.f.NewBlock("sc.short")
+		cond := l.expr(e.X)
+		if e.Op == "&&" {
+			l.terminate(Term{Kind: TermBr, Cond: cond, To: rhsB, Else: shortB, Pos: e.Pos}, shortB)
+			zero := l.constInt(0, cc.TypeInt, e.Pos)
+			l.emit(Instr{Op: OpCopy, Dst: out, A: zero, Pos: e.Pos})
+		} else {
+			l.terminate(Term{Kind: TermBr, Cond: cond, To: shortB, Else: rhsB, Pos: e.Pos}, shortB)
+			one := l.constInt(1, cc.TypeInt, e.Pos)
+			l.emit(Instr{Op: OpCopy, Dst: out, A: one, Pos: e.Pos})
+		}
+		l.terminate(Term{Kind: TermJmp, To: joinB}, rhsB)
+		rhs := l.expr(e.Y)
+		norm := l.f.NewReg()
+		zero := l.constInt(0, cc.TypeInt, e.Pos)
+		l.emit(Instr{Op: OpBin, Dst: norm, A: rhs, B: zero, BinOp: "!=", Type: cc.TypeInt, Pos: e.Pos})
+		l.emit(Instr{Op: OpCopy, Dst: out, A: norm, Pos: e.Pos})
+		l.terminate(Term{Kind: TermJmp, To: joinB}, joinB)
+		return out
+	}
+	x := l.expr(e.X)
+	y := l.expr(e.Y)
+	r := l.f.NewReg()
+	l.emit(Instr{Op: OpBin, Dst: r, A: x, B: y, BinOp: e.Op, Type: exprType(e), Pos: e.Pos})
+	return r
+}
+
+func (l *lowerer) assign(e *cc.AssignExpr) Reg {
+	l.cov.Hit("lower.assign")
+	p := l.place(e.LHS)
+	if e.Op == "=" {
+		v := l.expr(e.RHS)
+		if !isAggregateType(p.typ) {
+			v = l.convTo(v, scalarOf(p.typ), e.Pos)
+		}
+		l.storePlace(p, v, e.Pos)
+		return v
+	}
+	old := l.loadPlace(p, e.Pos)
+	rhs := l.expr(e.RHS)
+	op := e.Op[:len(e.Op)-1]
+	r := l.f.NewReg()
+	l.emit(Instr{Op: OpBin, Dst: r, A: old, B: rhs, BinOp: op, Type: exprType(e.LHS), Pos: e.Pos})
+	v := l.convTo(r, scalarOf(p.typ), e.Pos)
+	l.storePlace(p, v, e.Pos)
+	return v
+}
+
+func (l *lowerer) cond(e *cc.CondExpr) Reg {
+	if isAggregateType(exprType(e)) {
+		p := l.place(e)
+		return p.addr
+	}
+	l.cov.Hit("lower.cond")
+	l.bugs.MaybeCrash(l.cov, "frontend-deep-ternary", func() bool {
+		return ternaryDepth(e) >= 3
+	})
+	l.bugs.MaybeCrash(l.cov, "fold-ternary-equal-operands", func() bool {
+		return equalShape(e.T, e.F)
+	})
+	cond := l.expr(e.Cond)
+	out := l.f.NewReg()
+	tB := l.f.NewBlock("cond.true")
+	fB := l.f.NewBlock("cond.false")
+	jB := l.f.NewBlock("cond.join")
+	l.terminate(Term{Kind: TermBr, Cond: cond, To: tB, Else: fB, Pos: e.Pos}, tB)
+	tv := l.expr(e.T)
+	l.emit(Instr{Op: OpCopy, Dst: out, A: tv, Pos: e.Pos})
+	l.terminate(Term{Kind: TermJmp, To: jB}, fB)
+	fv := l.expr(e.F)
+	l.emit(Instr{Op: OpCopy, Dst: out, A: fv, Pos: e.Pos})
+	l.terminate(Term{Kind: TermJmp, To: jB}, jB)
+	return out
+}
+
+func (l *lowerer) call(e *cc.CallExpr, needValue bool) Reg {
+	l.cov.Hit("lower.call")
+	args := make([]Reg, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = l.expr(a)
+	}
+	dst := NoReg
+	if needValue {
+		dst = l.f.NewReg()
+	}
+	l.emit(Instr{Op: OpCall, Dst: dst, Name: e.Fun.Name, Args: args, Type: exprType(e), Pos: e.Pos})
+	return dst
+}
+
+// convTo inserts a conversion when the target type differs.
+func (l *lowerer) convTo(v Reg, t cc.Type, pos cc.Pos) Reg {
+	if t == nil {
+		return v
+	}
+	r := l.f.NewReg()
+	l.emit(Instr{Op: OpConv, Dst: r, A: v, Type: t, Pos: pos})
+	return r
+}
+
+// ternaryDepth measures the nesting depth of conditional expressions.
+func ternaryDepth(e cc.Expr) int {
+	switch e := e.(type) {
+	case *cc.CondExpr:
+		d := ternaryDepth(e.Cond)
+		if t := ternaryDepth(e.T); t > d {
+			d = t
+		}
+		if f := ternaryDepth(e.F); f > d {
+			d = f
+		}
+		return d + 1
+	case *cc.BinaryExpr:
+		d := ternaryDepth(e.X)
+		if y := ternaryDepth(e.Y); y > d {
+			d = y
+		}
+		return d
+	case *cc.UnaryExpr:
+		return ternaryDepth(e.X)
+	case *cc.MemberExpr:
+		return ternaryDepth(e.X)
+	case *cc.IndexExpr:
+		d := ternaryDepth(e.X)
+		if y := ternaryDepth(e.Idx); y > d {
+			d = y
+		}
+		return d
+	case *cc.AssignExpr:
+		d := ternaryDepth(e.LHS)
+		if y := ternaryDepth(e.RHS); y > d {
+			d = y
+		}
+		return d
+	default:
+		return 0
+	}
+}
+
+// equalShape reports whether two expressions are structurally identical
+// after sema (the trigger shape of the seeded fold-ternary crash, modeled
+// on GCC PR69801's operand_equal_p assertion).
+func equalShape(a, b cc.Expr) bool {
+	switch a := a.(type) {
+	case *cc.Ident:
+		bb, ok := b.(*cc.Ident)
+		return ok && a.Sym == bb.Sym
+	case *cc.IntLit:
+		bb, ok := b.(*cc.IntLit)
+		return ok && a.Val == bb.Val
+	case *cc.BinaryExpr:
+		bb, ok := b.(*cc.BinaryExpr)
+		return ok && a.Op == bb.Op && equalShape(a.X, bb.X) && equalShape(a.Y, bb.Y)
+	case *cc.UnaryExpr:
+		bb, ok := b.(*cc.UnaryExpr)
+		return ok && a.Op == bb.Op && equalShape(a.X, bb.X)
+	case *cc.MemberExpr:
+		bb, ok := b.(*cc.MemberExpr)
+		return ok && a.Name == bb.Name && a.Arrow == bb.Arrow && equalShape(a.X, bb.X)
+	case *cc.IndexExpr:
+		bb, ok := b.(*cc.IndexExpr)
+		return ok && equalShape(a.X, bb.X) && equalShape(a.Idx, bb.Idx)
+	case *cc.CondExpr:
+		bb, ok := b.(*cc.CondExpr)
+		return ok && equalShape(a.Cond, bb.Cond) && equalShape(a.T, bb.T) && equalShape(a.F, bb.F)
+	default:
+		return false
+	}
+}

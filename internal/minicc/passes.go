@@ -1,0 +1,596 @@
+package minicc
+
+import (
+	"fmt"
+
+	"spe/internal/cc"
+)
+
+// passCtx carries instrumentation and the seeded-bug set through the
+// optimization pipeline, plus the compile-time work budget used to detect
+// performance bugs.
+type passCtx struct {
+	cov    *Coverage
+	bugs   *BugSet
+	work   int64
+	budget int64
+}
+
+// TimeoutError reports compile-time budget exhaustion (the observable
+// symptom of a seeded performance bug).
+type TimeoutError struct{ Pass string }
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("minicc: compilation timeout in %s pass", e.Pass)
+}
+
+func (p *passCtx) tick(n int64, pass string) {
+	p.work += n
+	if p.budget > 0 && p.work > p.budget {
+		panic(&TimeoutError{Pass: pass})
+	}
+}
+
+// ---------------------------------------------------------------- helpers
+
+// evalConstBin folds an integer binary operation at compile time; ok is
+// false for operations the folder refuses (division by zero, floats,
+// strings).
+func evalConstBin(op string, a, b Const, t cc.Type) (Const, bool) {
+	if a.IsStr || b.IsStr || a.IsFloat || b.IsFloat {
+		return Const{}, false
+	}
+	x, y := a.I, b.I
+	var r int64
+	switch op {
+	case "+":
+		r = x + y
+	case "-":
+		r = x - y
+	case "*":
+		r = x * y
+	case "/":
+		if y == 0 {
+			return Const{}, false
+		}
+		r = x / y
+	case "%":
+		if y == 0 {
+			return Const{}, false
+		}
+		r = x % y
+	case "&":
+		r = x & y
+	case "|":
+		r = x | y
+	case "^":
+		r = x ^ y
+	case "<<":
+		if y < 0 || y > 63 {
+			return Const{}, false
+		}
+		r = x << uint(y)
+	case ">>":
+		if y < 0 || y > 63 {
+			return Const{}, false
+		}
+		r = x >> uint(y)
+	case "==":
+		r = boolToI(x == y)
+	case "!=":
+		r = boolToI(x != y)
+	case "<":
+		r = boolToI(x < y)
+	case ">":
+		r = boolToI(x > y)
+	case "<=":
+		r = boolToI(x <= y)
+	case ">=":
+		r = boolToI(x >= y)
+	default:
+		return Const{}, false
+	}
+	return Const{I: truncConst(r, t)}, true
+}
+
+func boolToI(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func truncConst(v int64, t cc.Type) int64 {
+	bt, ok := t.(*cc.BasicType)
+	if !ok {
+		return v
+	}
+	switch bt.Kind {
+	case cc.Char:
+		return int64(int8(v))
+	case cc.UChar:
+		return int64(uint8(v))
+	case cc.Short:
+		return int64(int16(v))
+	case cc.UShort:
+		return int64(uint16(v))
+	case cc.Int:
+		return int64(int32(v))
+	case cc.UInt:
+		return int64(uint32(v))
+	default:
+		return v
+	}
+}
+
+func evalConstUn(op string, a Const, t cc.Type) (Const, bool) {
+	if a.IsStr || a.IsFloat {
+		return Const{}, false
+	}
+	switch op {
+	case "-":
+		return Const{I: truncConst(-a.I, t)}, true
+	case "~":
+		return Const{I: truncConst(^a.I, t)}, true
+	case "!":
+		return Const{I: boolToI(a.I == 0)}, true
+	default:
+		return Const{}, false
+	}
+}
+
+// ---------------------------------------------------------------- constfold
+
+// constFold performs local constant folding and constant-branch folding.
+func constFold(f *Func, p *passCtx) {
+	p.cov.Hit("constfold.entry")
+	perfBug := p.bugs.Active("perf-exponential-fold")
+	subSelfBug, _ := p.bugs.Lookup("constfold-sub-self")
+	for _, b := range f.Blocks {
+		consts := make(map[Reg]Const)
+		foldsHere := int64(0)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case OpConst:
+				if !in.Val.IsStr {
+					consts[in.Dst] = in.Val
+				}
+			case OpCopy:
+				if c, ok := consts[in.A]; ok {
+					consts[in.Dst] = c
+				} else {
+					delete(consts, in.Dst)
+				}
+			case OpBin:
+				a, aok := consts[in.A]
+				c, cok := consts[in.B]
+				if aok && cok {
+					p.cov.Hit("constfold.bin")
+					p.bugs.MaybeCrash(p.cov, "constfold-div-overflow", func() bool {
+						return (in.BinOp == "/" || in.BinOp == "%") && a.I == -2147483648 && c.I == -1
+					})
+					if subSelfBug != nil && subSelfBug.Kind == BugWrongCode &&
+						in.BinOp == "-" && a.I == c.I && a.I != 0 && !a.IsFloat && !c.IsFloat {
+						// seeded wrong-code: c - c folded to c instead of 0
+						*in = Instr{Op: OpConst, Dst: in.Dst, Val: a, Type: in.Type, Pos: in.Pos}
+						consts[in.Dst] = a
+						continue
+					}
+					if r, ok := evalConstBin(in.BinOp, a, c, in.Type); ok {
+						p.cov.HitOp("constfold.bin", in.BinOp)
+						switch {
+						case r.I == 0:
+							p.cov.Hit("constfold.result.zero")
+						case r.I < 0:
+							p.cov.Hit("constfold.result.negative")
+						default:
+							p.cov.Hit("constfold.result.nonzero")
+						}
+						*in = Instr{Op: OpConst, Dst: in.Dst, Val: r, Type: in.Type, Pos: in.Pos}
+						consts[in.Dst] = r
+						foldsHere++
+						if perfBug {
+							// seeded compile-time blowup: superlinear work
+							// per fold within one block
+							p.tick(foldsHere*foldsHere*512, "constfold")
+						}
+						p.tick(1, "constfold")
+						continue
+					}
+				}
+				delete(consts, in.Dst)
+			case OpUn:
+				if a, ok := consts[in.A]; ok {
+					p.cov.Hit("constfold.un")
+					if p.bugs.Active("constprop-negzero") && in.UnOp == "-" && a.I < 0 {
+						// seeded wrong-code: negation of a negative constant
+						// returns the operand unchanged
+						*in = Instr{Op: OpConst, Dst: in.Dst, Val: a, Type: in.Type, Pos: in.Pos}
+						consts[in.Dst] = a
+						continue
+					}
+					if r, ok := evalConstUn(in.UnOp, a, in.Type); ok {
+						*in = Instr{Op: OpConst, Dst: in.Dst, Val: r, Type: in.Type, Pos: in.Pos}
+						consts[in.Dst] = r
+						continue
+					}
+				}
+				delete(consts, in.Dst)
+			case OpConv:
+				if a, ok := consts[in.A]; ok && !a.IsStr {
+					p.cov.Hit("constfold.conv")
+					var r Const
+					if bt, okb := in.Type.(*cc.BasicType); okb && bt.IsFloat() {
+						if a.IsFloat {
+							r = a
+						} else {
+							r = Const{IsFloat: true, F: float64(a.I)}
+						}
+					} else if a.IsFloat {
+						r = Const{I: truncConst(int64(a.F), in.Type)}
+					} else {
+						r = Const{I: truncConst(a.I, in.Type)}
+					}
+					*in = Instr{Op: OpConst, Dst: in.Dst, Val: r, Type: in.Type, Pos: in.Pos}
+					consts[in.Dst] = r
+					continue
+				}
+				delete(consts, in.Dst)
+			default:
+				if in.Dst != NoReg {
+					delete(consts, in.Dst)
+				}
+			}
+		}
+		// constant branch folding
+		if b.Term.Kind == TermBr {
+			if c, ok := consts[b.Term.Cond]; ok && !c.IsFloat && !c.IsStr {
+				p.cov.Hit("constfold.branch")
+				dead := b.Term.Else
+				target := b.Term.To
+				if c.I == 0 {
+					dead = b.Term.To
+					target = b.Term.Else
+					p.cov.Hit("constfold.branch.dropped")
+				} else {
+					p.cov.Hit("constfold.branch.taken")
+				}
+				p.bugs.MaybeCrash(p.cov, "constprop-branch-label", func() bool {
+					return len(dead.Label) > 6 && dead.Label[:6] == "label."
+				})
+				b.Term = Term{Kind: TermJmp, To: target, Pos: b.Term.Pos}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------- constprop
+
+type lattice struct {
+	// state: 0 = undefined (bottom), 1 = constant, 2 = not-a-constant (top)
+	state int
+	val   Const
+}
+
+func meetLat(a, b lattice) lattice {
+	switch {
+	case a.state == 0:
+		return b
+	case b.state == 0:
+		return a
+	case a.state == 1 && b.state == 1 && a.val == b.val:
+		return a
+	default:
+		return lattice{state: 2}
+	}
+}
+
+// constProp is a global (whole-CFG) conditional constant propagation over
+// registers, followed by rewriting. It feeds constFold, which performs the
+// actual instruction replacement.
+func constProp(f *Func, p *passCtx) {
+	p.cov.Hit("constprop.entry")
+	blocks := reachable(f)
+	pr := preds(f)
+	in := make(map[*Block]map[Reg]lattice)
+	out := make(map[*Block]map[Reg]lattice)
+	for _, b := range blocks {
+		in[b] = map[Reg]lattice{}
+		out[b] = map[Reg]lattice{}
+	}
+	transfer := func(b *Block, state map[Reg]lattice) map[Reg]lattice {
+		st := make(map[Reg]lattice, len(state))
+		for k, v := range state {
+			st[k] = v
+		}
+		for i := range b.Instrs {
+			inr := &b.Instrs[i]
+			switch inr.Op {
+			case OpConst:
+				if inr.Val.IsStr {
+					st[inr.Dst] = lattice{state: 2}
+				} else {
+					st[inr.Dst] = lattice{state: 1, val: inr.Val}
+				}
+			case OpCopy:
+				st[inr.Dst] = st[inr.A]
+			case OpBin:
+				a, c := st[inr.A], st[inr.B]
+				if a.state == 1 && c.state == 1 {
+					if r, ok := evalConstBin(inr.BinOp, a.val, c.val, inr.Type); ok {
+						st[inr.Dst] = lattice{state: 1, val: r}
+						continue
+					}
+				}
+				st[inr.Dst] = lattice{state: 2}
+			case OpUn:
+				if a := st[inr.A]; a.state == 1 {
+					if r, ok := evalConstUn(inr.UnOp, a.val, inr.Type); ok {
+						st[inr.Dst] = lattice{state: 1, val: r}
+						continue
+					}
+				}
+				st[inr.Dst] = lattice{state: 2}
+			case OpConv:
+				if a := st[inr.A]; a.state == 1 && !a.val.IsStr {
+					var r Const
+					if bt, okb := inr.Type.(*cc.BasicType); okb && bt.IsFloat() {
+						if a.val.IsFloat {
+							r = a.val
+						} else {
+							r = Const{IsFloat: true, F: float64(a.val.I)}
+						}
+					} else if a.val.IsFloat {
+						r = Const{I: truncConst(int64(a.val.F), inr.Type)}
+					} else {
+						r = Const{I: truncConst(a.val.I, inr.Type)}
+					}
+					st[inr.Dst] = lattice{state: 1, val: r}
+					continue
+				}
+				st[inr.Dst] = lattice{state: 2}
+			default:
+				if inr.Dst != NoReg {
+					st[inr.Dst] = lattice{state: 2}
+				}
+			}
+		}
+		return st
+	}
+	// iterate to fixpoint
+	for changed := true; changed; {
+		changed = false
+		for _, b := range blocks {
+			p.tick(int64(len(b.Instrs))+1, "constprop")
+			newIn := map[Reg]lattice{}
+			for _, pred := range pr[b] {
+				p.cov.Hit("constprop.meet")
+				for r, v := range out[pred] {
+					if cur, ok := newIn[r]; ok {
+						newIn[r] = meetLat(cur, v)
+					} else {
+						newIn[r] = v
+					}
+				}
+				// registers missing from one predecessor are undefined
+				// there; meet(undef, x) = x, so nothing further needed
+			}
+			newOut := transfer(b, newIn)
+			if !latEqual(newIn, in[b]) || !latEqual(newOut, out[b]) {
+				in[b] = newIn
+				out[b] = newOut
+				changed = true
+			}
+		}
+	}
+	// rewrite: materialize constants proven at block entry
+	for _, b := range blocks {
+		st := in[b]
+		consts := make(map[Reg]Const)
+		for r, v := range st {
+			if v.state == 1 {
+				consts[r] = v.val
+			}
+		}
+		for i := range b.Instrs {
+			inr := &b.Instrs[i]
+			if inr.Op == OpCopy {
+				if c, ok := consts[inr.A]; ok {
+					p.cov.Hit("constprop.replace")
+					*inr = Instr{Op: OpConst, Dst: inr.Dst, Val: c, Type: inr.Type, Pos: inr.Pos}
+					consts[inr.Dst] = c
+					continue
+				}
+			}
+			// recompute locally as constFold does
+			switch inr.Op {
+			case OpConst:
+				if !inr.Val.IsStr {
+					consts[inr.Dst] = inr.Val
+				} else {
+					delete(consts, inr.Dst)
+				}
+			case OpBin:
+				a, aok := consts[inr.A]
+				c, cok := consts[inr.B]
+				if aok && cok {
+					if r, ok := evalConstBin(inr.BinOp, a, c, inr.Type); ok {
+						p.cov.Hit("constprop.replace")
+						p.cov.HitOp("constprop.replace", inr.BinOp)
+						*inr = Instr{Op: OpConst, Dst: inr.Dst, Val: r, Type: inr.Type, Pos: inr.Pos}
+						consts[inr.Dst] = r
+						continue
+					}
+				}
+				delete(consts, inr.Dst)
+			default:
+				if inr.Dst != NoReg {
+					delete(consts, inr.Dst)
+				}
+			}
+		}
+		if b.Term.Kind == TermBr {
+			if v, ok := st[b.Term.Cond]; ok && v.state == 1 {
+				// only fold when the condition register is not redefined in
+				// this block
+				redefined := false
+				for i := range b.Instrs {
+					if b.Instrs[i].Dst == b.Term.Cond {
+						redefined = true
+						break
+					}
+				}
+				if !redefined && !v.val.IsFloat && !v.val.IsStr {
+					p.cov.Hit("constprop.branch")
+					target := b.Term.To
+					if v.val.I == 0 {
+						target = b.Term.Else
+					}
+					b.Term = Term{Kind: TermJmp, To: target, Pos: b.Term.Pos}
+				}
+			}
+		}
+	}
+}
+
+func latEqual(a, b map[Reg]lattice) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------- copyprop
+
+// copyProp performs local copy propagation. The seeded bug
+// "copyprop-through-branch" carries the copy table across block boundaries
+// without invalidation, which is wrong when a source register is redefined
+// on another path.
+func copyProp(f *Func, p *passCtx) {
+	p.cov.Hit("copyprop.entry")
+	buggy := p.bugs.Active("copyprop-through-branch")
+	copies := make(map[Reg]Reg)
+	for _, b := range f.Blocks {
+		if !buggy {
+			copies = make(map[Reg]Reg)
+		}
+		invalidate := func(r Reg) {
+			delete(copies, r)
+			for d, s := range copies {
+				if s == r {
+					delete(copies, d)
+				}
+			}
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			// rewrite uses through the copy table
+			rep := func(r Reg) Reg {
+				if s, ok := copies[r]; ok {
+					p.cov.Hit("copyprop.replace")
+					return s
+				}
+				return r
+			}
+			switch in.Op {
+			case OpBin, OpAddrIdx:
+				in.A = rep(in.A)
+				in.B = rep(in.B)
+			case OpUn, OpConv, OpCopy, OpLoad:
+				in.A = rep(in.A)
+			case OpStore:
+				in.A = rep(in.A)
+				in.B = rep(in.B)
+			case OpCall:
+				for j := range in.Args {
+					in.Args[j] = rep(in.Args[j])
+				}
+			}
+			if in.Dst != NoReg {
+				invalidate(in.Dst)
+			}
+			if in.Op == OpCopy && in.Dst != in.A {
+				copies[in.Dst] = in.A
+			}
+		}
+		if b.Term.Kind == TermBr {
+			if s, ok := copies[b.Term.Cond]; ok {
+				b.Term.Cond = s
+			}
+		}
+		if b.Term.Kind == TermRet && b.Term.HasVal {
+			if s, ok := copies[b.Term.Val]; ok {
+				b.Term.Val = s
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------- cse
+
+// cse performs local common-subexpression elimination over pure
+// instructions, with register-version tracking for correctness under
+// redefinition.
+func cse(f *Func, p *passCtx) {
+	p.cov.Hit("cse.entry")
+	commuteBug := p.bugs.Active("cse-commutes-sub")
+	type availEntry struct {
+		reg Reg
+		ver int
+	}
+	for _, b := range f.Blocks {
+		version := make(map[Reg]int)
+		avail := make(map[string]availEntry)
+		eligible := 0
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			replaced := false
+			if in.pure() && in.Op == OpBin {
+				eligible++
+				p.bugs.MaybeCrash(p.cov, "cse-crash-deep-expr", func() bool {
+					return eligible > 20
+				})
+				a, c := in.A, in.B
+				if commuteBug && in.BinOp == "-" && c < a {
+					// seeded wrong-code: subtraction keyed commutatively
+					p.cov.Hit("cse.commute")
+					a, c = c, a
+				}
+				if isCommutative(in.BinOp) && c < a {
+					p.cov.Hit("cse.commute")
+					a, c = c, a
+				}
+				key := fmt.Sprintf("bin:%s:%d.%d:%d.%d:%s", in.BinOp, a, version[a], c, version[c], typeName(in.Type))
+				if prev, ok := avail[key]; ok && version[prev.reg] == prev.ver {
+					p.cov.Hit("cse.hit")
+					p.cov.HitOp("cse.hit", in.BinOp)
+					*in = Instr{Op: OpCopy, Dst: in.Dst, A: prev.reg, Pos: in.Pos}
+					version[in.Dst]++
+					replaced = true
+				} else {
+					version[in.Dst]++
+					avail[key] = availEntry{reg: in.Dst, ver: version[in.Dst]}
+					replaced = true
+				}
+			}
+			if !replaced && in.Dst != NoReg {
+				version[in.Dst]++
+			}
+		}
+		p.tick(int64(len(b.Instrs)), "cse")
+	}
+}
+
+func isCommutative(op string) bool {
+	switch op {
+	case "+", "*", "&", "|", "^", "==", "!=":
+		return true
+	}
+	return false
+}

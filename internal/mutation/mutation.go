@@ -1,0 +1,126 @@
+// Package mutation implements the Orion statement-deletion mutation
+// baseline (Le et al., PLDI 2014) that the paper compares against in its
+// coverage experiment (Figure 9, "PM-X"): delete up to X statements from
+// the program's dead regions — statements the reference execution never
+// reaches — producing equivalence-modulo-inputs variants.
+package mutation
+
+import (
+	"math/rand"
+
+	"spe/internal/cc"
+	"spe/internal/interp"
+)
+
+// AllStatements collects every statement in the program, in source order.
+func AllStatements(prog *cc.Program) []cc.Stmt {
+	var out []cc.Stmt
+	var walk func(cc.Stmt)
+	walk = func(st cc.Stmt) {
+		if st == nil {
+			return
+		}
+		out = append(out, st)
+		switch st := st.(type) {
+		case *cc.BlockStmt:
+			for _, s := range st.List {
+				walk(s)
+			}
+		case *cc.IfStmt:
+			walk(st.Then)
+			walk(st.Else)
+		case *cc.WhileStmt:
+			walk(st.Body)
+		case *cc.DoWhileStmt:
+			walk(st.Body)
+		case *cc.ForStmt:
+			walk(st.Init)
+			walk(st.Body)
+		case *cc.LabeledStmt:
+			walk(st.Stmt)
+		}
+	}
+	for _, fd := range prog.Funcs {
+		for _, s := range fd.Body.List {
+			walk(s)
+		}
+	}
+	return out
+}
+
+// DeadStatements returns the statements never executed by the reference
+// run, excluding declarations (whose deletion usually breaks compilation)
+// and labels (which may be goto targets).
+func DeadStatements(prog *cc.Program, executed map[cc.Stmt]bool) []cc.Stmt {
+	var dead []cc.Stmt
+	for _, st := range AllStatements(prog) {
+		if executed[st] {
+			continue
+		}
+		switch st.(type) {
+		case *cc.DeclStmt, *cc.LabeledStmt, *cc.EmptyStmt, *cc.BlockStmt:
+			continue
+		}
+		dead = append(dead, st)
+	}
+	return dead
+}
+
+// Variant is one mutation result.
+type Variant struct {
+	Source  string
+	Deleted int
+}
+
+// Options configures a mutation campaign over one program.
+type Options struct {
+	// MaxDelete is the paper's X in PM-X: at most X statements deleted per
+	// variant.
+	MaxDelete int
+	// Count is the number of variants to generate.
+	Count int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Generate runs the reference interpreter to find dead regions and emits
+// statement-deletion variants. Variants that no longer parse and analyze
+// are discarded (mirroring Orion's validity filtering). The original
+// program is never among the results.
+func Generate(prog *cc.Program, opts Options) []Variant {
+	ref := interp.Run(prog, interp.Config{})
+	dead := DeadStatements(prog, ref.Executed)
+	if len(dead) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	seen := map[string]bool{}
+	var out []Variant
+	for attempt := 0; attempt < opts.Count*4 && len(out) < opts.Count; attempt++ {
+		k := 1 + rng.Intn(opts.MaxDelete)
+		if k > len(dead) {
+			k = len(dead)
+		}
+		omit := make(map[cc.Stmt]bool, k)
+		perm := rng.Perm(len(dead))
+		for i := 0; i < k; i++ {
+			omit[dead[perm[i]]] = true
+		}
+		p := cc.Printer{Omit: omit}
+		src := p.File(prog.File)
+		if seen[src] {
+			continue
+		}
+		seen[src] = true
+		// validity filter: the variant must still compile
+		f, err := cc.Parse(src)
+		if err != nil {
+			continue
+		}
+		if _, err := cc.Analyze(f); err != nil {
+			continue
+		}
+		out = append(out, Variant{Source: src, Deleted: len(omit)})
+	}
+	return out
+}

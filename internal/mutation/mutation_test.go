@@ -1,0 +1,111 @@
+package mutation
+
+import (
+	"fmt"
+	"testing"
+
+	"spe/internal/cc"
+	"spe/internal/interp"
+)
+
+const deadRegionProg = `
+int main() {
+    int a = 1;
+    if (a) {
+        a = 2;
+    } else {
+        a = 3;
+        a = 4;
+    }
+    if (a > 100) {
+        a = 5;
+        a = 6;
+    }
+    return a;
+}
+`
+
+func TestDeadStatements(t *testing.T) {
+	prog := cc.MustAnalyze(deadRegionProg)
+	ref := interp.Run(prog, interp.Config{})
+	if !ref.Defined() || ref.Exit != 2 {
+		t.Fatalf("reference: %+v", ref)
+	}
+	dead := DeadStatements(prog, ref.Executed)
+	// dead: a=3, a=4 (else branch), a=5, a=6 (untaken if) = 4 statements
+	if len(dead) != 4 {
+		for _, d := range dead {
+			t.Logf("dead: %T at %v", d, d.NodePos())
+		}
+		t.Fatalf("dead statements = %d, want 4", len(dead))
+	}
+}
+
+func TestGenerateVariantsAreValidAndEMI(t *testing.T) {
+	prog := cc.MustAnalyze(deadRegionProg)
+	ref := interp.Run(prog, interp.Config{})
+	variants := Generate(prog, Options{MaxDelete: 2, Count: 8, Seed: 1})
+	if len(variants) == 0 {
+		t.Fatal("no variants generated")
+	}
+	for _, v := range variants {
+		vp := cc.MustAnalyze(v.Source) // must remain valid
+		// EMI property: deleting dead statements preserves behavior
+		vr := interp.Run(vp, interp.Config{})
+		if !vr.Defined() {
+			t.Errorf("variant has UB: %v\n%s", vr.UB, v.Source)
+			continue
+		}
+		if vr.Exit != ref.Exit || vr.Output != ref.Output {
+			t.Errorf("EMI violated: variant (%d, %q) vs reference (%d, %q)\n%s",
+				vr.Exit, vr.Output, ref.Exit, ref.Output, v.Source)
+		}
+		if v.Deleted < 1 || v.Deleted > 2 {
+			t.Errorf("deleted = %d, want 1..2", v.Deleted)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	prog := cc.MustAnalyze(deadRegionProg)
+	a := Generate(prog, Options{MaxDelete: 2, Count: 5, Seed: 3})
+	b := Generate(prog, Options{MaxDelete: 2, Count: 5, Seed: 3})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Source != b[i].Source {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestGenerateNoDeadRegions(t *testing.T) {
+	prog := cc.MustAnalyze(`int main() { int a = 1; a = 2; return a; }`)
+	variants := Generate(prog, Options{MaxDelete: 3, Count: 5, Seed: 1})
+	if len(variants) != 0 {
+		t.Errorf("fully-live program produced %d variants", len(variants))
+	}
+}
+
+func TestAllStatementsWalk(t *testing.T) {
+	prog := cc.MustAnalyze(`
+int main() {
+    int i;
+    for (i = 0; i < 3; i++) {
+        while (0) { i = 9; }
+        do ; while (0);
+    }
+l:  return i;
+}`)
+	stmts := AllStatements(prog)
+	kinds := map[string]bool{}
+	for _, s := range stmts {
+		kinds[fmt.Sprintf("%T", s)] = true
+	}
+	for _, want := range []string{"*cc.ForStmt", "*cc.WhileStmt", "*cc.DoWhileStmt", "*cc.LabeledStmt", "*cc.ReturnStmt", "*cc.DeclStmt"} {
+		if !kinds[want] {
+			t.Errorf("AllStatements missed %s (have %v)", want, kinds)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package partition
+
+// EachCombination enumerates all k-element subsets of {0, ..., n-1} in
+// lexicographic order, mirroring the COMBINATIONS routine used by the
+// paper's PartitionScope procedure. The slice passed to yield is reused;
+// copy it to retain it. Enumeration stops early if yield returns false.
+// Returns the number of combinations yielded. EachCombination(n, 0, f)
+// yields the single empty combination.
+func EachCombination(n, k int, yield func(comb []int) bool) int {
+	if k < 0 || n < 0 || k > n {
+		return 0
+	}
+	if k == 0 {
+		yield(nil)
+		return 1
+	}
+	c := make([]int, k)
+	for i := range c {
+		c[i] = i
+	}
+	count := 0
+	for {
+		count++
+		if !yield(c) {
+			return count
+		}
+		// advance to the next combination
+		i := k - 1
+		for i >= 0 && c[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return count
+		}
+		c[i]++
+		for j := i + 1; j < k; j++ {
+			c[j] = c[j-1] + 1
+		}
+	}
+}
+
+// EachSubset enumerates all subsets of {0..n-1} grouped by increasing
+// cardinality (all 0-subsets, then 1-subsets, ...). Stops early when yield
+// returns false. Returns the number of subsets yielded.
+func EachSubset(n int, yield func(sub []int) bool) int {
+	total := 0
+	for k := 0; k <= n; k++ {
+		stop := false
+		total += EachCombination(n, k, func(c []int) bool {
+			if !yield(c) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			break
+		}
+	}
+	return total
+}
+
+// Complement returns the elements of {0..n-1} not present in the sorted
+// subset sub.
+func Complement(n int, sub []int) []int {
+	out := make([]int, 0, n-len(sub))
+	j := 0
+	for i := 0; i < n; i++ {
+		if j < len(sub) && sub[j] == i {
+			j++
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}

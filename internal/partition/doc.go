@@ -1,0 +1,10 @@
+// Package partition provides the combinatorial substrate for skeletal
+// program enumeration (SPE): Stirling and Bell numbers, restricted growth
+// strings, set-partition and combination iterators, and the grouped
+// restricted-growth-string (GRGS) machinery used to enumerate exactly one
+// representative per compact-alpha-equivalence class.
+//
+// The algorithms follow Knuth, TAOCP vol. 4A §7.2.1.5 (set partitions in
+// restricted-growth-string order) and the SPE paper's formulation of
+// enumeration as constrained set partitioning (PLDI 2017, §4).
+package partition

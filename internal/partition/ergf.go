@@ -1,0 +1,117 @@
+package partition
+
+import "math/big"
+
+// e-restricted growth functions (Mansour & Nassar; Mansour, Nassar &
+// Vajnovszki — the paper's §4.3 cites them as the promising direction for
+// counting the scoped SPE enumeration set). An e-RGF of length n is a
+// string a_1 ... a_n with a_1 = 0 and
+//
+//	a_{i+1} <= max(a_1, ..., a_i) + e.
+//
+// For e = 1 these are exactly the restricted growth strings (set
+// partitions); larger e admits "jumps" of up to e fresh labels at once,
+// which models promoting blocks of scope variables in one step.
+
+// EachERGF enumerates all e-restricted growth functions of length n whose
+// values are < maxVal, in lexicographic order. The slice passed to yield is
+// reused; copy to retain. Stops early when yield returns false; returns the
+// number yielded.
+func EachERGF(n, e, maxVal int, yield func(a []int) bool) int {
+	if n < 0 || e < 1 || maxVal < 1 {
+		return 0
+	}
+	if n == 0 {
+		yield(nil)
+		return 1
+	}
+	a := make([]int, n)
+	count := 0
+	var rec func(i, max int) bool
+	rec = func(i, max int) bool {
+		if i == n {
+			count++
+			return yield(a)
+		}
+		hi := max + e
+		if hi >= maxVal {
+			hi = maxVal - 1
+		}
+		for v := 0; v <= hi; v++ {
+			a[i] = v
+			next := max
+			if v > max {
+				next = v
+			}
+			if !rec(i+1, next) {
+				return false
+			}
+		}
+		return true
+	}
+	a[0] = 0 // a_1 = 0 by definition
+	rec(1, 0)
+	return count
+}
+
+// CountERGF counts e-restricted growth functions of length n with values
+// < maxVal via dynamic programming over the running maximum, without
+// enumerating.
+func CountERGF(n, e, maxVal int) *big.Int {
+	if n < 0 || e < 1 || maxVal < 1 {
+		return big.NewInt(0)
+	}
+	if n == 0 {
+		return big.NewInt(1)
+	}
+	// state: current maximum value m (after >= 1 elements); a_1 = 0 => m=0
+	cur := map[int]*big.Int{0: big.NewInt(1)}
+	for i := 1; i < n; i++ {
+		next := make(map[int]*big.Int)
+		add := func(m int, w *big.Int) {
+			if v, ok := next[m]; ok {
+				v.Add(v, w)
+			} else {
+				next[m] = new(big.Int).Set(w)
+			}
+		}
+		for m, w := range cur {
+			hi := m + e
+			if hi >= maxVal {
+				hi = maxVal - 1
+			}
+			// values 0..m keep the maximum
+			if m >= 0 {
+				keep := new(big.Int).Mul(w, big.NewInt(int64(m+1)))
+				add(m, keep)
+			}
+			// values m+1..hi raise the maximum
+			for v := m + 1; v <= hi; v++ {
+				add(v, w)
+			}
+		}
+		cur = next
+	}
+	total := new(big.Int)
+	for _, w := range cur {
+		total.Add(total, w)
+	}
+	return total
+}
+
+// IsERGF reports whether a is a valid e-restricted growth function.
+func IsERGF(a []int, e int) bool {
+	max := -1
+	for i, v := range a {
+		if i == 0 && v != 0 {
+			return false
+		}
+		if v < 0 || v > max+e {
+			return false
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return true
+}

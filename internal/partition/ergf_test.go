@@ -1,0 +1,107 @@
+package partition
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestERGFReducesToRGS(t *testing.T) {
+	// e = 1 restricted growth functions are exactly the RGS
+	for n := 0; n <= 7; n++ {
+		for k := 1; k <= 4; k++ {
+			ergf := EachERGF(n, 1, k, func([]int) bool { return true })
+			rgs := EachRGS(n, k, func([]int) bool { return true })
+			if ergf != rgs {
+				t.Errorf("n=%d k=%d: e-RGF(e=1) count %d != RGS count %d", n, k, ergf, rgs)
+			}
+		}
+	}
+}
+
+func TestERGFValidity(t *testing.T) {
+	EachERGF(6, 2, 5, func(a []int) bool {
+		if !IsERGF(a, 2) {
+			t.Fatalf("yielded invalid 2-RGF %v", a)
+		}
+		return true
+	})
+	// e=2 admits strings invalid for e=1
+	found := false
+	EachERGF(3, 2, 4, func(a []int) bool {
+		if !IsRGS(a) {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Error("no e=2 string beyond RGS found")
+	}
+}
+
+func TestCountERGFMatchesEnumeration(t *testing.T) {
+	for n := 0; n <= 7; n++ {
+		for e := 1; e <= 3; e++ {
+			for max := 1; max <= 5; max++ {
+				got := CountERGF(n, e, max)
+				want := EachERGF(n, e, max, func([]int) bool { return true })
+				if got.Cmp(big.NewInt(int64(want))) != 0 {
+					t.Errorf("n=%d e=%d max=%d: count %s, enumeration %d", n, e, max, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestERGFKnownCounts(t *testing.T) {
+	// unbounded 2-RGFs of length n: 1, 3, 13, 73, 501, ... wait — verify a
+	// couple of hand-computed small values instead. Length 2, e=2,
+	// unbounded (max big): a_1 = 0, a_2 in {0,1,2} -> 3.
+	if got := CountERGF(2, 2, 100); got.Cmp(big.NewInt(3)) != 0 {
+		t.Errorf("2-RGF length 2 = %s, want 3", got)
+	}
+	// Length 3, e=2: a2 in 0..2; per a2, a3 in 0..max+2:
+	// a2=0 -> max 0 -> 3; a2=1 -> max 1 -> 4; a2=2 -> max 2 -> 5 => 12
+	if got := CountERGF(3, 2, 100); got.Cmp(big.NewInt(12)) != 0 {
+		t.Errorf("2-RGF length 3 = %s, want 12", got)
+	}
+	// e=1 counts are Bell numbers when unbounded
+	for n := 0; n <= 8; n++ {
+		if got, want := CountERGF(n, 1, n+1), Bell(n); n > 0 && got.Cmp(want) != 0 {
+			t.Errorf("1-RGF length %d = %s, want Bell %s", n, got, want)
+		}
+	}
+}
+
+func TestERGFDegenerate(t *testing.T) {
+	if n := EachERGF(-1, 1, 2, func([]int) bool { return true }); n != 0 {
+		t.Errorf("negative length yielded %d", n)
+	}
+	if n := EachERGF(3, 0, 2, func([]int) bool { return true }); n != 0 {
+		t.Errorf("e=0 yielded %d", n)
+	}
+	if got := CountERGF(3, 1, 0); got.Sign() != 0 {
+		t.Errorf("maxVal=0 count = %s", got)
+	}
+}
+
+func TestIsERGF(t *testing.T) {
+	cases := []struct {
+		a    []int
+		e    int
+		want bool
+	}{
+		{[]int{0, 1, 2}, 1, true},
+		{[]int{0, 2}, 1, false},
+		{[]int{0, 2}, 2, true},
+		{[]int{1, 0}, 1, false},
+		{nil, 1, true},
+		{[]int{0, 0, 3}, 2, false},
+		{[]int{0, 0, 2}, 2, true},
+	}
+	for _, c := range cases {
+		if got := IsERGF(c.a, c.e); got != c.want {
+			t.Errorf("IsERGF(%v, %d) = %v, want %v", c.a, c.e, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package partition
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// figure7 builds the Problem of paper Figure 7: holes 1,2,5 are global
+// (variables {a,b}) and holes 3,4 additionally admit the inner scope's
+// locals {c,d}. Group 0 = globals (size 2), group 1 = locals (size 2).
+func figure7() *Problem {
+	return &Problem{
+		NumHoles:   5,
+		GroupSizes: []int{2, 2},
+		Allowed: [][]int{
+			{0}, {0}, {0}, // holes 1, 2, 5 in the paper's normal form
+			{0, 1}, {0, 1}, // holes 3, 4
+		},
+	}
+}
+
+func TestFigure7Counts(t *testing.T) {
+	p := figure7()
+	if got := p.NaiveCount(); got.Cmp(big.NewInt(128)) != 0 {
+		t.Errorf("naive count = %s, want 128 (= 2^3 * 4^2)", got)
+	}
+	// The true number of compact-alpha orbits is 40 (Burnside over
+	// Sym{a,b} x Sym{c,d}); the paper's Example 6 arithmetic yields 36.
+	// See DESIGN.md §2 for the discrepancy analysis.
+	if got := p.OrbitCountBurnside(); got.Cmp(big.NewInt(40)) != 0 {
+		t.Errorf("Burnside orbit count = %s, want 40", got)
+	}
+	if got := p.CanonicalCount(); got.Cmp(big.NewInt(40)) != 0 {
+		t.Errorf("canonical DP count = %s, want 40", got)
+	}
+	if got := p.EachCanonical(func([]VarRef) bool { return true }); got != 40 {
+		t.Errorf("canonical enumeration yielded %d, want 40", got)
+	}
+	if got := p.EachNaive(func([]VarRef) bool { return true }); got != 128 {
+		t.Errorf("naive enumeration yielded %d, want 128", got)
+	}
+}
+
+func TestScopeFreeProblemMatchesStirling(t *testing.T) {
+	// A single group of k variables over n holes must reproduce
+	// SumStirling(n, k) — the scope-free SPE solution size (paper Eq. 1).
+	for n := 0; n <= 8; n++ {
+		for k := 1; k <= 4; k++ {
+			allowed := make([][]int, n)
+			for i := range allowed {
+				allowed[i] = []int{0}
+			}
+			p := &Problem{NumHoles: n, GroupSizes: []int{k}, Allowed: allowed}
+			want := SumStirling(n, k)
+			if got := p.CanonicalCount(); got.Cmp(want) != 0 {
+				t.Errorf("n=%d k=%d: canonical count %s, want %s", n, k, got, want)
+			}
+			if got := p.OrbitCountBurnside(); got.Cmp(want) != 0 {
+				t.Errorf("n=%d k=%d: Burnside %s, want %s", n, k, got, want)
+			}
+		}
+	}
+}
+
+// bruteForceOrbits enumerates every naive filling and counts distinct
+// canonical forms — the ground-truth number of equivalence classes.
+func bruteForceOrbits(p *Problem) int {
+	seen := make(map[string]bool)
+	p.EachNaive(func(fill []VarRef) bool {
+		seen[FillKey(p.CanonicalizeFill(fill))] = true
+		return true
+	})
+	return len(seen)
+}
+
+func TestCanonicalAgainstBruteForceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(20170611))
+	for trial := 0; trial < 60; trial++ {
+		numGroups := 1 + rng.Intn(3)
+		sizes := make([]int, numGroups)
+		for g := range sizes {
+			sizes[g] = 1 + rng.Intn(3)
+		}
+		n := rng.Intn(7)
+		allowed := make([][]int, n)
+		for i := range allowed {
+			// random non-empty subset of groups
+			var as []int
+			for g := 0; g < numGroups; g++ {
+				if rng.Intn(2) == 0 {
+					as = append(as, g)
+				}
+			}
+			if len(as) == 0 {
+				as = []int{rng.Intn(numGroups)}
+			}
+			allowed[i] = as
+		}
+		p := &Problem{NumHoles: n, GroupSizes: sizes, Allowed: allowed}
+		want := bruteForceOrbits(p)
+		if got := p.EachCanonical(func([]VarRef) bool { return true }); got != want {
+			t.Fatalf("trial %d (%+v): canonical enum %d, brute force %d", trial, p, got, want)
+		}
+		if got := p.CanonicalCount(); got.Cmp(big.NewInt(int64(want))) != 0 {
+			t.Fatalf("trial %d: DP count %s, brute force %d", trial, got, want)
+		}
+		if got := p.OrbitCountBurnside(); got.Cmp(big.NewInt(int64(want))) != 0 {
+			t.Fatalf("trial %d: Burnside %s, brute force %d", trial, got, want)
+		}
+	}
+}
+
+func TestCanonicalFillingsAreCanonicalAndDistinct(t *testing.T) {
+	p := figure7()
+	seen := make(map[string]bool)
+	p.EachCanonical(func(fill []VarRef) bool {
+		canon := p.CanonicalizeFill(fill)
+		if FillKey(canon) != FillKey(fill) {
+			t.Fatalf("enumerated filling %v is not canonical (canon %v)", fill, canon)
+		}
+		key := FillKey(fill)
+		if seen[key] {
+			t.Fatalf("duplicate canonical filling %v", fill)
+		}
+		seen[key] = true
+		return true
+	})
+}
+
+func TestCanonicalCompleteness(t *testing.T) {
+	// Every naive filling must canonicalize to some enumerated filling.
+	p := figure7()
+	canonical := make(map[string]bool)
+	p.EachCanonical(func(fill []VarRef) bool {
+		canonical[FillKey(fill)] = true
+		return true
+	})
+	p.EachNaive(func(fill []VarRef) bool {
+		key := FillKey(p.CanonicalizeFill(fill))
+		if !canonical[key] {
+			t.Fatalf("naive filling %v canonicalizes outside the canonical set", fill)
+		}
+		return true
+	})
+}
+
+func TestProblemValidate(t *testing.T) {
+	bad := []*Problem{
+		{NumHoles: -1},
+		{NumHoles: 1, GroupSizes: []int{2}, Allowed: nil},
+		{NumHoles: 1, GroupSizes: []int{2}, Allowed: [][]int{{}}},
+		{NumHoles: 1, GroupSizes: []int{2}, Allowed: [][]int{{1}}},
+		{NumHoles: 1, GroupSizes: []int{-2}, Allowed: [][]int{{0}}},
+		{NumHoles: 1, GroupSizes: []int{0}, Allowed: [][]int{{0}}},
+		{NumHoles: 2, GroupSizes: []int{1, 1}, Allowed: [][]int{{0}, {1, 0}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted malformed problem %+v", i, p)
+		}
+	}
+	good := figure7()
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate rejected valid problem: %v", err)
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	p := &Problem{NumHoles: 0, GroupSizes: []int{3}, Allowed: nil}
+	if got := p.CanonicalCount(); got.Cmp(big.NewInt(1)) != 0 {
+		t.Errorf("empty problem canonical count = %s, want 1", got)
+	}
+	if got := p.NaiveCount(); got.Cmp(big.NewInt(1)) != 0 {
+		t.Errorf("empty problem naive count = %s, want 1", got)
+	}
+	n := p.EachCanonical(func(fill []VarRef) bool {
+		if len(fill) != 0 {
+			t.Errorf("empty problem yielded non-empty fill %v", fill)
+		}
+		return true
+	})
+	if n != 1 {
+		t.Errorf("empty problem enumeration yielded %d, want 1", n)
+	}
+}
+
+func TestEachCanonicalEarlyStop(t *testing.T) {
+	p := figure7()
+	calls := 0
+	p.EachCanonical(func([]VarRef) bool {
+		calls++
+		return calls < 7
+	})
+	if calls != 7 {
+		t.Errorf("early stop after %d calls, want 7", calls)
+	}
+}
+
+func TestCanonicalizeFillIdempotent(t *testing.T) {
+	p := figure7()
+	p.EachNaive(func(fill []VarRef) bool {
+		c1 := p.CanonicalizeFill(fill)
+		c2 := p.CanonicalizeFill(c1)
+		if FillKey(c1) != FillKey(c2) {
+			t.Fatalf("canonicalization not idempotent: %v -> %v -> %v", fill, c1, c2)
+		}
+		return true
+	})
+}

@@ -1,0 +1,186 @@
+package partition
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// quickProblem decodes a random byte string into a small valid Problem.
+type quickProblem struct {
+	p *Problem
+}
+
+func decodeProblem(raw []byte) *Problem {
+	if len(raw) < 3 {
+		return nil
+	}
+	numGroups := int(raw[0]%3) + 1
+	sizes := make([]int, numGroups)
+	for g := range sizes {
+		sizes[g] = int(raw[1+g%2]%3) + 1
+	}
+	n := int(raw[2] % 6)
+	allowed := make([][]int, n)
+	for i := range allowed {
+		b := raw[(3+i)%len(raw)]
+		var as []int
+		for g := 0; g < numGroups; g++ {
+			if b&(1<<g) != 0 {
+				as = append(as, g)
+			}
+		}
+		if len(as) == 0 {
+			as = []int{int(b) % numGroups}
+		}
+		allowed[i] = as
+	}
+	return &Problem{NumHoles: n, GroupSizes: sizes, Allowed: allowed}
+}
+
+// TestQuickCanonicalSoundComplete: for random problems, (1) the canonical
+// enumeration has no two equivalent fillings, and (2) every naive filling
+// canonicalizes into the enumerated set.
+func TestQuickCanonicalSoundComplete(t *testing.T) {
+	f := func(raw []byte) bool {
+		p := decodeProblem(raw)
+		if p == nil || p.Validate() != nil {
+			return true
+		}
+		canonical := map[string]bool{}
+		ok := true
+		p.EachCanonical(func(fill []VarRef) bool {
+			key := FillKey(fill)
+			if canonical[key] {
+				ok = false
+				return false
+			}
+			canonical[key] = true
+			// enumerated fillings must be fixed points of canonicalization
+			if FillKey(p.CanonicalizeFill(fill)) != key {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+		complete := true
+		p.EachNaive(func(fill []VarRef) bool {
+			if !canonical[FillKey(p.CanonicalizeFill(fill))] {
+				complete = false
+				return false
+			}
+			return true
+		})
+		return complete
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickThreeCountsAgree: DP count, Burnside count, and enumeration
+// count agree on random problems.
+func TestQuickThreeCountsAgree(t *testing.T) {
+	f := func(raw []byte) bool {
+		p := decodeProblem(raw)
+		if p == nil || p.Validate() != nil {
+			return true
+		}
+		enum := p.EachCanonical(func([]VarRef) bool { return true })
+		dp := p.CanonicalCount()
+		burn := p.OrbitCountBurnside()
+		e := big.NewInt(int64(enum))
+		return dp.Cmp(e) == 0 && burn.Cmp(e) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCanonicalLEQNaive: canonical counts never exceed naive counts.
+func TestQuickCanonicalLEQNaive(t *testing.T) {
+	f := func(raw []byte) bool {
+		p := decodeProblem(raw)
+		if p == nil || p.Validate() != nil {
+			return true
+		}
+		return p.CanonicalCount().Cmp(p.NaiveCount()) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickERGFMonotoneInE: enlarging e can only enlarge the e-RGF set.
+func TestQuickERGFMonotoneInE(t *testing.T) {
+	f := func(rn, rmax uint8) bool {
+		n := int(rn % 7)
+		max := int(rmax%5) + 1
+		prev := -1
+		for e := 1; e <= 3; e++ {
+			c := int(CountERGF(n, e, max).Int64())
+			if prev >= 0 && c < prev {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStirlingRowSumsBell: sum of a Stirling row is the Bell number.
+func TestQuickStirlingRowSumsBell(t *testing.T) {
+	f := func(rn uint8) bool {
+		n := int(rn%15) + 1
+		sum := new(big.Int)
+		for k := 1; k <= n; k++ {
+			sum.Add(sum, Stirling2(n, k))
+		}
+		return sum.Cmp(Bell(n)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCombinationsComplementBijection: complement of a k-subset is an
+// (n-k)-subset partitioning {0..n-1}.
+func TestQuickCombinationsComplementBijection(t *testing.T) {
+	f := func(rn, rk uint8) bool {
+		n := int(rn % 9)
+		k := 0
+		if n > 0 {
+			k = int(rk) % (n + 1)
+		}
+		ok := true
+		EachCombination(n, k, func(c []int) bool {
+			comp := Complement(n, c)
+			if len(comp) != n-k {
+				ok = false
+				return false
+			}
+			seen := make(map[int]bool, n)
+			for _, x := range c {
+				seen[x] = true
+			}
+			for _, x := range comp {
+				if seen[x] {
+					ok = false
+					return false
+				}
+				seen[x] = true
+			}
+			return len(seen) == n
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

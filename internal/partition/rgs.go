@@ -1,0 +1,148 @@
+package partition
+
+// A restricted growth string (RGS) a_1 a_2 ... a_n encodes a set partition of
+// {1..n}: element i belongs to block a_i, with the normalization a_1 = 0 and
+// a_{i+1} <= 1 + max(a_1..a_i). Two fillings of a scope-free skeleton are
+// alpha-equivalent iff they have the same RGS (paper §4.1.2).
+
+// EachRGS enumerates, in lexicographic order, every restricted growth string
+// of length n whose values are < maxBlocks (i.e. every set partition of n
+// elements into at most maxBlocks non-empty blocks). The slice passed to
+// yield is reused between calls; callers must copy it if they retain it.
+// Enumeration stops early if yield returns false. EachRGS returns the number
+// of strings yielded.
+//
+// For n == 0 the single empty partition is yielded once.
+func EachRGS(n, maxBlocks int, yield func(rgs []int) bool) int {
+	if n < 0 || maxBlocks < 1 {
+		return 0
+	}
+	if n == 0 {
+		yield(nil)
+		return 1
+	}
+	a := make([]int, n)
+	count := 0
+	// backtracking enumeration in lexicographic order
+	var rec func(i, maxSoFar int) bool
+	rec = func(i, maxSoFar int) bool {
+		if i == n {
+			count++
+			return yield(a)
+		}
+		hi := maxSoFar + 1
+		if hi >= maxBlocks {
+			hi = maxBlocks - 1
+		}
+		for v := 0; v <= hi; v++ {
+			a[i] = v
+			next := maxSoFar
+			if v > maxSoFar {
+				next = v
+			}
+			if !rec(i+1, next) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, -1)
+	return count
+}
+
+// EachRGSExact enumerates every restricted growth string of length n using
+// exactly k distinct values (set partitions into exactly k non-empty
+// blocks). Semantics of yield match EachRGS. Returns the number yielded.
+func EachRGSExact(n, k int, yield func(rgs []int) bool) int {
+	if n < 0 || k < 0 {
+		return 0
+	}
+	if n == 0 {
+		if k == 0 {
+			yield(nil)
+			return 1
+		}
+		return 0
+	}
+	if k == 0 || k > n {
+		return 0
+	}
+	count := 0
+	EachRGS(n, k, func(rgs []int) bool {
+		max := -1
+		for _, v := range rgs {
+			if v > max {
+				max = v
+			}
+		}
+		if max == k-1 {
+			count++
+			return yield(rgs)
+		}
+		return true
+	})
+	return count
+}
+
+// BlocksOf converts a restricted growth string to its explicit block
+// representation: BlocksOf("0101") = [[0 2] [1 3]]. Blocks are ordered by
+// their smallest element; elements within a block are increasing.
+func BlocksOf(rgs []int) [][]int {
+	max := -1
+	for _, v := range rgs {
+		if v > max {
+			max = v
+		}
+	}
+	blocks := make([][]int, max+1)
+	for i, v := range rgs {
+		blocks[v] = append(blocks[v], i)
+	}
+	return blocks
+}
+
+// RGSOf converts an arbitrary block assignment (element i -> label a[i]) to
+// its canonical restricted growth string, relabeling blocks in first-
+// occurrence order. It is the canonical form used for alpha-equivalence of
+// scope-free fillings.
+func RGSOf(assign []int) []int {
+	rgs := make([]int, len(assign))
+	relabel := make(map[int]int, len(assign))
+	next := 0
+	for i, v := range assign {
+		r, ok := relabel[v]
+		if !ok {
+			r = next
+			relabel[v] = r
+			next++
+		}
+		rgs[i] = r
+	}
+	return rgs
+}
+
+// IsRGS reports whether a is a valid restricted growth string.
+func IsRGS(a []int) bool {
+	max := -1
+	for _, v := range a {
+		if v < 0 || v > max+1 {
+			return false
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return true
+}
+
+// NumBlocks returns the number of distinct blocks in a restricted growth
+// string (0 for the empty string).
+func NumBlocks(rgs []int) int {
+	max := -1
+	for _, v := range rgs {
+		if v > max {
+			max = v
+		}
+	}
+	return max + 1
+}

@@ -1,0 +1,214 @@
+package partition
+
+import (
+	"math/big"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEachRGSCountsMatchStirling(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		for k := 1; k <= n+2; k++ {
+			got := EachRGS(n, k, func([]int) bool { return true })
+			want := SumStirling(n, k)
+			if big.NewInt(int64(got)).Cmp(want) != 0 {
+				t.Errorf("EachRGS(%d,%d) yielded %d, want %s", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestEachRGSExactCountsMatchStirling(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		for k := 0; k <= n+1; k++ {
+			got := EachRGSExact(n, k, func([]int) bool { return true })
+			want := Stirling2(n, k)
+			if big.NewInt(int64(got)).Cmp(want) != 0 {
+				t.Errorf("EachRGSExact(%d,%d) yielded %d, want %s", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestEachRGSLexOrderAndValidity(t *testing.T) {
+	var prev []int
+	EachRGS(6, 3, func(rgs []int) bool {
+		if !IsRGS(rgs) {
+			t.Fatalf("yielded invalid RGS %v", rgs)
+		}
+		if prev != nil && !lexLess(prev, rgs) {
+			t.Fatalf("not lexicographically increasing: %v then %v", prev, rgs)
+		}
+		prev = append(prev[:0], rgs...)
+		return true
+	})
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestEachRGSEarlyStop(t *testing.T) {
+	calls := 0
+	n := EachRGS(8, 4, func([]int) bool {
+		calls++
+		return calls < 5
+	})
+	if calls != 5 || n != 5 {
+		t.Errorf("early stop: calls=%d returned=%d, want 5/5", calls, n)
+	}
+}
+
+func TestEachRGSDegenerate(t *testing.T) {
+	if n := EachRGS(0, 3, func(rgs []int) bool {
+		if len(rgs) != 0 {
+			t.Errorf("empty skeleton yielded non-empty RGS %v", rgs)
+		}
+		return true
+	}); n != 1 {
+		t.Errorf("EachRGS(0,3) = %d, want 1", n)
+	}
+	if n := EachRGS(3, 0, func([]int) bool { return true }); n != 0 {
+		t.Errorf("EachRGS(3,0) = %d, want 0", n)
+	}
+	if n := EachRGS(-1, 2, func([]int) bool { return true }); n != 0 {
+		t.Errorf("EachRGS(-1,2) = %d, want 0", n)
+	}
+}
+
+func TestRGSOfCanonicalizes(t *testing.T) {
+	// Paper Example 5: <a,b,a,a,a,b> -> "010001", <a,b,b,b,a,b> -> "011101".
+	got := RGSOf([]int{0, 1, 0, 0, 0, 1})
+	if want := []int{0, 1, 0, 0, 0, 1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("RGSOf = %v, want %v", got, want)
+	}
+	// The alpha-renamed variant <b,a,b,b,b,a> canonicalizes identically.
+	got2 := RGSOf([]int{1, 0, 1, 1, 1, 0})
+	if !reflect.DeepEqual(got, got2) {
+		t.Errorf("alpha-equivalent fillings canonicalize differently: %v vs %v", got, got2)
+	}
+	got3 := RGSOf([]int{0, 1, 1, 1, 0, 1})
+	if want := []int{0, 1, 1, 1, 0, 1}; !reflect.DeepEqual(got3, want) {
+		t.Errorf("RGSOf(P2) = %v, want %v", got3, want)
+	}
+}
+
+func TestRGSOfProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		assign := make([]int, len(raw))
+		for i, r := range raw {
+			assign[i] = int(r % 7)
+		}
+		rgs := RGSOf(assign)
+		if !IsRGS(rgs) {
+			return false
+		}
+		// idempotent
+		return reflect.DeepEqual(RGSOf(rgs), rgs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRGSOfPreservesPartition(t *testing.T) {
+	f := func(raw []uint8) bool {
+		assign := make([]int, len(raw))
+		for i, r := range raw {
+			assign[i] = int(r % 5)
+		}
+		rgs := RGSOf(assign)
+		// same-block relation must be preserved exactly
+		for i := range assign {
+			for j := range assign {
+				if (assign[i] == assign[j]) != (rgs[i] == rgs[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlocksOfRoundTrip(t *testing.T) {
+	EachRGS(7, 3, func(rgs []int) bool {
+		blocks := BlocksOf(rgs)
+		rebuilt := make([]int, len(rgs))
+		for b, elems := range blocks {
+			if len(elems) == 0 {
+				t.Fatalf("BlocksOf(%v) produced empty block %d", rgs, b)
+			}
+			for _, e := range elems {
+				rebuilt[e] = b
+			}
+		}
+		if !reflect.DeepEqual(rebuilt, rgs) {
+			t.Fatalf("BlocksOf round-trip failed for %v: got %v", rgs, rebuilt)
+		}
+		return true
+	})
+}
+
+func TestNumBlocks(t *testing.T) {
+	if got := NumBlocks([]int{0, 1, 0, 2}); got != 3 {
+		t.Errorf("NumBlocks = %d, want 3", got)
+	}
+	if got := NumBlocks(nil); got != 0 {
+		t.Errorf("NumBlocks(nil) = %d, want 0", got)
+	}
+}
+
+func TestEachCombinationCounts(t *testing.T) {
+	for n := 0; n <= 8; n++ {
+		for k := 0; k <= n; k++ {
+			got := EachCombination(n, k, func([]int) bool { return true })
+			if want := Binomial(n, k); big.NewInt(int64(got)).Cmp(want) != 0 {
+				t.Errorf("EachCombination(%d,%d) yielded %d, want %s", n, k, got, want)
+			}
+		}
+	}
+	if got := EachCombination(3, 5, func([]int) bool { return true }); got != 0 {
+		t.Errorf("EachCombination(3,5) = %d, want 0", got)
+	}
+}
+
+func TestEachCombinationContents(t *testing.T) {
+	var all [][]int
+	EachCombination(4, 2, func(c []int) bool {
+		cp := append([]int(nil), c...)
+		all = append(all, cp)
+		return true
+	})
+	want := [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if !reflect.DeepEqual(all, want) {
+		t.Errorf("combinations of C(4,2) = %v, want %v", all, want)
+	}
+}
+
+func TestEachSubsetCounts(t *testing.T) {
+	for n := 0; n <= 8; n++ {
+		got := EachSubset(n, func([]int) bool { return true })
+		if want := 1 << n; got != want {
+			t.Errorf("EachSubset(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	got := Complement(5, []int{1, 3})
+	if want := []int{0, 2, 4}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Complement = %v, want %v", got, want)
+	}
+	if got := Complement(3, nil); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("Complement(3, nil) = %v", got)
+	}
+}

@@ -1,0 +1,107 @@
+package partition
+
+import (
+	"math/big"
+	"sync"
+)
+
+// stirlingCache memoizes Stirling numbers of the second kind. Keys are
+// packed as n<<32|k; values are immutable *big.Int that callers must not
+// mutate.
+var stirlingCache sync.Map
+
+// Stirling2 returns the Stirling number of the second kind {n k}: the number
+// of ways to partition a set of n labeled elements into exactly k non-empty
+// unlabeled subsets. By convention {0 0} = 1, and {n k} = 0 when k > n,
+// k == 0 < n, or either argument is negative.
+func Stirling2(n, k int) *big.Int {
+	switch {
+	case n < 0 || k < 0:
+		return big.NewInt(0)
+	case n == 0 && k == 0:
+		return big.NewInt(1)
+	case k == 0 || k > n:
+		return big.NewInt(0)
+	case k == 1 || k == n:
+		return big.NewInt(1)
+	}
+	key := uint64(n)<<32 | uint64(k)
+	if v, ok := stirlingCache.Load(key); ok {
+		return new(big.Int).Set(v.(*big.Int))
+	}
+	// {n k} = k*{n-1 k} + {n-1 k-1}
+	r := new(big.Int).Mul(big.NewInt(int64(k)), Stirling2(n-1, k))
+	r.Add(r, Stirling2(n-1, k-1))
+	stirlingCache.Store(key, new(big.Int).Set(r))
+	return r
+}
+
+// SumStirling returns S = sum_{i=1..k} {n i}, the number of ways to
+// partition n labeled elements into at most k non-empty subsets. This is the
+// size of the SPE solution set for a scope-free skeleton with n holes and k
+// variables (paper, Eq. 1). For k >= n it equals the Bell number B(n).
+// SumStirling(0, k) is 1 (the empty partition) for any k >= 0.
+func SumStirling(n, k int) *big.Int {
+	if n == 0 {
+		return big.NewInt(1)
+	}
+	s := new(big.Int)
+	if k > n {
+		k = n
+	}
+	for i := 1; i <= k; i++ {
+		s.Add(s, Stirling2(n, i))
+	}
+	return s
+}
+
+// Bell returns the n-th Bell number: the total number of set partitions of n
+// labeled elements. Bell(0) = 1.
+func Bell(n int) *big.Int {
+	return SumStirling(n, n)
+}
+
+// Factorial returns n! as a big integer; Factorial(0) = 1. Negative n yields 0.
+func Factorial(n int) *big.Int {
+	if n < 0 {
+		return big.NewInt(0)
+	}
+	return new(big.Int).MulRange(1, int64(n))
+}
+
+// Binomial returns the binomial coefficient C(n, k); zero outside 0<=k<=n.
+func Binomial(n, k int) *big.Int {
+	if k < 0 || n < 0 || k > n {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+// Derangements returns the number of permutations of n elements with no
+// fixed point (the subfactorial !n). Derangements(0) = 1.
+func Derangements(n int) *big.Int {
+	if n < 0 {
+		return big.NewInt(0)
+	}
+	// !n = n*!(n-1) + (-1)^n, computed iteratively.
+	d := big.NewInt(1)
+	for i := 1; i <= n; i++ {
+		d.Mul(d, big.NewInt(int64(i)))
+		if i%2 == 0 {
+			d.Add(d, big.NewInt(1))
+		} else {
+			d.Sub(d, big.NewInt(1))
+		}
+	}
+	return d
+}
+
+// PermsWithFixedPoints returns the number of permutations of n elements with
+// exactly f fixed points: C(n, f) * !(n-f).
+func PermsWithFixedPoints(n, f int) *big.Int {
+	if f < 0 || f > n {
+		return big.NewInt(0)
+	}
+	r := Binomial(n, f)
+	return r.Mul(r, Derangements(n-f))
+}

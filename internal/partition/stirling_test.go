@@ -1,0 +1,139 @@
+package partition
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestStirling2KnownValues(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {1, 1, 1}, {2, 1, 1}, {2, 2, 1},
+		{3, 2, 3}, {4, 2, 7}, {5, 2, 15}, {5, 3, 25},
+		{6, 2, 31}, {6, 3, 90}, {7, 3, 301}, {10, 5, 42525},
+		{5, 1, 1}, {5, 5, 1}, {5, 6, 0}, {3, 0, 0}, {0, 1, 0},
+		{-1, 2, 0}, {2, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Stirling2(c.n, c.k); got.Cmp(big.NewInt(c.want)) != 0 {
+			t.Errorf("Stirling2(%d,%d) = %s, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestStirling2Recurrence(t *testing.T) {
+	for n := 2; n <= 30; n++ {
+		for k := 1; k <= n; k++ {
+			want := new(big.Int).Mul(big.NewInt(int64(k)), Stirling2(n-1, k))
+			want.Add(want, Stirling2(n-1, k-1))
+			if got := Stirling2(n, k); got.Cmp(want) != 0 {
+				t.Fatalf("recurrence fails at {%d %d}: got %s want %s", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestBellNumbers(t *testing.T) {
+	// OEIS A000110
+	want := []int64{1, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975}
+	for n, w := range want {
+		if got := Bell(n); got.Cmp(big.NewInt(w)) != 0 {
+			t.Errorf("Bell(%d) = %s, want %d", n, got, w)
+		}
+	}
+}
+
+func TestSumStirling(t *testing.T) {
+	// SumStirling(n, k) for k >= n equals Bell(n).
+	for n := 0; n <= 12; n++ {
+		if got, want := SumStirling(n, n+3), Bell(n); got.Cmp(want) != 0 {
+			t.Errorf("SumStirling(%d,%d) = %s, want Bell = %s", n, n+3, got, want)
+		}
+	}
+	// Paper Fig. 5: skeleton with 6 holes and 2 variables -> 1 + {6 2} = 32
+	// canonical programs out of 2^6 = 64 naive ones.
+	if got := SumStirling(6, 2); got.Cmp(big.NewInt(32)) != 0 {
+		t.Errorf("SumStirling(6,2) = %s, want 32", got)
+	}
+	// Example 6 component: {5 2} + {5 1} = 16.
+	if got := SumStirling(5, 2); got.Cmp(big.NewInt(16)) != 0 {
+		t.Errorf("SumStirling(5,2) = %s, want 16", got)
+	}
+}
+
+func TestFactorialAndBinomial(t *testing.T) {
+	if got := Factorial(0); got.Cmp(big.NewInt(1)) != 0 {
+		t.Errorf("0! = %s, want 1", got)
+	}
+	if got := Factorial(10); got.Cmp(big.NewInt(3628800)) != 0 {
+		t.Errorf("10! = %s, want 3628800", got)
+	}
+	if got := Factorial(-1); got.Sign() != 0 {
+		t.Errorf("(-1)! = %s, want 0", got)
+	}
+	if got := Binomial(10, 3); got.Cmp(big.NewInt(120)) != 0 {
+		t.Errorf("C(10,3) = %s, want 120", got)
+	}
+	if got := Binomial(5, 9); got.Sign() != 0 {
+		t.Errorf("C(5,9) = %s, want 0", got)
+	}
+}
+
+func TestDerangements(t *testing.T) {
+	// OEIS A000166
+	want := []int64{1, 0, 1, 2, 9, 44, 265, 1854, 14833}
+	for n, w := range want {
+		if got := Derangements(n); got.Cmp(big.NewInt(w)) != 0 {
+			t.Errorf("!%d = %s, want %d", n, got, w)
+		}
+	}
+}
+
+func TestPermsWithFixedPointsSumToFactorial(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		sum := new(big.Int)
+		for f := 0; f <= n; f++ {
+			sum.Add(sum, PermsWithFixedPoints(n, f))
+		}
+		if want := Factorial(n); sum.Cmp(want) != 0 {
+			t.Errorf("sum over fixed-point profiles for n=%d = %s, want %s", n, sum, want)
+		}
+	}
+}
+
+func TestStirlingSymmetryProperty(t *testing.T) {
+	// {n 2} = 2^(n-1) - 1 for n >= 1
+	f := func(raw uint8) bool {
+		n := int(raw%20) + 1
+		want := new(big.Int).Lsh(big.NewInt(1), uint(n-1))
+		want.Sub(want, big.NewInt(1))
+		return Stirling2(n, 2).Cmp(want) == 0 || n == 1 && Stirling2(n, 2).Sign() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStirlingAsymptoticReductionFactor(t *testing.T) {
+	// Paper Eq. 2: the canonical set is ~k^n/k!, i.e. a (k-1)! reduction of
+	// k^n/k; verify the ratio naive/canonical approaches k!/(1 + o(1)) from
+	// below for growing n at fixed k.
+	for _, k := range []int{2, 3, 4} {
+		n := 24
+		naive := new(big.Int).Exp(big.NewInt(int64(k)), big.NewInt(int64(n)), nil)
+		canon := SumStirling(n, k)
+		ratio := new(big.Int).Quo(naive, canon)
+		kfact := Factorial(k)
+		// ratio must be within [k!/2, k!]
+		if ratio.Cmp(kfact) > 0 {
+			t.Errorf("k=%d: reduction ratio %s exceeds k! = %s", k, ratio, kfact)
+		}
+		half := new(big.Int).Quo(kfact, big.NewInt(2))
+		if ratio.Cmp(half) < 0 {
+			t.Errorf("k=%d: reduction ratio %s below k!/2 = %s", k, ratio, half)
+		}
+	}
+}

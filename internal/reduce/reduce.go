@@ -1,0 +1,246 @@
+// Package reduce implements delta-debugging test-case reduction in the
+// role C-Reduce and Berkeley Delta play in the paper (§6: "to file
+// high-quality bug reports, test programs should also be reduced first").
+//
+// Given a program and an interestingness predicate (e.g. "this compiler
+// version crashes with this signature"), the reducer repeatedly removes
+// statements and declarations and simplifies expressions while the
+// predicate keeps holding, converging to a 1-minimal test case.
+package reduce
+
+import (
+	"spe/internal/cc"
+)
+
+// Predicate decides whether a candidate program still exhibits the symptom
+// being reduced. It must be deterministic. Candidates that fail to parse
+// or analyze are never passed to the predicate.
+type Predicate func(prog *cc.Program) bool
+
+// Options bounds the reduction loop.
+type Options struct {
+	// MaxRounds bounds full fixpoint iterations (default 8).
+	MaxRounds int
+	// MaxChecks bounds total predicate evaluations (default 2000).
+	MaxChecks int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 8
+	}
+	if o.MaxChecks == 0 {
+		o.MaxChecks = 2000
+	}
+	return o
+}
+
+// Result reports a reduction.
+type Result struct {
+	// Source is the reduced program text.
+	Source string
+	// Checks counts predicate evaluations performed.
+	Checks int
+	// Rounds counts fixpoint iterations.
+	Rounds int
+	// RemovedStmts counts statements removed.
+	RemovedStmts int
+}
+
+type reducer struct {
+	pred    Predicate
+	opts    Options
+	checks  int
+	removed int
+}
+
+// Reduce minimizes src while pred holds. src itself must satisfy pred
+// (otherwise Reduce returns src unchanged with Checks=1).
+func Reduce(src string, pred Predicate, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	r := &reducer{pred: pred, opts: opts}
+	prog, ok := r.tryParse(src)
+	if !ok || !r.check(prog) {
+		return &Result{Source: src, Checks: r.checks}, nil
+	}
+	cur := src
+	rounds := 0
+	for rounds < opts.MaxRounds && r.checks < opts.MaxChecks {
+		rounds++
+		next, changed := r.round(cur)
+		if !changed {
+			break
+		}
+		cur = next
+	}
+	cur = r.stripEmpty(cur)
+	return &Result{Source: cur, Checks: r.checks, Rounds: rounds, RemovedStmts: r.removed}, nil
+}
+
+// stripEmpty removes the ';' husks left by statement omission, keeping the
+// result only if the predicate still holds.
+func (r *reducer) stripEmpty(src string) string {
+	prog, ok := r.tryParse(src)
+	if !ok {
+		return src
+	}
+	var clean func(cc.Stmt)
+	clean = func(st cc.Stmt) {
+		switch st := st.(type) {
+		case *cc.BlockStmt:
+			kept := st.List[:0]
+			for _, s := range st.List {
+				if _, empty := s.(*cc.EmptyStmt); empty {
+					continue
+				}
+				clean(s)
+				kept = append(kept, s)
+			}
+			st.List = kept
+		case *cc.IfStmt:
+			clean(st.Then)
+			if st.Else != nil {
+				clean(st.Else)
+			}
+		case *cc.WhileStmt:
+			clean(st.Body)
+		case *cc.DoWhileStmt:
+			clean(st.Body)
+		case *cc.ForStmt:
+			clean(st.Body)
+		case *cc.LabeledStmt:
+			clean(st.Stmt)
+		}
+	}
+	for _, fd := range prog.Funcs {
+		clean(fd.Body)
+	}
+	candidate := cc.PrintFile(prog.File)
+	candProg, ok := r.tryParse(candidate)
+	if !ok || !r.check(candProg) {
+		return src
+	}
+	return candidate
+}
+
+func (r *reducer) tryParse(src string) (*cc.Program, bool) {
+	f, err := cc.Parse(src)
+	if err != nil {
+		return nil, false
+	}
+	prog, err := cc.Analyze(f)
+	if err != nil {
+		return nil, false
+	}
+	return prog, true
+}
+
+func (r *reducer) check(prog *cc.Program) bool {
+	r.checks++
+	return r.pred(prog)
+}
+
+// round performs one pass of statement deletion over the whole program,
+// greedily keeping each deletion that preserves the predicate.
+func (r *reducer) round(src string) (string, bool) {
+	prog, ok := r.tryParse(src)
+	if !ok {
+		return src, false
+	}
+	stmts := collectStmts(prog)
+	changed := false
+	cur := src
+	curProg := prog
+	curStmts := stmts
+	for i := 0; i < len(curStmts) && r.checks < r.opts.MaxChecks; i++ {
+		p := cc.Printer{Omit: map[cc.Stmt]bool{curStmts[i]: true}}
+		candidate := p.File(curProg.File)
+		if candidate == cur {
+			continue
+		}
+		candProg, ok := r.tryParse(candidate)
+		if !ok {
+			continue
+		}
+		if r.check(candProg) {
+			cur = candidate
+			curProg = candProg
+			curStmts = collectStmts(candProg)
+			r.removed++
+			changed = true
+			i = -1 // restart over the smaller program
+		}
+	}
+	// also try dropping whole top-level declarations
+	for {
+		dropped, ok := r.dropOneDecl(cur)
+		if !ok || r.checks >= r.opts.MaxChecks {
+			break
+		}
+		cur = dropped
+		changed = true
+	}
+	return cur, changed
+}
+
+// dropOneDecl tries to remove each top-level declaration (except main).
+func (r *reducer) dropOneDecl(src string) (string, bool) {
+	prog, ok := r.tryParse(src)
+	if !ok {
+		return src, false
+	}
+	for i, d := range prog.File.Decls {
+		if fd, isFn := d.(*cc.FuncDecl); isFn && fd.Name == "main" {
+			continue
+		}
+		trimmed := &cc.File{
+			Decls:   append(append([]cc.Decl{}, prog.File.Decls[:i]...), prog.File.Decls[i+1:]...),
+			Structs: prog.File.Structs,
+		}
+		candidate := cc.PrintFile(trimmed)
+		candProg, ok := r.tryParse(candidate)
+		if !ok {
+			continue
+		}
+		if r.check(candProg) {
+			return candidate, true
+		}
+	}
+	return src, false
+}
+
+func collectStmts(prog *cc.Program) []cc.Stmt {
+	var out []cc.Stmt
+	var walk func(cc.Stmt)
+	walk = func(st cc.Stmt) {
+		if st == nil {
+			return
+		}
+		switch st := st.(type) {
+		case *cc.BlockStmt:
+			for _, s := range st.List {
+				out = append(out, s)
+				walk(s)
+			}
+		case *cc.IfStmt:
+			out = append(out, st.Then)
+			walk(st.Then)
+			if st.Else != nil {
+				out = append(out, st.Else)
+				walk(st.Else)
+			}
+		case *cc.WhileStmt:
+			walk(st.Body)
+		case *cc.DoWhileStmt:
+			walk(st.Body)
+		case *cc.ForStmt:
+			walk(st.Body)
+		case *cc.LabeledStmt:
+			walk(st.Stmt)
+		}
+	}
+	for _, fd := range prog.Funcs {
+		walk(fd.Body)
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package reduce
+
+import (
+	"strings"
+	"testing"
+
+	"spe/internal/cc"
+	"spe/internal/minicc"
+)
+
+// crashPred builds a predicate that holds when the seeded trunk compiler
+// crashes with the given bug id.
+func crashPred(bugID string) Predicate {
+	return func(prog *cc.Program) bool {
+		c := &minicc.Compiler{Version: "trunk", Opt: 3, Seeded: true}
+		out := c.Compile(prog)
+		return out.Crash != nil && out.Crash.BugID == bugID
+	}
+}
+
+func TestReduceCrashingVariant(t *testing.T) {
+	// a bloated version of the Figure 3 crasher: the reducer must strip
+	// the noise while keeping the equal-operand ternary
+	src := `
+struct s { int c; };
+struct s a, b, c;
+int d; int e;
+int unrelated(int x) { return x * 2 + 1; }
+int noise1 = 5;
+int noise2 = 6;
+int main() {
+    int k = 3;
+    k = k + noise1;
+    printf("%d\n", k);
+    b.c = 1;
+    c.c = 2;
+    int r = e ? (d == 0 ? b : c).c : (d == 0 ? b : c).c;
+    k = unrelated(k);
+    printf("%d\n", r + k);
+    return 0;
+}
+`
+	res, err := Reduce(src, crashPred("69801"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemovedStmts == 0 {
+		t.Error("nothing reduced")
+	}
+	// the reduced program still crashes the compiler the same way
+	prog := cc.MustAnalyze(res.Source)
+	if !crashPred("69801")(prog) {
+		t.Fatalf("reduced program no longer triggers the bug:\n%s", res.Source)
+	}
+	// the noise must be gone
+	for _, gone := range []string{"unrelated", "noise1"} {
+		if strings.Contains(res.Source, gone+"(") || strings.Contains(res.Source, gone+" =") {
+			t.Errorf("reduction kept %s:\n%s", gone, res.Source)
+		}
+	}
+	// the trigger must remain
+	if !strings.Contains(res.Source, "?") {
+		t.Errorf("reduction removed the ternary trigger:\n%s", res.Source)
+	}
+	t.Logf("reduced from %d to %d bytes in %d checks:\n%s",
+		len(src), len(res.Source), res.Checks, res.Source)
+}
+
+func TestReduceWrongCodePredicate(t *testing.T) {
+	// reduce a wrong-code symptom: seeded alias bug at -O2
+	src := `
+int a = 0;
+int pad1 = 1;
+int main() {
+    int junk = 42;
+    junk = junk + pad1;
+    printf("%d\n", junk);
+    a = 0;
+    int *p = &a, *q = &a;
+    *p = 1;
+    *q = 2;
+    return a;
+}
+`
+	pred := func(prog *cc.Program) bool {
+		buggy := &minicc.Compiler{Version: "trunk", Opt: 2, Seeded: true}
+		good := &minicc.Compiler{Opt: 2}
+		rb := buggy.Run(prog, minicc.ExecConfig{MaxSteps: 100_000})
+		rg := good.Run(prog, minicc.ExecConfig{MaxSteps: 100_000})
+		if !rb.Compile.Ok() || !rg.Compile.Ok() {
+			return false
+		}
+		return rb.Exec.Exit != rg.Exec.Exit
+	}
+	prog := cc.MustAnalyze(src)
+	if !pred(prog) {
+		t.Skip("seed does not trigger the alias divergence under this configuration")
+	}
+	res, err := Reduce(src, pred, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred(cc.MustAnalyze(res.Source)) {
+		t.Fatalf("reduced program lost the symptom:\n%s", res.Source)
+	}
+	if strings.Contains(res.Source, "junk") && strings.Contains(res.Source, "pad1") &&
+		res.RemovedStmts == 0 {
+		t.Errorf("no reduction achieved:\n%s", res.Source)
+	}
+}
+
+func TestReduceUninterestingInput(t *testing.T) {
+	src := "int main() { return 0; }"
+	never := func(*cc.Program) bool { return false }
+	res, err := Reduce(src, never, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != src {
+		t.Error("uninteresting input was modified")
+	}
+	if res.Checks != 1 {
+		t.Errorf("checks = %d, want 1", res.Checks)
+	}
+}
+
+func TestReduceUnparsableInput(t *testing.T) {
+	res, err := Reduce("int main() {", func(*cc.Program) bool { return true }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "int main() {" {
+		t.Error("unparsable input was modified")
+	}
+}
+
+func TestReduceRespectsCheckBudget(t *testing.T) {
+	src := `
+int main() {
+    int a = 1;
+    a = 2; a = 3; a = 4; a = 5; a = 6; a = 7; a = 8;
+    return 0;
+}
+`
+	always := func(*cc.Program) bool { return true }
+	res, err := Reduce(src, always, Options{MaxChecks: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checks > 6 {
+		t.Errorf("checks = %d, exceeded budget", res.Checks)
+	}
+}
+
+func TestReduceIdempotentOnMinimal(t *testing.T) {
+	// a minimal crasher should stay (almost) fixed under a second pass
+	src := `
+struct s { int c; };
+struct s b, c;
+int d; int e;
+int main() {
+    int r = e ? (d == 0 ? b : c).c : (d == 0 ? b : c).c;
+    return 0;
+}
+`
+	res1, err := Reduce(src, crashPred("69801"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Reduce(res1.Source, crashPred("69801"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.RemovedStmts > 0 {
+		t.Errorf("second pass still removed %d statements:\n%s", res2.RemovedStmts, res2.Source)
+	}
+}

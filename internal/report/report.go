@@ -1,0 +1,169 @@
+// Package report renders the evaluation's tables and figures as aligned
+// ASCII, mirroring the layout of the paper's Tables 1-4 and Figures 8-10.
+package report
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// Table is a simple aligned-column table writer.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// Histogram renders labeled horizontal bars (the ASCII analogue of the
+// paper's bar charts).
+type Histogram struct {
+	Title string
+	// Labels and Values are parallel.
+	Labels []string
+	Values []float64
+	// Unit is appended to each printed value.
+	Unit string
+	// Width is the maximum bar width in characters (default 40).
+	Width int
+}
+
+// String renders the histogram.
+func (h *Histogram) String() string {
+	width := h.Width
+	if width == 0 {
+		width = 40
+	}
+	max := 0.0
+	for _, v := range h.Values {
+		if v > max {
+			max = v
+		}
+	}
+	labelW := 0
+	for _, l := range h.Labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var sb strings.Builder
+	if h.Title != "" {
+		sb.WriteString(h.Title + "\n")
+	}
+	for i, l := range h.Labels {
+		v := h.Values[i]
+		bar := 0
+		if max > 0 {
+			bar = int(v / max * float64(width))
+		}
+		fmt.Fprintf(&sb, "%-*s |%s %.4g%s\n", labelW, l, strings.Repeat("#", bar), v, h.Unit)
+	}
+	return sb.String()
+}
+
+// SciBig formats a big integer in scientific notation like the paper's
+// Table 1 ("5.24e163").
+func SciBig(v *big.Int) string {
+	s := v.String()
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	if len(s) <= 6 {
+		if neg {
+			return "-" + s
+		}
+		return s
+	}
+	mant := s[:1] + "." + s[1:3]
+	out := fmt.Sprintf("%se%d", mant, len(s)-1)
+	if neg {
+		return "-" + out
+	}
+	return out
+}
+
+// RatioOrders returns the order-of-magnitude difference between two counts
+// (digits of naive minus digits of reduced), the paper's "orders of
+// magnitude reduction".
+func RatioOrders(naive, reduced *big.Int) int {
+	return len(naive.String()) - len(reduced.String())
+}
+
+// BucketCounts buckets values by decimal magnitude ([1,10), [10,100), ...),
+// the x-axis of the paper's Figure 8. Returns bucket labels and counts;
+// bucket i covers [10^i, 10^(i+1)), with a final ">=10^max" bucket.
+func BucketCounts(values []*big.Int, maxBucket int) ([]string, []int) {
+	labels := make([]string, maxBucket+1)
+	counts := make([]int, maxBucket+1)
+	for i := 0; i < maxBucket; i++ {
+		labels[i] = fmt.Sprintf("[1e%d,1e%d)", i, i+1)
+	}
+	labels[maxBucket] = fmt.Sprintf(">=1e%d", maxBucket)
+	for _, v := range values {
+		d := len(v.String()) - 1 // decimal magnitude
+		if v.Sign() <= 0 {
+			d = 0
+		}
+		if d > maxBucket {
+			d = maxBucket
+		}
+		counts[d]++
+	}
+	return labels, counts
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// SortedKeys returns sorted map keys for deterministic iteration.
+func SortedKeys[T any](m map[string]T) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,118 @@
+package report
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := &Table{
+		Title:  "T",
+		Header: []string{"A", "LongHeader"},
+	}
+	tbl.AddRow("xxxx", "1")
+	tbl.AddRow("y", "22")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	// all data lines equal width
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("header and separator widths differ:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[2], "----") {
+		t.Errorf("no separator:\n%s", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := &Histogram{
+		Title:  "H",
+		Labels: []string{"a", "bb"},
+		Values: []float64{1, 2},
+		Unit:   "%",
+	}
+	out := h.String()
+	if !strings.Contains(out, "#") || !strings.Contains(out, "2%") {
+		t.Errorf("histogram malformed:\n%s", out)
+	}
+	// the larger value gets the longer bar
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Count(lines[1], "#") >= strings.Count(lines[2], "#") {
+		t.Errorf("bar lengths not proportional:\n%s", out)
+	}
+}
+
+func TestHistogramZeroMax(t *testing.T) {
+	h := &Histogram{Labels: []string{"a"}, Values: []float64{0}}
+	if out := h.String(); !strings.Contains(out, "a") {
+		t.Errorf("zero histogram: %q", out)
+	}
+}
+
+func TestSciBig(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"0", "0"},
+		{"123", "123"},
+		{"999999", "999999"},
+		{"1000000", "1.00e6"},
+		{"52400000", "5.24e7"},
+		{"-1234567", "-1.23e6"},
+	}
+	for _, c := range cases {
+		v, _ := new(big.Int).SetString(c.in, 10)
+		if got := SciBig(v); got != c.want {
+			t.Errorf("SciBig(%s) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// the paper's Table 1 magnitude: 5.24e163
+	v := new(big.Int).Exp(big.NewInt(10), big.NewInt(163), nil)
+	v.Mul(v, big.NewInt(5))
+	if got := SciBig(v); got != "5.00e163" {
+		t.Errorf("SciBig(5e163) = %q", got)
+	}
+}
+
+func TestRatioOrders(t *testing.T) {
+	naive, _ := new(big.Int).SetString("1310943547383", 10) // paper Table 1
+	our := big.NewInt(2050671)
+	if got := RatioOrders(naive, our); got != 6 {
+		t.Errorf("RatioOrders = %d, want 6 (the paper's headline)", got)
+	}
+}
+
+func TestBucketCounts(t *testing.T) {
+	vals := []*big.Int{
+		big.NewInt(5),         // [1,10)
+		big.NewInt(50),        // [10,100)
+		big.NewInt(512),       // [100,1000)
+		big.NewInt(1_000_000), // 1e6 bucket
+		new(big.Int).Exp(big.NewInt(10), big.NewInt(15), nil), // overflow bucket
+	}
+	labels, counts := BucketCounts(vals, 10)
+	if len(labels) != 11 || len(counts) != 11 {
+		t.Fatalf("lengths = %d/%d", len(labels), len(counts))
+	}
+	if counts[0] != 1 || counts[1] != 1 || counts[2] != 1 || counts[6] != 1 || counts[10] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.291); got != "29.1%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if strings.Join(got, "") != "abc" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}

@@ -1,0 +1,390 @@
+// Package skeleton derives syntactic skeletons from analyzed C programs and
+// maps them onto the abstract set-partition problems solved by the
+// enumeration engine.
+//
+// Following the paper's tool (§2: test programs are "derived by replacing e
+// with d", i.e. by re-filling variable *uses*), every variable reference is
+// a hole and declarations stay fixed. The hole variable set v_i of a hole is
+// the set of variables visible at the use site whose type matches the
+// original reference (type-compatible filling keeps every enumerated
+// program well-typed).
+//
+// Variables are partitioned into interchangeability groups: two variables
+// are exchangeable by a compact alpha-renaming that fixes the skeleton iff
+// they are declared in the same scope with the same type, the same constant
+// initializer shape, the same storage class, and are visible at exactly the
+// same holes. The grouped restricted-growth-string enumerator then yields
+// exactly one representative per equivalence class of this relation, which
+// is a sound refinement of full program alpha-equivalence (DESIGN.md §2).
+package skeleton
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"spe/internal/cc"
+	"spe/internal/partition"
+)
+
+// Hole is a variable-use position in the skeleton.
+type Hole struct {
+	Index   int       // position in source order
+	Ident   *cc.Ident // the underlying use
+	FuncIdx int       // enclosing function index
+	// Allowed lists the interchangeability groups admissible at this hole,
+	// in increasing group order.
+	Allowed []int
+}
+
+// Group is a set of mutually interchangeable variables, ordered by
+// declaration.
+type Group struct {
+	Index int
+	Syms  []*cc.Symbol
+	// Global reports whether the group's variables are declared at file
+	// scope (used by the paper-faithful two-level algorithm).
+	Global bool
+	// FuncIdx is the declaring function (-1 for globals).
+	FuncIdx int
+	// ScopeDepth is the lexical depth of the declaring scope.
+	ScopeDepth int
+}
+
+// Key returns a short descriptor of the group for diagnostics.
+func (g *Group) Key() string {
+	if len(g.Syms) == 0 {
+		return "empty"
+	}
+	s := g.Syms[0]
+	return fmt.Sprintf("scope%d/%s", s.Scope.ID, s.Type.String())
+}
+
+// Skeleton is a program skeleton: the fixed syntax plus its holes and
+// variable groups.
+type Skeleton struct {
+	Prog   *cc.Program
+	Holes  []*Hole
+	Groups []*Group
+	// symToRef maps symbol ID to its (group, index) coordinates.
+	symToRef map[int]partition.VarRef
+}
+
+// Build extracts the skeleton of an analyzed program.
+func Build(prog *cc.Program) (*Skeleton, error) {
+	sk := &Skeleton{Prog: prog, symToRef: make(map[int]partition.VarRef)}
+
+	// Holes: every resolved variable use, in source order.
+	for i, use := range prog.Uses {
+		if use.Sym == nil {
+			return nil, fmt.Errorf("skeleton: unresolved use %q at %v", use.Name, use.Pos)
+		}
+		sk.Holes = append(sk.Holes, &Hole{Index: i, Ident: use, FuncIdx: use.FuncIdx})
+	}
+
+	// Visibility profile per symbol: bitset over holes.
+	visProfile := make(map[int]string)
+	{
+		bits := make(map[int][]byte)
+		for hi, h := range sk.Holes {
+			for _, s := range h.Ident.Visible {
+				b := bits[s.ID]
+				if b == nil {
+					b = make([]byte, (len(sk.Holes)+7)/8)
+					bits[s.ID] = b
+				}
+				b[hi/8] |= 1 << (hi % 8)
+			}
+		}
+		for id, b := range bits {
+			visProfile[id] = string(b)
+		}
+	}
+
+	// Group variables by (scope, type, decl shape, visibility profile).
+	type groupKey struct {
+		scopeID int
+		typ     string
+		init    string
+		storage cc.StorageClass
+		vis     string
+	}
+	byKey := make(map[groupKey]*Group)
+	var keysInOrder []groupKey
+	for _, sym := range prog.Symbols {
+		if sym.Kind == cc.SymFunc {
+			continue
+		}
+		key := groupKey{
+			scopeID: sym.Scope.ID,
+			typ:     sym.Type.String(),
+			init:    sym.InitLiteral,
+			storage: sym.Storage,
+			vis:     visProfile[sym.ID], // unused symbols have empty profiles
+		}
+		g, ok := byKey[key]
+		if !ok {
+			g = &Group{
+				Index:      len(keysInOrder),
+				Global:     sym.Scope.Parent == nil,
+				FuncIdx:    sym.FuncIdx,
+				ScopeDepth: sym.Scope.Depth,
+			}
+			byKey[key] = g
+			keysInOrder = append(keysInOrder, key)
+		}
+		g.Syms = append(g.Syms, sym)
+		sk.symToRef[sym.ID] = partition.VarRef{Group: g.Index, Index: len(g.Syms) - 1}
+	}
+	sk.Groups = make([]*Group, len(keysInOrder))
+	for _, k := range keysInOrder {
+		g := byKey[k]
+		sk.Groups[g.Index] = g
+	}
+
+	// Allowed groups per hole: groups whose representative is visible at
+	// the hole and whose type matches the original reference's type.
+	for hi, h := range sk.Holes {
+		origType := h.Ident.Sym.Type.String()
+		visible := make(map[int]bool, len(h.Ident.Visible))
+		for _, s := range h.Ident.Visible {
+			visible[s.ID] = true
+		}
+		for _, g := range sk.Groups {
+			if len(g.Syms) == 0 || g.Syms[0].Type.String() != origType {
+				continue
+			}
+			if !visible[g.Syms[0].ID] {
+				continue
+			}
+			h.Allowed = append(h.Allowed, g.Index)
+		}
+		if len(h.Allowed) == 0 {
+			return nil, fmt.Errorf("skeleton: hole %d (%q at %v) admits no variables", hi, h.Ident.Name, h.Ident.Pos)
+		}
+		sort.Ints(h.Allowed)
+	}
+	return sk, nil
+}
+
+// MustBuild parses, analyzes, and builds a skeleton from source, panicking
+// on error; intended for tests and examples.
+func MustBuild(src string) *Skeleton {
+	prog := cc.MustAnalyze(src)
+	sk, err := Build(prog)
+	if err != nil {
+		panic(err)
+	}
+	return sk
+}
+
+// Problem converts the whole skeleton into a single abstract enumeration
+// problem (the paper's inter-procedural granularity).
+func (sk *Skeleton) Problem() *partition.Problem {
+	p := &partition.Problem{
+		NumHoles:   len(sk.Holes),
+		GroupSizes: make([]int, len(sk.Groups)),
+		Allowed:    make([][]int, len(sk.Holes)),
+	}
+	for i, g := range sk.Groups {
+		p.GroupSizes[i] = len(g.Syms)
+	}
+	for i, h := range sk.Holes {
+		p.Allowed[i] = h.Allowed
+	}
+	return p
+}
+
+// FuncProblem is the enumeration problem of one function (intra-procedural
+// granularity): its holes, with group indices remapped densely.
+type FuncProblem struct {
+	FuncIdx int
+	Problem *partition.Problem
+	// HoleIdx maps the problem's hole positions back to skeleton holes.
+	HoleIdx []int
+	// GroupIdx maps the problem's dense group indices back to skeleton
+	// groups.
+	GroupIdx []int
+}
+
+// FuncProblems splits the skeleton into one problem per function, the
+// paper's default intra-procedural enumeration granularity (§4.3). Holes
+// outside any function (global initializers) are gathered into a pseudo
+// function with index -1, placed first when present.
+func (sk *Skeleton) FuncProblems() []*FuncProblem {
+	byFunc := make(map[int][]*Hole)
+	var order []int
+	for _, h := range sk.Holes {
+		if _, seen := byFunc[h.FuncIdx]; !seen {
+			order = append(order, h.FuncIdx)
+		}
+		byFunc[h.FuncIdx] = append(byFunc[h.FuncIdx], h)
+	}
+	sort.Ints(order)
+	var out []*FuncProblem
+	for _, fi := range order {
+		holes := byFunc[fi]
+		fp := &FuncProblem{FuncIdx: fi}
+		denseOf := make(map[int]int)
+		for _, h := range holes {
+			fp.HoleIdx = append(fp.HoleIdx, h.Index)
+			for _, g := range h.Allowed {
+				if _, ok := denseOf[g]; !ok {
+					denseOf[g] = len(fp.GroupIdx)
+					fp.GroupIdx = append(fp.GroupIdx, g)
+				}
+			}
+		}
+		sort.Ints(fp.GroupIdx)
+		for dense, g := range fp.GroupIdx {
+			denseOf[g] = dense
+		}
+		prob := &partition.Problem{
+			NumHoles:   len(holes),
+			GroupSizes: make([]int, len(fp.GroupIdx)),
+			Allowed:    make([][]int, len(holes)),
+		}
+		for dense, g := range fp.GroupIdx {
+			prob.GroupSizes[dense] = len(sk.Groups[g].Syms)
+		}
+		for i, h := range holes {
+			allowed := make([]int, len(h.Allowed))
+			for j, g := range h.Allowed {
+				allowed[j] = denseOf[g]
+			}
+			sort.Ints(allowed)
+			prob.Allowed[i] = allowed
+		}
+		fp.Problem = prob
+		out = append(out, fp)
+	}
+	return out
+}
+
+// OriginalFill returns the filling corresponding to the original program's
+// own variable choices.
+func (sk *Skeleton) OriginalFill() []partition.VarRef {
+	fill := make([]partition.VarRef, len(sk.Holes))
+	for i, h := range sk.Holes {
+		fill[i] = sk.symToRef[h.Ident.Sym.ID]
+	}
+	return fill
+}
+
+// Render prints the program realized by the given whole-skeleton filling.
+func (sk *Skeleton) Render(fill []partition.VarRef) string {
+	if len(fill) != len(sk.Holes) {
+		panic(fmt.Sprintf("skeleton: fill length %d, want %d", len(fill), len(sk.Holes)))
+	}
+	names := make(map[*cc.Ident]string, len(fill))
+	for i, vr := range fill {
+		g := sk.Groups[vr.Group]
+		names[sk.Holes[i].Ident] = g.Syms[vr.Index].Name
+	}
+	p := cc.Printer{Rename: func(id *cc.Ident) string {
+		if n, ok := names[id]; ok {
+			return n
+		}
+		return id.Name
+	}}
+	return p.File(sk.Prog.File)
+}
+
+// RenderFunc renders the program with only the holes of one function
+// problem re-filled (other holes keep their original variables).
+func (sk *Skeleton) RenderFunc(fp *FuncProblem, fill []partition.VarRef) string {
+	whole := sk.OriginalFill()
+	for i, vr := range fill {
+		g := sk.Groups[fp.GroupIdx[vr.Group]]
+		whole[fp.HoleIdx[i]] = partition.VarRef{Group: fp.GroupIdx[vr.Group], Index: vr.Index}
+		_ = g
+	}
+	return sk.Render(whole)
+}
+
+// DeclHoleFactor returns the contribution of declaration holes to the
+// paper's naive enumeration baseline. The paper's skeletons hole the
+// declared names as well as the uses (Figure 6: "int <>=1, <>=0"), so its
+// naive count multiplies, per declaration, the number of same-type
+// variables available in the declaring scope chain (Figure 6's 2^5 * 4^5
+// counts two choices for each outer declaration and four for each inner
+// one). The SPE solution set quotients those choices away completely —
+// every arrangement of declared names within a scope is alpha-equivalent —
+// so only the naive baseline carries this factor.
+func (sk *Skeleton) DeclHoleFactor() *big.Int {
+	factor := big.NewInt(1)
+	for _, sym := range sk.Prog.Symbols {
+		if sym.Kind == cc.SymFunc {
+			continue
+		}
+		n := 0
+		for _, other := range sk.Prog.Symbols {
+			if other.Kind == cc.SymFunc || other.Type.String() != sym.Type.String() {
+				continue
+			}
+			// other is in sym's scope chain?
+			for sc := sym.Scope; sc != nil; sc = sc.Parent {
+				if other.Scope == sc {
+					n++
+					break
+				}
+			}
+		}
+		if n > 1 {
+			factor.Mul(factor, big.NewInt(int64(n)))
+		}
+	}
+	return factor
+}
+
+// Stats summarizes a skeleton with the metrics of the paper's Table 2.
+type Stats struct {
+	Holes  int     // number of holes
+	Scopes int     // scopes declaring at least one variable
+	Funcs  int     // function definitions
+	Types  int     // distinct variable types
+	Vars   float64 // average size of the hole variable set |v_i|
+}
+
+// ComputeStats returns the Table 2 metrics for the skeleton.
+func (sk *Skeleton) ComputeStats() Stats {
+	st := Stats{Holes: len(sk.Holes), Funcs: len(sk.Prog.Funcs)}
+	scopes := make(map[int]bool)
+	types := make(map[string]bool)
+	for _, sym := range sk.Prog.Symbols {
+		if sym.Kind == cc.SymFunc {
+			continue
+		}
+		scopes[sym.Scope.ID] = true
+		types[sym.Type.String()] = true
+	}
+	st.Scopes = len(scopes)
+	st.Types = len(types)
+	if len(sk.Holes) > 0 {
+		total := 0
+		for _, h := range sk.Holes {
+			for _, g := range h.Allowed {
+				total += len(sk.Groups[g].Syms)
+			}
+		}
+		st.Vars = float64(total) / float64(len(sk.Holes))
+	}
+	return st
+}
+
+// String renders the skeleton with holes shown as numbered boxes, for
+// diagnostics and documentation.
+func (sk *Skeleton) String() string {
+	idx := make(map[*cc.Ident]int, len(sk.Holes))
+	for i, h := range sk.Holes {
+		idx[h.Ident] = i
+	}
+	p := cc.Printer{Rename: func(id *cc.Ident) string {
+		if i, ok := idx[id]; ok {
+			return fmt.Sprintf("<%d>", i+1)
+		}
+		return id.Name
+	}}
+	return strings.TrimRight(p.File(sk.Prog.File), "\n")
+}

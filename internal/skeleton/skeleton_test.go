@@ -1,0 +1,329 @@
+package skeleton
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"spe/internal/partition"
+)
+
+// figure6 is the paper's Figure 6 program.
+const figure6 = `
+int main() {
+    int a = 1, b = 0;
+    if (a) {
+        int c = 3, d = 5;
+        b = c + d;
+    }
+    printf("%d", a);
+    printf("%d", b);
+    return 0;
+}
+`
+
+func TestBuildFigure6(t *testing.T) {
+	sk := MustBuild(figure6)
+	// holes: a(if), b, c, d, a(printf), b(printf) = 6 uses
+	if len(sk.Holes) != 6 {
+		t.Fatalf("holes = %d, want 6", len(sk.Holes))
+	}
+	// groups: {a} and {b} separate (different initializers 1 vs 0);
+	// {c} and {d} separate (3 vs 5). All singleton groups.
+	if len(sk.Groups) != 4 {
+		t.Fatalf("groups = %d, want 4", len(sk.Groups))
+	}
+	prob := sk.Problem()
+	if err := prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// inner holes (b = c + d) admit all four variables; outer holes two.
+	naive := prob.NaiveCount()
+	// naive = 2*2*4*4*4*2 ... order: a(if):2 vars visible of type int? all
+	// four variables are int; outer holes see a,b only => 2; inner three
+	// see 4 => 4^3; two printf holes => 2*2. Total 2*4*4*4*2*2 = 512.
+	if naive.Cmp(big.NewInt(512)) != 0 {
+		t.Errorf("naive count = %s, want 512", naive)
+	}
+	// all groups are singletons, so canonical == naive
+	if got := prob.CanonicalCount(); got.Cmp(naive) != 0 {
+		t.Errorf("canonical = %s, want %s (singleton groups)", got, naive)
+	}
+}
+
+// figure6Uninit drops the distinct initializers so that a,b and c,d become
+// interchangeable pairs, recovering the paper's Figure 7 structure.
+const figure6Uninit = `
+int main() {
+    int a, b;
+    if (1) {
+        int c, d;
+        b = c + d;
+    }
+    a = b;
+    b = a;
+    return 0;
+}
+`
+
+func TestBuildInterchangeableGroups(t *testing.T) {
+	sk := MustBuild(figure6Uninit)
+	// groups: {a,b} (same scope, no init) and {c,d}
+	if len(sk.Groups) != 2 {
+		for _, g := range sk.Groups {
+			t.Logf("group %d: %s (%d syms)", g.Index, g.Key(), len(g.Syms))
+		}
+		t.Fatalf("groups = %d, want 2", len(sk.Groups))
+	}
+	sizes := []int{len(sk.Groups[0].Syms), len(sk.Groups[1].Syms)}
+	if sizes[0] != 2 || sizes[1] != 2 {
+		t.Errorf("group sizes = %v, want [2 2]", sizes)
+	}
+	prob := sk.Problem()
+	// holes: b, c, d (inner), a, b, b, a (outer) = 7; inner 3 holes admit
+	// both groups, outer 4 admit only the {a,b} group.
+	if prob.NumHoles != 7 {
+		t.Fatalf("holes = %d, want 7", prob.NumHoles)
+	}
+	naive := prob.NaiveCount()
+	// inner holes: 4 choices each; outer: 2 each => 4^3 * 2^4 = 1024
+	if naive.Cmp(big.NewInt(1024)) != 0 {
+		t.Errorf("naive = %s, want 1024", naive)
+	}
+	canon := prob.CanonicalCount()
+	burn := prob.OrbitCountBurnside()
+	if canon.Cmp(burn) != 0 {
+		t.Errorf("canonical %s != Burnside %s", canon, burn)
+	}
+	if canon.Cmp(naive) >= 0 {
+		t.Errorf("canonical %s not smaller than naive %s", canon, naive)
+	}
+}
+
+func TestFigure7Exact(t *testing.T) {
+	// Exactly the paper's Figure 7: 3 global holes over {a,b}, 2 local
+	// holes over {a,b,c,d}. Expect canonical = 40 (DESIGN.md §2).
+	src := `
+int a, b;
+int main() {
+    a = b;
+    b = a;
+    if (1) {
+        int c, d;
+        c = d;
+    }
+    a = a;
+    return 0;
+}
+`
+	sk := MustBuild(src)
+	if len(sk.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(sk.Groups))
+	}
+	prob := sk.Problem()
+	if prob.NumHoles != 8 {
+		t.Fatalf("holes = %d, want 8", prob.NumHoles)
+	}
+	// 6 global-only holes (a=b; b=a; a=a) and 2 dual holes (c=d)
+	dual := 0
+	for _, as := range prob.Allowed {
+		if len(as) == 2 {
+			dual++
+		}
+	}
+	if dual != 2 {
+		t.Fatalf("dual holes = %d, want 2", dual)
+	}
+}
+
+func TestOriginalFillRendersIdentity(t *testing.T) {
+	sk := MustBuild(figure6)
+	out := sk.Render(sk.OriginalFill())
+	if !strings.Contains(out, "b = c + d") {
+		t.Errorf("original fill mangled:\n%s", out)
+	}
+}
+
+func TestRenderFill(t *testing.T) {
+	sk := MustBuild(`
+int a, b;
+int main() {
+    a = b;
+    return 0;
+}
+`)
+	prob := sk.Problem()
+	var variants []string
+	prob.EachCanonical(func(fill []partition.VarRef) bool {
+		variants = append(variants, sk.Render(fill))
+		return true
+	})
+	// 2 holes, one group {a,b}: canonical fillings aa, ab => 2 variants
+	if len(variants) != 2 {
+		t.Fatalf("variants = %d, want 2", len(variants))
+	}
+	joined := strings.Join(variants, "\n====\n")
+	if !strings.Contains(joined, "a = a") || !strings.Contains(joined, "a = b") {
+		t.Errorf("unexpected variants:\n%s", joined)
+	}
+	// every variant must reparse and reanalyze
+	for _, v := range variants {
+		MustBuild(v)
+	}
+}
+
+func TestRenderedVariantsAreValidPrograms(t *testing.T) {
+	sk := MustBuild(figure6Uninit)
+	prob := sk.Problem()
+	n := 0
+	prob.EachCanonical(func(fill []partition.VarRef) bool {
+		src := sk.Render(fill)
+		MustBuild(src) // panics (failing the test) if invalid
+		n++
+		return n < 200
+	})
+	if n == 0 {
+		t.Fatal("no variants rendered")
+	}
+}
+
+func TestFuncProblemsIntraProcedural(t *testing.T) {
+	sk := MustBuild(`
+int g1, g2;
+int f(int x, int y) { return x + y + g1; }
+int main() { g2 = f(g1, g2); return g2; }
+`)
+	fps := sk.FuncProblems()
+	if len(fps) != 2 {
+		t.Fatalf("func problems = %d, want 2", len(fps))
+	}
+	// f's holes: x, y, g1 = 3; main's: g2, g1, g2, g2 = 4
+	if fps[0].Problem.NumHoles != 3 || fps[1].Problem.NumHoles != 4 {
+		t.Errorf("hole counts = %d, %d; want 3, 4",
+			fps[0].Problem.NumHoles, fps[1].Problem.NumHoles)
+	}
+	for _, fp := range fps {
+		if err := fp.Problem.Validate(); err != nil {
+			t.Errorf("func %d: %v", fp.FuncIdx, err)
+		}
+	}
+	// intra-procedural product must not exceed the inter-procedural count
+	intra := new(big.Int).Mul(fps[0].Problem.CanonicalCount(), fps[1].Problem.CanonicalCount())
+	inter := sk.Problem().CanonicalCount()
+	if intra.Cmp(inter) > 0 {
+		t.Errorf("intra product %s exceeds inter count %s", intra, inter)
+	}
+}
+
+func TestRenderFuncVariant(t *testing.T) {
+	sk := MustBuild(`
+int g;
+int f(int x) { return x + g; }
+int main() { g = f(g); return g; }
+`)
+	fps := sk.FuncProblems()
+	fp := fps[0] // function f
+	n := 0
+	fp.Problem.EachCanonical(func(fill []partition.VarRef) bool {
+		src := sk.RenderFunc(fp, fill)
+		MustBuild(src)
+		n++
+		return true
+	})
+	if n < 2 {
+		t.Errorf("function f yielded %d variants, want >= 2", n)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	sk := MustBuild(figure6)
+	st := sk.ComputeStats()
+	if st.Holes != 6 {
+		t.Errorf("Holes = %d, want 6", st.Holes)
+	}
+	if st.Funcs != 1 {
+		t.Errorf("Funcs = %d, want 1", st.Funcs)
+	}
+	if st.Scopes != 2 {
+		t.Errorf("Scopes = %d, want 2", st.Scopes)
+	}
+	if st.Types != 1 {
+		t.Errorf("Types = %d, want 1", st.Types)
+	}
+	if st.Vars <= 0 {
+		t.Errorf("Vars = %v, want > 0", st.Vars)
+	}
+}
+
+func TestTypeStrictFilling(t *testing.T) {
+	sk := MustBuild(`
+int i1, i2;
+double d1, d2;
+int main() {
+    i1 = i2;
+    d1 = d2;
+    return 0;
+}
+`)
+	prob := sk.Problem()
+	// int holes admit only {i1,i2}; double holes only {d1,d2}
+	for hi, h := range sk.Holes {
+		for _, g := range h.Allowed {
+			gt := sk.Groups[g].Syms[0].Type.String()
+			ot := h.Ident.Sym.Type.String()
+			if gt != ot {
+				t.Errorf("hole %d (%s) admits group of type %s", hi, ot, gt)
+			}
+		}
+	}
+	if got := prob.NaiveCount(); got.Cmp(big.NewInt(16)) != 0 {
+		t.Errorf("naive = %s, want 16 (2^4)", got)
+	}
+}
+
+func TestSkeletonString(t *testing.T) {
+	sk := MustBuild("int a, b;\nint main() { a = b; return 0; }")
+	s := sk.String()
+	if !strings.Contains(s, "<1> = <2>") {
+		t.Errorf("skeleton rendering missing holes:\n%s", s)
+	}
+}
+
+func TestShadowingRestrictsGroups(t *testing.T) {
+	sk := MustBuild(`
+int x;
+int main() {
+    int x = 1;
+    x = x + 1;
+    return x;
+}
+`)
+	// uses of x resolve to the local; the shadowed global is not visible,
+	// so every hole admits exactly one variable.
+	prob := sk.Problem()
+	if got := prob.NaiveCount(); got.Cmp(big.NewInt(1)) != 0 {
+		t.Errorf("naive = %s, want 1 (shadowed global not admissible)", got)
+	}
+}
+
+func TestParamsGroupSeparateFromLocals(t *testing.T) {
+	sk := MustBuild(`
+int f(int x, int y) {
+    int a, b;
+    a = x;
+    b = y;
+    return a + b;
+}
+int main() { return f(1, 2); }
+`)
+	// {x,y} interchangeable params; {a,b} interchangeable locals
+	if len(sk.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(sk.Groups))
+	}
+	prob := sk.Problem()
+	canon := prob.CanonicalCount()
+	burn := prob.OrbitCountBurnside()
+	if canon.Cmp(burn) != 0 {
+		t.Errorf("canonical %s != Burnside %s", canon, burn)
+	}
+}

@@ -1,0 +1,206 @@
+package spe
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"spe/internal/partition"
+)
+
+// example6 is the configuration of paper Figure 7 / Example 6: 3 global
+// holes, 2 global variables, one scope with 2 holes and 2 locals.
+func example6() *TwoLevelConfig {
+	return &TwoLevelConfig{
+		GlobalHoles: 3,
+		GlobalVars:  2,
+		ScopeHoles:  []int{2},
+		ScopeVars:   []int{2},
+	}
+}
+
+func TestExample6PaperArithmetic(t *testing.T) {
+	c := example6()
+	// Paper Example 6: S'_f = {5 2}+{5 1} = 16; promoting either local
+	// hole: 2 * ({4 2} * {1 1}) = 14; promoting neither: {3 2} * ({2 2} +
+	// {2 1}) = 6. Total 36. The naive count is 2^3 * 4^2 = 128.
+	if got := c.PaperCount(); got.Cmp(big.NewInt(36)) != 0 {
+		t.Errorf("PaperCount = %s, want 36 (paper Example 6)", got)
+	}
+	if got := c.NaiveCount(); got.Cmp(big.NewInt(128)) != 0 {
+		t.Errorf("NaiveCount = %s, want 128", got)
+	}
+	// The exact orbit count is 40 (DESIGN.md §2).
+	if got := c.CanonicalProblem().CanonicalCount(); got.Cmp(big.NewInt(40)) != 0 {
+		t.Errorf("canonical count = %s, want 40", got)
+	}
+}
+
+func TestEachPaperMatchesPaperCount(t *testing.T) {
+	cfgs := []*TwoLevelConfig{
+		example6(),
+		{GlobalHoles: 4, GlobalVars: 2},
+		{GlobalHoles: 0, GlobalVars: 2, ScopeHoles: []int{3}, ScopeVars: []int{1}},
+		{GlobalHoles: 2, GlobalVars: 1, ScopeHoles: []int{2, 2}, ScopeVars: []int{1, 2}},
+		{GlobalHoles: 1, GlobalVars: 3, ScopeHoles: []int{2}, ScopeVars: []int{2}},
+		{GlobalHoles: 0, GlobalVars: 1, ScopeHoles: []int{0}, ScopeVars: []int{2}},
+	}
+	for i, c := range cfgs {
+		want := c.PaperCount()
+		got := c.EachPaper(func([]int) bool { return true })
+		if big.NewInt(int64(got)).Cmp(want) != 0 {
+			t.Errorf("cfg %d (%+v): EachPaper yielded %d, PaperCount = %s", i, c, got, want)
+		}
+	}
+}
+
+func TestEachPaperRandomConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		c := &TwoLevelConfig{
+			GlobalHoles: rng.Intn(4),
+			GlobalVars:  1 + rng.Intn(3),
+		}
+		for s := 0; s < rng.Intn(3); s++ {
+			c.ScopeHoles = append(c.ScopeHoles, rng.Intn(3))
+			c.ScopeVars = append(c.ScopeVars, 1+rng.Intn(2))
+		}
+		want := c.PaperCount()
+		got := c.EachPaper(func([]int) bool { return true })
+		if big.NewInt(int64(got)).Cmp(want) != 0 {
+			t.Fatalf("trial %d (%+v): enumerated %d, counted %s", trial, c, got, want)
+		}
+	}
+}
+
+func TestEachPaperProducesValidAssignments(t *testing.T) {
+	c := example6()
+	c.EachPaper(func(assign []int) bool {
+		if len(assign) != 5 {
+			t.Fatalf("assign length %d", len(assign))
+		}
+		for i := 0; i < c.GlobalHoles; i++ {
+			if assign[i] < 0 || assign[i] >= c.GlobalVars {
+				t.Fatalf("global hole %d assigned %d", i, assign[i])
+			}
+		}
+		for i := c.GlobalHoles; i < 5; i++ {
+			if assign[i] < 0 || assign[i] >= c.NumVars() {
+				t.Fatalf("scope hole %d assigned %d", i, assign[i])
+			}
+		}
+		return true
+	})
+}
+
+func TestEachPaperDuplicateAnalysis(t *testing.T) {
+	// The paper's procedure double-counts exactly one partition shape on
+	// the Example 6 configuration: {{1,2,5},{3},{4}} arises both from
+	// promoting hole 3 and from promoting hole 4. Verify 36 yields but
+	// only 35 distinct set partitions.
+	c := example6()
+	distinct := make(map[string]bool)
+	total := 0
+	c.EachPaper(func(assign []int) bool {
+		total++
+		distinct[string(rgsKey(assign))] = true
+		return true
+	})
+	if total != 36 {
+		t.Fatalf("total = %d, want 36", total)
+	}
+	if len(distinct) != 35 {
+		t.Errorf("distinct partitions = %d, want 35", len(distinct))
+	}
+}
+
+// rgsKey canonicalizes an assignment to its set-partition key.
+func rgsKey(assign []int) []byte {
+	rgs := partition.RGSOf(assign)
+	b := make([]byte, len(rgs))
+	for i, v := range rgs {
+		b[i] = byte(v)
+	}
+	return b
+}
+
+func TestPaperMissesOrbitsCanonicalFinds(t *testing.T) {
+	// Distinct compact-alpha orbits number 40; the paper's 36 yields cover
+	// only 35 distinct partitions. Under the *orbit* relation (which is
+	// finer than partition equality across scope boundaries), the paper
+	// set covers fewer classes than canonical enumeration.
+	c := example6()
+	p := c.CanonicalProblem()
+	canonKeys := make(map[string]bool)
+	p.EachCanonical(func(fill []partition.VarRef) bool {
+		canonKeys[partition.FillKey(p.CanonicalizeFill(fill))] = true
+		return true
+	})
+	if len(canonKeys) != 40 {
+		t.Fatalf("canonical classes = %d, want 40", len(canonKeys))
+	}
+	// Map each paper assignment into the canonical problem's fill space.
+	paperKeys := make(map[string]bool)
+	c.EachPaper(func(assign []int) bool {
+		fill := make([]partition.VarRef, len(assign))
+		for i, v := range assign {
+			if v < c.GlobalVars {
+				fill[i] = partition.VarRef{Group: 0, Index: v}
+			} else {
+				fill[i] = partition.VarRef{Group: 1, Index: v - c.GlobalVars}
+			}
+		}
+		paperKeys[partition.FillKey(p.CanonicalizeFill(fill))] = true
+		return true
+	})
+	if len(paperKeys) >= len(canonKeys) {
+		t.Errorf("paper covers %d orbit classes, canonical %d; expected paper < canonical",
+			len(paperKeys), len(canonKeys))
+	}
+}
+
+func TestTwoLevelValidate(t *testing.T) {
+	bad := []*TwoLevelConfig{
+		{GlobalHoles: -1},
+		{GlobalHoles: 1, GlobalVars: 0},
+		{GlobalHoles: 0, GlobalVars: 1, ScopeHoles: []int{1}, ScopeVars: nil},
+		{GlobalHoles: 0, GlobalVars: 1, ScopeHoles: []int{-1}, ScopeVars: []int{1}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, c)
+		}
+	}
+	if err := example6().Validate(); err != nil {
+		t.Errorf("Validate rejected Example 6 config: %v", err)
+	}
+}
+
+func TestPaperCountScopeFreeEqualsStirlingSum(t *testing.T) {
+	// With no scopes the paper's algorithm is exact: SumStirling(n, k).
+	for n := 0; n <= 8; n++ {
+		for k := 1; k <= 3; k++ {
+			c := &TwoLevelConfig{GlobalHoles: n, GlobalVars: k}
+			want := partition.SumStirling(n, k)
+			if got := c.PaperCount(); got.Cmp(want) != 0 {
+				t.Errorf("n=%d k=%d: PaperCount = %s, want %s", n, k, got, want)
+			}
+			// and agrees with the exact canonical count
+			if got := c.CanonicalProblem().CanonicalCount(); got.Cmp(want) != 0 {
+				t.Errorf("n=%d k=%d: canonical = %s, want %s", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestEachPaperEarlyStop(t *testing.T) {
+	c := example6()
+	calls := 0
+	c.EachPaper(func([]int) bool {
+		calls++
+		return calls < 10
+	})
+	if calls != 10 {
+		t.Errorf("early stop after %d calls, want 10", calls)
+	}
+}

@@ -1,0 +1,274 @@
+package whilelang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a WHILE program in the concrete syntax of the paper's
+// Figure 4 / Figure 5:
+//
+//	x := 10;
+//	y := 1;
+//	while (x) do
+//	  x := x - y;
+//	if (x < y) then
+//	  y := 0;
+//	else
+//	  y := 1;
+//
+// Statement bodies of while/if are either a single statement or a
+// braces-enclosed sequence. The variable set V is collected from all
+// identifiers.
+func Parse(src string) (*Program, error) {
+	p := &wparser{toks: wlex(src)}
+	body, err := p.seq(func() bool { return p.eof() })
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Body: body}
+	seen := map[string]bool{}
+	for _, h := range prog.Holes() {
+		if !seen[h.Name] {
+			seen[h.Name] = true
+			prog.Vars = append(prog.Vars, h.Name)
+		}
+	}
+	return prog, nil
+}
+
+// MustParse parses or panics; for tests and examples.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func wlex(src string) []string {
+	// protect multi-character operators before splitting single characters
+	src = strings.ReplaceAll(src, ":=", " \x01 ")
+	src = strings.ReplaceAll(src, "<=", " \x02 ")
+	for _, p := range []string{"(", ")", "{", "}", ";", "+", "-", "*", "<", "="} {
+		src = strings.ReplaceAll(src, p, " "+p+" ")
+	}
+	src = strings.ReplaceAll(src, "\x01", ":=")
+	src = strings.ReplaceAll(src, "\x02", "<=")
+	return strings.Fields(src)
+}
+
+type wparser struct {
+	toks []string
+	pos  int
+}
+
+func (p *wparser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *wparser) peek() string {
+	if p.eof() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *wparser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *wparser) expect(t string) error {
+	if p.peek() != t {
+		return fmt.Errorf("whilelang: expected %q, found %q at token %d", t, p.peek(), p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *wparser) seq(done func() bool) (Stmt, error) {
+	var list []Stmt
+	for !done() {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, s)
+	}
+	if len(list) == 1 {
+		return list[0], nil
+	}
+	return &Seq{List: list}, nil
+}
+
+func (p *wparser) stmt() (Stmt, error) {
+	switch p.peek() {
+	case "{":
+		p.next()
+		s, err := p.seq(func() bool { return p.peek() == "}" || p.eof() })
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("}"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case "while":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("do"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Cond: cond, Body: body}, nil
+	case "if":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("then"); err != nil {
+			return nil, err
+		}
+		thenS, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &If{Cond: cond, Then: thenS}
+		if p.peek() == "else" {
+			p.next()
+			elseS, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = elseS
+		}
+		return st, nil
+	case "":
+		return nil, fmt.Errorf("whilelang: unexpected end of input")
+	default:
+		name := p.next()
+		if !isIdent(name) {
+			return nil, fmt.Errorf("whilelang: expected statement, found %q", name)
+		}
+		if err := p.expect(":="); err != nil {
+			return nil, err
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Assign{Var: &Var{Name: name}, Expr: rhs}, nil
+	}
+}
+
+// expr parses left-associative chains over +, -, *, and the relational and
+// boolean operators of Figure 4 (flat precedence suffices for the paper's
+// programs; parenthesize to group).
+func (p *wparser) expr() (Expr, error) {
+	lhs, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.peek()
+		switch op {
+		case "+", "-", "*", "<", "<=", "=", "and", "or":
+			p.next()
+			rhs, err := p.atom()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &BinOp{Op: op, L: lhs, R: rhs}
+		default:
+			return lhs, nil
+		}
+	}
+}
+
+func (p *wparser) atom() (Expr, error) {
+	t := p.next()
+	switch {
+	case t == "(":
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t == "not":
+		x, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{X: x}, nil
+	case t == "true":
+		return &Bool{Val: true}, nil
+	case t == "false":
+		return &Bool{Val: false}, nil
+	case isNumber(t):
+		v, _ := strconv.ParseInt(t, 10, 64)
+		return &Num{Val: v}, nil
+	case isIdent(t):
+		return &Var{Name: t}, nil
+	default:
+		return nil, fmt.Errorf("whilelang: unexpected token %q", t)
+	}
+}
+
+func isNumber(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		if c == '-' && i == 0 && len(s) > 1 {
+			continue
+		}
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+var wlKeywords = map[string]bool{
+	"while": true, "do": true, "if": true, "then": true, "else": true,
+	"not": true, "true": true, "false": true, "and": true, "or": true,
+}
+
+func isIdent(s string) bool {
+	if s == "" || wlKeywords[s] {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,136 @@
+package whilelang
+
+import (
+	"math/big"
+	"reflect"
+	"testing"
+)
+
+const figure5Src = `
+a := 10;
+b := 1;
+while (a) do
+  a := a - b;
+`
+
+func TestParseFigure5(t *testing.T) {
+	p := MustParse(figure5Src)
+	if !reflect.DeepEqual(p.Vars, []string{"a", "b"}) {
+		t.Fatalf("vars = %v", p.Vars)
+	}
+	if got := len(p.Holes()); got != 6 {
+		t.Fatalf("holes = %d, want 6", got)
+	}
+	// parsed and hand-built programs agree on all counts and semantics
+	built := Figure5()
+	if p.NaiveCount().Cmp(built.NaiveCount()) != 0 {
+		t.Error("naive counts disagree")
+	}
+	if p.CanonicalCount().Cmp(big.NewInt(32)) != 0 {
+		t.Errorf("canonical = %s", p.CanonicalCount())
+	}
+	st, err := p.Eval(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["a"] != 0 || st["b"] != 1 {
+		t.Errorf("final state = %v", st)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	srcs := []string{
+		figure5Src,
+		"x := 1;\nif (x < 2) then\n  y := x;\nelse\n  y := 0;",
+		"s := 0;\ni := 5;\nwhile (i) do {\n  s := s + i;\n  i := i - 1;\n}",
+		"b := true;\nif (not b) then\n  x := 1;",
+		"x := (1 + 2) * 3;",
+	}
+	for _, src := range srcs {
+		p := MustParse(src)
+		printed := p.String()
+		p2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\n%s", err, printed)
+		}
+		if p2.String() != printed {
+			t.Errorf("print not a fixed point:\n%s\nvs\n%s", printed, p2.String())
+		}
+	}
+}
+
+func TestParseBraceBodies(t *testing.T) {
+	p := MustParse(`
+s := 0;
+i := 3;
+while (i) do {
+  s := s + i;
+  i := i - 1;
+}
+`)
+	st, err := p.Eval(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["s"] != 6 || st["i"] != 0 {
+		t.Errorf("state = %v, want s=6 i=0", st)
+	}
+}
+
+func TestParseIfElse(t *testing.T) {
+	p := MustParse(`
+x := 5;
+if (x < 3) then
+  y := 1;
+else
+  y := 2;
+`)
+	st, err := p.Eval(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["y"] != 2 {
+		t.Errorf("y = %d, want 2", st["y"])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"x := ;",
+		"x = 1;",
+		"while x do y := 1;",
+		"if (x) y := 1;",
+		"x := 1",
+		"while (x) do",
+		"123 := x;",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParsedEnumerationMatchesTheory(t *testing.T) {
+	p := MustParse("x := y + z;\ny := x;")
+	// holes: x, y, z, y, x = 5; vars = 3 => canonical = sum {5 i}, i=1..3
+	n := len(p.Holes())
+	if n != 5 {
+		t.Fatalf("holes = %d", n)
+	}
+	want := big.NewInt(1 + 15 + 25) // {5 1} + {5 2} + {5 3}
+	if got := p.CanonicalCount(); got.Cmp(want) != 0 {
+		t.Errorf("canonical = %s, want %s", got, want)
+	}
+	seen := map[string]bool{}
+	p.EachCanonical(func(src string) bool {
+		if seen[src] {
+			t.Fatalf("duplicate variant:\n%s", src)
+		}
+		seen[src] = true
+		return true
+	})
+	if int64(len(seen)) != want.Int64() {
+		t.Errorf("enumerated %d, want %s", len(seen), want)
+	}
+}

@@ -1,0 +1,424 @@
+// Package whilelang implements the WHILE language of the paper's Section 3
+// (Figure 4): arithmetic and boolean expressions, assignment, sequencing,
+// conditionals, and loops, with no lexical scoping — every variable is
+// global. It serves as the pedagogical substrate for skeletal program
+// enumeration: the scope-free case where SPE reduces exactly to set
+// partition enumeration via restricted growth strings (Section 4.1).
+package whilelang
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"spe/internal/partition"
+)
+
+// Stmt is a WHILE statement.
+type Stmt interface{ stmt() }
+
+// Assign is "x := a".
+type Assign struct {
+	Var  *Var
+	Expr Expr
+}
+
+func (*Assign) stmt() {}
+
+// Seq is "S1 ; S2".
+type Seq struct{ List []Stmt }
+
+func (*Seq) stmt() {}
+
+// While is "while (b) do S".
+type While struct {
+	Cond Expr
+	Body Stmt
+}
+
+func (*While) stmt() {}
+
+// If is "if (b) then S1 else S2".
+type If struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+func (*If) stmt() {}
+
+// Expr is a WHILE expression.
+type Expr interface{ expr() }
+
+// Var is a variable occurrence — a skeleton hole.
+type Var struct{ Name string }
+
+func (*Var) expr() {}
+
+// Num is an integer literal.
+type Num struct{ Val int64 }
+
+func (*Num) expr() {}
+
+// Bool is a boolean literal.
+type Bool struct{ Val bool }
+
+func (*Bool) expr() {}
+
+// BinOp is an arithmetic, boolean, or relational operation.
+type BinOp struct {
+	Op   string
+	L, R Expr
+}
+
+func (*BinOp) expr() {}
+
+// Not is boolean negation.
+type Not struct{ X Expr }
+
+func (*Not) expr() {}
+
+// Program is a WHILE program: a statement plus its variable population.
+type Program struct {
+	Body Stmt
+	// Vars is the global variable set V, in first-appearance order.
+	Vars []string
+}
+
+// Holes returns every variable occurrence in source order (the skeleton's
+// characteristic vector positions).
+func (p *Program) Holes() []*Var {
+	var out []*Var
+	var walkE func(Expr)
+	walkE = func(e Expr) {
+		switch e := e.(type) {
+		case *Var:
+			out = append(out, e)
+		case *BinOp:
+			walkE(e.L)
+			walkE(e.R)
+		case *Not:
+			walkE(e.X)
+		}
+	}
+	var walkS func(Stmt)
+	walkS = func(s Stmt) {
+		switch s := s.(type) {
+		case *Assign:
+			out = append(out, s.Var)
+			walkE(s.Expr)
+		case *Seq:
+			for _, x := range s.List {
+				walkS(x)
+			}
+		case *While:
+			walkE(s.Cond)
+			walkS(s.Body)
+		case *If:
+			walkE(s.Cond)
+			walkS(s.Then)
+			if s.Else != nil {
+				walkS(s.Else)
+			}
+		}
+	}
+	walkS(p.Body)
+	return out
+}
+
+// CharacteristicVector returns the current filling as variable names, the
+// s_P vector of Definition 1.
+func (p *Program) CharacteristicVector() []string {
+	holes := p.Holes()
+	out := make([]string, len(holes))
+	for i, h := range holes {
+		out[i] = h.Name
+	}
+	return out
+}
+
+// RGS returns the restricted growth string of the current filling — the
+// canonical form deciding alpha-equivalence (paper Example 5).
+func (p *Program) RGS() []int {
+	vec := p.CharacteristicVector()
+	idx := make([]int, len(vec))
+	seen := map[string]int{}
+	for i, name := range vec {
+		id, ok := seen[name]
+		if !ok {
+			id = len(seen)
+			seen[name] = id
+		}
+		idx[i] = id
+	}
+	return partition.RGSOf(idx)
+}
+
+// NaiveCount is |V|^n (paper §3.1).
+func (p *Program) NaiveCount() *big.Int {
+	n := len(p.Holes())
+	return new(big.Int).Exp(big.NewInt(int64(len(p.Vars))), big.NewInt(int64(n)), nil)
+}
+
+// CanonicalCount is sum_{i=1..k} {n i} (paper Eq. 1).
+func (p *Program) CanonicalCount() *big.Int {
+	return partition.SumStirling(len(p.Holes()), len(p.Vars))
+}
+
+// EachCanonical enumerates one representative per alpha-equivalence class
+// by filling holes along restricted growth strings; block i is assigned
+// Vars[i]. The program's holes are mutated in place for each yield and
+// restored afterwards.
+func (p *Program) EachCanonical(yield func(src string) bool) int {
+	holes := p.Holes()
+	saved := make([]string, len(holes))
+	for i, h := range holes {
+		saved[i] = h.Name
+	}
+	defer func() {
+		for i, h := range holes {
+			h.Name = saved[i]
+		}
+	}()
+	return partition.EachRGS(len(holes), len(p.Vars), func(rgs []int) bool {
+		for i, b := range rgs {
+			holes[i].Name = p.Vars[b]
+		}
+		return yield(p.String())
+	})
+}
+
+// EachNaive enumerates the full Cartesian product of fillings.
+func (p *Program) EachNaive(yield func(src string) bool) int {
+	holes := p.Holes()
+	saved := make([]string, len(holes))
+	for i, h := range holes {
+		saved[i] = h.Name
+	}
+	defer func() {
+		for i, h := range holes {
+			h.Name = saved[i]
+		}
+	}()
+	count := 0
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(holes) {
+			count++
+			return yield(p.String())
+		}
+		for _, v := range p.Vars {
+			holes[i].Name = v
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	return count
+}
+
+// String renders the program in WHILE concrete syntax.
+func (p *Program) String() string {
+	var sb strings.Builder
+	writeStmt(&sb, p.Body, 0)
+	return sb.String()
+}
+
+// SkeletonString renders the program with holes as numbered boxes.
+func (p *Program) SkeletonString() string {
+	holes := p.Holes()
+	saved := make([]string, len(holes))
+	for i, h := range holes {
+		saved[i] = h.Name
+		h.Name = fmt.Sprintf("<%d>", i+1)
+	}
+	out := p.String()
+	for i, h := range holes {
+		h.Name = saved[i]
+	}
+	return out
+}
+
+func writeStmt(sb *strings.Builder, s Stmt, indent int) {
+	ind := strings.Repeat("  ", indent)
+	switch s := s.(type) {
+	case *Assign:
+		sb.WriteString(ind + s.Var.Name + " := " + exprString(s.Expr) + ";\n")
+	case *Seq:
+		for _, x := range s.List {
+			writeStmt(sb, x, indent)
+		}
+	case *While:
+		sb.WriteString(ind + "while (" + exprString(s.Cond) + ") do\n")
+		writeBody(sb, s.Body, indent)
+	case *If:
+		sb.WriteString(ind + "if (" + exprString(s.Cond) + ") then\n")
+		writeBody(sb, s.Then, indent)
+		if s.Else != nil {
+			sb.WriteString(ind + "else\n")
+			writeBody(sb, s.Else, indent)
+		}
+	}
+}
+
+// writeBody renders a loop/branch body, bracing multi-statement sequences
+// so that printing round-trips through the parser.
+func writeBody(sb *strings.Builder, s Stmt, indent int) {
+	ind := strings.Repeat("  ", indent)
+	if seq, ok := s.(*Seq); ok && len(seq.List) != 1 {
+		sb.WriteString(ind + "{\n")
+		writeStmt(sb, seq, indent+1)
+		sb.WriteString(ind + "}\n")
+		return
+	}
+	writeStmt(sb, s, indent+1)
+}
+
+func exprString(e Expr) string {
+	switch e := e.(type) {
+	case *Var:
+		return e.Name
+	case *Num:
+		return fmt.Sprintf("%d", e.Val)
+	case *Bool:
+		if e.Val {
+			return "true"
+		}
+		return "false"
+	case *BinOp:
+		return exprString(e.L) + " " + e.Op + " " + exprString(e.R)
+	case *Not:
+		return "not " + exprString(e.X)
+	default:
+		return "?"
+	}
+}
+
+// Eval runs the program over integer state with a step budget, returning
+// the final state. Boolean conditions treat nonzero as true for arithmetic
+// expressions and use comparisons directly.
+func (p *Program) Eval(maxSteps int) (map[string]int64, error) {
+	state := make(map[string]int64)
+	for _, v := range p.Vars {
+		state[v] = 0
+	}
+	steps := 0
+	var evalE func(Expr) int64
+	evalE = func(e Expr) int64 {
+		switch e := e.(type) {
+		case *Var:
+			return state[e.Name]
+		case *Num:
+			return e.Val
+		case *Bool:
+			if e.Val {
+				return 1
+			}
+			return 0
+		case *Not:
+			if evalE(e.X) == 0 {
+				return 1
+			}
+			return 0
+		case *BinOp:
+			l, r := evalE(e.L), evalE(e.R)
+			switch e.Op {
+			case "+":
+				return l + r
+			case "-":
+				return l - r
+			case "*":
+				return l * r
+			case "and":
+				if l != 0 && r != 0 {
+					return 1
+				}
+				return 0
+			case "or":
+				if l != 0 || r != 0 {
+					return 1
+				}
+				return 0
+			case "<":
+				if l < r {
+					return 1
+				}
+				return 0
+			case "<=":
+				if l <= r {
+					return 1
+				}
+				return 0
+			case "=":
+				if l == r {
+					return 1
+				}
+				return 0
+			}
+		}
+		return 0
+	}
+	var run func(Stmt) error
+	run = func(s Stmt) error {
+		steps++
+		if steps > maxSteps {
+			return fmt.Errorf("whilelang: step budget exhausted")
+		}
+		switch s := s.(type) {
+		case *Assign:
+			state[s.Var.Name] = evalE(s.Expr)
+		case *Seq:
+			for _, x := range s.List {
+				if err := run(x); err != nil {
+					return err
+				}
+			}
+		case *While:
+			for evalE(s.Cond) != 0 {
+				if err := run(s.Body); err != nil {
+					return err
+				}
+				steps++
+				if steps > maxSteps {
+					return fmt.Errorf("whilelang: step budget exhausted")
+				}
+			}
+		case *If:
+			if evalE(s.Cond) != 0 {
+				return run(s.Then)
+			} else if s.Else != nil {
+				return run(s.Else)
+			}
+		}
+		return nil
+	}
+	if err := run(p.Body); err != nil {
+		return nil, err
+	}
+	return state, nil
+}
+
+// Figure5 builds the paper's Figure 5 program:
+//
+//	a := 10; b := 1; while (a) do a := a - b;
+func Figure5() *Program {
+	a1 := &Var{Name: "a"}
+	b1 := &Var{Name: "b"}
+	a2 := &Var{Name: "a"}
+	a3 := &Var{Name: "a"}
+	a4 := &Var{Name: "a"}
+	b2 := &Var{Name: "b"}
+	return &Program{
+		Vars: []string{"a", "b"},
+		Body: &Seq{List: []Stmt{
+			&Assign{Var: a1, Expr: &Num{Val: 10}},
+			&Assign{Var: b1, Expr: &Num{Val: 1}},
+			&While{
+				Cond: a2,
+				Body: &Assign{Var: a3, Expr: &BinOp{Op: "-", L: a4, R: b2}},
+			},
+		}},
+	}
+}

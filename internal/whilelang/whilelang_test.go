@@ -1,0 +1,159 @@
+package whilelang
+
+import (
+	"math/big"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFigure5Structure(t *testing.T) {
+	p := Figure5()
+	holes := p.Holes()
+	if len(holes) != 6 {
+		t.Fatalf("holes = %d, want 6 (paper Figure 5)", len(holes))
+	}
+	if got := p.CharacteristicVector(); !reflect.DeepEqual(got, []string{"a", "b", "a", "a", "a", "b"}) {
+		t.Errorf("characteristic vector = %v", got)
+	}
+	if got := p.RGS(); !reflect.DeepEqual(got, []int{0, 1, 0, 0, 0, 1}) {
+		t.Errorf("RGS = %v, want 010001 (paper Example 5)", got)
+	}
+}
+
+func TestFigure5Counts(t *testing.T) {
+	p := Figure5()
+	if got := p.NaiveCount(); got.Cmp(big.NewInt(64)) != 0 {
+		t.Errorf("naive = %s, want 64 (= 2^6)", got)
+	}
+	// canonical = {6 1} + {6 2} = 1 + 31 = 32
+	if got := p.CanonicalCount(); got.Cmp(big.NewInt(32)) != 0 {
+		t.Errorf("canonical = %s, want 32", got)
+	}
+	if got := p.EachCanonical(func(string) bool { return true }); got != 32 {
+		t.Errorf("canonical enumeration = %d, want 32", got)
+	}
+	if got := p.EachNaive(func(string) bool { return true }); got != 64 {
+		t.Errorf("naive enumeration = %d, want 64", got)
+	}
+}
+
+func TestEnumerationDistinctAndRestoring(t *testing.T) {
+	p := Figure5()
+	before := p.String()
+	seen := map[string]bool{}
+	p.EachCanonical(func(src string) bool {
+		if seen[src] {
+			t.Fatalf("duplicate canonical program:\n%s", src)
+		}
+		seen[src] = true
+		return true
+	})
+	if after := p.String(); after != before {
+		t.Errorf("enumeration did not restore the program:\n%s\nvs\n%s", before, after)
+	}
+}
+
+func TestCanonicalIsSubsetOfNaiveModuloAlpha(t *testing.T) {
+	p := Figure5()
+	// every naive filling's RGS must appear among canonical fillings
+	canonical := map[string]bool{}
+	p.EachCanonical(func(string) bool {
+		canonical[rgsKey(p.RGS())] = true
+		return true
+	})
+	p.EachNaive(func(string) bool {
+		if !canonical[rgsKey(p.RGS())] {
+			t.Fatalf("naive filling %v not covered", p.CharacteristicVector())
+		}
+		return true
+	})
+}
+
+func rgsKey(rgs []int) string {
+	b := make([]byte, len(rgs))
+	for i, v := range rgs {
+		b[i] = byte('0' + v)
+	}
+	return string(b)
+}
+
+func TestFigure5ProgramsP1P2(t *testing.T) {
+	// paper Example 1: P1 = <b,a,b,b,b,a> and P2 = <a,b,b,b,a,b> realize
+	// the same skeleton; P ~ P1 but P !~ P2 (Example 2)
+	p := Figure5()
+	holes := p.Holes()
+	set := func(names ...string) {
+		for i, n := range names {
+			holes[i].Name = n
+		}
+	}
+	set("b", "a", "b", "b", "b", "a")
+	rgsP1 := rgsKey(p.RGS())
+	set("a", "b", "b", "b", "a", "b")
+	rgsP2 := rgsKey(p.RGS())
+	set("a", "b", "a", "a", "a", "b")
+	rgsP := rgsKey(p.RGS())
+	if rgsP != rgsP1 {
+		t.Errorf("P and P1 should be alpha-equivalent: %s vs %s", rgsP, rgsP1)
+	}
+	if rgsP == rgsP2 {
+		t.Errorf("P and P2 should not be alpha-equivalent")
+	}
+}
+
+func TestEval(t *testing.T) {
+	p := Figure5()
+	st, err := p.Eval(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["a"] != 0 || st["b"] != 1 {
+		t.Errorf("final state = %v, want a=0 b=1", st)
+	}
+	// the alpha-renamed variant has the renamed final state
+	holes := p.Holes()
+	names := []string{"b", "a", "b", "b", "b", "a"}
+	for i, n := range names {
+		holes[i].Name = n
+	}
+	st2, err := p.Eval(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2["b"] != 0 || st2["a"] != 1 {
+		t.Errorf("renamed final state = %v, want b=0 a=1", st2)
+	}
+}
+
+func TestEvalBudget(t *testing.T) {
+	// filling the loop condition with b (constant 1) diverges; the budget
+	// must stop it
+	p := Figure5()
+	holes := p.Holes()
+	holes[2].Name = "b" // while (b) with b = 1 and a := a-b inside: b stays 1
+	holes[3].Name = "b" // b := b - b ... actually assign target b
+	if _, err := p.Eval(1000); err == nil {
+		t.Log("variant converged; trying explicit divergence")
+		holes[3].Name = "a"
+		holes[4].Name = "b"
+		holes[5].Name = "b"
+		if _, err := p.Eval(1000); err == nil {
+			t.Error("expected step budget exhaustion")
+		}
+	}
+}
+
+func TestSkeletonString(t *testing.T) {
+	p := Figure5()
+	s := p.SkeletonString()
+	for _, want := range []string{"<1> := 10", "<2> := 1", "while (<3>)", "<4> := <5> - <6>"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("skeleton missing %q:\n%s", want, s)
+		}
+	}
+	// rendering the skeleton must not clobber the program
+	if !strings.Contains(p.String(), "a := 10") {
+		t.Error("skeleton rendering mutated the program")
+	}
+}

@@ -11,10 +11,13 @@ package spebench_test
 
 import (
 	"math/big"
+	"runtime"
 	"sync"
 	"testing"
 
+	"spe/internal/campaign"
 	"spe/internal/cc"
+	"spe/internal/corpus"
 	"spe/internal/experiments"
 	"spe/internal/minicc"
 	"spe/internal/partition"
@@ -140,6 +143,59 @@ func BenchmarkExample6(b *testing.B) {
 		if got := cfg.CanonicalProblem().CanonicalCount(); got.Cmp(big.NewInt(40)) != 0 {
 			b.Fatalf("canonical count = %s", got)
 		}
+	}
+}
+
+// --- campaign engine ---
+
+// benchmarkCampaign measures a full differential-testing campaign over the
+// seed corpus at a given worker count. Comparing BenchmarkCampaignWorkers1
+// with BenchmarkCampaignWorkersNumCPU gives the parallel-speedup curve of
+// the sharded engine (the reports are byte-identical either way).
+func benchmarkCampaign(b *testing.B, workers int) {
+	cfg := campaign.Config{
+		Corpus:             corpus.Seeds(),
+		Versions:           []string{"trunk"},
+		MaxVariantsPerFile: 100,
+		Workers:            workers,
+	}
+	for i := 0; i < b.N; i++ {
+		rep, err := campaign.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Findings) == 0 {
+			b.Fatal("campaign found nothing")
+		}
+	}
+}
+
+func BenchmarkCampaignWorkers1(b *testing.B) { benchmarkCampaign(b, 1) }
+
+func BenchmarkCampaignWorkersNumCPU(b *testing.B) { benchmarkCampaign(b, runtime.NumCPU()) }
+
+// TestCampaignReportDeterminism pins the engine's central invariant at the
+// top level: sequential and maximally parallel campaigns render
+// byte-identical reports.
+func TestCampaignReportDeterminism(t *testing.T) {
+	cfg := campaign.Config{
+		Corpus:             corpus.Seeds()[:6],
+		Versions:           []string{"trunk"},
+		MaxVariantsPerFile: 80,
+	}
+	cfg.Workers = 1
+	seq, err := campaign.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = runtime.NumCPU() + 2
+	par, err := campaign.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Format() != par.Format() {
+		t.Errorf("parallel report diverges from sequential:\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
+			seq.Format(), cfg.Workers, par.Format())
 	}
 }
 

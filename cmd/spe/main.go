@@ -12,15 +12,24 @@
 //	spe enumerate [-n N] [-naive] [-inter] file.c
 //	                                 print variants (default: canonical,
 //	                                 intra-procedural, all of them)
+//	spe campaign [-workers N] [-checkpoint path] [-variants N]
+//	             [-versions list] [-reduce] [-inter] [file.c ...]
+//	                                 run a parallel differential-testing
+//	                                 campaign (default corpus: the bundled
+//	                                 seed programs); with -checkpoint, an
+//	                                 existing checkpoint is resumed
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"spe/internal/alpha"
+	"spe/internal/campaign"
 	"spe/internal/cc"
+	"spe/internal/corpus"
 	"spe/internal/skeleton"
 	"spe/internal/spe"
 )
@@ -30,6 +39,10 @@ func main() {
 		usage()
 	}
 	cmd := os.Args[1]
+	if cmd == "campaign" {
+		runCampaign(os.Args[2:])
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	n := fs.Int("n", 0, "maximum number of variants to print (0 = all)")
 	naive := fs.Bool("naive", false, "use naive enumeration instead of canonical")
@@ -97,8 +110,73 @@ func main() {
 	}
 }
 
+// runCampaign drives the sharded campaign engine from the command line.
+// An existing -checkpoint file is resumed; otherwise a fresh campaign
+// starts (and, with -checkpoint set, persists its progress there).
+func runCampaign(args []string) {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); any value yields identical reports")
+	checkpoint := fs.String("checkpoint", "", "periodically persist campaign state to this path; resumed if it exists")
+	variants := fs.Int("variants", 200, "maximum enumerated variants tested per file")
+	versions := fs.String("versions", "trunk", "comma-separated compiler versions under test")
+	reduce := fs.Bool("reduce", false, "delta-debug each finding's sample test case")
+	inter := fs.Bool("inter", false, "inter-procedural granularity")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *checkpoint != "" {
+		_, err := os.Stat(*checkpoint)
+		switch {
+		case err == nil:
+			// the checkpoint embeds the whole campaign (corpus and
+			// settings); explicitly passed files would be silently
+			// ignored, so reject the combination instead
+			if fs.NArg() > 0 {
+				fatal(fmt.Errorf("checkpoint %s already exists; remove it or drop the corpus file arguments (a resume replays the checkpointed corpus and settings)", *checkpoint))
+			}
+			fmt.Fprintf(os.Stderr, "spe: resuming campaign from %s (flags other than -checkpoint are taken from the checkpoint)\n", *checkpoint)
+			rep, err := campaign.Resume(*checkpoint)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(rep.Format())
+			return
+		case !os.IsNotExist(err):
+			fatal(err) // unreadable checkpoint: don't silently overwrite it
+		}
+	}
+	var progs []string
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		progs = append(progs, string(data))
+	}
+	if len(progs) == 0 {
+		progs = corpus.Seeds()
+	}
+	gran := spe.Intra
+	if *inter {
+		gran = spe.Inter
+	}
+	rep, err := campaign.Run(campaign.Config{
+		Corpus:             progs,
+		Versions:           strings.Split(*versions, ","),
+		MaxVariantsPerFile: *variants,
+		Granularity:        gran,
+		ReduceTestCases:    *reduce,
+		Workers:            *workers,
+		CheckpointPath:     *checkpoint,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.Format())
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: spe {stats|skeleton|count|canon|enumerate} [-n N] [-naive] [-inter] file.c")
+	fmt.Fprintln(os.Stderr, "usage: spe {stats|skeleton|count|canon|enumerate|campaign} [-n N] [-naive] [-inter] file.c")
 	os.Exit(2)
 }
 

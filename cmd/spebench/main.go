@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	spebench [-quick] [experiment...]
+//	spebench [-quick] [-workers N] [-checkpoint path] [experiment...]
 //
 // where experiment is any of: table1 table2 table3 table4 fig8 fig9 fig10
-// example6. With no arguments, all experiments run in order.
+// example6. With no arguments, all experiments run in order. -workers
+// sizes the campaign engine's worker pool (0 = GOMAXPROCS; the tables are
+// identical at any setting) and -checkpoint makes campaign experiments
+// persist resumable progress.
 package main
 
 import (
@@ -21,6 +24,8 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "use a reduced scale for a fast run")
+	workers := flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS); results are identical at any setting")
+	checkpoint := flag.String("checkpoint", "", "persist campaign progress to this path (campaign experiments only)")
 	flag.Parse()
 	scale := experiments.Scale{}
 	if *quick {
@@ -32,12 +37,18 @@ func main() {
 			CampaignCorpus: 10,
 		}
 	}
+	scale.Workers = *workers
 	which := flag.Args()
 	if len(which) == 0 {
 		which = []string{"example6", "table1", "table2", "fig8", "table3", "table4", "fig10", "fig9", "generality"}
 	}
 	for _, name := range which {
 		start := time.Now()
+		// one checkpoint file per experiment, so consecutive campaigns
+		// in a single spebench run don't overwrite each other's state
+		if *checkpoint != "" {
+			scale.Checkpoint = *checkpoint + "." + name
+		}
 		out, err := run(name, scale)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spebench: %s: %v\n", name, err)

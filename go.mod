@@ -1,0 +1,3 @@
+module spe
+
+go 1.24

@@ -1,0 +1,177 @@
+// Package campaign is the parallel, sharded core of the paper's evaluation
+// loop (§5): derive a skeleton from each corpus program, enumerate its
+// non-alpha-equivalent variants, filter out variants with undefined
+// behavior using the reference interpreter, feed the clean variants to the
+// compilers under test at several optimization levels, and classify every
+// divergence from the reference semantics as a crash, wrong-code, or
+// performance bug.
+//
+// The enumerate→filter→test pipeline is embarrassingly parallel once the
+// variant space can be indexed, and the partition layer's rank/unrank
+// machinery provides exactly that index: each corpus file's canonical
+// variant space is cut into contiguous shards that a worker pool processes
+// independently, while a deterministic aggregator merges shard results in
+// canonical enumeration order. Any worker count therefore produces a
+// byte-identical Report — Workers=1 reproduces the historical sequential
+// harness output exactly. Long campaigns additionally write periodic JSON
+// checkpoints from which Resume continues after a crash or kill.
+package campaign
+
+import (
+	"fmt"
+	"math/big"
+	"runtime"
+	"sort"
+	"strings"
+
+	"spe/internal/minicc"
+	"spe/internal/spe"
+)
+
+// Config parameterizes a campaign.
+type Config struct {
+	// Corpus is the seed program population.
+	Corpus []string
+	// Versions lists the simulated compiler versions under test (names
+	// from minicc.Versions); defaults to {"trunk"}.
+	Versions []string
+	// OptLevels defaults to {0, 1, 2, 3}.
+	OptLevels []int
+	// Threshold is the per-file variant cap (paper: 10,000). Zero means
+	// 10,000; negative means unlimited.
+	Threshold int64
+	// MaxVariantsPerFile additionally bounds how many enumerated variants
+	// are executed per file (budget control); zero means the threshold.
+	MaxVariantsPerFile int
+	// Granularity of the enumeration; defaults to intra-procedural.
+	Granularity spe.Granularity
+	// Steps bounds each execution.
+	Steps int64
+	// ReduceTestCases post-processes each finding's sample test case with
+	// the delta-debugging reducer, as the paper does before filing (§6).
+	ReduceTestCases bool
+	// Workers sizes the shard worker pool; zero means GOMAXPROCS. Every
+	// worker count yields a byte-identical Report: shard results are
+	// merged in canonical enumeration order by a single aggregator.
+	Workers int
+	// ShardSize is the number of tested variants carried by one shard
+	// task; zero means 32.
+	ShardSize int
+	// CheckpointPath, when non-empty, enables periodic JSON checkpoints
+	// from which Resume can continue an interrupted campaign.
+	CheckpointPath string
+	// CheckpointEvery is the number of merged shard tasks between
+	// checkpoint writes; zero means 8.
+	CheckpointEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Versions) == 0 {
+		c.Versions = []string{"trunk"}
+	}
+	if len(c.OptLevels) == 0 {
+		c.OptLevels = []int{0, 1, 2, 3}
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 10_000
+	}
+	if c.MaxVariantsPerFile == 0 {
+		c.MaxVariantsPerFile = int(c.Threshold)
+	}
+	if c.Steps == 0 {
+		c.Steps = 500_000
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.ShardSize <= 0 {
+		c.ShardSize = 32
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 8
+	}
+	return c
+}
+
+// Finding is one deduplicated bug discovery.
+type Finding struct {
+	// BugID is the seeded bug's simulated bugzilla number ("" when the
+	// symptom could not be attributed).
+	BugID string
+	Kind  minicc.BugKind
+	// Signature identifies crash findings (Table 3).
+	Signature string
+	Component string
+	Priority  int
+	// OptLevels lists the optimization levels at which the symptom
+	// appeared.
+	OptLevels []int
+	// Versions lists the affected versions observed.
+	Versions []string
+	// TestCase is a minimal sample variant source triggering the bug.
+	TestCase string
+	// SeedIndex is the corpus file whose skeleton produced the test case.
+	SeedIndex int
+	// Occurrences counts variant-level duplicates collapsed into this
+	// finding.
+	Occurrences int
+}
+
+func (f *Finding) key() string {
+	if f.BugID != "" {
+		return "id:" + f.BugID
+	}
+	return "sig:" + f.Signature
+}
+
+// Stats aggregates campaign-level counters.
+type Stats struct {
+	Files          int
+	FilesSkipped   int // over threshold
+	Variants       int
+	VariantsUB     int // filtered by the reference interpreter
+	VariantsClean  int
+	Executions     int
+	CrashFindings  int
+	WrongFindings  int
+	PerfFindings   int
+	NaiveTotal     *big.Int
+	CanonicalTotal *big.Int
+}
+
+// Report is the campaign outcome.
+type Report struct {
+	Config   Config
+	Findings []*Finding
+	Stats    Stats
+}
+
+// Format renders the report as deterministic text: identical campaigns
+// produce byte-identical output regardless of worker count or
+// interruption/resume history, which makes it the comparison key for the
+// engine's determinism guarantees.
+func (r *Report) Format() string {
+	var sb strings.Builder
+	st := r.Stats
+	fmt.Fprintf(&sb, "campaign: %d files (%d skipped), %d variants (%d UB, %d clean), %d executions\n",
+		st.Files, st.FilesSkipped, st.Variants, st.VariantsUB, st.VariantsClean, st.Executions)
+	fmt.Fprintf(&sb, "space: naive %s, canonical %s\n", st.NaiveTotal, st.CanonicalTotal)
+	fmt.Fprintf(&sb, "findings: %d crash, %d wrong-code, %d performance\n",
+		st.CrashFindings, st.WrongFindings, st.PerfFindings)
+	for _, fd := range r.Findings {
+		fmt.Fprintf(&sb, "  [%s] id=%q sig=%q opts=%v versions=%v seed=%d occurrences=%d\n",
+			fd.Kind, fd.BugID, fd.Signature, fd.OptLevels, fd.Versions, fd.SeedIndex, fd.Occurrences)
+	}
+	return sb.String()
+}
+
+// sortFindings orders findings the way the sequential harness always has:
+// by kind, then by dedup key (total, since keys are unique).
+func sortFindings(findings []*Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Kind != findings[j].Kind {
+			return findings[i].Kind < findings[j].Kind
+		}
+		return findings[i].key() < findings[j].key()
+	})
+}

@@ -1,0 +1,111 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// checkpointFile is the JSON document written at shard-merge boundaries.
+// It captures the full aggregator state after the first NextSeq shard
+// tasks, so a resumed campaign regenerates the (deterministic) task
+// sequence, skips the merged prefix, and continues as if never
+// interrupted. Config is embedded whole — corpus included — so Resume
+// needs nothing but the path.
+type checkpointFile struct {
+	Version int
+	Config  Config
+	// NextSeq is the number of shard tasks merged into this state.
+	NextSeq     int
+	Stats       Stats
+	Findings    []*Finding
+	Attribution map[string]string
+}
+
+// writeCheckpoint atomically persists the aggregator state.
+func writeCheckpoint(cfg Config, st *aggState) error {
+	ck := &checkpointFile{
+		Version:     checkpointVersion,
+		Config:      cfg,
+		NextSeq:     st.nextSeq,
+		Stats:       st.stats,
+		Attribution: st.attribution,
+	}
+	keys := make([]string, 0, len(st.byKey))
+	for k := range st.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ck.Findings = append(ck.Findings, st.byKey[k])
+	}
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	tmp := cfg.CheckpointPath + ".tmp"
+	if err := os.MkdirAll(filepath.Dir(cfg.CheckpointPath), 0o755); err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, cfg.CheckpointPath); err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint reads a checkpoint back into aggregator state.
+func loadCheckpoint(path string) (Config, *aggState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, nil, fmt.Errorf("campaign: resume: %w", err)
+	}
+	var ck checkpointFile
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return Config{}, nil, fmt.Errorf("campaign: resume %s: %w", path, err)
+	}
+	if ck.Version != checkpointVersion {
+		return Config{}, nil, fmt.Errorf("campaign: resume %s: checkpoint version %d, want %d",
+			path, ck.Version, checkpointVersion)
+	}
+	st := newAggState()
+	st.nextSeq = ck.NextSeq
+	st.stats = ck.Stats
+	if st.stats.NaiveTotal == nil || st.stats.CanonicalTotal == nil {
+		return Config{}, nil, fmt.Errorf("campaign: resume %s: malformed stats", path)
+	}
+	for _, fd := range ck.Findings {
+		st.byKey[fd.key()] = fd
+	}
+	if ck.Attribution != nil {
+		st.attribution = ck.Attribution
+	}
+	return ck.Config, st, nil
+}
+
+// Resume continues a checkpointed campaign from its last persisted state
+// and runs it to completion, producing the same Report an uninterrupted
+// run would have (the checkpoint carries the whole config, corpus
+// included). The campaign keeps checkpointing to the same path.
+func Resume(path string) (*Report, error) {
+	return ResumeContext(context.Background(), path)
+}
+
+// ResumeContext is Resume with cancellation.
+func ResumeContext(ctx context.Context, path string) (*Report, error) {
+	cfg, st, err := loadCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	cfg.CheckpointPath = path
+	return runEngine(ctx, cfg, st)
+}

@@ -1,0 +1,194 @@
+package campaign
+
+import (
+	"fmt"
+
+	"spe/internal/cc"
+	"spe/internal/interp"
+	"spe/internal/minicc"
+)
+
+// The classification pipeline is split across the worker/aggregator
+// boundary: workers do everything expensive (parsing, reference
+// interpretation, compilation, execution, root-cause attribution) and emit
+// compact symptom records; the aggregator replays those records in
+// canonical enumeration order, which keeps finding deduplication,
+// attribution memoization, and sample-test-case selection byte-identical to
+// the sequential harness regardless of worker scheduling.
+
+// variantStatus is the coarse outcome of preparing one variant.
+type variantStatus int
+
+const (
+	statusParseFail variantStatus = iota // enumeration rendered something unparsable: bug in us
+	statusUB                             // filtered by the reference interpreter
+	statusClean
+)
+
+// symptomClass discriminates symptom records.
+type symptomClass int
+
+const (
+	classCrash symptomClass = iota
+	classPerfHang
+	classMismatch
+)
+
+// symptom is one compiler-configuration-level divergence observed by a
+// worker.
+type symptom struct {
+	Ver   string
+	Opt   int
+	Class symptomClass
+	// BugID carries the crash's bug, the compile-hang attribution, or the
+	// shard-local wrong-code attribution (the aggregator keeps only the
+	// first-in-order attribution per memo key, matching the sequential
+	// memoization).
+	BugID  string
+	Sig    string
+	Coarse string // mismatch symptom class for memoization
+}
+
+// variantResult is everything the aggregator needs to replay one tested
+// variant.
+type variantResult struct {
+	status     variantStatus
+	executions int
+	src        string
+	symptoms   []symptom
+}
+
+// evalVariant runs one variant through the reference interpreter and all
+// compiler configurations — the worker half of the old testVariant. attr is
+// the shard-local attribution memo (see classifyOutcome).
+func evalVariant(cfg Config, src string, attr map[string]string) variantResult {
+	vr := variantResult{src: src}
+	file, err := cc.Parse(src)
+	if err != nil {
+		return vr
+	}
+	prog, err := cc.Analyze(file)
+	if err != nil {
+		return vr
+	}
+	ref := interp.Run(prog, interp.Config{MaxSteps: cfg.Steps})
+	if !ref.Defined() {
+		vr.status = statusUB
+		return vr
+	}
+	vr.status = statusClean
+
+	// the compiled binary needs only a small multiple of the reference's
+	// step count; a much larger consumption is already a hang symptom, so
+	// an adaptive budget keeps miscompiled infinite loops cheap to detect
+	execSteps := ref.Steps*20 + 50_000
+	for _, ver := range cfg.Versions {
+		for _, opt := range cfg.OptLevels {
+			vr.executions++
+			comp := &minicc.Compiler{Version: ver, Opt: opt, Seeded: true}
+			ro := comp.Run(prog, minicc.ExecConfig{MaxSteps: execSteps})
+			if s, found := classifyOutcome(cfg, ver, opt, ref, ro, prog, attr); found {
+				vr.symptoms = append(vr.symptoms, s)
+			}
+		}
+	}
+	return vr
+}
+
+// classifyOutcome turns one compile+run outcome into a symptom record.
+// Wrong-code symptoms are attributed by selectively deactivating seeded
+// bugs, memoized per shard and symptom class: within one shard the first
+// variant exhibiting a class pays for the recompilations and later ones
+// reuse its verdict, exactly as the sequential campaignState memo did
+// within a whole campaign. The aggregator reduces the shard-local memos to
+// the campaign-global one.
+func classifyOutcome(cfg Config, ver string, opt int, ref *interp.Result,
+	ro *minicc.RunOutcome, prog *cc.Program, attr map[string]string) (symptom, bool) {
+
+	out := ro.Compile
+	switch {
+	case out.Crash != nil:
+		return symptom{Ver: ver, Opt: opt, Class: classCrash,
+			BugID: out.Crash.BugID, Sig: out.Crash.Signature}, true
+	case out.Timeout != nil:
+		return symptom{Ver: ver, Opt: opt, Class: classPerfHang,
+			BugID: attributePerf(ver, opt), Sig: "compile-time hang: " + out.Timeout.Pass}, true
+	case out.Err != nil:
+		return symptom{}, false // unsupported construct; not a bug signal
+	}
+	ex := ro.Exec
+	ok := ex.Ok() == (ref.UB == nil && !ref.Aborted) &&
+		ex.Aborted == ref.Aborted &&
+		(ex.Aborted || (ex.Exit == ref.Exit && ex.Output == ref.Output && ex.Trap == "" && !ex.Timeout))
+	if ok {
+		return symptom{}, false
+	}
+	// symptom classes: the detailed signature is for display; the coarse
+	// class drives deduplication and attribution memoization (the paper
+	// likewise dedupes reports by symptom, not by concrete wrong values)
+	coarse := "wrong-exit"
+	sig := fmt.Sprintf("wrong code (exit %d, expected %d)", ex.Exit, ref.Exit)
+	if ex.Exit == ref.Exit {
+		coarse = "wrong-output"
+		sig = fmt.Sprintf("wrong code (output %q, expected %q)", ex.Output, ref.Output)
+	}
+	if ex.Trap != "" {
+		coarse = "trap"
+		sig = "runtime trap: " + ex.Trap
+	}
+	if ex.Timeout {
+		coarse = "hang"
+		sig = "runtime hang (step budget exhausted)"
+	}
+	memoKey := fmt.Sprintf("%s|%d|%s", ver, opt, coarse)
+	bugID, cached := attr[memoKey]
+	if !cached {
+		bugID = attributeWrongCode(prog, ver, opt, ref, cfg)
+		attr[memoKey] = bugID
+	}
+	return symptom{Ver: ver, Opt: opt, Class: classMismatch,
+		BugID: bugID, Sig: sig, Coarse: coarse}, true
+}
+
+// attributeWrongCode finds which single seeded bug explains a wrong-code
+// symptom by deactivating active bugs one at a time — a seeded-oracle
+// analogue of the paper's root-cause triage.
+func attributeWrongCode(prog *cc.Program, ver string, opt int, ref *interp.Result, cfg Config) string {
+	vi := minicc.VersionIndex(ver)
+	if vi < 0 {
+		vi = len(minicc.Versions) - 1
+	}
+	full := minicc.BugsFor(vi, opt)
+	for _, hook := range full.Hooks() {
+		reduced := full.Without(hook)
+		comp := &minicc.Compiler{Version: ver, Opt: opt, Bugs: reduced}
+		ro := comp.Run(prog, minicc.ExecConfig{MaxSteps: ref.Steps*20 + 50_000})
+		if !ro.Compile.Ok() {
+			continue
+		}
+		ex := ro.Exec
+		if ex.Ok() && ex.Exit == ref.Exit && ex.Output == ref.Output && ex.Aborted == ref.Aborted {
+			for _, b := range minicc.Registry() {
+				if b.Hook == hook {
+					return b.ID
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// attributePerf maps a compile timeout to the active performance bug.
+func attributePerf(ver string, opt int) string {
+	vi := minicc.VersionIndex(ver)
+	if vi < 0 {
+		vi = len(minicc.Versions) - 1
+	}
+	set := minicc.BugsFor(vi, opt)
+	for _, b := range minicc.Registry() {
+		if b.Kind == minicc.BugPerformance && set.Active(b.Hook) {
+			return b.ID
+		}
+	}
+	return ""
+}

@@ -1,0 +1,355 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"sort"
+	"sync"
+
+	"spe/internal/minicc"
+	"spe/internal/spe"
+)
+
+// Run executes a campaign with the configured worker pool.
+func Run(cfg Config) (*Report, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: when ctx is canceled the engine
+// stops dispatching shards, drains its workers, and returns ctx's error.
+// A checkpointed campaign canceled mid-run resumes from its checkpoint to
+// the same findings an uninterrupted run produces.
+func RunContext(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	return runEngine(ctx, cfg, newAggState())
+}
+
+// taskResult is one shard's worth of worker output, merged by seq order.
+type taskResult struct {
+	seq      int
+	err      error
+	plan     *filePlan
+	newFile  bool
+	variants []variantResult
+}
+
+// runEngine drives the producer → worker pool → aggregator pipeline.
+// st carries the aggregator's merge state, pre-seeded by Resume.
+func runEngine(ctx context.Context, cfg Config, st *aggState) (*Report, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	tasks := make(chan *task, cfg.Workers)
+	results := make(chan *taskResult, 2*cfg.Workers)
+
+	// window bounds how far the producer may run ahead of the
+	// aggregator's merge cursor: each dispatched task takes a credit,
+	// each merged task returns one. Without it, a single slow shard
+	// would let every other completed shard's variants pile up in the
+	// reorder buffer — with it, pending memory is O(window).
+	window := make(chan struct{}, 8*cfg.Workers)
+
+	var senders sync.WaitGroup
+
+	// producer: walk the corpus in order, cut each file into shard tasks,
+	// and skip any task the checkpoint has already merged (startSeq is the
+	// resume point, captured here because the aggregator advances
+	// st.nextSeq concurrently)
+	startSeq := st.nextSeq
+	senders.Add(1)
+	go func() {
+		defer senders.Done()
+		defer close(tasks)
+		seq := 0
+		for seedIdx, src := range cfg.Corpus {
+			if ctx.Err() != nil {
+				return
+			}
+			plan, err := buildPlan(cfg, seedIdx, src)
+			if err != nil {
+				select {
+				case results <- &taskResult{seq: -1, err: err}:
+				case <-ctx.Done():
+				}
+				return
+			}
+			for _, t := range plan.tasks(cfg) {
+				t.seq = seq
+				seq++
+				if t.seq < startSeq {
+					continue // already merged into the resumed state
+				}
+				select {
+				case window <- struct{}{}:
+				case <-ctx.Done():
+					return
+				}
+				select {
+				case tasks <- t:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+
+	// worker pool: each task renders its shard's variants by unranking
+	// their enumeration indices and runs the full differential pipeline
+	for w := 0; w < cfg.Workers; w++ {
+		senders.Add(1)
+		go func() {
+			defer senders.Done()
+			for t := range tasks {
+				if ctx.Err() != nil {
+					continue // drain
+				}
+				select {
+				case results <- runTask(ctx, cfg, t):
+				case <-ctx.Done():
+				}
+			}
+		}()
+	}
+
+	// close results when the producer and every worker are done, so the
+	// aggregator's range below always terminates
+	go func() {
+		senders.Wait()
+		close(results)
+	}()
+
+	// aggregator: reorder shard results by seq and merge deterministically
+	var firstErr error
+	pending := make(map[int]*taskResult)
+	for r := range results {
+		if firstErr != nil {
+			continue // drain
+		}
+		if r.err != nil {
+			firstErr = r.err
+			cancel()
+			continue
+		}
+		pending[r.seq] = r
+		for {
+			nr, ok := pending[st.nextSeq]
+			if !ok {
+				break
+			}
+			delete(pending, st.nextSeq)
+			st.merge(cfg, nr)
+			<-window // return the dispatch credit
+			st.nextSeq++
+			st.sinceCkpt++
+			if cfg.CheckpointPath != "" && st.sinceCkpt >= cfg.CheckpointEvery {
+				if err := writeCheckpoint(cfg, st); err != nil {
+					firstErr = err
+					cancel()
+					break
+				}
+				st.sinceCkpt = 0
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return st.finalize(cfg), nil
+}
+
+// runTask processes one shard: the worker half of the pipeline.
+func runTask(ctx context.Context, cfg Config, t *task) *taskResult {
+	res := &taskResult{seq: t.seq, plan: t.plan, newFile: t.newFile}
+	if t.plan.skip {
+		return res
+	}
+	// shard-local attribution memo (seed-scoped: a task never spans files)
+	attr := make(map[string]string)
+	if t.includeOriginal {
+		res.variants = append(res.variants, evalVariant(cfg, t.plan.src, attr))
+	}
+	if t.toJ > t.fromJ {
+		space, err := spe.NewSpace(t.plan.sk, spe.Options{Mode: spe.ModeCanonical, Granularity: cfg.Granularity})
+		if err != nil {
+			res.err = fmt.Errorf("campaign: corpus[%d]: %w", t.plan.seedIdx, err)
+			return res
+		}
+		idx := new(big.Int)
+		stride := big.NewInt(t.plan.stride)
+		for j := t.fromJ; j < t.toJ; j++ {
+			if ctx.Err() != nil {
+				res.err = ctx.Err()
+				return res
+			}
+			idx.SetInt64(j)
+			idx.Mul(idx, stride)
+			src, err := space.RenderAt(idx)
+			if err != nil {
+				res.err = fmt.Errorf("campaign: corpus[%d] variant %d: %w", t.plan.seedIdx, j, err)
+				return res
+			}
+			res.variants = append(res.variants, evalVariant(cfg, src, attr))
+		}
+	}
+	return res
+}
+
+// aggState is the aggregator's merge state: everything the campaign has
+// learned from the ordered prefix of shard results merged so far. It is
+// exactly what a checkpoint persists.
+type aggState struct {
+	nextSeq   int
+	sinceCkpt int
+	stats     Stats
+	byKey     map[string]*Finding
+	// attribution is the campaign-global (seed, version, opt, symptom
+	// class) → bug memo, reduced from the shard-local memos by keeping the
+	// first value in merge order.
+	attribution map[string]string
+}
+
+func newAggState() *aggState {
+	return &aggState{
+		byKey:       make(map[string]*Finding),
+		attribution: make(map[string]string),
+		stats:       Stats{NaiveTotal: new(big.Int), CanonicalTotal: new(big.Int)},
+	}
+}
+
+// merge folds one shard result into the state. Results arrive here in seq
+// order, so every decision below (finding creation, sample test case,
+// attribution memo) replays the sequential harness bit for bit.
+func (st *aggState) merge(cfg Config, r *taskResult) {
+	if r.newFile {
+		st.stats.Files++
+		st.stats.NaiveTotal.Add(st.stats.NaiveTotal, r.plan.naive)
+		st.stats.CanonicalTotal.Add(st.stats.CanonicalTotal, r.plan.canonical)
+		if r.plan.skip {
+			st.stats.FilesSkipped++
+		}
+	}
+	for i := range r.variants {
+		vr := &r.variants[i]
+		st.stats.Variants++
+		switch vr.status {
+		case statusParseFail:
+			continue
+		case statusUB:
+			st.stats.VariantsUB++
+			continue
+		}
+		st.stats.VariantsClean++
+		st.stats.Executions += vr.executions
+		for _, s := range vr.symptoms {
+			st.applySymptom(r.plan.seedIdx, vr.src, s)
+		}
+	}
+}
+
+// applySymptom replays one symptom record against the finding map — the
+// aggregator half of the old classify.
+func (st *aggState) applySymptom(seedIdx int, src string, s symptom) {
+	record := func(kind minicc.BugKind, bugID, signature string) {
+		key := "sig:" + signature
+		if bugID != "" {
+			key = "id:" + bugID
+		}
+		fd, ok := st.byKey[key]
+		if !ok {
+			fd = &Finding{
+				BugID:     bugID,
+				Kind:      kind,
+				Signature: signature,
+				TestCase:  src,
+				SeedIndex: seedIdx,
+			}
+			if b, found := minicc.BugByID(bugID); found {
+				fd.Component = b.Component
+				fd.Priority = b.Priority
+			}
+			st.byKey[key] = fd
+		}
+		fd.Occurrences++
+		fd.OptLevels = addUniqueInt(fd.OptLevels, s.Opt)
+		fd.Versions = addUniqueStr(fd.Versions, s.Ver)
+	}
+
+	switch s.Class {
+	case classCrash:
+		record(minicc.BugCrash, s.BugID, s.Sig)
+	case classPerfHang:
+		record(minicc.BugPerformance, s.BugID, s.Sig)
+	case classMismatch:
+		// attribute by the campaign-global memo; the first record in merge
+		// order per (seed, version, opt, class) seeds it with its
+		// shard-local verdict
+		memoKey := fmt.Sprintf("%d|%s|%d|%s", seedIdx, s.Ver, s.Opt, s.Coarse)
+		bugID, cached := st.attribution[memoKey]
+		if !cached {
+			bugID = s.BugID
+			st.attribution[memoKey] = bugID
+		}
+		sig := s.Sig
+		if bugID == "" {
+			// unattributed: dedupe by coarse class and seed to avoid a
+			// finding per concrete wrong value
+			sig = fmt.Sprintf("%s (seed %d): e.g. %s", s.Coarse, seedIdx, sig)
+		}
+		if bugID != "" {
+			if b, found := minicc.BugByID(bugID); found && b.Kind == minicc.BugPerformance {
+				record(minicc.BugPerformance, bugID, sig)
+				return
+			}
+		}
+		record(minicc.BugWrongCode, bugID, sig)
+	}
+}
+
+// finalize turns the merged state into the Report.
+func (st *aggState) finalize(cfg Config) *Report {
+	rep := &Report{Config: cfg, Stats: st.stats}
+	for _, fd := range st.byKey {
+		if cfg.ReduceTestCases {
+			reduceFinding(fd, cfg)
+		}
+		rep.Findings = append(rep.Findings, fd)
+	}
+	sortFindings(rep.Findings)
+	for _, fd := range rep.Findings {
+		switch fd.Kind {
+		case minicc.BugCrash:
+			rep.Stats.CrashFindings++
+		case minicc.BugWrongCode:
+			rep.Stats.WrongFindings++
+		default:
+			rep.Stats.PerfFindings++
+		}
+	}
+	return rep
+}
+
+func addUniqueInt(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	s = append(s, v)
+	sort.Ints(s)
+	return s
+}
+
+func addUniqueStr(s []string, v string) []string {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	s = append(s, v)
+	sort.Strings(s)
+	return s
+}

@@ -1,0 +1,129 @@
+package campaign
+
+import (
+	"fmt"
+	"math/big"
+
+	"spe/internal/cc"
+	"spe/internal/skeleton"
+	"spe/internal/spe"
+)
+
+// filePlan is the deterministic testing schedule of one corpus file: the
+// stride-sampled subset of the canonical enumeration the sequential harness
+// would have walked, expressed in closed form so shards can jump straight
+// to their variants with Unrank instead of replaying the walk.
+//
+// The sequential loop tested the original program plus every stride-th
+// canonical variant until the per-file budget or the walk bound ran out;
+// that set is exactly {j*stride : 0 <= j < tested} with
+// tested = min(budget, ceil(canonical/stride)).
+type filePlan struct {
+	seedIdx   int
+	src       string
+	skip      bool // canonical count over threshold
+	naive     *big.Int
+	canonical *big.Int
+	sk        *skeleton.Skeleton
+	stride    int64
+	tested    int64 // number of enumerated variants tested
+}
+
+// buildPlan derives the plan of one corpus file, reproducing the
+// sequential harness's per-file decisions bit for bit.
+func buildPlan(cfg Config, seedIdx int, src string) (*filePlan, error) {
+	f, err := cc.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: corpus[%d]: %w", seedIdx, err)
+	}
+	prog, err := cc.Analyze(f)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: corpus[%d]: %w", seedIdx, err)
+	}
+	sk, err := skeleton.Build(prog)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: corpus[%d]: %w", seedIdx, err)
+	}
+	opts := spe.Options{Mode: spe.ModeCanonical, Granularity: cfg.Granularity}
+	plan := &filePlan{
+		seedIdx:   seedIdx,
+		src:       src,
+		sk:        sk,
+		canonical: spe.Count(sk, opts),
+		naive:     spe.Count(sk, spe.Options{Mode: spe.ModeNaive, Granularity: cfg.Granularity}),
+	}
+	if cfg.Threshold > 0 && plan.canonical.Cmp(big.NewInt(cfg.Threshold)) > 0 {
+		plan.skip = true
+		return plan, nil
+	}
+	budget := cfg.MaxVariantsPerFile
+	if budget <= 0 {
+		// a non-positive budget exhausts itself on the first enumerated
+		// variant (the historical loop decremented before checking)
+		plan.stride = 1
+		plan.tested = 0
+		if plan.canonical.Sign() > 0 {
+			plan.tested = 1
+		}
+		return plan, nil
+	}
+	stride := int64(1)
+	if plan.canonical.IsInt64() {
+		if total := plan.canonical.Int64(); total > int64(budget) {
+			stride = total / int64(budget)
+			if stride > 64 {
+				stride = 64 // bound the walk over huge sets
+			}
+		}
+	} else {
+		stride = 64
+	}
+	plan.stride = stride
+	// tested = min(budget, ceil(canonical/stride))
+	ceil := new(big.Int).Add(plan.canonical, big.NewInt(stride-1))
+	ceil.Quo(ceil, big.NewInt(stride))
+	if ceil.Cmp(big.NewInt(int64(budget))) >= 0 {
+		plan.tested = int64(budget)
+	} else {
+		plan.tested = ceil.Int64()
+	}
+	return plan, nil
+}
+
+// task is one unit of shard work: a contiguous range of tested-variant
+// positions of one file, plus (on the file's first task) the original
+// program and the file-level statistics header.
+type task struct {
+	seq  int
+	plan *filePlan
+	// newFile marks the file's first task, which carries the Files /
+	// NaiveTotal / CanonicalTotal / FilesSkipped statistics.
+	newFile bool
+	// includeOriginal tests the unmodified seed source before the range.
+	includeOriginal bool
+	fromJ, toJ      int64 // tested-variant positions [fromJ, toJ)
+}
+
+// tasks cuts the plan into shard tasks of at most cfg.ShardSize variants.
+// A skipped or empty file still contributes one header task so its
+// statistics flow through the same ordered merge as everything else.
+func (p *filePlan) tasks(cfg Config) []*task {
+	if p.skip {
+		return []*task{{plan: p, newFile: true}}
+	}
+	out := []*task{{plan: p, newFile: true, includeOriginal: true}}
+	shard := int64(cfg.ShardSize)
+	for from := int64(0); from < p.tested; from += shard {
+		to := from + shard
+		if to > p.tested {
+			to = p.tested
+		}
+		// the original rides along with the first range
+		if from == 0 {
+			out[0].fromJ, out[0].toJ = from, to
+			continue
+		}
+		out = append(out, &task{plan: p, fromJ: from, toJ: to})
+	}
+	return out
+}

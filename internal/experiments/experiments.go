@@ -32,6 +32,12 @@ type Scale struct {
 	Seed              int64
 	CampaignCorpus    int // synthetic files added to the bug campaign (default 30)
 	ThresholdOverride int64
+	// Workers sizes the campaign engine's worker pool (0 = GOMAXPROCS);
+	// any value produces identical tables, parallelism only changes speed.
+	Workers int
+	// Checkpoint, when non-empty, makes campaigns periodically persist
+	// their state to this path for campaign.Resume.
+	Checkpoint string
 }
 
 func (s Scale) withDefaults() Scale {
@@ -257,6 +263,8 @@ func Campaign(scale Scale, versions []string) (*harness.Report, error) {
 		Versions:           versions,
 		Threshold:          -1,
 		MaxVariantsPerFile: scale.MaxVariants,
+		Workers:            scale.Workers,
+		CheckpointPath:     scale.Checkpoint,
 	})
 }
 

@@ -4,395 +4,32 @@
 // reference interpreter, feed the clean variants to the compilers under
 // test at several optimization levels, and classify every divergence from
 // the reference semantics as a crash, wrong-code, or performance bug.
+//
+// The loop itself lives in the internal/campaign engine, which shards each
+// file's canonical variant space across a worker pool and merges results
+// deterministically; this package keeps the historical Config/Report
+// surface and re-exports the campaign types so existing callers are
+// untouched. Run with the default Config parallelizes across GOMAXPROCS
+// workers and produces output byte-identical to the old sequential loop
+// (set Workers to 1 to force sequential execution).
 package harness
 
-import (
-	"fmt"
-	"math/big"
-	"sort"
+import "spe/internal/campaign"
 
-	"spe/internal/cc"
-	"spe/internal/interp"
-	"spe/internal/minicc"
-	"spe/internal/partition"
-	"spe/internal/skeleton"
-	"spe/internal/spe"
-)
-
-// Config parameterizes a campaign.
-type Config struct {
-	// Corpus is the seed program population.
-	Corpus []string
-	// Versions lists the simulated compiler versions under test (names
-	// from minicc.Versions); defaults to {"trunk"}.
-	Versions []string
-	// OptLevels defaults to {0, 1, 2, 3}.
-	OptLevels []int
-	// Threshold is the per-file variant cap (paper: 10,000). Zero means
-	// 10,000; negative means unlimited.
-	Threshold int64
-	// MaxVariantsPerFile additionally bounds how many enumerated variants
-	// are executed per file (budget control); zero means the threshold.
-	MaxVariantsPerFile int
-	// Granularity of the enumeration; defaults to intra-procedural.
-	Granularity spe.Granularity
-	// Steps bounds each execution.
-	Steps int64
-	// ReduceTestCases post-processes each finding's sample test case with
-	// the delta-debugging reducer, as the paper does before filing (§6).
-	ReduceTestCases bool
-}
-
-func (c Config) withDefaults() Config {
-	if len(c.Versions) == 0 {
-		c.Versions = []string{"trunk"}
-	}
-	if len(c.OptLevels) == 0 {
-		c.OptLevels = []int{0, 1, 2, 3}
-	}
-	if c.Threshold == 0 {
-		c.Threshold = 10_000
-	}
-	if c.MaxVariantsPerFile == 0 {
-		c.MaxVariantsPerFile = int(c.Threshold)
-	}
-	if c.Steps == 0 {
-		c.Steps = 500_000
-	}
-	return c
-}
+// Config parameterizes a campaign. It is the campaign engine's Config;
+// see that package for the worker-pool and checkpointing knobs.
+type Config = campaign.Config
 
 // Finding is one deduplicated bug discovery.
-type Finding struct {
-	// BugID is the seeded bug's simulated bugzilla number ("" when the
-	// symptom could not be attributed).
-	BugID string
-	Kind  minicc.BugKind
-	// Signature identifies crash findings (Table 3).
-	Signature string
-	Component string
-	Priority  int
-	// OptLevels lists the optimization levels at which the symptom
-	// appeared.
-	OptLevels []int
-	// Versions lists the affected versions observed.
-	Versions []string
-	// TestCase is a minimal sample variant source triggering the bug.
-	TestCase string
-	// SeedIndex is the corpus file whose skeleton produced the test case.
-	SeedIndex int
-	// Occurrences counts variant-level duplicates collapsed into this
-	// finding.
-	Occurrences int
-}
+type Finding = campaign.Finding
 
 // Stats aggregates campaign-level counters.
-type Stats struct {
-	Files          int
-	FilesSkipped   int // over threshold
-	Variants       int
-	VariantsUB     int // filtered by the reference interpreter
-	VariantsClean  int
-	Executions     int
-	CrashFindings  int
-	WrongFindings  int
-	PerfFindings   int
-	NaiveTotal     *big.Int
-	CanonicalTotal *big.Int
-}
+type Stats = campaign.Stats
 
 // Report is the campaign outcome.
-type Report struct {
-	Config   Config
-	Findings []*Finding
-	Stats    Stats
-}
+type Report = campaign.Report
 
-// Run executes a campaign.
+// Run executes a campaign through the sharded engine.
 func Run(cfg Config) (*Report, error) {
-	cfg = cfg.withDefaults()
-	rep := &Report{Config: cfg}
-	rep.Stats.NaiveTotal = new(big.Int)
-	rep.Stats.CanonicalTotal = new(big.Int)
-	byKey := make(map[string]*Finding)
-	st := &campaignState{attribution: make(map[string]string)}
-
-	for seedIdx, src := range cfg.Corpus {
-		f, err := cc.Parse(src)
-		if err != nil {
-			return nil, fmt.Errorf("harness: corpus[%d]: %w", seedIdx, err)
-		}
-		prog, err := cc.Analyze(f)
-		if err != nil {
-			return nil, fmt.Errorf("harness: corpus[%d]: %w", seedIdx, err)
-		}
-		sk, err := skeleton.Build(prog)
-		if err != nil {
-			return nil, fmt.Errorf("harness: corpus[%d]: %w", seedIdx, err)
-		}
-		rep.Stats.Files++
-		opts := spe.Options{Mode: spe.ModeCanonical, Granularity: cfg.Granularity}
-		canonical := spe.Count(sk, opts)
-		naive := spe.Count(sk, spe.Options{Mode: spe.ModeNaive, Granularity: cfg.Granularity})
-		rep.Stats.NaiveTotal.Add(rep.Stats.NaiveTotal, naive)
-		rep.Stats.CanonicalTotal.Add(rep.Stats.CanonicalTotal, canonical)
-		if cfg.Threshold > 0 && canonical.Cmp(big.NewInt(cfg.Threshold)) > 0 {
-			rep.Stats.FilesSkipped++
-			continue
-		}
-		// the original program is always tested (it is one filling of its
-		// own skeleton), then the enumeration budget is spread across the
-		// canonical order by stride sampling, avoiding the bias of a pure
-		// lexicographic prefix
-		rep.Stats.Variants++
-		testVariant(cfg, rep, byKey, st, seedIdx, src)
-		budget := cfg.MaxVariantsPerFile
-		stride := 1
-		if canonical.IsInt64() {
-			if total := canonical.Int64(); total > int64(budget) {
-				stride = int(total / int64(budget))
-				if stride > 64 {
-					stride = 64 // bound the walk over huge sets
-				}
-			}
-		} else {
-			stride = 64
-		}
-		walkBound := cfg.MaxVariantsPerFile * stride
-		walked := 0
-		_, err = spe.EnumerateFills(sk, opts, func(idx int, fill []partition.VarRef) bool {
-			walked++
-			if idx%stride != 0 {
-				return walked < walkBound
-			}
-			rep.Stats.Variants++
-			testVariant(cfg, rep, byKey, st, seedIdx, sk.Render(fill))
-			budget--
-			return budget > 0 && walked < walkBound
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	for _, fd := range byKey {
-		if cfg.ReduceTestCases {
-			reduceFinding(fd, cfg)
-		}
-		rep.Findings = append(rep.Findings, fd)
-	}
-	sort.Slice(rep.Findings, func(i, j int) bool {
-		if rep.Findings[i].Kind != rep.Findings[j].Kind {
-			return rep.Findings[i].Kind < rep.Findings[j].Kind
-		}
-		return rep.Findings[i].key() < rep.Findings[j].key()
-	})
-	for _, fd := range rep.Findings {
-		switch fd.Kind {
-		case minicc.BugCrash:
-			rep.Stats.CrashFindings++
-		case minicc.BugWrongCode:
-			rep.Stats.WrongFindings++
-		default:
-			rep.Stats.PerfFindings++
-		}
-	}
-	return rep, nil
-}
-
-func (f *Finding) key() string {
-	if f.BugID != "" {
-		return "id:" + f.BugID
-	}
-	return "sig:" + f.Signature
-}
-
-// campaignState carries memoization across variants: attributing a
-// wrong-code symptom requires recompilations, and symptoms repeat heavily
-// within one seed's enumeration, so results are cached by
-// (seed, version, opt, signature).
-type campaignState struct {
-	attribution map[string]string
-}
-
-// testVariant runs one enumerated variant through the reference and all
-// compiler configurations.
-func testVariant(cfg Config, rep *Report, byKey map[string]*Finding, st *campaignState, seedIdx int, src string) bool {
-	file, err := cc.Parse(src)
-	if err != nil {
-		return false // enumeration rendered something unparsable: bug in us
-	}
-	prog, err := cc.Analyze(file)
-	if err != nil {
-		return false
-	}
-	ref := interp.Run(prog, interp.Config{MaxSteps: cfg.Steps})
-	if !ref.Defined() {
-		rep.Stats.VariantsUB++
-		return false
-	}
-	rep.Stats.VariantsClean++
-
-	// the compiled binary needs only a small multiple of the reference's
-	// step count; a much larger consumption is already a hang symptom, so
-	// an adaptive budget keeps miscompiled infinite loops cheap to detect
-	execSteps := ref.Steps*20 + 50_000
-	for _, ver := range cfg.Versions {
-		for _, opt := range cfg.OptLevels {
-			rep.Stats.Executions++
-			comp := &minicc.Compiler{Version: ver, Opt: opt, Seeded: true}
-			ro := comp.Run(prog, minicc.ExecConfig{MaxSteps: execSteps})
-			classify(rep, byKey, st, seedIdx, src, ver, opt, ref, ro, prog, cfg)
-		}
-	}
-	return true
-}
-
-func classify(rep *Report, byKey map[string]*Finding, st *campaignState, seedIdx int, src, ver string, opt int,
-	ref *interp.Result, ro *minicc.RunOutcome, prog *cc.Program, cfg Config) {
-
-	record := func(kind minicc.BugKind, bugID, signature string) {
-		key := "sig:" + signature
-		if bugID != "" {
-			key = "id:" + bugID
-		}
-		fd, ok := byKey[key]
-		if !ok {
-			fd = &Finding{
-				BugID:     bugID,
-				Kind:      kind,
-				Signature: signature,
-				TestCase:  src,
-				SeedIndex: seedIdx,
-			}
-			if b, found := minicc.BugByID(bugID); found {
-				fd.Component = b.Component
-				fd.Priority = b.Priority
-			}
-			byKey[key] = fd
-		}
-		fd.Occurrences++
-		fd.OptLevels = addUniqueInt(fd.OptLevels, opt)
-		fd.Versions = addUniqueStr(fd.Versions, ver)
-	}
-
-	out := ro.Compile
-	switch {
-	case out.Crash != nil:
-		record(minicc.BugCrash, out.Crash.BugID, out.Crash.Signature)
-		return
-	case out.Timeout != nil:
-		record(minicc.BugPerformance, attributePerf(ver, opt), "compile-time hang: "+out.Timeout.Pass)
-		return
-	case out.Err != nil:
-		return // unsupported construct; not a bug signal
-	}
-	ex := ro.Exec
-	ok := ex.Ok() == (ref.UB == nil && !ref.Aborted) &&
-		ex.Aborted == ref.Aborted &&
-		(ex.Aborted || (ex.Exit == ref.Exit && ex.Output == ref.Output && ex.Trap == "" && !ex.Timeout))
-	if ok {
-		return
-	}
-	// symptom classes: the detailed signature is for display; the coarse
-	// class drives deduplication and attribution memoization (the paper
-	// likewise dedupes reports by symptom, not by concrete wrong values)
-	coarse := "wrong-exit"
-	sig := fmt.Sprintf("wrong code (exit %d, expected %d)", ex.Exit, ref.Exit)
-	if ex.Exit == ref.Exit {
-		coarse = "wrong-output"
-		sig = fmt.Sprintf("wrong code (output %q, expected %q)", ex.Output, ref.Output)
-	}
-	if ex.Trap != "" {
-		coarse = "trap"
-		sig = "runtime trap: " + ex.Trap
-	}
-	if ex.Timeout {
-		coarse = "hang"
-		sig = "runtime hang (step budget exhausted)"
-	}
-	// attribute by selectively deactivating active bugs; memoized per
-	// (seed, version, opt, symptom class)
-	memoKey := fmt.Sprintf("%d|%s|%d|%s", seedIdx, ver, opt, coarse)
-	bugID, cached := st.attribution[memoKey]
-	if !cached {
-		bugID = attributeWrongCode(prog, ver, opt, ref, cfg)
-		st.attribution[memoKey] = bugID
-	}
-	if bugID == "" {
-		// unattributed: dedupe by coarse class and seed to avoid a finding
-		// per concrete wrong value
-		sig = fmt.Sprintf("%s (seed %d): e.g. %s", coarse, seedIdx, sig)
-	}
-	if bugID != "" {
-		if b, found := minicc.BugByID(bugID); found && b.Kind == minicc.BugPerformance {
-			record(minicc.BugPerformance, bugID, sig)
-			return
-		}
-	}
-	record(minicc.BugWrongCode, bugID, sig)
-}
-
-// attributeWrongCode finds which single seeded bug explains a wrong-code
-// symptom by deactivating active bugs one at a time — a seeded-oracle
-// analogue of the paper's root-cause triage.
-func attributeWrongCode(prog *cc.Program, ver string, opt int, ref *interp.Result, cfg Config) string {
-	vi := minicc.VersionIndex(ver)
-	if vi < 0 {
-		vi = len(minicc.Versions) - 1
-	}
-	full := minicc.BugsFor(vi, opt)
-	for _, hook := range full.Hooks() {
-		reduced := full.Without(hook)
-		comp := &minicc.Compiler{Version: ver, Opt: opt, Bugs: reduced}
-		ro := comp.Run(prog, minicc.ExecConfig{MaxSteps: ref.Steps*20 + 50_000})
-		if !ro.Compile.Ok() {
-			continue
-		}
-		ex := ro.Exec
-		if ex.Ok() && ex.Exit == ref.Exit && ex.Output == ref.Output && ex.Aborted == ref.Aborted {
-			for _, b := range minicc.Registry() {
-				if b.Hook == hook {
-					return b.ID
-				}
-			}
-		}
-	}
-	return ""
-}
-
-// attributePerf maps a compile timeout to the active performance bug.
-func attributePerf(ver string, opt int) string {
-	vi := minicc.VersionIndex(ver)
-	if vi < 0 {
-		vi = len(minicc.Versions) - 1
-	}
-	set := minicc.BugsFor(vi, opt)
-	for _, b := range minicc.Registry() {
-		if b.Kind == minicc.BugPerformance && set.Active(b.Hook) {
-			return b.ID
-		}
-	}
-	return ""
-}
-
-func addUniqueInt(s []int, v int) []int {
-	for _, x := range s {
-		if x == v {
-			return s
-		}
-	}
-	s = append(s, v)
-	sort.Ints(s)
-	return s
-}
-
-func addUniqueStr(s []string, v string) []string {
-	for _, x := range s {
-		if x == v {
-			return s
-		}
-	}
-	s = append(s, v)
-	sort.Strings(s)
-	return s
+	return campaign.Run(cfg)
 }

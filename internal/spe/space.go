@@ -1,0 +1,106 @@
+package spe
+
+import (
+	"fmt"
+	"math/big"
+
+	"spe/internal/partition"
+	"spe/internal/skeleton"
+)
+
+// Space is a random-access view of a skeleton's canonical enumeration
+// sequence: Total() is its size and FillAt(i) returns the i-th filling of
+// EnumerateFills' order without enumerating the i-1 before it. With intra-
+// procedural granularity the sequence is the Cartesian product of the
+// per-function canonical sequences, so a global index is a mixed-radix
+// numeral whose digits are per-function ranks (the first function is the
+// most significant digit, matching EnumerateFills' recursion order).
+//
+// A Space owns mutable ranker memo tables and is not safe for concurrent
+// use; construction is cheap (the tables fill lazily), so give each
+// goroutine its own.
+type Space struct {
+	sk   *skeleton.Skeleton
+	opts Options
+	// intra granularity
+	fps     []*skeleton.FuncProblem
+	rankers []*partition.Ranker
+	counts  []*big.Int
+	// inter granularity
+	ranker *partition.Ranker
+
+	total *big.Int
+}
+
+// NewSpace builds the random-access view. Only ModeCanonical is supported:
+// the naive sequence needs no ranker (it is a plain mixed-radix product)
+// and ModePaper is count-only.
+func NewSpace(sk *skeleton.Skeleton, opts Options) (*Space, error) {
+	if opts.Mode != ModeCanonical {
+		return nil, fmt.Errorf("spe: Space requires ModeCanonical, got %v", opts.Mode)
+	}
+	s := &Space{sk: sk, opts: opts}
+	switch opts.Granularity {
+	case Inter:
+		s.ranker = sk.Problem().NewRanker()
+		s.total = s.ranker.Count()
+	default:
+		s.fps = sk.FuncProblems()
+		s.total = big.NewInt(1)
+		for _, fp := range s.fps {
+			r := fp.Problem.NewRanker()
+			s.rankers = append(s.rankers, r)
+			c := r.Count()
+			s.counts = append(s.counts, c)
+			s.total.Mul(s.total, c)
+		}
+	}
+	return s, nil
+}
+
+// Total returns the number of fillings in the sequence (the skeleton's
+// canonical count).
+func (s *Space) Total() *big.Int { return new(big.Int).Set(s.total) }
+
+// FillAt returns the idx-th whole-skeleton filling of the canonical
+// enumeration order. The returned slice is freshly allocated.
+func (s *Space) FillAt(idx *big.Int) ([]partition.VarRef, error) {
+	if idx.Sign() < 0 || idx.Cmp(s.total) >= 0 {
+		return nil, fmt.Errorf("spe: fill index %s out of range [0, %s)", idx, s.total)
+	}
+	if s.ranker != nil {
+		return s.ranker.Unrank(idx)
+	}
+	// digit extraction, least significant (= last, fastest-varying
+	// function) first
+	digits := make([]*big.Int, len(s.fps))
+	rem := new(big.Int).Set(idx)
+	for i := len(s.fps) - 1; i >= 0; i-- {
+		q, m := new(big.Int).QuoRem(rem, s.counts[i], new(big.Int))
+		digits[i] = m
+		rem = q
+	}
+	whole := s.sk.OriginalFill()
+	for i, fp := range s.fps {
+		fill, err := s.rankers[i].Unrank(digits[i])
+		if err != nil {
+			return nil, err
+		}
+		for j, vr := range fill {
+			whole[fp.HoleIdx[j]] = partition.VarRef{
+				Group: fp.GroupIdx[vr.Group],
+				Index: vr.Index,
+			}
+		}
+	}
+	return whole, nil
+}
+
+// RenderAt renders the program at the given enumeration index.
+func (s *Space) RenderAt(idx *big.Int) (string, error) {
+	fill, err := s.FillAt(idx)
+	if err != nil {
+		return "", err
+	}
+	return s.sk.Render(fill), nil
+}

@@ -1,0 +1,81 @@
+package spe
+
+import (
+	"math/big"
+	"testing"
+
+	"spe/internal/partition"
+	"spe/internal/skeleton"
+)
+
+// spaceSeeds are multi-function programs kept small enough that the whole
+// canonical sequence can be checked against FillAt, including the
+// mixed-radix rollovers between per-function digit positions.
+var spaceSeeds = []string{
+	`
+int a, b;
+int f() { return a + b; }
+int main() {
+    int c = 0;
+    c = a + c;
+    return b + c;
+}
+`,
+	`
+int g;
+int f() { int x = 1; return g + x; }
+int h() { int y = 2, z = 3; return y + z + g; }
+int main() { return f() + h() + g; }
+`,
+}
+
+// TestSpaceMatchesEnumeration asserts that FillAt(i) reproduces the i-th
+// fill of EnumerateFills for every index, under both granularities.
+func TestSpaceMatchesEnumeration(t *testing.T) {
+	for si, src := range spaceSeeds {
+		sk := skeleton.MustBuild(src)
+		for _, gran := range []Granularity{Intra, Inter} {
+			opts := Options{Mode: ModeCanonical, Granularity: gran}
+			sp, err := NewSpace(sk, opts)
+			if err != nil {
+				t.Fatalf("seed %d gran %v: %v", si, gran, err)
+			}
+			var fills []string
+			_, err = EnumerateFills(sk, opts, func(idx int, fill []partition.VarRef) bool {
+				fills = append(fills, partition.FillKey(fill))
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sp.Total().Cmp(big.NewInt(int64(len(fills)))) != 0 {
+				t.Fatalf("seed %d gran %v: total %s, enumerated %d", si, gran, sp.Total(), len(fills))
+			}
+			if sp.Total().Cmp(Count(sk, opts)) != 0 {
+				t.Fatalf("seed %d gran %v: total %s != Count %s", si, gran, sp.Total(), Count(sk, opts))
+			}
+			for i := range fills {
+				fill, err := sp.FillAt(big.NewInt(int64(i)))
+				if err != nil {
+					t.Fatalf("seed %d gran %v: FillAt(%d): %v", si, gran, i, err)
+				}
+				if partition.FillKey(fill) != fills[i] {
+					t.Fatalf("seed %d gran %v: FillAt(%d) diverges from enumeration", si, gran, i)
+				}
+			}
+			if _, err := sp.FillAt(sp.Total()); err == nil {
+				t.Errorf("seed %d gran %v: FillAt(total) did not error", si, gran)
+			}
+		}
+	}
+}
+
+func TestSpaceRejectsNonCanonical(t *testing.T) {
+	sk := skeleton.MustBuild(spaceSeeds[0])
+	if _, err := NewSpace(sk, Options{Mode: ModeNaive}); err == nil {
+		t.Error("NewSpace accepted ModeNaive")
+	}
+	if _, err := NewSpace(sk, Options{Mode: ModePaper}); err == nil {
+		t.Error("NewSpace accepted ModePaper")
+	}
+}

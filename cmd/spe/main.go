@@ -13,11 +13,18 @@
 //	                                 print variants (default: canonical,
 //	                                 intra-procedural, all of them)
 //	spe campaign [-workers N] [-checkpoint path] [-variants N]
-//	             [-versions list] [-reduce] [-inter] [file.c ...]
+//	             [-versions list] [-schedule fifo|coverage]
+//	             [-target-shard-ms N] [-curve] [-reduce] [-inter]
+//	             [file.c ...]
 //	                                 run a parallel differential-testing
 //	                                 campaign (default corpus: the bundled
 //	                                 seed programs); with -checkpoint, an
-//	                                 existing checkpoint is resumed
+//	                                 existing checkpoint is resumed;
+//	                                 -schedule=coverage dispatches shards
+//	                                 by expected coverage novelty and
+//	                                 -target-shard-ms sizes shard batches
+//	                                 adaptively (both leave the report
+//	                                 byte-identical to fifo order)
 package main
 
 import (
@@ -119,6 +126,9 @@ func runCampaign(args []string) {
 	checkpoint := fs.String("checkpoint", "", "periodically persist campaign state to this path; resumed if it exists")
 	variants := fs.Int("variants", 200, "maximum enumerated variants tested per file")
 	versions := fs.String("versions", "trunk", "comma-separated compiler versions under test")
+	schedule := fs.String("schedule", campaign.ScheduleFIFO, "shard dispatch policy: fifo (enumeration order) or coverage (drain novel regions first; same final report)")
+	targetShardMs := fs.Int("target-shard-ms", 0, "adaptive shard sizing: batch dispatches toward this duration (0 = fixed shards)")
+	curve := fs.Bool("curve", false, "record and print the coverage-over-time curve to stderr (under fifo this enables coverage collection)")
 	reduce := fs.Bool("reduce", false, "delta-debug each finding's sample test case")
 	inter := fs.Bool("inter", false, "inter-procedural granularity")
 	if err := fs.Parse(args); err != nil {
@@ -138,6 +148,9 @@ func runCampaign(args []string) {
 			rep, err := campaign.Resume(*checkpoint)
 			if err != nil {
 				fatal(err)
+			}
+			if *curve {
+				fmt.Fprint(os.Stderr, rep.FormatCoverageCurve())
 			}
 			fmt.Print(rep.Format())
 			return
@@ -168,9 +181,15 @@ func runCampaign(args []string) {
 		ReduceTestCases:    *reduce,
 		Workers:            *workers,
 		CheckpointPath:     *checkpoint,
+		Schedule:           *schedule,
+		TargetShardMillis:  *targetShardMs,
+		CoverageCurve:      *curve,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *curve {
+		fmt.Fprint(os.Stderr, rep.FormatCoverageCurve())
 	}
 	fmt.Print(rep.Format())
 }

@@ -4,13 +4,16 @@
 //
 // Usage:
 //
-//	spebench [-quick] [-workers N] [-checkpoint path] [experiment...]
+//	spebench [-quick] [-workers N] [-checkpoint path]
+//	         [-schedule fifo|coverage] [-target-shard-ms N] [experiment...]
 //
 // where experiment is any of: table1 table2 table3 table4 fig8 fig9 fig10
 // example6. With no arguments, all experiments run in order. -workers
 // sizes the campaign engine's worker pool (0 = GOMAXPROCS; the tables are
-// identical at any setting) and -checkpoint makes campaign experiments
-// persist resumable progress.
+// identical at any setting), -checkpoint makes campaign experiments
+// persist resumable progress, -schedule selects the shard dispatch policy
+// (coverage drains novel regions first; tables are unaffected), and
+// -target-shard-ms enables adaptive shard sizing.
 package main
 
 import (
@@ -26,6 +29,8 @@ func main() {
 	quick := flag.Bool("quick", false, "use a reduced scale for a fast run")
 	workers := flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS); results are identical at any setting")
 	checkpoint := flag.String("checkpoint", "", "persist campaign progress to this path (campaign experiments only)")
+	schedule := flag.String("schedule", "", "campaign shard dispatch policy: fifo (default) or coverage; tables are identical either way")
+	targetShardMs := flag.Int("target-shard-ms", 0, "adaptive campaign shard sizing toward this duration (0 = fixed shards)")
 	flag.Parse()
 	scale := experiments.Scale{}
 	if *quick {
@@ -38,6 +43,8 @@ func main() {
 		}
 	}
 	scale.Workers = *workers
+	scale.Schedule = *schedule
+	scale.TargetShardMillis = *targetShardMs
 	which := flag.Args()
 	if len(which) == 0 {
 		which = []string{"example6", "table1", "table2", "fig8", "table3", "table4", "fig10", "fig9", "generality"}

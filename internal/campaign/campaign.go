@@ -63,7 +63,40 @@ type Config struct {
 	// CheckpointEvery is the number of merged shard tasks between
 	// checkpoint writes; zero means 8.
 	CheckpointEvery int
+	// Schedule selects the shard dispatch policy: ScheduleFIFO (the
+	// default) dispatches shards in canonical enumeration order, while
+	// ScheduleCoverage re-orders pending shards by expected coverage
+	// novelty — regions whose recent shards hit new minicc instrumentation
+	// sites are drained first, stale regions decay. The dispatch order
+	// never affects the Report: the aggregator always merges in canonical
+	// order, so fifo and coverage campaigns produce identical findings.
+	Schedule string
+	// Lookahead bounds how far (in shard tasks) the scheduler may dispatch
+	// ahead of the aggregator's merge cursor, which also bounds the reorder
+	// buffer's memory. Zero means 256, raised to 8*Workers if smaller.
+	Lookahead int
+	// TargetShardMillis, when positive, enables adaptive shard sizing: the
+	// engine tracks per-variant wall-clock cost and batches consecutive
+	// shard dispatches toward this target duration, evening out worker tail
+	// latency. Batching never changes task identity, but note that when
+	// ShardSize is left zero this flag picks a finer default grain (4
+	// instead of 32) so batches can size in both directions — set ShardSize
+	// explicitly if checkpoint seq numbering must match a run without the
+	// flag. A checkpoint embeds its resolved config, so resume is always
+	// self-consistent either way.
+	TargetShardMillis int
+	// CoverageCurve records the coverage-over-time curve (Report.
+	// CoverageCurve) even under ScheduleFIFO. Coverage collection is
+	// otherwise skipped for fifo campaigns, sparing the VM instrumentation
+	// cost when nothing consumes the data; ScheduleCoverage implies it.
+	CoverageCurve bool
 }
+
+// Schedule values for Config.Schedule.
+const (
+	ScheduleFIFO     = "fifo"
+	ScheduleCoverage = "coverage"
+)
 
 func (c Config) withDefaults() Config {
 	if len(c.Versions) == 0 {
@@ -85,12 +118,35 @@ func (c Config) withDefaults() Config {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if c.ShardSize <= 0 {
-		c.ShardSize = 32
+		if c.TargetShardMillis > 0 {
+			// adaptive sizing groups micro-shards toward the duration
+			// target; a finer default grain lets it size both down and up
+			c.ShardSize = 4
+		} else {
+			c.ShardSize = 32
+		}
 	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 8
 	}
+	if c.Schedule == "" {
+		c.Schedule = ScheduleFIFO
+	}
+	if c.Lookahead <= 0 {
+		c.Lookahead = 256
+	}
+	if c.Lookahead < 8*c.Workers {
+		c.Lookahead = 8 * c.Workers
+	}
 	return c
+}
+
+// collectCoverage reports whether workers should record compiler coverage:
+// the coverage schedule steers by it, and CoverageCurve requests the curve
+// telemetry under fifo. Otherwise recording is skipped — per-instruction VM
+// instrumentation is not free, and a fifo campaign would discard the data.
+func (c Config) collectCoverage() bool {
+	return c.Schedule == ScheduleCoverage || c.CoverageCurve
 }
 
 // Finding is one deduplicated bug discovery.
@@ -139,11 +195,54 @@ type Stats struct {
 	CanonicalTotal *big.Int
 }
 
+// CoveragePoint is one step of a campaign's coverage-over-time curve: after
+// Variants tested variants had completed (in completion order), Sites
+// distinct minicc instrumentation sites had been hit.
+type CoveragePoint struct {
+	Variants int
+	Sites    int
+}
+
 // Report is the campaign outcome.
 type Report struct {
 	Config   Config
 	Findings []*Finding
 	Stats    Stats
+	// CoverageCurve records frontier growth in shard completion order. It
+	// is scheduling telemetry, not part of the deterministic report: the
+	// curve depends on worker timing and dispatch policy (that sensitivity
+	// is the point — it is how fifo and coverage schedules are compared),
+	// so Format deliberately excludes it.
+	CoverageCurve []CoveragePoint
+}
+
+// VariantsToSites returns how many variants had completed when the
+// coverage frontier first reached n sites, or -1 if it never did.
+func (r *Report) VariantsToSites(n int) int {
+	for _, p := range r.CoverageCurve {
+		if p.Sites >= n {
+			return p.Variants
+		}
+	}
+	return -1
+}
+
+// FinalSites returns the final coverage frontier size.
+func (r *Report) FinalSites() int {
+	if len(r.CoverageCurve) == 0 {
+		return 0
+	}
+	return r.CoverageCurve[len(r.CoverageCurve)-1].Sites
+}
+
+// FormatCoverageCurve renders the curve for human consumption.
+func (r *Report) FormatCoverageCurve() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "coverage curve (%s schedule): %d sites final\n", r.Config.Schedule, r.FinalSites())
+	for _, p := range r.CoverageCurve {
+		fmt.Fprintf(&sb, "  %6d variants -> %3d sites\n", p.Variants, p.Sites)
+	}
+	return sb.String()
 }
 
 // Format renders the report as deterministic text: identical campaigns

@@ -9,8 +9,9 @@ import (
 	"sort"
 )
 
-// checkpointVersion guards the on-disk format.
-const checkpointVersion = 1
+// checkpointVersion guards the on-disk format. Version 2 added the
+// scheduler steering block (coverage frontier, cost model, region scores).
+const checkpointVersion = 2
 
 // checkpointFile is the JSON document written at shard-merge boundaries.
 // It captures the full aggregator state after the first NextSeq shard
@@ -26,16 +27,22 @@ type checkpointFile struct {
 	Stats       Stats
 	Findings    []*Finding
 	Attribution map[string]string
+	// Steering carries the coverage frontier and adaptive-sizing cost
+	// model so a resumed campaign keeps the dispatch steering it had
+	// learned (merely advisory: it never affects the final Report).
+	Steering *steering
 }
 
-// writeCheckpoint atomically persists the aggregator state.
-func writeCheckpoint(cfg Config, st *aggState) error {
+// writeCheckpoint atomically persists the aggregator state plus the
+// scheduler's steering snapshot.
+func writeCheckpoint(cfg Config, st *aggState, steer *steering) error {
 	ck := &checkpointFile{
 		Version:     checkpointVersion,
 		Config:      cfg,
 		NextSeq:     st.nextSeq,
 		Stats:       st.stats,
 		Attribution: st.attribution,
+		Steering:    steer,
 	}
 	keys := make([]string, 0, len(st.byKey))
 	for k := range st.byKey {
@@ -88,6 +95,7 @@ func loadCheckpoint(path string) (Config, *aggState, error) {
 	if ck.Attribution != nil {
 		st.attribution = ck.Attribution
 	}
+	st.steer = ck.Steering
 	return ck.Config, st, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"spe/internal/corpus"
+	"spe/internal/minicc"
 )
 
 // TestCheckpointResumeAfterKill kills a checkpointed campaign mid-run and
@@ -83,6 +84,91 @@ func TestCheckpointResumeAfterKill(t *testing.T) {
 	}
 }
 
+// TestCheckpointResumeCoverageSchedule kills a coverage-scheduled
+// campaign mid-run and asserts (a) the surviving checkpoint carries the
+// steering block — the coverage frontier a resume restores — and (b) the
+// resumed campaign converges to the same report as an uninterrupted run.
+func TestCheckpointResumeCoverageSchedule(t *testing.T) {
+	base := Config{
+		Corpus:             corpus.Seeds()[:5],
+		Versions:           []string{"trunk"},
+		MaxVariantsPerFile: 80,
+		Workers:            3,
+		ShardSize:          4,
+		Schedule:           ScheduleCoverage,
+		Lookahead:          24, // keep checkpoints close behind dispatch
+		CheckpointEvery:    1,
+		TargetShardMillis:  10,
+	}
+	ref, err := Run(base) // uninterrupted, no checkpointing
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "coverage.ckpt.json")
+	cfg := base
+	cfg.CheckpointPath = path
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Millisecond):
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				continue
+			}
+			var ck checkpointFile
+			if json.Unmarshal(data, &ck) == nil && ck.NextSeq >= 3 {
+				cancel()
+				return
+			}
+		}
+	}()
+	if rep, err := RunContext(ctx, cfg); err == nil {
+		t.Logf("campaign completed before cancellation; findings=%d", len(rep.Findings))
+	}
+	cancel()
+	<-done
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no checkpoint survived the kill: %v", err)
+	}
+	var ck checkpointFile
+	if err := json.Unmarshal(data, &ck); err != nil {
+		t.Fatal(err)
+	}
+	if ck.Steering == nil || len(ck.Steering.Frontier) == 0 {
+		t.Fatalf("checkpoint carries no coverage frontier: %+v", ck.Steering)
+	}
+	if ck.Steering.CostNsPerVariant <= 0 {
+		t.Errorf("checkpoint carries no cost model: %+v", ck.Steering)
+	}
+
+	resumed, err := Resume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resumed.Format(), ref.Format(); got != want {
+		t.Errorf("resumed coverage campaign diverges from uninterrupted run:\n--- resumed ---\n%s--- uninterrupted ---\n%s", got, want)
+	}
+	if !reflect.DeepEqual(resumed.Findings, ref.Findings) {
+		t.Error("resumed findings differ structurally")
+	}
+	// the restored frontier must seed the resumed curve: its first point
+	// replays the checkpointed sites at zero additional variants
+	if len(resumed.CoverageCurve) == 0 || resumed.CoverageCurve[0].Variants != 0 ||
+		resumed.CoverageCurve[0].Sites < len(ck.Steering.Frontier) {
+		t.Errorf("resumed curve does not restart from the restored frontier (%d sites): %+v",
+			len(ck.Steering.Frontier), resumed.CoverageCurve)
+	}
+}
+
 // TestCheckpointRoundTrip asserts the aggregator state survives a
 // write/load cycle intact.
 func TestCheckpointRoundTrip(t *testing.T) {
@@ -98,7 +184,12 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	fd := &Finding{BugID: "69801", Signature: "sig", TestCase: "int main() {}", Occurrences: 4,
 		OptLevels: []int{1, 2}, Versions: []string{"trunk"}}
 	st.byKey[fd.key()] = fd
-	if err := writeCheckpoint(cfg, st); err != nil {
+	steer := &steering{
+		Frontier:         minicc.Snapshot{"cse.hit", "lower.entry"},
+		CostNsPerVariant: 123456.5,
+		RegionScores:     map[int]float64{0: 3.25, 2: 0.5},
+	}
+	if err := writeCheckpoint(cfg, st, steer); err != nil {
 		t.Fatal(err)
 	}
 	gotCfg, got, err := loadCheckpoint(path)
@@ -119,6 +210,9 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got.attribution, st.attribution) {
 		t.Errorf("attribution mismatch")
+	}
+	if !reflect.DeepEqual(got.steer, steer) {
+		t.Errorf("steering mismatch: %+v vs %+v", got.steer, steer)
 	}
 }
 

@@ -60,8 +60,13 @@ type variantResult struct {
 
 // evalVariant runs one variant through the reference interpreter and all
 // compiler configurations — the worker half of the old testVariant. attr is
-// the shard-local attribution memo (see classifyOutcome).
-func evalVariant(cfg Config, src string, attr map[string]string) variantResult {
+// the shard-local attribution memo (see classifyOutcome); cov records the
+// compiler instrumentation sites the variant exercises (recording is
+// side-effect-free in minicc, so coverage collection never perturbs the
+// differential verdicts). Attribution recompilations deliberately bypass
+// the recorder: they re-run the same program with bugs deactivated and
+// would only blur the novelty signal.
+func evalVariant(cfg Config, src string, attr map[string]string, cov *minicc.Coverage) variantResult {
 	vr := variantResult{src: src}
 	file, err := cc.Parse(src)
 	if err != nil {
@@ -85,7 +90,7 @@ func evalVariant(cfg Config, src string, attr map[string]string) variantResult {
 	for _, ver := range cfg.Versions {
 		for _, opt := range cfg.OptLevels {
 			vr.executions++
-			comp := &minicc.Compiler{Version: ver, Opt: opt, Seeded: true}
+			comp := &minicc.Compiler{Version: ver, Opt: opt, Seeded: true, Coverage: cov}
 			ro := comp.Run(prog, minicc.ExecConfig{MaxSteps: execSteps})
 			if s, found := classifyOutcome(cfg, ver, opt, ref, ro, prog, attr); found {
 				vr.symptoms = append(vr.symptoms, s)

@@ -6,6 +6,7 @@ import (
 	"math/big"
 	"sort"
 	"sync"
+	"time"
 
 	"spe/internal/minicc"
 	"spe/internal/spe"
@@ -32,64 +33,89 @@ type taskResult struct {
 	plan     *filePlan
 	newFile  bool
 	variants []variantResult
+	// sites is the sorted set of instrumentation sites the shard's
+	// compilations hit — the coverage feedback the scheduler steers by.
+	sites minicc.Snapshot
+	// elapsedNs and ranVariants feed the adaptive-sizing cost model.
+	elapsedNs   int64
+	ranVariants int
 }
 
-// runEngine drives the producer → worker pool → aggregator pipeline.
+// runEngine drives the scheduler → worker pool → aggregator pipeline.
 // st carries the aggregator's merge state, pre-seeded by Resume.
 func runEngine(ctx context.Context, cfg Config, st *aggState) (*Report, error) {
+	if cfg.Schedule != ScheduleFIFO && cfg.Schedule != ScheduleCoverage {
+		return nil, fmt.Errorf("campaign: unknown schedule %q (want %q or %q)",
+			cfg.Schedule, ScheduleFIFO, ScheduleCoverage)
+	}
+	// the task sequence is derived up front (it is a pure function of the
+	// config) so the scheduler can prioritize over the whole campaign;
+	// tasks the checkpoint has already merged are excluded at startSeq
+	all, err := buildAllTasks(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sched := newScheduler(cfg, all, st.nextSeq, st.steer)
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	tasks := make(chan *task, cfg.Workers)
+	batches := make(chan []*task, cfg.Workers)
 	results := make(chan *taskResult, 2*cfg.Workers)
 
-	// window bounds how far the producer may run ahead of the
-	// aggregator's merge cursor: each dispatched task takes a credit,
-	// each merged task returns one. Without it, a single slow shard
-	// would let every other completed shard's variants pile up in the
-	// reorder buffer — with it, pending memory is O(window).
-	window := make(chan struct{}, 8*cfg.Workers)
+	// window bounds how far dispatch may run ahead of the aggregator's
+	// merge cursor: each dispatched task takes a credit, each merged task
+	// returns one. Its capacity doubles as the scheduler's reorder
+	// horizon, so pending memory stays O(Lookahead) no matter how far the
+	// priority policy strays from seq order.
+	window := make(chan struct{}, cfg.Lookahead)
 
 	var senders sync.WaitGroup
 
-	// producer: walk the corpus in order, cut each file into shard tasks,
-	// and skip any task the checkpoint has already merged (startSeq is the
-	// resume point, captured here because the aggregator advances
-	// st.nextSeq concurrently)
-	startSeq := st.nextSeq
+	// producer: drain the scheduler, grouping micro-shards into batches
+	// sized toward the adaptive duration target (one credit per task;
+	// batch extension only uses free credits, so a full window never
+	// blocks the first dispatch)
 	senders.Add(1)
 	go func() {
 		defer senders.Done()
-		defer close(tasks)
-		seq := 0
-		for seedIdx, src := range cfg.Corpus {
-			if ctx.Err() != nil {
+		defer close(batches)
+		for {
+			select {
+			case window <- struct{}{}:
+			case <-ctx.Done():
 				return
 			}
-			plan, err := buildPlan(cfg, seedIdx, src)
-			if err != nil {
-				select {
-				case results <- &taskResult{seq: -1, err: err}:
-				case <-ctx.Done():
-				}
-				return
+			// only this goroutine acquires credits, so observing a full
+			// window here means we hold the final one — pop must then
+			// dispatch head-of-line to keep the merge cursor supplied
+			t, ok := sched.pop(len(window) == cap(window))
+			if !ok {
+				return // everything dispatched; the spare credit is moot
 			}
-			for _, t := range plan.tasks(cfg) {
-				t.seq = seq
-				seq++
-				if t.seq < startSeq {
-					continue // already merged into the resumed state
+			batch := []*task{t}
+			if target := sched.targetNs(); target > 0 {
+				spent := sched.predictNs(t)
+				for spent < target && len(batch) < maxBatch {
+					select {
+					case window <- struct{}{}:
+					default:
+						spent = target // window full: stop extending
+						continue
+					}
+					t2, ok := sched.pop(len(window) == cap(window))
+					if !ok {
+						spent = target // drained; the spare credit is moot
+						continue
+					}
+					batch = append(batch, t2)
+					spent += sched.predictNs(t2)
 				}
-				select {
-				case window <- struct{}{}:
-				case <-ctx.Done():
-					return
-				}
-				select {
-				case tasks <- t:
-				case <-ctx.Done():
-					return
-				}
+			}
+			select {
+			case batches <- batch:
+			case <-ctx.Done():
+				return
 			}
 		}
 	}()
@@ -100,13 +126,15 @@ func runEngine(ctx context.Context, cfg Config, st *aggState) (*Report, error) {
 		senders.Add(1)
 		go func() {
 			defer senders.Done()
-			for t := range tasks {
-				if ctx.Err() != nil {
-					continue // drain
-				}
-				select {
-				case results <- runTask(ctx, cfg, t):
-				case <-ctx.Done():
+			for batch := range batches {
+				for _, t := range batch {
+					if ctx.Err() != nil {
+						continue // drain
+					}
+					select {
+					case results <- runTask(ctx, cfg, t):
+					case <-ctx.Done():
+					}
 				}
 			}
 		}()
@@ -119,7 +147,8 @@ func runEngine(ctx context.Context, cfg Config, st *aggState) (*Report, error) {
 		close(results)
 	}()
 
-	// aggregator: reorder shard results by seq and merge deterministically
+	// aggregator: feed each arriving result back to the scheduler, then
+	// reorder by seq and merge deterministically
 	var firstErr error
 	pending := make(map[int]*taskResult)
 	for r := range results {
@@ -131,6 +160,7 @@ func runEngine(ctx context.Context, cfg Config, st *aggState) (*Report, error) {
 			cancel()
 			continue
 		}
+		sched.observe(r)
 		pending[r.seq] = r
 		for {
 			nr, ok := pending[st.nextSeq]
@@ -139,11 +169,15 @@ func runEngine(ctx context.Context, cfg Config, st *aggState) (*Report, error) {
 			}
 			delete(pending, st.nextSeq)
 			st.merge(cfg, nr)
-			<-window // return the dispatch credit
 			st.nextSeq++
 			st.sinceCkpt++
+			// widen the scheduler's horizon before returning the credit,
+			// so a producer that wins the freed credit already sees the
+			// advanced cursor (the pop invariant depends on this order)
+			sched.advance(st.nextSeq)
+			<-window
 			if cfg.CheckpointPath != "" && st.sinceCkpt >= cfg.CheckpointEvery {
-				if err := writeCheckpoint(cfg, st); err != nil {
+				if err := writeCheckpoint(cfg, st, sched.steeringSnapshot()); err != nil {
 					firstErr = err
 					cancel()
 					break
@@ -158,19 +192,30 @@ func runEngine(ctx context.Context, cfg Config, st *aggState) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return st.finalize(cfg), nil
+	rep := st.finalize(cfg)
+	rep.CoverageCurve = sched.curveSnapshot()
+	return rep, nil
 }
 
-// runTask processes one shard: the worker half of the pipeline.
+// runTask processes one shard: the worker half of the pipeline. Alongside
+// the differential results it reports the shard's wall-clock cost and the
+// instrumentation sites its compilations hit — the feedback the scheduler
+// steers by. The recorder is lenient so site-registry drift surfaces as a
+// campaign error instead of a panicking worker.
 func runTask(ctx context.Context, cfg Config, t *task) *taskResult {
 	res := &taskResult{seq: t.seq, plan: t.plan, newFile: t.newFile}
 	if t.plan.skip {
 		return res
 	}
+	start := time.Now()
+	var cov *minicc.Coverage // nil receiver = no-op recorder
+	if cfg.collectCoverage() {
+		cov = minicc.NewLenientCoverage()
+	}
 	// shard-local attribution memo (seed-scoped: a task never spans files)
 	attr := make(map[string]string)
 	if t.includeOriginal {
-		res.variants = append(res.variants, evalVariant(cfg, t.plan.src, attr))
+		res.variants = append(res.variants, evalVariant(cfg, t.plan.src, attr, cov))
 	}
 	if t.toJ > t.fromJ {
 		space, err := spe.NewSpace(t.plan.sk, spe.Options{Mode: spe.ModeCanonical, Granularity: cfg.Granularity})
@@ -192,9 +237,16 @@ func runTask(ctx context.Context, cfg Config, t *task) *taskResult {
 				res.err = fmt.Errorf("campaign: corpus[%d] variant %d: %w", t.plan.seedIdx, j, err)
 				return res
 			}
-			res.variants = append(res.variants, evalVariant(cfg, src, attr))
+			res.variants = append(res.variants, evalVariant(cfg, src, attr, cov))
 		}
 	}
+	if err := cov.Err(); err != nil {
+		res.err = fmt.Errorf("campaign: corpus[%d]: coverage registry drift: %w", t.plan.seedIdx, err)
+		return res
+	}
+	res.sites = cov.Snapshot()
+	res.elapsedNs = time.Since(start).Nanoseconds()
+	res.ranVariants = len(res.variants)
 	return res
 }
 
@@ -210,6 +262,9 @@ type aggState struct {
 	// class) → bug memo, reduced from the shard-local memos by keeping the
 	// first value in merge order.
 	attribution map[string]string
+	// steer is the scheduler steering (coverage frontier, cost model,
+	// region scores) restored from a checkpoint; nil on a fresh campaign.
+	steer *steering
 }
 
 func newAggState() *aggState {

@@ -90,6 +90,28 @@ func buildPlan(cfg Config, seedIdx int, src string) (*filePlan, error) {
 	return plan, nil
 }
 
+// buildAllTasks derives every corpus file's plan and cuts the full shard
+// task sequence with global seq numbers. The sequence is a pure function
+// of Config — dispatch policy, adaptive batching, and resume never change
+// task identity, which is what keeps checkpoints and the deterministic
+// merge stable across schedules.
+func buildAllTasks(cfg Config) ([]*task, error) {
+	var out []*task
+	seq := 0
+	for seedIdx, src := range cfg.Corpus {
+		plan, err := buildPlan(cfg, seedIdx, src)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range plan.tasks(cfg) {
+			t.seq = seq
+			seq++
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
 // task is one unit of shard work: a contiguous range of tested-variant
 // positions of one file, plus (on the file's first task) the original
 // program and the file-level statistics header.

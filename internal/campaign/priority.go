@@ -1,0 +1,296 @@
+package campaign
+
+import (
+	"sort"
+	"sync"
+
+	"spe/internal/minicc"
+)
+
+// The scheduler is the engine's dispatch policy: it owns every not-yet-
+// dispatched shard task and decides which one a worker gets next. Dispatch
+// order is the ONLY thing it controls — the aggregator still merges results
+// in canonical seq order, so any policy produces a byte-identical Report —
+// but order determines how fast the campaign's compiler-coverage frontier
+// grows, which is what the paper's Figure-9 measurements steer by.
+//
+// Two policies exist. ScheduleFIFO replays PR 1's canonical enumeration
+// order. ScheduleCoverage is feedback-directed: each completed shard
+// reports the instrumentation sites it hit, the scheduler diffs them
+// against the campaign-wide frontier, and credits its region (corpus file)
+// with the novelty. Regions whose recent shards found new sites are
+// drained first; a region whose shards stop producing novelty decays
+// geometrically and the scheduler moves on. Unvisited regions start with
+// an optimistic score so every region is sampled early — the breadth pass
+// that makes coverage grow much faster than grinding files in order.
+//
+// Dispatch is bounded by a lookahead horizon: a task may only be sent
+// while its seq is within cfg.Lookahead of the aggregator's merge cursor.
+// The horizon equals the engine's dispatch-credit window, which yields two
+// invariants: the reorder buffer stays O(Lookahead), and the producer can
+// never deadlock — whenever it holds a free credit, the lowest undispatched
+// seq is provably within the horizon (at most Lookahead-1 tasks can sit
+// unmerged below it), so pop always has an eligible candidate.
+
+// optimisticScore ranks never-visited regions above any observed novelty.
+const optimisticScore = 1e18
+
+// noveltyDecay is the geometric memory of a region's score: each observed
+// shard halves the past before adding its own new-site count, so a few
+// barren shards in a row demote a stale region below fresher ones.
+const noveltyDecay = 0.5
+
+// costDecay is the EWMA weight of the per-variant wall-clock model used by
+// adaptive shard sizing.
+const costDecay = 0.7
+
+// maxBatch caps how many micro-shards one adaptive dispatch may group.
+const maxBatch = 64
+
+// steering is the persisted half of the scheduler: the coverage frontier,
+// cost model, and region scores a checkpoint carries so a resumed campaign
+// keeps the steering it had learned before the interruption.
+type steering struct {
+	// Frontier is the sorted set of instrumentation sites hit so far.
+	Frontier minicc.Snapshot
+	// CostNsPerVariant is the adaptive-sizing cost model (0 = unlearned).
+	CostNsPerVariant float64
+	// RegionScores maps corpus seed index to its current novelty score.
+	RegionScores map[int]float64
+}
+
+// regionQueue holds one corpus file's undispatched tasks in seq order.
+type regionQueue struct {
+	seedIdx int
+	tasks   []*task
+	head    int
+}
+
+func (q *regionQueue) peek() *task {
+	if q.head >= len(q.tasks) {
+		return nil
+	}
+	return q.tasks[q.head]
+}
+
+type scheduler struct {
+	mu  sync.Mutex
+	cfg Config
+	// cursor mirrors the aggregator's merge cursor (st.nextSeq); the
+	// eligibility horizon is [cursor, cursor+Lookahead).
+	cursor  int
+	regions []*regionQueue
+	pending int // undispatched tasks across all regions
+
+	frontier map[string]bool
+	scores   map[int]float64
+	visited  map[int]bool
+	costNs   float64
+
+	curve    []CoveragePoint
+	variants int // cumulative variants completed, in observation order
+}
+
+// newScheduler indexes the undispatched suffix of the task sequence
+// (startSeq is the resume point) and seeds steering from a checkpoint.
+func newScheduler(cfg Config, all []*task, startSeq int, st *steering) *scheduler {
+	s := &scheduler{
+		cfg:      cfg,
+		cursor:   startSeq,
+		frontier: make(map[string]bool),
+		scores:   make(map[int]float64),
+		visited:  make(map[int]bool),
+	}
+	byRegion := make(map[int]*regionQueue)
+	for _, t := range all {
+		if t.seq < startSeq {
+			continue // already merged into the resumed state
+		}
+		q, ok := byRegion[t.plan.seedIdx]
+		if !ok {
+			q = &regionQueue{seedIdx: t.plan.seedIdx}
+			byRegion[t.plan.seedIdx] = q
+			s.regions = append(s.regions, q)
+		}
+		q.tasks = append(q.tasks, t)
+		s.pending++
+	}
+	if st != nil {
+		for _, site := range st.Frontier {
+			s.frontier[site] = true
+		}
+		s.costNs = st.CostNsPerVariant
+		for seed, score := range st.RegionScores {
+			s.scores[seed] = score
+			s.visited[seed] = true
+		}
+		if n := len(s.frontier); n > 0 {
+			// the resumed curve restarts at the restored frontier
+			s.curve = append(s.curve, CoveragePoint{Variants: 0, Sites: n})
+		}
+	}
+	return s
+}
+
+// score returns a region's dispatch priority under the coverage policy.
+func (s *scheduler) score(seedIdx int) float64 {
+	if !s.visited[seedIdx] {
+		return optimisticScore
+	}
+	return s.scores[seedIdx]
+}
+
+// pop hands out the next task to dispatch, or ok=false when every task has
+// been dispatched. The caller must hold one free dispatch credit, which is
+// what guarantees an eligible candidate exists (see the package comment on
+// the lookahead invariant).
+//
+// lastCredit must be true when the caller holds the final free dispatch
+// credit. Liveness depends on it: the merge cursor only advances through
+// dispatched seqs, and credits only return on merges, so spending the last
+// credit on anything but the lowest undispatched seq could leave the
+// aggregator waiting forever on a task no credit remains to dispatch.
+// Forcing the head-of-line pick there guarantees every seq at or below the
+// forced one is in flight, so the merge (and the credit supply) always
+// recovers — and in exchange every other pick is free to chase novelty.
+func (s *scheduler) pop(lastCredit bool) (*task, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending == 0 {
+		return nil, false
+	}
+	horizon := s.cursor + s.cfg.Lookahead
+	prioritize := s.cfg.Schedule == ScheduleCoverage && !lastCredit
+	var best, min *regionQueue
+	for _, q := range s.regions {
+		t := q.peek()
+		if t == nil {
+			continue
+		}
+		if min == nil || t.seq < min.peek().seq {
+			min = q
+		}
+		if !prioritize || t.seq >= horizon {
+			continue
+		}
+		if best == nil {
+			best = q
+			continue
+		}
+		bs, qs := s.score(best.seedIdx), s.score(q.seedIdx)
+		if qs > bs || (qs == bs && t.seq < best.peek().seq) {
+			best = q
+		}
+	}
+	// fifo, the last-credit case, and the no-eligible-head fallback all
+	// dispatch head-of-line
+	q := min
+	if best != nil {
+		q = best
+	}
+	t := q.peek()
+	q.head++
+	s.pending--
+	return t, true
+}
+
+// observe folds one completed shard's report back into the steering state:
+// frontier growth, region novelty, cost model, and the coverage curve.
+// Called on arrival (not merge) so feedback reaches dispatch decisions as
+// early as possible.
+func (s *scheduler) observe(r *taskResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r.ranVariants == 0 {
+		return // header of a skipped/empty file: no information
+	}
+	novel := 0
+	for _, site := range r.sites {
+		if !s.frontier[site] {
+			s.frontier[site] = true
+			novel++
+		}
+	}
+	seed := r.plan.seedIdx
+	if !s.visited[seed] {
+		s.visited[seed] = true
+		s.scores[seed] = float64(novel)
+	} else {
+		s.scores[seed] = noveltyDecay*s.scores[seed] + float64(novel)
+	}
+	if r.ranVariants > 0 && r.elapsedNs > 0 {
+		sample := float64(r.elapsedNs) / float64(r.ranVariants)
+		if s.costNs == 0 {
+			s.costNs = sample
+		} else {
+			s.costNs = costDecay*s.costNs + (1-costDecay)*sample
+		}
+	}
+	s.variants += r.ranVariants
+	if novel > 0 {
+		s.curve = append(s.curve, CoveragePoint{Variants: s.variants, Sites: len(s.frontier)})
+	}
+}
+
+// advance tracks the aggregator's merge cursor, widening the eligibility
+// horizon. The aggregator calls it before releasing the merged task's
+// dispatch credit, which is what keeps the pop invariant sound.
+func (s *scheduler) advance(cursor int) {
+	s.mu.Lock()
+	s.cursor = cursor
+	s.mu.Unlock()
+}
+
+// targetNs returns the adaptive batch duration target, or 0 when adaptive
+// sizing is disabled or the cost model has not learned yet.
+func (s *scheduler) targetNs() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.TargetShardMillis <= 0 || s.costNs == 0 {
+		return 0
+	}
+	return float64(s.cfg.TargetShardMillis) * 1e6
+}
+
+// predictNs estimates a task's wall-clock cost from the EWMA model.
+func (s *scheduler) predictNs(t *task) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := t.toJ - t.fromJ
+	if t.includeOriginal {
+		n++
+	}
+	if n <= 0 {
+		n = 1 // headers still cost a dispatch
+	}
+	return s.costNs * float64(n)
+}
+
+// steeringSnapshot captures the persistent half of the scheduler for a
+// checkpoint write.
+func (s *scheduler) steeringSnapshot() *steering {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &steering{CostNsPerVariant: s.costNs}
+	if len(s.frontier) > 0 {
+		st.Frontier = make(minicc.Snapshot, 0, len(s.frontier))
+		for site := range s.frontier {
+			st.Frontier = append(st.Frontier, site)
+		}
+		sort.Strings(st.Frontier)
+	}
+	if len(s.scores) > 0 {
+		st.RegionScores = make(map[int]float64, len(s.scores))
+		for seed, score := range s.scores {
+			st.RegionScores[seed] = score
+		}
+	}
+	return st
+}
+
+// curveSnapshot returns the coverage-over-time curve observed so far.
+func (s *scheduler) curveSnapshot() []CoveragePoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]CoveragePoint(nil), s.curve...)
+}

@@ -1,0 +1,197 @@
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"spe/internal/corpus"
+)
+
+// TestScheduleEquivalenceAtFourWorkers is the acceptance check for the
+// coverage scheduler: fifo and coverage dispatch policies must produce
+// byte-identical final reports at >= 4 workers, with and without adaptive
+// shard sizing. Only dispatch ORDER differs between the policies; the
+// aggregator's canonical-order merge erases it.
+func TestScheduleEquivalenceAtFourWorkers(t *testing.T) {
+	base := Config{
+		Corpus:             corpus.Seeds()[:6],
+		Versions:           []string{"trunk"},
+		MaxVariantsPerFile: 120,
+		Workers:            4,
+		ShardSize:          8,
+		Schedule:           ScheduleFIFO,
+	}
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Findings) == 0 {
+		t.Fatal("fifo campaign found nothing; equivalence test is vacuous")
+	}
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"coverage", func(c *Config) { c.Schedule = ScheduleCoverage }},
+		{"coverage-8-workers", func(c *Config) { c.Schedule = ScheduleCoverage; c.Workers = 8 }},
+		{"coverage-small-lookahead", func(c *Config) { c.Schedule = ScheduleCoverage; c.Lookahead = 33 }},
+		{"coverage-adaptive", func(c *Config) { c.Schedule = ScheduleCoverage; c.TargetShardMillis = 20 }},
+		{"fifo-adaptive", func(c *Config) { c.TargetShardMillis = 5 }},
+	} {
+		cfg := base
+		tc.mut(&cfg)
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got, want := rep.Format(), ref.Format(); got != want {
+			t.Errorf("%s: report diverges from fifo:\n--- got ---\n%s--- want ---\n%s", tc.name, got, want)
+		}
+		if !reflect.DeepEqual(rep.Findings, ref.Findings) {
+			t.Errorf("%s: findings differ structurally", tc.name)
+		}
+		if !reflect.DeepEqual(rep.Stats, ref.Stats) {
+			t.Errorf("%s: stats differ: %+v vs %+v", tc.name, rep.Stats, ref.Stats)
+		}
+	}
+}
+
+// TestScheduleEquivalenceProperty is a randomized property test: across
+// random corpus subsets, shard sizes, worker counts, lookaheads, and
+// duration targets, fifo and coverage schedules converge to identical
+// final findings.
+func TestScheduleEquivalenceProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test is slow")
+	}
+	seeds := corpus.Seeds()
+	rng := rand.New(rand.NewSource(20170618))
+	for trial := 0; trial < 5; trial++ {
+		lo := rng.Intn(len(seeds) - 1)
+		hi := lo + 2 + rng.Intn(len(seeds)-lo-1)
+		if hi > len(seeds) {
+			hi = len(seeds)
+		}
+		cfg := Config{
+			Corpus:             seeds[lo:hi],
+			Versions:           []string{"trunk"},
+			MaxVariantsPerFile: 30 + rng.Intn(90),
+			Workers:            1 + rng.Intn(8),
+			ShardSize:          1 + rng.Intn(16),
+			Lookahead:          16 + rng.Intn(256),
+			TargetShardMillis:  []int{0, 0, 5, 50}[rng.Intn(4)],
+		}
+		name := fmt.Sprintf("trial %d (corpus[%d:%d] variants=%d workers=%d shard=%d lookahead=%d target=%dms)",
+			trial, lo, hi, cfg.MaxVariantsPerFile, cfg.Workers, cfg.ShardSize, cfg.Lookahead, cfg.TargetShardMillis)
+		fifoCfg, covCfg := cfg, cfg
+		fifoCfg.Schedule = ScheduleFIFO
+		covCfg.Schedule = ScheduleCoverage
+		fifoRep, err := Run(fifoCfg)
+		if err != nil {
+			t.Fatalf("%s: fifo: %v", name, err)
+		}
+		covRep, err := Run(covCfg)
+		if err != nil {
+			t.Fatalf("%s: coverage: %v", name, err)
+		}
+		if got, want := covRep.Format(), fifoRep.Format(); got != want {
+			t.Errorf("%s: coverage report diverges:\n--- coverage ---\n%s--- fifo ---\n%s", name, got, want)
+		}
+		if !reflect.DeepEqual(covRep.Findings, fifoRep.Findings) {
+			t.Errorf("%s: findings differ structurally", name)
+		}
+	}
+}
+
+// scheduleCurve runs the bundled corpus single-worker (making the dispatch
+// order, and thus the curve, deterministic) and reports how many variants
+// the campaign needed to reach its full final site coverage.
+func scheduleCurve(tb testing.TB, schedule string) (rep *Report, variantsToFull int) {
+	rep, err := Run(Config{
+		Corpus:             corpus.Seeds(),
+		Versions:           []string{"trunk"},
+		MaxVariantsPerFile: 120,
+		Workers:            1,
+		ShardSize:          4,
+		Lookahead:          1 << 12, // cover the whole campaign
+		Schedule:           schedule,
+		CoverageCurve:      true, // fifo must record the curve to be compared
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return rep, rep.VariantsToSites(rep.FinalSites())
+}
+
+// TestCoverageScheduleConvergesFaster asserts the point of the feedback
+// scheduler: on the bundled corpus, coverage-guided dispatch reaches the
+// campaign's full site coverage in fewer tested variants than fifo.
+func TestCoverageScheduleConvergesFaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("single-worker convergence comparison is slow and has no concurrency to race-check")
+	}
+	fifoRep, fifoN := scheduleCurve(t, ScheduleFIFO)
+	covRep, covN := scheduleCurve(t, ScheduleCoverage)
+	if fifoRep.FinalSites() != covRep.FinalSites() {
+		t.Fatalf("final frontiers differ: fifo %d sites, coverage %d sites",
+			fifoRep.FinalSites(), covRep.FinalSites())
+	}
+	if fifoN < 0 || covN < 0 {
+		t.Fatalf("curve never reached the final frontier (fifo=%d coverage=%d)", fifoN, covN)
+	}
+	t.Logf("variants to full coverage (%d sites): fifo=%d coverage=%d", covRep.FinalSites(), fifoN, covN)
+	if covN >= fifoN {
+		t.Errorf("coverage schedule needed %d variants to full coverage, fifo needed %d — no speedup",
+			covN, fifoN)
+	}
+}
+
+// BenchmarkVariantsToFullCoverage reports, per schedule, how many variants
+// the bundled corpus campaign needs to reach full site coverage — the
+// metric CI watches for scheduling regressions (lower is better).
+func BenchmarkVariantsToFullCoverage(b *testing.B) {
+	for _, schedule := range []string{ScheduleFIFO, ScheduleCoverage} {
+		b.Run(schedule, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, n := scheduleCurve(b, schedule)
+				b.ReportMetric(float64(n), "variants-to-cov")
+			}
+		})
+	}
+}
+
+// TestUnknownScheduleRejected asserts the engine validates the policy name.
+func TestUnknownScheduleRejected(t *testing.T) {
+	_, err := Run(Config{Corpus: corpus.Seeds()[:1], Schedule: "best-effort"})
+	if err == nil {
+		t.Fatal("unknown schedule accepted")
+	}
+}
+
+// TestCoverageCurveMonotone sanity-checks the curve shape: variant counts
+// and frontier sizes must both be strictly increasing, and the curve must
+// account for the campaign's real variant total.
+func TestCoverageCurveMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("single-worker curve check is slow and has no concurrency to race-check")
+	}
+	rep, _ := scheduleCurve(t, ScheduleCoverage)
+	if len(rep.CoverageCurve) == 0 {
+		t.Fatal("no coverage curve recorded")
+	}
+	prev := CoveragePoint{}
+	for i, p := range rep.CoverageCurve {
+		if p.Variants <= prev.Variants && i > 0 {
+			t.Errorf("curve[%d]: variants %d not increasing past %d", i, p.Variants, prev.Variants)
+		}
+		if p.Sites <= prev.Sites {
+			t.Errorf("curve[%d]: sites %d not increasing past %d", i, p.Sites, prev.Sites)
+		}
+		prev = p
+	}
+	if last := rep.CoverageCurve[len(rep.CoverageCurve)-1]; last.Variants > rep.Stats.Variants {
+		t.Errorf("curve claims %d variants, campaign ran %d", last.Variants, rep.Stats.Variants)
+	}
+}

@@ -38,6 +38,13 @@ type Scale struct {
 	// Checkpoint, when non-empty, makes campaigns periodically persist
 	// their state to this path for campaign.Resume.
 	Checkpoint string
+	// Schedule selects the campaign shard dispatch policy ("" = fifo;
+	// "coverage" steers dispatch by coverage novelty). Tables are
+	// identical under either policy — only wall-clock shape changes.
+	Schedule string
+	// TargetShardMillis enables the campaign engine's adaptive shard
+	// sizing (0 = fixed shards).
+	TargetShardMillis int
 }
 
 func (s Scale) withDefaults() Scale {
@@ -265,6 +272,8 @@ func Campaign(scale Scale, versions []string) (*harness.Report, error) {
 		MaxVariantsPerFile: scale.MaxVariants,
 		Workers:            scale.Workers,
 		CheckpointPath:     scale.Checkpoint,
+		Schedule:           scale.Schedule,
+		TargetShardMillis:  scale.TargetShardMillis,
 	})
 }
 

@@ -1,6 +1,9 @@
 package minicc
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Coverage records which instrumentation sites inside the compiler were
 // exercised by a compilation. It stands in for the gcov function/line
@@ -9,6 +12,10 @@ import "sort"
 // "line" is an individual site.
 type Coverage struct {
 	counts map[string]int
+	// lenient recorders collect unregistered site names instead of
+	// panicking; see NewLenientCoverage.
+	lenient bool
+	unknown map[string]int
 }
 
 // opNames maps operator spellings to site-name components.
@@ -81,9 +88,20 @@ var allSiteSet = func() map[string]bool {
 	return m
 }()
 
-// NewCoverage returns an empty coverage recorder.
+// NewCoverage returns an empty coverage recorder. Hit panics on
+// unregistered site names, which keeps the static registry in sync with the
+// instrumented code; long-running callers that must not crash on registry
+// drift should use NewLenientCoverage instead.
 func NewCoverage() *Coverage {
-	return &Coverage{counts: make(map[string]int)}
+	return &Coverage{counts: make(map[string]int), unknown: make(map[string]int)}
+}
+
+// NewLenientCoverage returns a recorder for long-running campaign workers:
+// hits on unregistered sites are collected (and later reported by Err)
+// instead of panicking, so registry drift surfaces as a campaign error
+// rather than a crashed worker process.
+func NewLenientCoverage() *Coverage {
+	return &Coverage{counts: make(map[string]int), lenient: true, unknown: make(map[string]int)}
 }
 
 // Hit records one execution of a site. A nil receiver is a no-op recorder.
@@ -92,9 +110,42 @@ func (c *Coverage) Hit(site string) {
 		return
 	}
 	if !allSiteSet[site] {
+		if c.lenient {
+			c.unknown[site]++
+			return
+		}
 		panic("minicc: unregistered coverage site " + site)
 	}
 	c.counts[site]++
+}
+
+// Record is the error-returning form of Hit for campaign-facing callers:
+// an unregistered site is reported instead of panicking, and the hit is
+// retained in the unknown-site tally for diagnosis via Err.
+func (c *Coverage) Record(site string) error {
+	if c == nil {
+		return nil
+	}
+	if !allSiteSet[site] {
+		c.unknown[site]++
+		return fmt.Errorf("minicc: unregistered coverage site %q", site)
+	}
+	c.counts[site]++
+	return nil
+}
+
+// Err reports registry drift observed by a lenient recorder: non-nil when
+// any hit named a site missing from the static registry.
+func (c *Coverage) Err() error {
+	if c == nil || len(c.unknown) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(c.unknown))
+	for s := range c.unknown {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	return fmt.Errorf("minicc: %d unregistered coverage site(s) hit: %v", len(names), names)
 }
 
 // HitOp records a hit on an operator-parameterized site family.
@@ -121,6 +172,79 @@ func (c *Coverage) Merge(other *Coverage) {
 	for k, v := range other.counts {
 		c.counts[k] += v
 	}
+}
+
+// Snapshot is an immutable, sorted set of covered site names — the
+// position-independent "what has been seen" half of a Coverage recorder,
+// cheap to diff and merge across campaign shards.
+type Snapshot []string
+
+// Snapshot returns the sorted set of registered sites hit at least once.
+func (c *Coverage) Snapshot() Snapshot {
+	if c == nil {
+		return nil
+	}
+	out := make(Snapshot, 0, len(c.counts))
+	for s, n := range c.counts {
+		if n > 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Diff returns the sites in s that are absent from base, sorted — the
+// coverage delta a shard contributes over an established frontier.
+func (s Snapshot) Diff(base Snapshot) []string {
+	var out []string
+	i, j := 0, 0
+	for i < len(s) {
+		switch {
+		case j >= len(base) || s[i] < base[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] == base[j]:
+			i++
+			j++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Merge returns the sorted union of two snapshots.
+func (s Snapshot) Merge(other Snapshot) Snapshot {
+	out := make(Snapshot, 0, len(s)+len(other))
+	i, j := 0, 0
+	for i < len(s) || j < len(other) {
+		switch {
+		case j >= len(other):
+			out = append(out, s[i])
+			i++
+		case i >= len(s):
+			out = append(out, other[j])
+			j++
+		case s[i] < other[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] > other[j]:
+			out = append(out, other[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Contains reports whether the snapshot covers a site.
+func (s Snapshot) Contains(site string) bool {
+	i := sort.SearchStrings(s, site)
+	return i < len(s) && s[i] == site
 }
 
 // SiteCount returns the hit count of a site.

@@ -1,0 +1,134 @@
+package minicc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"spe/internal/cc"
+)
+
+// TestSiteRegistryLocked locks the static site registry against drift:
+// names are unique, well-formed (non-empty dotted components), and every
+// operator-parameterized family expands to registered members.
+func TestSiteRegistryLocked(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, s := range allSites {
+		if seen[s] {
+			t.Errorf("duplicate site %q", s)
+		}
+		seen[s] = true
+		if s == "" || strings.HasPrefix(s, ".") || strings.HasSuffix(s, ".") || strings.Contains(s, "..") {
+			t.Errorf("malformed site name %q", s)
+		}
+		if groupOf(s) == s && strings.Contains(s, ".") {
+			t.Errorf("site %q has no component group", s)
+		}
+	}
+	for _, op := range []string{"+", "*", "<<", "=="} {
+		n := opNames[op]
+		for _, family := range []string{"constfold.bin", "constprop.replace", "cse.hit", "licm.hoist", "vm.bin"} {
+			if !seen[family+"."+n] {
+				t.Errorf("operator family member %s.%s unregistered", family, n)
+			}
+		}
+	}
+	if got, want := len(Sites()), len(allSites); got != want {
+		t.Errorf("Sites() returns %d names, registry has %d", got, want)
+	}
+}
+
+// TestCompilerHitsOnlyRegisteredSites compiles and runs representative
+// programs under a strict recorder at every optimization level: any
+// instrumentation call naming an unregistered site panics here instead of
+// surfacing mid-campaign.
+func TestCompilerHitsOnlyRegisteredSites(t *testing.T) {
+	cov := NewCoverage() // strict: drift panics
+	for _, src := range diffPrograms {
+		f, err := cc.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := cc.Analyze(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opt := range OptLevels {
+			c := &Compiler{Opt: opt, Coverage: cov, Seeded: true}
+			c.Run(prog, ExecConfig{MaxSteps: 200_000})
+		}
+	}
+	if len(cov.Snapshot()) == 0 {
+		t.Fatal("no sites hit; registry test is vacuous")
+	}
+}
+
+// TestLenientCoverageReturnsError asserts the campaign-facing recorder
+// reports registry drift as an error instead of crashing the worker.
+func TestLenientCoverageReturnsError(t *testing.T) {
+	c := NewLenientCoverage()
+	c.Hit("lower.entry")
+	c.Hit("no.such.site") // must not panic
+	if err := c.Err(); err == nil {
+		t.Error("lenient recorder did not report the unregistered hit")
+	} else if !strings.Contains(err.Error(), "no.such.site") {
+		t.Errorf("drift error %q does not name the site", err)
+	}
+	if err := c.Record("also.not.a.site"); err == nil {
+		t.Error("Record accepted an unregistered site")
+	}
+	if err := c.Record("lower.entry"); err != nil {
+		t.Errorf("Record rejected a registered site: %v", err)
+	}
+	if got := c.SiteCount("lower.entry"); got != 2 {
+		t.Errorf("lower.entry count = %d, want 2", got)
+	}
+
+	strict := NewCoverage()
+	if err := strict.Record("bogus"); err == nil {
+		t.Error("strict Record accepted an unregistered site")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("strict Hit did not panic on an unregistered site")
+		}
+	}()
+	strict.Hit("bogus")
+}
+
+// TestSnapshotDiffMerge exercises the coverage-delta algebra the campaign
+// scheduler builds on.
+func TestSnapshotDiffMerge(t *testing.T) {
+	a := NewCoverage()
+	a.Hit("lower.entry")
+	a.Hit("lower.if")
+	a.Hit("dce.remove")
+	b := NewCoverage()
+	b.Hit("lower.entry")
+	b.Hit("cse.hit")
+
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if want := (Snapshot{"dce.remove", "lower.entry", "lower.if"}); !reflect.DeepEqual(sa, want) {
+		t.Errorf("Snapshot = %v, want %v", sa, want)
+	}
+	if got, want := sa.Diff(sb), []string{"dce.remove", "lower.if"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("a.Diff(b) = %v, want %v", got, want)
+	}
+	if got := sb.Diff(sa); !reflect.DeepEqual(got, []string{"cse.hit"}) {
+		t.Errorf("b.Diff(a) = %v", got)
+	}
+	union := sa.Merge(sb)
+	if want := (Snapshot{"cse.hit", "dce.remove", "lower.entry", "lower.if"}); !reflect.DeepEqual(union, want) {
+		t.Errorf("Merge = %v, want %v", union, want)
+	}
+	if len(union.Diff(union)) != 0 {
+		t.Error("self-diff not empty")
+	}
+	if !union.Contains("cse.hit") || union.Contains("licm.hoist") {
+		t.Error("Contains misreports membership")
+	}
+	var empty Snapshot
+	if got := empty.Merge(sb); !reflect.DeepEqual(got, Snapshot{"cse.hit", "lower.entry"}) {
+		t.Errorf("empty.Merge = %v", got)
+	}
+}

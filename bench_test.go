@@ -174,6 +174,63 @@ func BenchmarkCampaignWorkers1(b *testing.B) { benchmarkCampaign(b, 1) }
 
 func BenchmarkCampaignWorkersNumCPU(b *testing.B) { benchmarkCampaign(b, runtime.NumCPU()) }
 
+// benchmarkCampaignVariantsPerSec measures full-campaign throughput in
+// variants/sec through either pipeline flavor. Comparing the AST benchmark
+// with the Render one isolates the front-end cost inside the complete
+// differential pipeline; BenchmarkInstantiation* below isolates the
+// instantiation stage itself.
+func benchmarkCampaignVariantsPerSec(b *testing.B, renderPath bool) {
+	cfg := campaign.Config{
+		Corpus:             corpus.Seeds(),
+		Versions:           []string{"trunk"},
+		MaxVariantsPerFile: 100,
+		Workers:            runtime.NumCPU(),
+		ForceRenderPath:    renderPath,
+	}
+	variants := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := campaign.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		variants += rep.Stats.Variants
+	}
+	b.ReportMetric(float64(variants)/b.Elapsed().Seconds(), "variants/s")
+}
+
+// BenchmarkCampaignVariantsAST is the AST-resident hot path (the default).
+func BenchmarkCampaignVariantsAST(b *testing.B) { benchmarkCampaignVariantsPerSec(b, false) }
+
+// BenchmarkCampaignVariantsRender is the historical render+reparse baseline.
+func BenchmarkCampaignVariantsRender(b *testing.B) { benchmarkCampaignVariantsPerSec(b, true) }
+
+// benchmarkInstantiation measures the variant-preparation stage alone:
+// producing an analyzed program for each enumeration index of the seed
+// corpus, through the render→re-lex→re-parse→re-sema cycle or via
+// AST-resident in-place instantiation. The measured loop is
+// experiments.MeasureInstantiation, shared with the spebench variants
+// experiment so both report the same thing.
+func benchmarkInstantiation(b *testing.B, ast bool) {
+	seeds := corpus.Seeds()
+	variants := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, _, err := experiments.MeasureInstantiation(seeds, 100, ast)
+		if err != nil {
+			b.Fatal(err)
+		}
+		variants += n
+	}
+	b.ReportMetric(float64(variants)/b.Elapsed().Seconds(), "variants/s")
+}
+
+// BenchmarkInstantiationAST measures AST-resident variant instantiation.
+func BenchmarkInstantiationAST(b *testing.B) { benchmarkInstantiation(b, true) }
+
+// BenchmarkInstantiationRender measures the historical text round trip.
+func BenchmarkInstantiationRender(b *testing.B) { benchmarkInstantiation(b, false) }
+
 // TestCampaignReportDeterminism pins the engine's central invariant at the
 // top level: sequential and maximally parallel campaigns render
 // byte-identical reports.

@@ -15,7 +15,7 @@
 //	spe campaign [-workers N] [-checkpoint path] [-variants N]
 //	             [-versions list] [-schedule fifo|coverage]
 //	             [-target-shard-ms N] [-curve] [-reduce] [-inter]
-//	             [file.c ...]
+//	             [-paranoid] [-render-path] [file.c ...]
 //	                                 run a parallel differential-testing
 //	                                 campaign (default corpus: the bundled
 //	                                 seed programs); with -checkpoint, an
@@ -24,7 +24,13 @@
 //	                                 by expected coverage novelty and
 //	                                 -target-shard-ms sizes shard batches
 //	                                 adaptively (both leave the report
-//	                                 byte-identical to fifo order)
+//	                                 byte-identical to fifo order);
+//	                                 variants are instantiated in place on
+//	                                 AST templates — -paranoid cross-checks
+//	                                 every instantiation against a fresh
+//	                                 render+reparse, and -render-path
+//	                                 restores the historical text pipeline
+//	                                 (still byte-identical reports)
 package main
 
 import (
@@ -131,8 +137,16 @@ func runCampaign(args []string) {
 	curve := fs.Bool("curve", false, "record and print the coverage-over-time curve to stderr (under fifo this enables coverage collection)")
 	reduce := fs.Bool("reduce", false, "delta-debug each finding's sample test case")
 	inter := fs.Bool("inter", false, "inter-procedural granularity")
+	paranoid := fs.Bool("paranoid", false, "cross-check every AST-instantiated variant against a fresh render+reparse (debug mode; slower)")
+	renderPath := fs.Bool("render-path", false, "use the historical render+reparse pipeline instead of AST-resident instantiation (baseline; same report)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
+	}
+	if *paranoid && *renderPath {
+		// the cross-check validates AST-resident instantiation; on the
+		// render path there is nothing to check, so reject the combination
+		// instead of silently ignoring -paranoid
+		fatal(fmt.Errorf("-paranoid cross-checks the AST instantiation path and cannot be combined with -render-path"))
 	}
 	if *checkpoint != "" {
 		_, err := os.Stat(*checkpoint)
@@ -184,6 +198,8 @@ func runCampaign(args []string) {
 		Schedule:           *schedule,
 		TargetShardMillis:  *targetShardMs,
 		CoverageCurve:      *curve,
+		Paranoid:           *paranoid,
+		ForceRenderPath:    *renderPath,
 	})
 	if err != nil {
 		fatal(err)

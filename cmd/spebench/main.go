@@ -5,15 +5,19 @@
 // Usage:
 //
 //	spebench [-quick] [-workers N] [-checkpoint path]
-//	         [-schedule fifo|coverage] [-target-shard-ms N] [experiment...]
+//	         [-schedule fifo|coverage] [-target-shard-ms N]
+//	         [-paranoid] [-bench-json path] [experiment...]
 //
 // where experiment is any of: table1 table2 table3 table4 fig8 fig9 fig10
-// example6. With no arguments, all experiments run in order. -workers
-// sizes the campaign engine's worker pool (0 = GOMAXPROCS; the tables are
-// identical at any setting), -checkpoint makes campaign experiments
-// persist resumable progress, -schedule selects the shard dispatch policy
-// (coverage drains novel regions first; tables are unaffected), and
-// -target-shard-ms enables adaptive shard sizing.
+// example6 variants. With no arguments, all experiments run in order.
+// -workers sizes the campaign engine's worker pool (0 = GOMAXPROCS; the
+// tables are identical at any setting), -checkpoint makes campaign
+// experiments persist resumable progress, -schedule selects the shard
+// dispatch policy (coverage drains novel regions first; tables are
+// unaffected), and -target-shard-ms enables adaptive shard sizing.
+// -paranoid cross-checks the AST-resident instantiation per variant
+// (render+reparse+binding assertion), and -bench-json makes the variants
+// experiment write its variants/sec result (BENCH_variants.json in CI).
 package main
 
 import (
@@ -31,6 +35,8 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "persist campaign progress to this path (campaign experiments only)")
 	schedule := flag.String("schedule", "", "campaign shard dispatch policy: fifo (default) or coverage; tables are identical either way")
 	targetShardMs := flag.Int("target-shard-ms", 0, "adaptive campaign shard sizing toward this duration (0 = fixed shards)")
+	paranoid := flag.Bool("paranoid", false, "cross-check the AST-resident instantiation per variant (render+reparse+binding assertion)")
+	benchJSON := flag.String("bench-json", "", "write the variants experiment's result to this path as JSON")
 	flag.Parse()
 	scale := experiments.Scale{}
 	if *quick {
@@ -45,9 +51,11 @@ func main() {
 	scale.Workers = *workers
 	scale.Schedule = *schedule
 	scale.TargetShardMillis = *targetShardMs
+	scale.Paranoid = *paranoid
+	scale.BenchJSON = *benchJSON
 	which := flag.Args()
 	if len(which) == 0 {
-		which = []string{"example6", "table1", "table2", "fig8", "table3", "table4", "fig10", "fig9", "generality"}
+		which = []string{"example6", "table1", "table2", "fig8", "table3", "table4", "fig10", "fig9", "generality", "variants"}
 	}
 	for _, name := range which {
 		start := time.Now()
@@ -86,6 +94,8 @@ func run(name string, scale experiments.Scale) (string, error) {
 		return experiments.Example6(), nil
 	case "generality":
 		return experiments.Generality(scale)
+	case "variants":
+		return experiments.VariantsBench(scale)
 	default:
 		return "", fmt.Errorf("unknown experiment %q", name)
 	}

@@ -1,0 +1,178 @@
+package campaign
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"spe/internal/corpus"
+)
+
+// TestASTPathMatchesRenderPath pins the tentpole equivalence: the
+// AST-resident hot path produces byte-identical reports to the historical
+// render→re-parse pipeline, across worker counts and both dispatch
+// schedules.
+func TestASTPathMatchesRenderPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-campaign equivalence matrix; TestParanoidCrossCheckPasses covers the AST path in -short")
+	}
+	base := Config{
+		Corpus:             corpus.Seeds()[:6],
+		Versions:           []string{"trunk"},
+		MaxVariantsPerFile: 80,
+	}
+
+	render := base
+	render.ForceRenderPath = true
+	render.Workers = 1
+	ref, err := Run(render)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Findings) == 0 {
+		t.Fatal("render-path campaign found nothing; equivalence test is vacuous")
+	}
+
+	for _, tc := range []struct {
+		name     string
+		workers  int
+		schedule string
+	}{
+		{"sequential", 1, ScheduleFIFO},
+		{"parallel-fifo", 6, ScheduleFIFO},
+		{"parallel-coverage", 6, ScheduleCoverage},
+	} {
+		cfg := base
+		cfg.Workers = tc.workers
+		cfg.Schedule = tc.schedule
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got, want := rep.Format(), ref.Format(); got != want {
+			t.Errorf("%s: AST-path report diverges from render path:\n--- ast ---\n%s--- render ---\n%s",
+				tc.name, got, want)
+		}
+		if !reflect.DeepEqual(rep.Findings, ref.Findings) {
+			t.Errorf("%s: findings differ structurally from render path", tc.name)
+		}
+	}
+}
+
+// TestParanoidCrossCheckPasses runs the campaign with the -paranoid
+// render+reparse cross-check asserting the instantiation invariants on
+// every variant; the report must also stay byte-identical.
+func TestParanoidCrossCheckPasses(t *testing.T) {
+	base := Config{
+		Corpus:             corpus.Seeds()[:4],
+		Versions:           []string{"trunk"},
+		MaxVariantsPerFile: 60,
+		Workers:            4,
+	}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paranoid := base
+	paranoid.Paranoid = true
+	rep, err := Run(paranoid)
+	if err != nil {
+		t.Fatalf("paranoid campaign failed the cross-check: %v", err)
+	}
+	if rep.Format() != plain.Format() {
+		t.Errorf("paranoid report diverges:\n--- paranoid ---\n%s--- plain ---\n%s", rep.Format(), plain.Format())
+	}
+}
+
+// TestASTPathWithReductionMatchesRenderPath extends the equivalence through
+// the test-case reducer: reduced sample test cases must come out identical,
+// since the lazily rendered variant text is byte-identical to the
+// historical rendering.
+func TestASTPathWithReductionMatchesRenderPath(t *testing.T) {
+	base := Config{
+		Corpus:             corpus.Seeds()[:4],
+		Versions:           []string{"trunk"},
+		MaxVariantsPerFile: 60,
+		ReduceTestCases:    true,
+	}
+	render := base
+	render.ForceRenderPath = true
+	render.Workers = 1
+	ref, err := Run(render)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ast := base
+	ast.Workers = 4
+	rep, err := Run(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rep.Format(), ref.Format(); got != want {
+		t.Errorf("reduced AST-path report diverges:\n--- ast ---\n%s--- render ---\n%s", got, want)
+	}
+	for i := range ref.Findings {
+		if rep.Findings[i].TestCase != ref.Findings[i].TestCase {
+			t.Errorf("finding %d: reduced test case differs between paths:\n--- ast ---\n%s--- render ---\n%s",
+				i, rep.Findings[i].TestCase, ref.Findings[i].TestCase)
+		}
+	}
+}
+
+// TestLazyRenderOnlyForSymptomaticVariants asserts the hot path's lazy
+// source rendering: symptom-free variants carry no source text back to the
+// aggregator.
+func TestLazyRenderOnlyForSymptomaticVariants(t *testing.T) {
+	cfg := Config{
+		Corpus:             corpus.Seeds()[:2],
+		Versions:           []string{"trunk"},
+		MaxVariantsPerFile: 40,
+	}
+	cfg = cfg.withDefaults()
+	all, err := buildAllTasks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawSymptomless := false
+	for _, tk := range all {
+		r := runTask(context.Background(), cfg, tk)
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		for i := range r.variants {
+			vr := &r.variants[i]
+			if len(vr.symptoms) > 0 && vr.src == "" {
+				t.Fatal("symptomatic variant has no rendered source")
+			}
+			if len(vr.symptoms) == 0 && vr.status != statusParseFail && vr.src != "" {
+				t.Fatal("symptom-free variant paid for a render")
+			}
+			if len(vr.symptoms) == 0 && vr.src == "" {
+				sawSymptomless = true
+			}
+		}
+	}
+	if !sawSymptomless {
+		t.Error("no symptom-free variant observed; laziness test is vacuous")
+	}
+}
+
+// TestParanoidReportMentionsNothing ensures paranoid mode is pure checking:
+// the Config differences must not leak into the formatted report body
+// (Format prints stats, plans, and findings only).
+func TestParanoidReportMentionsNothing(t *testing.T) {
+	cfg := Config{
+		Corpus:             corpus.Seeds()[:2],
+		Versions:           []string{"trunk"},
+		MaxVariantsPerFile: 20,
+		Paranoid:           true,
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(rep.Format(), "paranoid") {
+		t.Error("paranoid flag leaked into the report text")
+	}
+}

@@ -90,6 +90,24 @@ type Config struct {
 	// otherwise skipped for fifo campaigns, sparing the VM instrumentation
 	// cost when nothing consumes the data; ScheduleCoverage implies it.
 	CoverageCurve bool
+	// Paranoid cross-checks the AST-resident hot path on every variant:
+	// holes are rebound with the sema invariants asserted, and the typed
+	// program is rendered, re-parsed, re-analyzed, and required to bind
+	// every variable use to the same symbol the in-place instantiation
+	// chose. A divergence aborts the campaign with an error naming the
+	// variant. This is a debug/validation mode — it deliberately pays the
+	// full historical front-end cost per variant on top of the typed path.
+	// It checks the AST path only: combined with ForceRenderPath there is
+	// no instantiation to validate and the flag has no effect (cmd/spe
+	// rejects the combination).
+	Paranoid bool
+	// ForceRenderPath routes variants through the historical
+	// render→re-lex→re-parse→re-analyze pipeline instead of the
+	// AST-resident one. Reports are byte-identical either way (the
+	// equivalence tests pin this); the knob exists as the baseline for the
+	// variants/sec benchmark and for bisecting suspected instantiation
+	// bugs without -paranoid's double cost.
+	ForceRenderPath bool
 }
 
 // Schedule values for Config.Schedule.
@@ -195,6 +213,30 @@ type Stats struct {
 	CanonicalTotal *big.Int
 }
 
+// PlanInfo summarizes one corpus file's derived testing schedule — in
+// particular how much of the canonical space the stride walk actually
+// covers, which used to be invisible when the stride clamp engaged.
+type PlanInfo struct {
+	SeedIndex int
+	// Canonical is the file's canonical variant count (decimal string; the
+	// count can exceed int64).
+	Canonical string
+	// Stride is the sampling stride the walk uses; UnclampedStride is what
+	// the per-file budget alone would have chosen (a decimal string, since
+	// canonical/budget can exceed int64). They differ exactly when the
+	// walk-bound clamp engaged (Clamped), in which case only Tested*Stride
+	// of the canonical space is reachable and the rest is silently out of
+	// coverage — the clamp trades breadth for a bounded walk over huge
+	// sets, and this record is what makes that trade visible.
+	Stride          int64
+	UnclampedStride string
+	Tested          int64
+	Clamped         bool
+	// Skipped marks files over the canonical-count threshold (no variants
+	// walked at all).
+	Skipped bool
+}
+
 // CoveragePoint is one step of a campaign's coverage-over-time curve: after
 // Variants tested variants had completed (in completion order), Sites
 // distinct minicc instrumentation sites had been hit.
@@ -208,6 +250,11 @@ type Report struct {
 	Config   Config
 	Findings []*Finding
 	Stats    Stats
+	// Plans records each corpus file's testing schedule. It is a pure
+	// function of Config (re-derived on resume, never checkpointed), so it
+	// is part of the deterministic report surface: Format prints the files
+	// whose stride was clamped.
+	Plans []PlanInfo
 	// CoverageCurve records frontier growth in shard completion order. It
 	// is scheduling telemetry, not part of the deterministic report: the
 	// curve depends on worker timing and dispatch policy (that sensitivity
@@ -255,6 +302,13 @@ func (r *Report) Format() string {
 	fmt.Fprintf(&sb, "campaign: %d files (%d skipped), %d variants (%d UB, %d clean), %d executions\n",
 		st.Files, st.FilesSkipped, st.Variants, st.VariantsUB, st.VariantsClean, st.Executions)
 	fmt.Fprintf(&sb, "space: naive %s, canonical %s\n", st.NaiveTotal, st.CanonicalTotal)
+	for _, p := range r.Plans {
+		if !p.Clamped {
+			continue
+		}
+		fmt.Fprintf(&sb, "plan: file %d stride clamped %s -> %d (walked %d of %s canonical variants)\n",
+			p.SeedIndex, p.UnclampedStride, p.Stride, p.Tested, p.Canonical)
+	}
 	fmt.Fprintf(&sb, "findings: %d crash, %d wrong-code, %d performance\n",
 		st.CrashFindings, st.WrongFindings, st.PerfFindings)
 	for _, fd := range r.Findings {

@@ -20,8 +20,13 @@ import (
 type variantStatus int
 
 const (
-	statusParseFail variantStatus = iota // enumeration rendered something unparsable: bug in us
-	statusUB                             // filtered by the reference interpreter
+	// statusParseFail marks a rendered variant the front end rejected — a
+	// bug in us. On the AST-resident hot path no per-variant parse happens,
+	// so this status can only arise from the original seed source, from
+	// ForceRenderPath, or from the -paranoid cross-check (which re-parses
+	// every variant and fails the campaign loudly on divergence).
+	statusParseFail variantStatus = iota
+	statusUB                      // filtered by the reference interpreter
 	statusClean
 )
 
@@ -50,7 +55,9 @@ type symptom struct {
 }
 
 // variantResult is everything the aggregator needs to replay one tested
-// variant.
+// variant. src is populated lazily: the aggregator only reads it when a
+// symptom turns into a finding's sample test case, so the AST-resident hot
+// path renders source exclusively for symptomatic variants.
 type variantResult struct {
 	status     variantStatus
 	executions int
@@ -58,24 +65,37 @@ type variantResult struct {
 	symptoms   []symptom
 }
 
-// evalVariant runs one variant through the reference interpreter and all
-// compiler configurations — the worker half of the old testVariant. attr is
+// evalSource runs one variant given as source text: the historical
+// render→parse→analyze front end followed by evalProgram. It serves the
+// original seed programs (whose report text must stay the raw corpus
+// bytes), the ForceRenderPath baseline, and the reduction predicate's
+// candidates.
+func evalSource(cfg Config, src string, attr map[string]string, cov *minicc.Coverage) variantResult {
+	file, err := cc.Parse(src)
+	if err != nil {
+		return variantResult{src: src}
+	}
+	prog, err := cc.Analyze(file)
+	if err != nil {
+		return variantResult{src: src}
+	}
+	return evalProgram(cfg, prog, func() string { return src }, attr, cov)
+}
+
+// evalProgram runs one analyzed variant through the reference interpreter
+// and all compiler configurations — the worker half of the old testVariant,
+// now consuming the typed program directly so the AST-resident hot path
+// skips the front end entirely. render supplies the variant's source on
+// demand; it is invoked at most once, and only when the variant exhibits a
+// symptom (the text becomes a finding's reproduction test case). attr is
 // the shard-local attribution memo (see classifyOutcome); cov records the
 // compiler instrumentation sites the variant exercises (recording is
 // side-effect-free in minicc, so coverage collection never perturbs the
 // differential verdicts). Attribution recompilations deliberately bypass
 // the recorder: they re-run the same program with bugs deactivated and
 // would only blur the novelty signal.
-func evalVariant(cfg Config, src string, attr map[string]string, cov *minicc.Coverage) variantResult {
-	vr := variantResult{src: src}
-	file, err := cc.Parse(src)
-	if err != nil {
-		return vr
-	}
-	prog, err := cc.Analyze(file)
-	if err != nil {
-		return vr
-	}
+func evalProgram(cfg Config, prog *cc.Program, render func() string, attr map[string]string, cov *minicc.Coverage) variantResult {
+	vr := variantResult{}
 	ref := interp.Run(prog, interp.Config{MaxSteps: cfg.Steps})
 	if !ref.Defined() {
 		vr.status = statusUB
@@ -93,6 +113,9 @@ func evalVariant(cfg Config, src string, attr map[string]string, cov *minicc.Cov
 			comp := &minicc.Compiler{Version: ver, Opt: opt, Seeded: true, Coverage: cov}
 			ro := comp.Run(prog, minicc.ExecConfig{MaxSteps: execSteps})
 			if s, found := classifyOutcome(cfg, ver, opt, ref, ro, prog, attr); found {
+				if vr.src == "" {
+					vr.src = render()
+				}
 				vr.symptoms = append(vr.symptoms, s)
 			}
 		}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"spe/internal/cc"
 	"spe/internal/minicc"
 	"spe/internal/spe"
 )
@@ -194,6 +195,13 @@ func runEngine(ctx context.Context, cfg Config, st *aggState) (*Report, error) {
 	}
 	rep := st.finalize(cfg)
 	rep.CoverageCurve = sched.curveSnapshot()
+	// the plan schedule is a pure function of the config, so it is derived
+	// fresh here (never checkpointed) and identical across resumes
+	for _, t := range all {
+		if t.newFile {
+			rep.Plans = append(rep.Plans, t.plan.info())
+		}
+	}
 	return rep, nil
 }
 
@@ -202,6 +210,14 @@ func runEngine(ctx context.Context, cfg Config, st *aggState) (*Report, error) {
 // instrumentation sites its compilations hit — the feedback the scheduler
 // steers by. The recorder is lenient so site-registry drift surfaces as a
 // campaign error instead of a panicking worker.
+//
+// The per-variant work is AST-resident: the worker checks a Space out of
+// the file's pool, and each enumeration index patches the Space's pooled
+// template clone in place (Space.ProgramAt), so no variant is ever
+// re-lexed, re-parsed, or re-analyzed. Source text is rendered lazily,
+// only when a variant exhibits a symptom (to become a finding's test case)
+// or when the -paranoid cross-check demands it. ForceRenderPath restores
+// the historical render→re-parse pipeline for baselining.
 func runTask(ctx context.Context, cfg Config, t *task) *taskResult {
 	res := &taskResult{seq: t.seq, plan: t.plan, newFile: t.newFile}
 	if t.plan.skip {
@@ -215,14 +231,11 @@ func runTask(ctx context.Context, cfg Config, t *task) *taskResult {
 	// shard-local attribution memo (seed-scoped: a task never spans files)
 	attr := make(map[string]string)
 	if t.includeOriginal {
-		res.variants = append(res.variants, evalVariant(cfg, t.plan.src, attr, cov))
+		res.variants = append(res.variants, evalSource(cfg, t.plan.src, attr, cov))
 	}
 	if t.toJ > t.fromJ {
-		space, err := spe.NewSpace(t.plan.sk, spe.Options{Mode: spe.ModeCanonical, Granularity: cfg.Granularity})
-		if err != nil {
-			res.err = fmt.Errorf("campaign: corpus[%d]: %w", t.plan.seedIdx, err)
-			return res
-		}
+		space := t.plan.pool.Get()
+		defer t.plan.pool.Put(space)
 		idx := new(big.Int)
 		stride := big.NewInt(t.plan.stride)
 		for j := t.fromJ; j < t.toJ; j++ {
@@ -232,12 +245,12 @@ func runTask(ctx context.Context, cfg Config, t *task) *taskResult {
 			}
 			idx.SetInt64(j)
 			idx.Mul(idx, stride)
-			src, err := space.RenderAt(idx)
+			vr, err := runVariant(cfg, space, idx, attr, cov)
 			if err != nil {
 				res.err = fmt.Errorf("campaign: corpus[%d] variant %d: %w", t.plan.seedIdx, j, err)
 				return res
 			}
-			res.variants = append(res.variants, evalVariant(cfg, src, attr, cov))
+			res.variants = append(res.variants, vr)
 		}
 	}
 	if err := cov.Err(); err != nil {
@@ -248,6 +261,74 @@ func runTask(ctx context.Context, cfg Config, t *task) *taskResult {
 	res.elapsedNs = time.Since(start).Nanoseconds()
 	res.ranVariants = len(res.variants)
 	return res
+}
+
+// runVariant evaluates the variant at one enumeration index through the
+// configured pipeline flavor.
+func runVariant(cfg Config, space *spe.Space, idx *big.Int, attr map[string]string, cov *minicc.Coverage) (variantResult, error) {
+	if cfg.ForceRenderPath {
+		src, err := space.RenderAt(idx)
+		if err != nil {
+			return variantResult{}, err
+		}
+		return evalSource(cfg, src, attr, cov), nil
+	}
+	prog, release, err := space.ProgramAt(idx)
+	if err != nil {
+		return variantResult{}, err
+	}
+	defer release()
+	rendered := ""
+	if cfg.Paranoid {
+		rendered = cc.PrintFile(prog.File)
+		if err := crossCheckVariant(prog, rendered); err != nil {
+			return variantResult{}, err
+		}
+	}
+	render := func() string {
+		if rendered != "" {
+			return rendered
+		}
+		return cc.PrintFile(prog.File)
+	}
+	return evalProgram(cfg, prog, render, attr, cov), nil
+}
+
+// crossCheckVariant is the -paranoid equivalence assertion: the typed
+// program the in-place instantiation produced must agree with what the
+// historical pipeline would have built from its rendered text. Concretely,
+// the text must parse and analyze cleanly, printing must be a fixed point,
+// and — the core sema invariant — every variable use of the re-analyzed
+// program must bind the symbol (by ID) that the rebinding chose, proving
+// no hole patch ever escaped its scope or collided with shadowing.
+func crossCheckVariant(prog *cc.Program, rendered string) error {
+	file, err := cc.Parse(rendered)
+	if err != nil {
+		return fmt.Errorf("paranoid: rendered variant does not parse: %w", err)
+	}
+	reprog, err := cc.Analyze(file)
+	if err != nil {
+		return fmt.Errorf("paranoid: rendered variant does not analyze: %w", err)
+	}
+	if got := cc.PrintFile(reprog.File); got != rendered {
+		return fmt.Errorf("paranoid: print is not a fixed point of parse+print")
+	}
+	if len(reprog.Uses) != len(prog.Uses) {
+		return fmt.Errorf("paranoid: re-analysis found %d variable uses, instantiation has %d",
+			len(reprog.Uses), len(prog.Uses))
+	}
+	for i, use := range prog.Uses {
+		re := reprog.Uses[i]
+		if use.Sym == nil || re.Sym == nil {
+			return fmt.Errorf("paranoid: use %d unresolved (instantiated: %v, re-analyzed: %v)",
+				i, use.Sym != nil, re.Sym != nil)
+		}
+		if use.Sym.ID != re.Sym.ID {
+			return fmt.Errorf("paranoid: use %d (%q at %v) binds symbol %d in the instantiated program but %d after re-analysis",
+				i, use.Name, use.Pos, use.Sym.ID, re.Sym.ID)
+		}
+	}
+	return nil
 }
 
 // aggState is the aggregator's merge state: everything the campaign has

@@ -26,7 +26,36 @@ type filePlan struct {
 	canonical *big.Int
 	sk        *skeleton.Skeleton
 	stride    int64
+	// unclamped is the stride the per-file budget alone would have chosen
+	// (canonical/budget, a big.Int because huge canonical counts overflow
+	// int64); stride < unclamped exactly when the walk-bound clamp engaged
+	// (clamped), collapsing coverage of a huge canonical space to a fixed
+	// walk bound. The clamp is surfaced through Report.Plans instead of
+	// being silently absorbed.
+	unclamped *big.Int
+	clamped   bool
 	tested    int64 // number of enumerated variants tested
+	// pool shares the file's enumeration across shard workers: each worker
+	// checks out a private spe.Space (ranker memo tables + AST template
+	// instances) and returns it when its shard completes.
+	pool *spe.Pool
+}
+
+// info exports the plan's schedule facts for the report.
+func (p *filePlan) info() PlanInfo {
+	unclamped := ""
+	if p.unclamped != nil {
+		unclamped = p.unclamped.String()
+	}
+	return PlanInfo{
+		SeedIndex:       p.seedIdx,
+		Canonical:       p.canonical.String(),
+		Stride:          p.stride,
+		UnclampedStride: unclamped,
+		Tested:          p.tested,
+		Clamped:         p.clamped,
+		Skipped:         p.skip,
+	}
 }
 
 // buildPlan derives the plan of one corpus file, reproducing the
@@ -56,11 +85,17 @@ func buildPlan(cfg Config, seedIdx int, src string) (*filePlan, error) {
 		plan.skip = true
 		return plan, nil
 	}
+	plan.pool, err = spe.NewPool(sk, opts)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: corpus[%d]: %w", seedIdx, err)
+	}
+	plan.pool.CheckedRebind = cfg.Paranoid
 	budget := cfg.MaxVariantsPerFile
 	if budget <= 0 {
 		// a non-positive budget exhausts itself on the first enumerated
 		// variant (the historical loop decremented before checking)
 		plan.stride = 1
+		plan.unclamped = big.NewInt(1)
 		plan.tested = 0
 		if plan.canonical.Sign() > 0 {
 			plan.tested = 1
@@ -68,17 +103,24 @@ func buildPlan(cfg Config, seedIdx int, src string) (*filePlan, error) {
 		return plan, nil
 	}
 	stride := int64(1)
+	unclamped := big.NewInt(1)
 	if plan.canonical.IsInt64() {
 		if total := plan.canonical.Int64(); total > int64(budget) {
 			stride = total / int64(budget)
+			unclamped.SetInt64(stride)
 			if stride > 64 {
-				stride = 64 // bound the walk over huge sets
+				stride = 64 // bound the walk over huge sets (see PlanInfo)
 			}
 		}
 	} else {
+		// the canonical count exceeds int64: the budget-proportional stride
+		// (canonical/budget) is astronomically larger than the walk bound
 		stride = 64
+		unclamped.Quo(plan.canonical, big.NewInt(int64(budget)))
 	}
 	plan.stride = stride
+	plan.unclamped = unclamped
+	plan.clamped = unclamped.Cmp(big.NewInt(stride)) > 0
 	// tested = min(budget, ceil(canonical/stride))
 	ceil := new(big.Int).Add(plan.canonical, big.NewInt(stride-1))
 	ceil.Quo(ceil, big.NewInt(stride))

@@ -12,6 +12,12 @@ import (
 // The interestingness predicate re-runs the classification: a crash
 // finding must keep crashing with the same signature; a wrong-code or
 // performance finding must keep diverging from the reference.
+//
+// Reduction runs on the reducer's typed-program entry: the finding's test
+// case is parsed once here and handed over as an analyzed program, which
+// ReduceProgram defensively clones before mutating — so even if a future
+// caller passes a program aliased to a live template or pooled instance,
+// reduction can never corrupt it (pinned by the mutation-isolation tests).
 func reduceFinding(fd *Finding, cfg Config) {
 	ver := "trunk"
 	if len(fd.Versions) > 0 {
@@ -22,8 +28,14 @@ func reduceFinding(fd *Finding, cfg Config) {
 		opt = fd.OptLevels[0]
 	}
 	pred := findingPredicate(fd, ver, opt, cfg)
-	res, err := reduce.Reduce(fd.TestCase, pred, reduce.Options{MaxChecks: 400})
+	prog, err := parseAnalyze(fd.TestCase)
 	if err != nil {
+		return // an unparsable test case is left as recorded
+	}
+	res, err := reduce.ReduceProgram(prog, pred, reduce.Options{MaxChecks: 400})
+	if err != nil || !res.Interesting {
+		// an uninteresting test case keeps its recorded text verbatim (the
+		// historical string path echoed the input back)
 		return
 	}
 	fd.TestCase = res.Source

@@ -1,9 +1,11 @@
 package campaign
 
 import (
+	"math/big"
 	"strings"
 	"testing"
 
+	"spe/internal/cc"
 	"spe/internal/corpus"
 	"spe/internal/minicc"
 )
@@ -44,4 +46,62 @@ func TestCampaignWithReduction(t *testing.T) {
 		t.Errorf("reduction left noise:\n%s", crash.TestCase)
 	}
 	t.Logf("reduced crash case (%d bytes):\n%s", len(crash.TestCase), crash.TestCase)
+}
+
+// TestReductionLeavesTemplateIntact is the campaign half of the
+// mutation-isolation contract: after a typed-path campaign with reduction
+// enabled, a file plan's shared skeleton template (and its pooled spaces)
+// must still produce pristine variants — reduction only ever touches
+// clones.
+func TestReductionLeavesTemplateIntact(t *testing.T) {
+	cfg := Config{
+		Corpus:             corpus.Seeds()[:4],
+		Versions:           []string{"trunk"},
+		MaxVariantsPerFile: 120,
+		ReduceTestCases:    true,
+	}
+	cfg = cfg.withDefaults()
+	plan, err := buildPlan(cfg, 0, cfg.Corpus[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := plan.pool.Get()
+	want0, err := space.RenderAt(big.NewInt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.pool.Put(space)
+
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("campaign found nothing; integrity test is vacuous")
+	}
+	// reduce every finding once more against the plan's own template-backed
+	// predicate machinery, then verify the shared template is untouched
+	for _, fd := range rep.Findings {
+		reduceFinding(fd, cfg)
+	}
+	if got := cc.PrintFile(plan.sk.Prog.File); got != cc.PrintFile(cc.MustAnalyze(cfg.Corpus[0]).File) {
+		t.Error("skeleton template AST no longer matches a fresh analysis of the seed")
+	}
+	space = plan.pool.Get()
+	defer plan.pool.Put(space)
+	got0, err := space.RenderAt(big.NewInt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got0 != want0 {
+		t.Errorf("pooled space renders differently after reduction:\n--- after ---\n%s--- before ---\n%s", got0, want0)
+	}
+	p, release, err := space.ProgramAt(big.NewInt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if got := cc.PrintFile(p.File); got != want0 {
+		t.Errorf("pooled typed program diverges after reduction:\n--- got ---\n%s--- want ---\n%s", got, want0)
+	}
 }

@@ -1,0 +1,249 @@
+package cc
+
+// This file provides the AST-resident variant-instantiation support: a deep
+// clone of an analyzed Program whose tree a caller may mutate freely, plus
+// the hole-rebinding primitive the skeleton layer patches variants with.
+//
+// A clone shares everything semantic analysis established about the
+// *declarations* of the program — Symbol, Scope, and Type values are
+// immutable after Analyze and are referenced, not copied — while every tree
+// node (declarations, statements, expressions) is a fresh allocation. That
+// split is what makes per-worker template clones cheap: rebinding a variable
+// use only rewrites the clone's Ident node, never anything shared.
+
+import "fmt"
+
+// CloneProgram deep-copies prog's syntax tree. Symbols, scopes, and types
+// are shared with the original (they are read-only after Analyze); every
+// Decl/Stmt/Expr node is freshly allocated. The returned map sends each
+// original *Ident to its clone, which is how callers that recorded pointers
+// into the original tree (e.g. skeleton holes) relocate them.
+func CloneProgram(prog *Program) (*Program, map[*Ident]*Ident) {
+	c := &cloner{idents: make(map[*Ident]*Ident, len(prog.Uses)), funcs: make(map[*FuncDecl]*FuncDecl, len(prog.Funcs))}
+	out := &Program{
+		File:    c.file(prog.File),
+		Global:  prog.Global,
+		Scopes:  prog.Scopes,
+		Symbols: prog.Symbols,
+		Labels:  prog.Labels,
+	}
+	for _, fd := range prog.Funcs {
+		nf, ok := c.funcs[fd]
+		if !ok {
+			// a Program always lists its Funcs among File.Decls; a missing
+			// entry means the caller handed us an inconsistent Program
+			panic(fmt.Sprintf("cc: CloneProgram: function %q not among file decls", fd.Name))
+		}
+		out.Funcs = append(out.Funcs, nf)
+	}
+	for _, use := range prog.Uses {
+		nu, ok := c.idents[use]
+		if !ok {
+			panic(fmt.Sprintf("cc: CloneProgram: use %q at %v not reached from file decls", use.Name, use.Pos))
+		}
+		out.Uses = append(out.Uses, nu)
+	}
+	return out, c.idents
+}
+
+type cloner struct {
+	idents map[*Ident]*Ident
+	funcs  map[*FuncDecl]*FuncDecl
+}
+
+func (c *cloner) file(f *File) *File {
+	out := &File{Structs: f.Structs}
+	for _, d := range f.Decls {
+		out.Decls = append(out.Decls, c.decl(d))
+	}
+	return out
+}
+
+func (c *cloner) decl(d Decl) Decl {
+	switch d := d.(type) {
+	case *VarDecl:
+		return c.varDecl(d)
+	case *FuncDecl:
+		nd := &FuncDecl{Pos: d.Pos, Name: d.Name, Ret: d.Ret, Sym: d.Sym}
+		for _, p := range d.Params {
+			nd.Params = append(nd.Params, c.varDecl(p))
+		}
+		if d.Body != nil {
+			nd.Body = c.stmt(d.Body).(*BlockStmt)
+		}
+		c.funcs[d] = nd
+		return nd
+	case *StructDecl:
+		return &StructDecl{Pos: d.Pos, Type: d.Type}
+	default:
+		panic(fmt.Sprintf("cc: clone: unknown declaration %T", d))
+	}
+}
+
+func (c *cloner) varDecl(d *VarDecl) *VarDecl {
+	nd := &VarDecl{Pos: d.Pos, Name: d.Name, Type: d.Type, Storage: d.Storage, Sym: d.Sym}
+	if d.Init != nil {
+		nd.Init = c.expr(d.Init)
+	}
+	return nd
+}
+
+func (c *cloner) stmt(st Stmt) Stmt {
+	switch st := st.(type) {
+	case *BlockStmt:
+		ns := &BlockStmt{Pos: st.Pos, Scope: st.Scope}
+		for _, s := range st.List {
+			ns.List = append(ns.List, c.stmt(s))
+		}
+		return ns
+	case *DeclStmt:
+		ns := &DeclStmt{Pos: st.Pos}
+		for _, d := range st.Decls {
+			ns.Decls = append(ns.Decls, c.varDecl(d))
+		}
+		return ns
+	case *ExprStmt:
+		return &ExprStmt{Pos: st.Pos, X: c.expr(st.X)}
+	case *EmptyStmt:
+		return &EmptyStmt{Pos: st.Pos}
+	case *IfStmt:
+		ns := &IfStmt{Pos: st.Pos, Cond: c.expr(st.Cond), Then: c.stmt(st.Then)}
+		if st.Else != nil {
+			ns.Else = c.stmt(st.Else)
+		}
+		return ns
+	case *WhileStmt:
+		return &WhileStmt{Pos: st.Pos, Cond: c.expr(st.Cond), Body: c.stmt(st.Body)}
+	case *DoWhileStmt:
+		return &DoWhileStmt{Pos: st.Pos, Body: c.stmt(st.Body), Cond: c.expr(st.Cond)}
+	case *ForStmt:
+		ns := &ForStmt{Pos: st.Pos, Scope: st.Scope, Body: c.stmt(st.Body)}
+		if st.Init != nil {
+			ns.Init = c.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			ns.Cond = c.expr(st.Cond)
+		}
+		if st.Post != nil {
+			ns.Post = c.expr(st.Post)
+		}
+		return ns
+	case *ReturnStmt:
+		ns := &ReturnStmt{Pos: st.Pos}
+		if st.X != nil {
+			ns.X = c.expr(st.X)
+		}
+		return ns
+	case *BreakStmt:
+		return &BreakStmt{Pos: st.Pos}
+	case *ContinueStmt:
+		return &ContinueStmt{Pos: st.Pos}
+	case *GotoStmt:
+		return &GotoStmt{Pos: st.Pos, Label: st.Label}
+	case *LabeledStmt:
+		return &LabeledStmt{Pos: st.Pos, Label: st.Label, Stmt: c.stmt(st.Stmt)}
+	default:
+		panic(fmt.Sprintf("cc: clone: unknown statement %T", st))
+	}
+}
+
+func (c *cloner) expr(e Expr) Expr {
+	switch e := e.(type) {
+	case *Ident:
+		ne := &Ident{Pos: e.Pos, Name: e.Name, Sym: e.Sym, Visible: e.Visible, FuncIdx: e.FuncIdx}
+		c.idents[e] = ne
+		return ne
+	case *IntLit:
+		ne := *e
+		return &ne
+	case *FloatLit:
+		ne := *e
+		return &ne
+	case *CharLit:
+		ne := *e
+		return &ne
+	case *StringLit:
+		ne := *e
+		return &ne
+	case *UnaryExpr:
+		return &UnaryExpr{Pos: e.Pos, Op: e.Op, X: c.expr(e.X), Type: e.Type}
+	case *PostfixExpr:
+		return &PostfixExpr{Pos: e.Pos, Op: e.Op, X: c.expr(e.X), Type: e.Type}
+	case *BinaryExpr:
+		return &BinaryExpr{Pos: e.Pos, Op: e.Op, X: c.expr(e.X), Y: c.expr(e.Y), Type: e.Type}
+	case *AssignExpr:
+		return &AssignExpr{Pos: e.Pos, Op: e.Op, LHS: c.expr(e.LHS), RHS: c.expr(e.RHS), Type: e.Type}
+	case *CondExpr:
+		return &CondExpr{Pos: e.Pos, Cond: c.expr(e.Cond), T: c.expr(e.T), F: c.expr(e.F), Type: e.Type}
+	case *CallExpr:
+		ne := &CallExpr{Pos: e.Pos, Fun: c.expr(e.Fun).(*Ident), Type: e.Type}
+		for _, a := range e.Args {
+			ne.Args = append(ne.Args, c.expr(a))
+		}
+		return ne
+	case *IndexExpr:
+		return &IndexExpr{Pos: e.Pos, X: c.expr(e.X), Idx: c.expr(e.Idx), Type: e.Type}
+	case *MemberExpr:
+		return &MemberExpr{Pos: e.Pos, X: c.expr(e.X), Name: e.Name, Arrow: e.Arrow, Type: e.Type}
+	case *CastExpr:
+		return &CastExpr{Pos: e.Pos, To: e.To, X: c.expr(e.X), Type: e.Type}
+	case *SizeofExpr:
+		ne := &SizeofExpr{Pos: e.Pos, OfType: e.OfType, Type: e.Type}
+		if e.X != nil {
+			ne.X = c.expr(e.X)
+		}
+		return ne
+	case *CommaExpr:
+		ne := &CommaExpr{Pos: e.Pos, Type: e.Type}
+		for _, x := range e.List {
+			ne.List = append(ne.List, c.expr(x))
+		}
+		return ne
+	case *InitList:
+		ne := &InitList{Pos: e.Pos, Type: e.Type}
+		for _, x := range e.List {
+			ne.List = append(ne.List, c.expr(x))
+		}
+		return ne
+	default:
+		panic(fmt.Sprintf("cc: clone: unknown expression %T", e))
+	}
+}
+
+// RebindVar repoints a variable use at a different symbol, the per-variant
+// primitive of AST-resident instantiation: after the call the Ident both
+// resolves to sym (interpreter and compiler key on Ident.Sym) and prints as
+// sym (the printer emits Ident.Name). The caller is responsible for sym
+// being visible at the use with a compatible type; RebindVarChecked
+// verifies exactly that.
+func RebindVar(id *Ident, sym *Symbol) {
+	id.Sym = sym
+	id.Name = sym.Name
+}
+
+// RebindVarChecked is RebindVar with the sema invariants asserted: sym must
+// be in the use's visible set (so a re-parse of the printed program resolves
+// the name to the same declaration — no shadowing surprises) and its type
+// must match the use's current type (so enclosing expression types stay
+// valid without re-running type checking). It is the debug mode behind the
+// campaign engine's -paranoid flag.
+func RebindVarChecked(id *Ident, sym *Symbol) error {
+	if id.Sym == nil {
+		return fmt.Errorf("cc: rebind %q at %v: unresolved use", id.Name, id.Pos)
+	}
+	if got, want := sym.Type.String(), id.Sym.Type.String(); got != want {
+		return fmt.Errorf("cc: rebind %q at %v: type %s does not match %s", id.Name, id.Pos, got, want)
+	}
+	visible := false
+	for _, s := range id.Visible {
+		if s == sym {
+			visible = true
+			break
+		}
+	}
+	if !visible {
+		return fmt.Errorf("cc: rebind %q at %v: %q (symbol %d) is not visible at the use", id.Name, id.Pos, sym.Name, sym.ID)
+	}
+	RebindVar(id, sym)
+	return nil
+}

@@ -1,0 +1,170 @@
+package cc
+
+import "testing"
+
+const cloneSrc = `
+int g1 = 1, g2 = 1;
+struct pt { int x; int y; };
+int add(int a, int b) { return a + b; }
+int main() {
+    int c = 0, d = 0;
+    struct pt p;
+    int arr[3] = {1, 2, 3};
+    char *s = "hi";
+    p.x = add(c, d);
+    for (int i = 0; i < 3; i++) c += arr[i] * g1;
+    while (d < 4) { d++; }
+    do { c--; } while (c > 10);
+    if (c ? g1 : g2) goto out;
+    d = (int)sizeof(arr) + -c;
+out:
+    printf("%d", c + d + p.x);
+    return g2;
+}
+`
+
+func TestCloneProgramPrintsIdentically(t *testing.T) {
+	prog := MustAnalyze(cloneSrc)
+	clone, _ := CloneProgram(prog)
+	if got, want := PrintFile(clone.File), PrintFile(prog.File); got != want {
+		t.Errorf("clone prints differently:\n--- clone ---\n%s--- original ---\n%s", got, want)
+	}
+}
+
+func TestCloneProgramSharesSemaState(t *testing.T) {
+	prog := MustAnalyze(cloneSrc)
+	clone, idents := CloneProgram(prog)
+	if &clone.Symbols[0] != &prog.Symbols[0] || &clone.Scopes[0] != &prog.Scopes[0] {
+		t.Error("symbols/scopes not shared with the original")
+	}
+	if len(clone.Uses) != len(prog.Uses) {
+		t.Fatalf("clone has %d uses, original %d", len(clone.Uses), len(prog.Uses))
+	}
+	for i, use := range prog.Uses {
+		nu := idents[use]
+		if nu == nil {
+			t.Fatalf("use %d (%q) missing from ident map", i, use.Name)
+		}
+		if nu != clone.Uses[i] {
+			t.Errorf("use %d: ident map and Uses order disagree", i)
+		}
+		if nu == use {
+			t.Errorf("use %d (%q) not cloned", i, use.Name)
+		}
+		if nu.Sym != use.Sym {
+			t.Errorf("use %d (%q): symbol not shared", i, use.Name)
+		}
+	}
+	if len(clone.Funcs) != len(prog.Funcs) {
+		t.Fatalf("clone has %d funcs, original %d", len(clone.Funcs), len(prog.Funcs))
+	}
+	for i, fd := range prog.Funcs {
+		if clone.Funcs[i] == fd {
+			t.Errorf("func %d (%q) not cloned", i, fd.Name)
+		}
+		if clone.Funcs[i].Sym != fd.Sym {
+			t.Errorf("func %d (%q): symbol not shared", i, fd.Name)
+		}
+	}
+}
+
+func TestCloneProgramIsolatesMutation(t *testing.T) {
+	prog := MustAnalyze(cloneSrc)
+	before := PrintFile(prog.File)
+	clone, _ := CloneProgram(prog)
+	// rebind every variable use in the clone to the first visible symbol of
+	// matching type — a worst-case instantiation — and check the original
+	// tree is untouched
+	for _, use := range clone.Uses {
+		for _, s := range use.Visible {
+			if s.Type.String() == use.Sym.Type.String() {
+				RebindVar(use, s)
+				break
+			}
+		}
+	}
+	if got := PrintFile(prog.File); got != before {
+		t.Errorf("mutating the clone changed the original:\n--- after ---\n%s--- before ---\n%s", got, before)
+	}
+	for i, use := range prog.Uses {
+		if use.Name != use.Sym.Name {
+			t.Errorf("original use %d: name %q diverged from symbol %q", i, use.Name, use.Sym.Name)
+		}
+	}
+}
+
+func TestRebindVar(t *testing.T) {
+	prog := MustAnalyze("int a = 1, b = 2;\nint main() { return a; }\n")
+	use := prog.Uses[0]
+	var target *Symbol
+	for _, s := range prog.Symbols {
+		if s.Name == "b" {
+			target = s
+		}
+	}
+	RebindVar(use, target)
+	if use.Sym != target || use.Name != "b" {
+		t.Fatalf("rebind did not retarget the use: sym=%v name=%q", use.Sym, use.Name)
+	}
+	if got := PrintFile(prog.File); got != "int a = 1;\nint b = 2;\nint main(void) {\n    return b;\n}\n" {
+		t.Errorf("rebound program prints:\n%s", got)
+	}
+}
+
+func TestRebindVarCheckedRejectsInvisible(t *testing.T) {
+	prog := MustAnalyze(`
+int main() {
+    int a = 1;
+    { int b = 2; a = b; }
+    return a;
+}
+`)
+	// the use of a in "return a" cannot be rebound to b: b is out of scope
+	retUse := prog.Uses[len(prog.Uses)-1]
+	var b *Symbol
+	for _, s := range prog.Symbols {
+		if s.Name == "b" {
+			b = s
+		}
+	}
+	if err := RebindVarChecked(retUse, b); err == nil {
+		t.Error("rebinding to an out-of-scope symbol passed the checked rebind")
+	}
+}
+
+func TestRebindVarCheckedRejectsTypeMismatch(t *testing.T) {
+	prog := MustAnalyze(`
+int main() {
+    int a = 1;
+    char c = 'x';
+    return a;
+}
+`)
+	retUse := prog.Uses[len(prog.Uses)-1]
+	var c *Symbol
+	for _, s := range prog.Symbols {
+		if s.Name == "c" {
+			c = s
+		}
+	}
+	if err := RebindVarChecked(retUse, c); err == nil {
+		t.Error("rebinding across types passed the checked rebind")
+	}
+}
+
+func TestRebindVarCheckedAcceptsValid(t *testing.T) {
+	prog := MustAnalyze("int a = 1, b = 2;\nint main() { return a; }\n")
+	use := prog.Uses[0]
+	var b *Symbol
+	for _, s := range prog.Symbols {
+		if s.Name == "b" {
+			b = s
+		}
+	}
+	if err := RebindVarChecked(use, b); err != nil {
+		t.Fatalf("valid rebind rejected: %v", err)
+	}
+	if use.Sym != b {
+		t.Error("checked rebind did not apply")
+	}
+}

@@ -45,6 +45,16 @@ type Scale struct {
 	// TargetShardMillis enables the campaign engine's adaptive shard
 	// sizing (0 = fixed shards).
 	TargetShardMillis int
+	// Paranoid enables the campaign engine's per-variant render+reparse
+	// cross-check of the AST-resident instantiation (campaign.Config.
+	// Paranoid); tables are identical, campaigns just pay the extra check.
+	Paranoid bool
+	// ForceRenderPath routes campaigns through the historical
+	// render→re-parse pipeline (the variants/sec baseline).
+	ForceRenderPath bool
+	// BenchJSON, when non-empty, makes VariantsBench write its result
+	// there as JSON (the CI artifact BENCH_variants.json).
+	BenchJSON string
 }
 
 func (s Scale) withDefaults() Scale {
@@ -274,6 +284,8 @@ func Campaign(scale Scale, versions []string) (*harness.Report, error) {
 		CheckpointPath:     scale.Checkpoint,
 		Schedule:           scale.Schedule,
 		TargetShardMillis:  scale.TargetShardMillis,
+		Paranoid:           scale.Paranoid,
+		ForceRenderPath:    scale.ForceRenderPath,
 	})
 }
 

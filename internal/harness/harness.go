@@ -11,7 +11,12 @@
 // surface and re-exports the campaign types so existing callers are
 // untouched. Run with the default Config parallelizes across GOMAXPROCS
 // workers and produces output byte-identical to the old sequential loop
-// (set Workers to 1 to force sequential execution).
+// (set Workers to 1 to force sequential execution). Variants are
+// instantiated AST-resident — each corpus file is parsed and analyzed
+// once, and per-variant work is in-place hole rebinding on pooled
+// template clones; set Config.ForceRenderPath for the historical text
+// pipeline or Config.Paranoid to cross-check every instantiation (both
+// yield byte-identical reports).
 package harness
 
 import "spe/internal/campaign"

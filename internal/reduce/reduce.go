@@ -39,6 +39,9 @@ func (o Options) withDefaults() Options {
 type Result struct {
 	// Source is the reduced program text.
 	Source string
+	// Interesting reports whether the input satisfied the predicate at all
+	// (when false, no reduction was attempted and Source echoes the input).
+	Interesting bool
 	// Checks counts predicate evaluations performed.
 	Checks int
 	// Rounds counts fixpoint iterations.
@@ -63,9 +66,31 @@ func Reduce(src string, pred Predicate, opts Options) (*Result, error) {
 	if !ok || !r.check(prog) {
 		return &Result{Source: src, Checks: r.checks}, nil
 	}
+	return r.run(src)
+}
+
+// ReduceProgram is Reduce for callers that already hold an analyzed
+// program — the AST-resident pipeline's typed entry. The input program is
+// never mutated: reduction works on a defensive clone, so passing a shared
+// template (or a pooled instance's program) is safe. The initial
+// interestingness check runs against the clone, sparing the re-parse that
+// Reduce pays to obtain a program from text.
+func ReduceProgram(prog *cc.Program, pred Predicate, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	r := &reducer{pred: pred, opts: opts}
+	clone, _ := cc.CloneProgram(prog)
+	src := cc.PrintFile(clone.File)
+	if !r.check(clone) {
+		return &Result{Source: src, Checks: r.checks}, nil
+	}
+	return r.run(src)
+}
+
+// run drives the reduction fixpoint from an interesting starting source.
+func (r *reducer) run(src string) (*Result, error) {
 	cur := src
 	rounds := 0
-	for rounds < opts.MaxRounds && r.checks < opts.MaxChecks {
+	for rounds < r.opts.MaxRounds && r.checks < r.opts.MaxChecks {
 		rounds++
 		next, changed := r.round(cur)
 		if !changed {
@@ -74,7 +99,7 @@ func Reduce(src string, pred Predicate, opts Options) (*Result, error) {
 		cur = next
 	}
 	cur = r.stripEmpty(cur)
-	return &Result{Source: cur, Checks: r.checks, Rounds: rounds, RemovedStmts: r.removed}, nil
+	return &Result{Source: cur, Interesting: true, Checks: r.checks, Rounds: rounds, RemovedStmts: r.removed}, nil
 }
 
 // stripEmpty removes the ';' husks left by statement omission, keeping the

@@ -175,3 +175,94 @@ int main() {
 		t.Errorf("second pass still removed %d statements:\n%s", res2.RemovedStmts, res2.Source)
 	}
 }
+
+// TestReduceProgramMatchesReduce asserts the typed entry converges to the
+// same reduced source as the string entry for the Figure 3 crasher.
+func TestReduceProgramMatchesReduce(t *testing.T) {
+	src := `
+struct s { int c; };
+struct s b, c;
+int d; int e;
+int noise = 5;
+int main() {
+    int k = 3;
+    k = k + noise;
+    int r = e ? (d == 0 ? b : c).c : (d == 0 ? b : c).c;
+    printf("%d\n", r + k);
+    return 0;
+}
+`
+	fromStr, err := Reduce(src, crashPred("69801"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromProg, err := ReduceProgram(cc.MustAnalyze(src), crashPred("69801"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromProg.Interesting || !fromStr.Interesting {
+		t.Fatal("crasher deemed uninteresting")
+	}
+	if fromProg.Source != fromStr.Source {
+		t.Errorf("typed entry reduced to different source:\n--- program ---\n%s--- string ---\n%s",
+			fromProg.Source, fromStr.Source)
+	}
+}
+
+// TestReduceProgramNeverMutatesInput is the mutation-isolation guarantee:
+// reduction must operate on a clone, so the caller's program — which in
+// the campaign pipeline may alias a shared skeleton template or a pooled
+// instance — comes back bit-for-bit untouched.
+func TestReduceProgramNeverMutatesInput(t *testing.T) {
+	src := `
+struct s { int c; };
+struct s b, c;
+int d; int e;
+int noise = 5;
+int main() {
+    int k = 3;
+    k = k + noise;
+    int r = e ? (d == 0 ? b : c).c : (d == 0 ? b : c).c;
+    printf("%d\n", r + k);
+    return 0;
+}
+`
+	prog := cc.MustAnalyze(src)
+	before := cc.PrintFile(prog.File)
+	nDecls := len(prog.File.Decls)
+	res, err := ReduceProgram(prog, crashPred("69801"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemovedStmts == 0 {
+		t.Error("nothing reduced; isolation test is weak")
+	}
+	if got := cc.PrintFile(prog.File); got != before {
+		t.Errorf("reduction mutated the input program:\n--- after ---\n%s--- before ---\n%s", got, before)
+	}
+	if len(prog.File.Decls) != nDecls {
+		t.Errorf("reduction dropped declarations from the input program: %d -> %d", nDecls, len(prog.File.Decls))
+	}
+	for i, use := range prog.Uses {
+		if use.Sym == nil || use.Name != use.Sym.Name {
+			t.Errorf("input use %d disturbed by reduction", i)
+		}
+	}
+}
+
+// TestReduceProgramUninteresting asserts the typed entry reports
+// uninteresting inputs instead of echoing mutated text.
+func TestReduceProgramUninteresting(t *testing.T) {
+	prog := cc.MustAnalyze("int main() { return 0; }\n")
+	never := func(*cc.Program) bool { return false }
+	res, err := ReduceProgram(prog, never, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interesting {
+		t.Error("predicate never held but result claims interesting")
+	}
+	if res.Checks != 1 {
+		t.Errorf("uninteresting input cost %d checks, want 1", res.Checks)
+	}
+}

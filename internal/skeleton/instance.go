@@ -1,0 +1,99 @@
+package skeleton
+
+// This file implements AST-resident variant instantiation. The historical
+// pipeline rendered each filling to C text and re-lexed/re-parsed/
+// re-analyzed it before testing — discarding, for every variant, exactly
+// the structure the skeleton guarantees is shared. An Instance keeps the
+// analyzed program resident: one clone of the template AST whose hole
+// Idents are patched in place per filling, preserving the sema invariants
+// (symbol binding, types) by construction, so the interpreter and compilers
+// consume the variant with no front-end work at all.
+
+import (
+	"fmt"
+
+	"spe/internal/cc"
+	"spe/internal/partition"
+)
+
+// Instance is a privately owned clone of the skeleton's analyzed program
+// whose holes can be rebound in place. The clone shares the template's
+// symbols, scopes, and types (read-only after analysis) but owns every tree
+// node, so concurrent Instances never alias mutable state — give each
+// goroutine its own (see spe.Pool for the pooled entry point).
+//
+// The zero-cost contract: Instantiate diffs the requested filling against
+// the instance's current one and patches only the holes that changed, so
+// walking nearby fillings (the campaign engine's stride-neighbor shards)
+// costs a handful of pointer writes per variant.
+type Instance struct {
+	sk    *Skeleton
+	prog  *cc.Program
+	holes []*cc.Ident // clone-side hole idents, aligned with sk.Holes
+	cur   []partition.VarRef
+	orig  []partition.VarRef
+	// Checked enables invariant-checked rebinding (cc.RebindVarChecked):
+	// every patch asserts visibility and type compatibility before
+	// applying. It is the skeleton half of the campaign's -paranoid mode.
+	Checked bool
+}
+
+// NewInstance clones the template for in-place instantiation. The clone
+// starts at the original program's own filling.
+func (sk *Skeleton) NewInstance() *Instance {
+	prog, idents := cc.CloneProgram(sk.Prog)
+	in := &Instance{
+		sk:    sk,
+		prog:  prog,
+		holes: make([]*cc.Ident, len(sk.Holes)),
+		cur:   sk.OriginalFill(),
+		orig:  sk.OriginalFill(),
+	}
+	for i, h := range sk.Holes {
+		in.holes[i] = idents[h.Ident]
+	}
+	return in
+}
+
+// Program returns the instance's typed program reflecting the current
+// filling. The pointer stays valid across Instantiate calls but the tree it
+// names is patched in place by them: callers must finish consuming (or
+// render) the program before the next Instantiate.
+func (in *Instance) Program() *cc.Program { return in.prog }
+
+// Fill returns a copy of the instance's current filling.
+func (in *Instance) Fill() []partition.VarRef {
+	return append([]partition.VarRef(nil), in.cur...)
+}
+
+// Instantiate patches the instance to the given whole-skeleton filling,
+// rebinding only the holes whose variable changed since the last call.
+func (in *Instance) Instantiate(fill []partition.VarRef) error {
+	if len(fill) != len(in.holes) {
+		return fmt.Errorf("skeleton: instantiate: fill length %d, want %d", len(fill), len(in.holes))
+	}
+	for i, vr := range fill {
+		if vr == in.cur[i] {
+			continue
+		}
+		sym := in.sk.Groups[vr.Group].Syms[vr.Index]
+		if in.Checked {
+			if err := cc.RebindVarChecked(in.holes[i], sym); err != nil {
+				return fmt.Errorf("skeleton: instantiate hole %d: %w", i, err)
+			}
+		} else {
+			cc.RebindVar(in.holes[i], sym)
+		}
+		in.cur[i] = vr
+	}
+	return nil
+}
+
+// Restore rebinds the instance back to the template's original filling.
+func (in *Instance) Restore() error { return in.Instantiate(in.orig) }
+
+// Render prints the instance's current program. The output is byte-identical
+// to Skeleton.Render of the same filling: rebinding patches each hole's
+// printed name to exactly the name the render path's Rename hook would have
+// substituted.
+func (in *Instance) Render() string { return cc.PrintFile(in.prog.File) }

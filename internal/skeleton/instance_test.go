@@ -1,0 +1,188 @@
+package skeleton
+
+import (
+	"testing"
+
+	"spe/internal/cc"
+	"spe/internal/partition"
+)
+
+const instSrc = `
+int a, b;
+int main() {
+    int c = 0, d = 0;
+    b = c + d;
+    if (a) { int e = 1; c = e + b; }
+    for (int i = 0; i < 4; i++) d += i;
+    return a + b + c + d;
+}
+`
+
+// enumerateFills walks the canonical whole-skeleton fillings via the
+// per-function problems (mirroring spe.EnumerateFills without importing spe,
+// which would cycle).
+func enumerateFills(sk *Skeleton, limit int) [][]partition.VarRef {
+	fps := sk.FuncProblems()
+	whole := sk.OriginalFill()
+	var out [][]partition.VarRef
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if len(out) >= limit {
+			return false
+		}
+		if i == len(fps) {
+			out = append(out, append([]partition.VarRef(nil), whole...))
+			return true
+		}
+		fp := fps[i]
+		ok := true
+		fp.Problem.EachCanonical(func(fill []partition.VarRef) bool {
+			for j, vr := range fill {
+				whole[fp.HoleIdx[j]] = partition.VarRef{Group: fp.GroupIdx[vr.Group], Index: vr.Index}
+			}
+			if !rec(i + 1) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	rec(0)
+	return out
+}
+
+// TestInstanceRenderMatchesRender is the core byte-identity property: for
+// every canonical filling, patching the instance and printing it produces
+// exactly what the render path produces.
+func TestInstanceRenderMatchesRender(t *testing.T) {
+	sk := MustBuild(instSrc)
+	in := sk.NewInstance()
+	in.Checked = true
+	for i, fill := range enumerateFills(sk, 200) {
+		if err := in.Instantiate(fill); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+		if got, want := in.Render(), sk.Render(fill); got != want {
+			t.Fatalf("fill %d: instance render diverges:\n--- instance ---\n%s--- render ---\n%s", i, got, want)
+		}
+	}
+}
+
+// TestInstanceDeltaPatching asserts instantiating A then B equals
+// instantiating B on a fresh instance (the diff-based patching is exact).
+func TestInstanceDeltaPatching(t *testing.T) {
+	sk := MustBuild(instSrc)
+	fills := enumerateFills(sk, 50)
+	walker := sk.NewInstance()
+	for i, fill := range fills {
+		if err := walker.Instantiate(fill); err != nil {
+			t.Fatal(err)
+		}
+		fresh := sk.NewInstance()
+		if err := fresh.Instantiate(fill); err != nil {
+			t.Fatal(err)
+		}
+		if walker.Render() != fresh.Render() {
+			t.Fatalf("fill %d: walked instance diverges from fresh instance", i)
+		}
+	}
+}
+
+// TestInstanceTemplateIsolation asserts instantiation never touches the
+// shared template: the skeleton's own AST still renders the original
+// program and its holes still bind their original symbols.
+func TestInstanceTemplateIsolation(t *testing.T) {
+	sk := MustBuild(instSrc)
+	before := cc.PrintFile(sk.Prog.File)
+	origSyms := make([]*cc.Symbol, len(sk.Holes))
+	for i, h := range sk.Holes {
+		origSyms[i] = h.Ident.Sym
+	}
+
+	a, b := sk.NewInstance(), sk.NewInstance()
+	fills := enumerateFills(sk, 20)
+	for _, fill := range fills {
+		if err := a.Instantiate(fill); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Instantiate(fills[len(fills)-1]); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := cc.PrintFile(sk.Prog.File); got != before {
+		t.Errorf("template AST mutated by instance use:\n--- after ---\n%s--- before ---\n%s", got, before)
+	}
+	for i, h := range sk.Holes {
+		if h.Ident.Sym != origSyms[i] {
+			t.Errorf("template hole %d rebound", i)
+		}
+	}
+	// two instances must not alias each other either
+	if err := a.Instantiate(fills[0]); err != nil {
+		t.Fatal(err)
+	}
+	if b.Render() != sk.Render(fills[len(fills)-1]) {
+		t.Error("instantiating one instance disturbed another")
+	}
+}
+
+// TestInstanceRestore asserts Restore returns to the original program.
+func TestInstanceRestore(t *testing.T) {
+	sk := MustBuild(instSrc)
+	in := sk.NewInstance()
+	orig := in.Render()
+	fills := enumerateFills(sk, 10)
+	if err := in.Instantiate(fills[len(fills)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if in.Render() == orig && len(fills) > 1 {
+		t.Fatal("instantiation did not change the program; restore test is vacuous")
+	}
+	if err := in.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Render(); got != orig {
+		t.Errorf("restore did not return to the original:\n--- got ---\n%s--- want ---\n%s", got, orig)
+	}
+	if got, want := in.Render(), sk.Render(sk.OriginalFill()); got != want {
+		t.Errorf("restored instance diverges from rendered original fill")
+	}
+}
+
+// TestInstanceProgramIsAnalyzed asserts the instance's program is usable as
+// a typed program: uses bind symbols of matching type and the program's Uses
+// list tracks the patched idents.
+func TestInstanceProgramIsAnalyzed(t *testing.T) {
+	sk := MustBuild(instSrc)
+	in := sk.NewInstance()
+	fills := enumerateFills(sk, 10)
+	if err := in.Instantiate(fills[len(fills)-1]); err != nil {
+		t.Fatal(err)
+	}
+	prog := in.Program()
+	if len(prog.Uses) != len(sk.Holes) {
+		t.Fatalf("instance program has %d uses, want %d", len(prog.Uses), len(sk.Holes))
+	}
+	for i, use := range prog.Uses {
+		if use.Sym == nil {
+			t.Fatalf("use %d unresolved after instantiation", i)
+		}
+		if got, want := use.Sym.Type.String(), sk.Holes[i].Ident.Sym.Type.String(); got != want {
+			t.Errorf("use %d: type %s, want %s", i, got, want)
+		}
+		if use.Name != use.Sym.Name {
+			t.Errorf("use %d: printed name %q diverges from symbol %q", i, use.Name, use.Sym.Name)
+		}
+	}
+}
+
+// TestInstanceFillLengthMismatch asserts the error path.
+func TestInstanceFillLengthMismatch(t *testing.T) {
+	sk := MustBuild(instSrc)
+	in := sk.NewInstance()
+	if err := in.Instantiate(nil); err == nil {
+		t.Error("nil fill accepted")
+	}
+}

@@ -1,0 +1,286 @@
+package spe
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+
+	"spe/internal/cc"
+	"spe/internal/corpus"
+	"spe/internal/skeleton"
+)
+
+// sampleIndices picks a deterministic spread of enumeration indices for a
+// space of the given total: the edges plus a fixed-stride walk, the same
+// shape the campaign's stride sampling visits.
+func sampleIndices(total *big.Int, n int) []*big.Int {
+	if total.Sign() == 0 {
+		return nil
+	}
+	last := new(big.Int).Sub(total, big.NewInt(1))
+	var out []*big.Int
+	seen := make(map[string]bool)
+	add := func(v *big.Int) {
+		if v.Sign() < 0 || v.Cmp(total) >= 0 || seen[v.String()] {
+			return
+		}
+		seen[v.String()] = true
+		out = append(out, v)
+	}
+	add(big.NewInt(0))
+	add(last)
+	step := new(big.Int).Quo(total, big.NewInt(int64(n)))
+	if step.Sign() == 0 {
+		step = big.NewInt(1)
+	}
+	for v := new(big.Int); v.Cmp(total) < 0 && len(out) < n+2; v = new(big.Int).Add(v, step) {
+		add(new(big.Int).Set(v))
+	}
+	return out
+}
+
+// TestProgramAtRoundTripsOverCorpus is the tentpole property test: for
+// every corpus seed and a sample of indices, RenderAt(i) round-trips
+// byte-identically with cc.PrintFile(ProgramAt(i)).
+func TestProgramAtRoundTripsOverCorpus(t *testing.T) {
+	for seedIdx, src := range corpus.Seeds() {
+		prog := cc.MustAnalyze(src)
+		sk, err := skeleton.Build(prog)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seedIdx, err)
+		}
+		for _, gran := range []Granularity{Intra, Inter} {
+			space, err := NewSpace(sk, Options{Mode: ModeCanonical, Granularity: gran})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seedIdx, err)
+			}
+			space.CheckedRebind = true
+			for _, idx := range sampleIndices(space.Total(), 12) {
+				want, err := space.RenderAt(idx)
+				if err != nil {
+					t.Fatalf("seed %d idx %s: RenderAt: %v", seedIdx, idx, err)
+				}
+				p, release, err := space.ProgramAt(idx)
+				if err != nil {
+					t.Fatalf("seed %d idx %s: ProgramAt: %v", seedIdx, idx, err)
+				}
+				got := cc.PrintFile(p.File)
+				release()
+				if got != want {
+					t.Errorf("seed %d gran %v idx %s: typed program diverges from render:\n--- ProgramAt ---\n%s--- RenderAt ---\n%s",
+						seedIdx, gran, idx, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFillDeltaAtMatchesFillAt asserts the incremental unranking produces
+// exactly FillAt's fillings over a stride walk, including the changed-hole
+// bookkeeping.
+func TestFillDeltaAtMatchesFillAt(t *testing.T) {
+	for seedIdx, src := range corpus.Seeds() {
+		sk, err := skeleton.Build(cc.MustAnalyze(src))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seedIdx, err)
+		}
+		delta, err := NewSpace(sk, Options{Mode: ModeCanonical})
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := NewSpace(sk, Options{Mode: ModeCanonical})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prevFill []int // flattened previous fill for change verification
+		for _, idx := range sampleIndices(delta.Total(), 16) {
+			fill, changed, err := delta.FillDeltaAt(idx)
+			if err != nil {
+				t.Fatalf("seed %d idx %s: %v", seedIdx, idx, err)
+			}
+			want, err := direct.FillAt(idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fill) != len(want) {
+				t.Fatalf("seed %d idx %s: fill length %d, want %d", seedIdx, idx, len(fill), len(want))
+			}
+			flat := make([]int, 0, 2*len(fill))
+			for i := range fill {
+				if fill[i] != want[i] {
+					t.Fatalf("seed %d idx %s hole %d: delta fill %v, want %v", seedIdx, idx, i, fill[i], want[i])
+				}
+				flat = append(flat, fill[i].Group, fill[i].Index)
+			}
+			if prevFill != nil {
+				// changed must list exactly the holes that differ from the
+				// previous call
+				ch := make(map[int]bool, len(changed))
+				for _, h := range changed {
+					ch[h] = true
+				}
+				for i := range fill {
+					moved := flat[2*i] != prevFill[2*i] || flat[2*i+1] != prevFill[2*i+1]
+					if moved != ch[i] {
+						t.Fatalf("seed %d idx %s hole %d: moved=%v but changed set says %v", seedIdx, idx, i, moved, ch[i])
+					}
+				}
+			}
+			prevFill = flat
+		}
+	}
+}
+
+// TestProgramAtDeltaWalk asserts release→reacquire reuses the instance and
+// that a long walk of neighboring indices stays byte-identical to the
+// render path (the delta-patching fast path the campaign engine exercises).
+func TestProgramAtDeltaWalk(t *testing.T) {
+	src := `
+int a, b;
+int f() { int x = 1; return a + x; }
+int main() {
+    int c = 0, d = 0;
+    c = a + d;
+    return b + c + f();
+}
+`
+	sk, err := skeleton.Build(cc.MustAnalyze(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := NewSpace(sk, Options{Mode: ModeCanonical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check, err := NewSpace(sk, Options{Mode: ModeCanonical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := space.Total()
+	limit := big.NewInt(300)
+	if total.Cmp(limit) > 0 {
+		total = limit
+	}
+	for idx := new(big.Int); idx.Cmp(total) < 0; idx.Add(idx, big.NewInt(1)) {
+		p, release, err := space.ProgramAt(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := cc.PrintFile(p.File)
+		release()
+		want, err := check.RenderAt(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("idx %s: delta walk diverges from render path:\n--- got ---\n%s--- want ---\n%s", idx, got, want)
+		}
+	}
+	if len(space.instances) != 1 {
+		t.Errorf("free list holds %d instances after a released walk, want 1", len(space.instances))
+	}
+}
+
+// TestProgramAtOverlappingLifetimes asserts two live programs from one
+// Space never alias (the free list hands out distinct instances while one
+// is held).
+func TestProgramAtOverlappingLifetimes(t *testing.T) {
+	sk := skeleton.MustBuild(`
+int a, b;
+int main() { return a + b; }
+`)
+	space, err := NewSpace(sk, Options{Mode: ModeCanonical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, rel0, err := space.ProgramAt(big.NewInt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap0 := cc.PrintFile(p0.File)
+	p1, rel1, err := space.ProgramAt(big.NewInt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0 == p1 {
+		t.Fatal("two live ProgramAt results share one instance")
+	}
+	if got := cc.PrintFile(p0.File); got != snap0 {
+		t.Errorf("second ProgramAt mutated the first's program:\n--- after ---\n%s--- before ---\n%s", got, snap0)
+	}
+	rel1()
+	rel0()
+}
+
+// TestPoolConcurrentUse drives the Pool from many goroutines (run under
+// -race in CI): each drains a disjoint slice of indices through ProgramAt
+// and checks byte-identity against a private render-path Space.
+func TestPoolConcurrentUse(t *testing.T) {
+	sk := skeleton.MustBuild(`
+int a, b;
+int f() { int x = 1; return a + x; }
+int main() {
+    int c = 0, d = 0;
+    c = a + d;
+    return b + c + f();
+}
+`)
+	pool, err := NewPool(sk, Options{Mode: ModeCanonical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			space := pool.Get()
+			defer pool.Put(space)
+			check, err := NewSpace(sk, Options{Mode: ModeCanonical})
+			if err != nil {
+				errs <- err
+				return
+			}
+			total := space.Total()
+			for i := 0; i < perWorker; i++ {
+				idx := big.NewInt(int64(w*perWorker + i))
+				if idx.Cmp(total) >= 0 {
+					break
+				}
+				p, release, err := space.ProgramAt(idx)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got := cc.PrintFile(p.File)
+				release()
+				want, err := check.RenderAt(idx)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != want {
+					t.Errorf("worker %d idx %s: pooled program diverges from render", w, idx)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolRejectsNonCanonical asserts option validation happens at pool
+// construction, not first use.
+func TestPoolRejectsNonCanonical(t *testing.T) {
+	sk := skeleton.MustBuild("int a;\nint main() { return a; }\n")
+	if _, err := NewPool(sk, Options{Mode: ModeNaive}); err == nil {
+		t.Error("pool over naive mode constructed")
+	}
+}

@@ -3,7 +3,9 @@ package spe
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
+	"spe/internal/cc"
 	"spe/internal/partition"
 	"spe/internal/skeleton"
 )
@@ -16,9 +18,19 @@ import (
 // numeral whose digits are per-function ranks (the first function is the
 // most significant digit, matching EnumerateFills' recursion order).
 //
-// A Space owns mutable ranker memo tables and is not safe for concurrent
-// use; construction is cheap (the tables fill lazily), so give each
-// goroutine its own.
+// Beside the textual RenderAt, a Space serves typed programs: ProgramAt
+// patches a pooled AST-resident skeleton.Instance to the indexed filling
+// and hands back the analyzed *cc.Program directly, skipping the
+// render→re-lex→re-parse→re-sema cycle entirely. FillDeltaAt exposes the
+// underlying incremental unranking (per-function rank digits are cached, so
+// stride-neighbor indices only unrank the functions whose digit moved).
+//
+// Concurrency contract: a Space owns mutable state — ranker memo tables,
+// the delta-unranking cache, and its instance free list — and is strictly
+// single-goroutine. Concurrent callers go through a Pool, which hands each
+// goroutine a private Space over the shared (immutable) skeleton; sharing
+// one Space across goroutines without a Pool is a data race, enforced by
+// the race-detector tests over the campaign hot path.
 type Space struct {
 	sk   *skeleton.Skeleton
 	opts Options
@@ -30,6 +42,23 @@ type Space struct {
 	ranker *partition.Ranker
 
 	total *big.Int
+
+	// delta-unranking cache: the per-function rank digits and whole-skeleton
+	// filling of the last FillDeltaAt call. prevBuf and changed are reused
+	// scratch space so the per-variant hot path stays allocation-free.
+	lastDigits []*big.Int
+	lastFill   []partition.VarRef
+	prevBuf    []partition.VarRef
+	changed    []int
+
+	// instances is a LIFO free list for ProgramAt: releasing and
+	// re-acquiring yields the same instance, so consecutive ProgramAt calls
+	// patch only the holes that differ between neighboring fillings.
+	instances []*skeleton.Instance
+	// CheckedRebind makes every instance patch assert the sema invariants
+	// (visibility, type compatibility) before applying — the spe half of
+	// the campaign engine's -paranoid mode.
+	CheckedRebind bool
 }
 
 // NewSpace builds the random-access view. Only ModeCanonical is supported:
@@ -96,7 +125,85 @@ func (s *Space) FillAt(idx *big.Int) ([]partition.VarRef, error) {
 	return whole, nil
 }
 
-// RenderAt renders the program at the given enumeration index.
+// FillDeltaAt is FillAt with incremental unranking: the Space caches the
+// per-function rank digits of its previous call and re-unranks only the
+// functions whose digit changed, which is what makes walking stride
+// neighbors within a shard cheap (the low-order functions vary, the rest
+// stand still). It returns the filling plus the sorted hole indices whose
+// variable differs from the previous call's filling (all holes on the first
+// call). Both slices are owned by the Space and valid until the next
+// FillDeltaAt call.
+func (s *Space) FillDeltaAt(idx *big.Int) ([]partition.VarRef, []int, error) {
+	if idx.Sign() < 0 || idx.Cmp(s.total) >= 0 {
+		return nil, nil, fmt.Errorf("spe: fill index %s out of range [0, %s)", idx, s.total)
+	}
+	if s.lastFill == nil {
+		// first call: unrank everything, every hole counts as changed
+		fill, err := s.FillAt(idx)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.lastFill = fill
+		s.changed = make([]int, len(fill))
+		for i := range s.changed {
+			s.changed[i] = i
+		}
+		if s.ranker == nil {
+			s.lastDigits = s.digitsOf(idx)
+		}
+		return s.lastFill, s.changed, nil
+	}
+	prev := append(s.prevBuf[:0], s.lastFill...)
+	s.prevBuf = prev
+	if s.ranker != nil {
+		fill, err := s.ranker.Unrank(idx)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.lastFill = fill
+	} else {
+		digits := s.digitsOf(idx)
+		for i, fp := range s.fps {
+			if digits[i].Cmp(s.lastDigits[i]) == 0 {
+				continue // this function's rank did not move: keep its holes
+			}
+			fill, err := s.rankers[i].Unrank(digits[i])
+			if err != nil {
+				return nil, nil, err
+			}
+			for j, vr := range fill {
+				s.lastFill[fp.HoleIdx[j]] = partition.VarRef{
+					Group: fp.GroupIdx[vr.Group],
+					Index: vr.Index,
+				}
+			}
+		}
+		s.lastDigits = digits
+	}
+	s.changed = s.changed[:0]
+	for i, vr := range s.lastFill {
+		if vr != prev[i] {
+			s.changed = append(s.changed, i)
+		}
+	}
+	return s.lastFill, s.changed, nil
+}
+
+// digitsOf extracts idx's per-function mixed-radix rank digits.
+func (s *Space) digitsOf(idx *big.Int) []*big.Int {
+	digits := make([]*big.Int, len(s.fps))
+	rem := new(big.Int).Set(idx)
+	for i := len(s.fps) - 1; i >= 0; i-- {
+		q, m := new(big.Int).QuoRem(rem, s.counts[i], new(big.Int))
+		digits[i] = m
+		rem = q
+	}
+	return digits
+}
+
+// RenderAt renders the program at the given enumeration index. This is the
+// textual (render) path; the campaign hot path uses ProgramAt instead and
+// renders lazily only when a finding needs reproduction text.
 func (s *Space) RenderAt(idx *big.Int) (string, error) {
 	fill, err := s.FillAt(idx)
 	if err != nil {
@@ -104,3 +211,75 @@ func (s *Space) RenderAt(idx *big.Int) (string, error) {
 	}
 	return s.sk.Render(fill), nil
 }
+
+// ProgramAt returns the analyzed program at the given enumeration index by
+// patching a pooled AST-resident instance — no lexing, parsing, or semantic
+// analysis happens per variant. The program is valid until release is
+// called; release returns the instance to the Space's free list, where the
+// next ProgramAt call reuses it (and, for neighboring indices, patches only
+// the holes that moved). Printing the program with cc.PrintFile yields
+// exactly RenderAt's bytes.
+func (s *Space) ProgramAt(idx *big.Int) (*cc.Program, func(), error) {
+	fill, _, err := s.FillDeltaAt(idx)
+	if err != nil {
+		return nil, nil, err
+	}
+	var in *skeleton.Instance
+	if n := len(s.instances); n > 0 {
+		in = s.instances[n-1]
+		s.instances = s.instances[:n-1]
+	} else {
+		in = s.sk.NewInstance()
+	}
+	in.Checked = s.CheckedRebind
+	if err := in.Instantiate(fill); err != nil {
+		return nil, nil, err
+	}
+	release := func() { s.instances = append(s.instances, in) }
+	return in.Program(), release, nil
+}
+
+// Pool shares one skeleton's enumeration across goroutines by handing each
+// caller a private Space. It is the enforced concurrency API over Space:
+// Get/Put are safe from any goroutine, while everything on the Space itself
+// remains single-goroutine between a Get and its Put. Pooled Spaces retain
+// their ranker memo tables and template instances across uses, so shard
+// workers draining one file amortize those allocations instead of
+// rebuilding them per shard.
+type Pool struct {
+	sk   *skeleton.Skeleton
+	opts Options
+	pool sync.Pool
+	// CheckedRebind is propagated to every Space the pool hands out.
+	CheckedRebind bool
+}
+
+// NewPool validates the options once (by building a probe Space) and
+// returns the pool. The probe is kept for the first Get.
+func NewPool(sk *skeleton.Skeleton, opts Options) (*Pool, error) {
+	probe, err := NewSpace(sk, opts)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pool{sk: sk, opts: opts}
+	p.pool.Put(probe)
+	return p, nil
+}
+
+// Get hands out a Space for exclusive use by the calling goroutine.
+func (p *Pool) Get() *Space {
+	if s, ok := p.pool.Get().(*Space); ok && s != nil {
+		s.CheckedRebind = p.CheckedRebind
+		return s
+	}
+	// construction cannot fail here: NewPool validated the options
+	s, err := NewSpace(p.sk, p.opts)
+	if err != nil {
+		panic(fmt.Sprintf("spe: pool: %v", err))
+	}
+	s.CheckedRebind = p.CheckedRebind
+	return s
+}
+
+// Put returns a Space obtained from Get. The Space must not be used after.
+func (p *Pool) Put(s *Space) { p.pool.Put(s) }

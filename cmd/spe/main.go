@@ -15,7 +15,8 @@
 //	spe campaign [-workers N] [-checkpoint path] [-variants N]
 //	             [-versions list] [-schedule fifo|coverage]
 //	             [-target-shard-ms N] [-curve] [-reduce] [-inter]
-//	             [-paranoid] [-render-path] [file.c ...]
+//	             [-paranoid] [-render-path] [-backend-reuse=false]
+//	             [file.c ...]
 //	                                 run a parallel differential-testing
 //	                                 campaign (default corpus: the bundled
 //	                                 seed programs); with -checkpoint, an
@@ -26,11 +27,17 @@
 //	                                 adaptively (both leave the report
 //	                                 byte-identical to fifo order);
 //	                                 variants are instantiated in place on
-//	                                 AST templates — -paranoid cross-checks
+//	                                 AST templates and executed on pooled
+//	                                 backends (reusable interpreter
+//	                                 machines, skeleton-keyed compiler IR
+//	                                 templates) — -paranoid cross-checks
 //	                                 every instantiation against a fresh
-//	                                 render+reparse, and -render-path
-//	                                 restores the historical text pipeline
-//	                                 (still byte-identical reports)
+//	                                 render+reparse and every patched IR
+//	                                 template against a fresh lowering,
+//	                                 -render-path restores the historical
+//	                                 text pipeline, and -backend-reuse=false
+//	                                 runs the backends cold (all three keep
+//	                                 reports byte-identical)
 package main
 
 import (
@@ -137,8 +144,9 @@ func runCampaign(args []string) {
 	curve := fs.Bool("curve", false, "record and print the coverage-over-time curve to stderr (under fifo this enables coverage collection)")
 	reduce := fs.Bool("reduce", false, "delta-debug each finding's sample test case")
 	inter := fs.Bool("inter", false, "inter-procedural granularity")
-	paranoid := fs.Bool("paranoid", false, "cross-check every AST-instantiated variant against a fresh render+reparse (debug mode; slower)")
+	paranoid := fs.Bool("paranoid", false, "cross-check every AST-instantiated variant against a fresh render+reparse, and every patched IR template against a fresh lowering (debug mode; slower)")
 	renderPath := fs.Bool("render-path", false, "use the historical render+reparse pipeline instead of AST-resident instantiation (baseline; same report)")
+	backendReuse := fs.Bool("backend-reuse", true, "reuse pooled backend state across variants: interpreter machine pooling and skeleton-keyed compiler IR templates (same report; disable as baseline or to bisect)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -200,6 +208,7 @@ func runCampaign(args []string) {
 		CoverageCurve:      *curve,
 		Paranoid:           *paranoid,
 		ForceRenderPath:    *renderPath,
+		NoBackendReuse:     !*backendReuse,
 	})
 	if err != nil {
 		fatal(err)

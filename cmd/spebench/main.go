@@ -9,21 +9,28 @@
 //	         [-paranoid] [-bench-json path] [experiment...]
 //
 // where experiment is any of: table1 table2 table3 table4 fig8 fig9 fig10
-// example6 variants. With no arguments, all experiments run in order.
+// example6 variants backend. With no arguments, all experiments run in
+// order.
 // -workers sizes the campaign engine's worker pool (0 = GOMAXPROCS; the
 // tables are identical at any setting), -checkpoint makes campaign
 // experiments persist resumable progress, -schedule selects the shard
 // dispatch policy (coverage drains novel regions first; tables are
 // unaffected), and -target-shard-ms enables adaptive shard sizing.
 // -paranoid cross-checks the AST-resident instantiation per variant
-// (render+reparse+binding assertion), and -bench-json makes the variants
-// experiment write its variants/sec result (BENCH_variants.json in CI).
+// (render+reparse+binding assertion; for the backend experiment it also
+// checks every patched IR template against a fresh lowering), and
+// -bench-json makes the variants and backend experiments write their
+// variants/sec results (BENCH_variants.json and BENCH_backend.json in CI);
+// when a single invocation runs more than one experiment, the experiment
+// name is inserted before the extension so the results don't overwrite
+// each other.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"spe/internal/experiments"
@@ -52,10 +59,9 @@ func main() {
 	scale.Schedule = *schedule
 	scale.TargetShardMillis = *targetShardMs
 	scale.Paranoid = *paranoid
-	scale.BenchJSON = *benchJSON
 	which := flag.Args()
 	if len(which) == 0 {
-		which = []string{"example6", "table1", "table2", "fig8", "table3", "table4", "fig10", "fig9", "generality", "variants"}
+		which = []string{"example6", "table1", "table2", "fig8", "table3", "table4", "fig10", "fig9", "generality", "variants", "backend"}
 	}
 	for _, name := range which {
 		start := time.Now()
@@ -64,6 +70,15 @@ func main() {
 		if *checkpoint != "" {
 			scale.Checkpoint = *checkpoint + "." + name
 		}
+		// several experiments write a bench-json result (variants,
+		// backend); when more than one runs in this invocation, derive a
+		// per-experiment path so they don't overwrite each other (a
+		// single-experiment run keeps the exact path, which is what CI
+		// relies on for its artifact names)
+		scale.BenchJSON = *benchJSON
+		if *benchJSON != "" && len(which) > 1 {
+			scale.BenchJSON = benchJSONFor(*benchJSON, name)
+		}
 		out, err := run(name, scale)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spebench: %s: %v\n", name, err)
@@ -71,6 +86,15 @@ func main() {
 		}
 		fmt.Printf("==== %s (%.1fs) ====\n%s\n", name, time.Since(start).Seconds(), out)
 	}
+}
+
+// benchJSONFor inserts the experiment name before the path's extension:
+// BENCH.json -> BENCH.variants.json.
+func benchJSONFor(path, name string) string {
+	if ext := filepath.Ext(path); ext != "" {
+		return path[:len(path)-len(ext)] + "." + name + ext
+	}
+	return path + "." + name
 }
 
 func run(name string, scale experiments.Scale) (string, error) {
@@ -96,6 +120,8 @@ func run(name string, scale experiments.Scale) (string, error) {
 		return experiments.Generality(scale)
 	case "variants":
 		return experiments.VariantsBench(scale)
+	case "backend":
+		return experiments.BackendBench(scale)
 	default:
 		return "", fmt.Errorf("unknown experiment %q", name)
 	}

@@ -15,6 +15,17 @@
 // byte-identical Report — Workers=1 reproduces the historical sequential
 // harness output exactly. Long campaigns additionally write periodic JSON
 // checkpoints from which Resume continues after a crash or kill.
+//
+// Concurrency and ownership inside a worker: shared inputs (corpus text,
+// skeletons, analyzed template programs' symbols/scopes/types) are
+// immutable; everything a worker mutates is checked out for exclusive use
+// per shard task — a spe.Space (enumeration state + AST instances) and a
+// backendState (interp.Machine + minicc.Cache) from the file's pools.
+// Within a task the worker may reuse all of it across variants; across
+// tasks the pools recycle it. Nothing checked out is ever retained past
+// the task: results travel to the aggregator as plain values (symptom
+// records, rendered source strings), never as references into pooled
+// state.
 package campaign
 
 import (
@@ -108,6 +119,19 @@ type Config struct {
 	// variants/sec benchmark and for bisecting suspected instantiation
 	// bugs without -paranoid's double cost.
 	ForceRenderPath bool
+	// NoBackendReuse disables the pooled execution backends: with reuse on
+	// (the default), each worker holds a reusable reference-interpreter
+	// machine (frames, environments, and memory objects reset instead of
+	// reallocated between variants) and a minicc backend cache (each
+	// skeleton template is lowered to IR once, per-variant compilations
+	// replay the recorded coverage/crash trace and patch only the IR sites
+	// the moved holes feed). Reports are byte-identical either way — the
+	// backend-equivalence tests pin reuse on/off across worker counts,
+	// schedules, and resume — so the knob exists as the benchmark baseline
+	// and for bisecting suspected reuse bugs. Under Paranoid, every
+	// template-derived lowering is additionally cross-checked against a
+	// fresh Lower of the variant.
+	NoBackendReuse bool
 }
 
 // Schedule values for Config.Schedule.

@@ -69,8 +69,10 @@ type variantResult struct {
 // render→parse→analyze front end followed by evalProgram. It serves the
 // original seed programs (whose report text must stay the raw corpus
 // bytes), the ForceRenderPath baseline, and the reduction predicate's
-// candidates.
-func evalSource(cfg Config, src string, attr map[string]string, cov *minicc.Coverage) variantResult {
+// candidates. A freshly parsed program has no stable identity to key the
+// IR-template cache on, so only the interpreter machine of be is reused
+// here; compilation runs cold.
+func evalSource(cfg Config, src string, be *backendState, attr map[string]string, cov *minicc.Coverage) variantResult {
 	file, err := cc.Parse(src)
 	if err != nil {
 		return variantResult{src: src}
@@ -79,7 +81,8 @@ func evalSource(cfg Config, src string, attr map[string]string, cov *minicc.Cove
 	if err != nil {
 		return variantResult{src: src}
 	}
-	return evalProgram(cfg, prog, func() string { return src }, attr, cov)
+	vr, _ := evalProgram(cfg, prog, nil, be, func() string { return src }, attr, cov)
+	return vr
 }
 
 // evalProgram runs one analyzed variant through the reference interpreter
@@ -94,12 +97,18 @@ func evalSource(cfg Config, src string, attr map[string]string, cov *minicc.Cove
 // differential verdicts). Attribution recompilations deliberately bypass
 // the recorder: they re-run the same program with bugs deactivated and
 // would only blur the novelty signal.
-func evalProgram(cfg Config, prog *cc.Program, render func() string, attr map[string]string, cov *minicc.Coverage) variantResult {
+func evalProgram(cfg Config, prog *cc.Program, holes []*cc.Ident, be *backendState, render func() string, attr map[string]string, cov *minicc.Coverage) (variantResult, error) {
 	vr := variantResult{}
-	ref := interp.Run(prog, interp.Config{MaxSteps: cfg.Steps})
+	var ref *interp.Result
+	if be != nil {
+		// pooled machine: frames/objects/environments reset, not reallocated
+		ref = be.mach.Run(prog, interp.Config{MaxSteps: cfg.Steps})
+	} else {
+		ref = interp.Run(prog, interp.Config{MaxSteps: cfg.Steps})
+	}
 	if !ref.Defined() {
 		vr.status = statusUB
-		return vr
+		return vr, nil
 	}
 	vr.status = statusClean
 
@@ -111,7 +120,21 @@ func evalProgram(cfg Config, prog *cc.Program, render func() string, attr map[st
 		for _, opt := range cfg.OptLevels {
 			vr.executions++
 			comp := &minicc.Compiler{Version: ver, Opt: opt, Seeded: true, Coverage: cov}
-			ro := comp.Run(prog, minicc.ExecConfig{MaxSteps: execSteps})
+			var ro *minicc.RunOutcome
+			if be != nil && holes != nil {
+				// template-cached backend: the skeleton was lowered once,
+				// this variant replays the trace and patches the moved
+				// holes' IR sites; under -paranoid each patched lowering is
+				// checked against a fresh Lower and a divergence aborts the
+				// campaign
+				cached, err := comp.RunCached(be.cache, prog, holes, minicc.ExecConfig{MaxSteps: execSteps}, cfg.Paranoid)
+				if err != nil {
+					return vr, err
+				}
+				ro = cached
+			} else {
+				ro = comp.Run(prog, minicc.ExecConfig{MaxSteps: execSteps})
+			}
 			if s, found := classifyOutcome(cfg, ver, opt, ref, ro, prog, attr); found {
 				if vr.src == "" {
 					vr.src = render()
@@ -120,7 +143,7 @@ func evalProgram(cfg Config, prog *cc.Program, render func() string, attr map[st
 			}
 		}
 	}
-	return vr
+	return vr, nil
 }
 
 // classifyOutcome turns one compile+run outcome into a symptom record.

@@ -218,6 +218,12 @@ func runEngine(ctx context.Context, cfg Config, st *aggState) (*Report, error) {
 // only when a variant exhibits a symptom (to become a finding's test case)
 // or when the -paranoid cross-check demands it. ForceRenderPath restores
 // the historical render→re-parse pipeline for baselining.
+//
+// Alongside the Space, the worker checks out a backendState: the reference
+// interpreter resets pooled machine state instead of reallocating it per
+// variant, and minicc compiles through the file's IR-template cache (lower
+// once per skeleton, patch the hole-dependent IR sites per fill). With
+// Config.NoBackendReuse both backends run cold, byte-identically.
 func runTask(ctx context.Context, cfg Config, t *task) *taskResult {
 	res := &taskResult{seq: t.seq, plan: t.plan, newFile: t.newFile}
 	if t.plan.skip {
@@ -228,10 +234,15 @@ func runTask(ctx context.Context, cfg Config, t *task) *taskResult {
 	if cfg.collectCoverage() {
 		cov = minicc.NewLenientCoverage()
 	}
+	var be *backendState
+	if t.plan.backends != nil {
+		be = t.plan.backends.Get().(*backendState)
+		defer t.plan.backends.Put(be)
+	}
 	// shard-local attribution memo (seed-scoped: a task never spans files)
 	attr := make(map[string]string)
 	if t.includeOriginal {
-		res.variants = append(res.variants, evalSource(cfg, t.plan.src, attr, cov))
+		res.variants = append(res.variants, evalSource(cfg, t.plan.src, be, attr, cov))
 	}
 	if t.toJ > t.fromJ {
 		space := t.plan.pool.Get()
@@ -245,7 +256,7 @@ func runTask(ctx context.Context, cfg Config, t *task) *taskResult {
 			}
 			idx.SetInt64(j)
 			idx.Mul(idx, stride)
-			vr, err := runVariant(cfg, space, idx, attr, cov)
+			vr, err := runVariant(cfg, space, be, idx, attr, cov)
 			if err != nil {
 				res.err = fmt.Errorf("campaign: corpus[%d] variant %d: %w", t.plan.seedIdx, j, err)
 				return res
@@ -265,19 +276,20 @@ func runTask(ctx context.Context, cfg Config, t *task) *taskResult {
 
 // runVariant evaluates the variant at one enumeration index through the
 // configured pipeline flavor.
-func runVariant(cfg Config, space *spe.Space, idx *big.Int, attr map[string]string, cov *minicc.Coverage) (variantResult, error) {
+func runVariant(cfg Config, space *spe.Space, be *backendState, idx *big.Int, attr map[string]string, cov *minicc.Coverage) (variantResult, error) {
 	if cfg.ForceRenderPath {
 		src, err := space.RenderAt(idx)
 		if err != nil {
 			return variantResult{}, err
 		}
-		return evalSource(cfg, src, attr, cov), nil
+		return evalSource(cfg, src, be, attr, cov), nil
 	}
-	prog, release, err := space.ProgramAt(idx)
+	in, release, err := space.AcquireAt(idx)
 	if err != nil {
 		return variantResult{}, err
 	}
 	defer release()
+	prog := in.Program()
 	rendered := ""
 	if cfg.Paranoid {
 		rendered = cc.PrintFile(prog.File)
@@ -291,7 +303,7 @@ func runVariant(cfg Config, space *spe.Space, idx *big.Int, attr map[string]stri
 		}
 		return cc.PrintFile(prog.File)
 	}
-	return evalProgram(cfg, prog, render, attr, cov), nil
+	return evalProgram(cfg, prog, in.HoleIdents(), be, render, attr, cov)
 }
 
 // crossCheckVariant is the -paranoid equivalence assertion: the typed

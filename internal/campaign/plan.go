@@ -3,11 +3,25 @@ package campaign
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
 	"spe/internal/cc"
+	"spe/internal/interp"
+	"spe/internal/minicc"
 	"spe/internal/skeleton"
 	"spe/internal/spe"
 )
+
+// backendState is the per-worker-checkout bundle of reusable execution
+// backends: a pooled reference-interpreter machine and the minicc backend
+// cache (IR templates + VM state). Like a spe.Space, a backendState is
+// single-goroutine between a Get and its Put; workers check one out per
+// shard task, so machines, IR templates, and slabs amortize across every
+// variant a worker drains from one file.
+type backendState struct {
+	mach  *interp.Machine
+	cache *minicc.Cache
+}
 
 // filePlan is the deterministic testing schedule of one corpus file: the
 // stride-sampled subset of the canonical enumeration the sequential harness
@@ -39,6 +53,9 @@ type filePlan struct {
 	// checks out a private spe.Space (ranker memo tables + AST template
 	// instances) and returns it when its shard completes.
 	pool *spe.Pool
+	// backends pools the per-worker execution backends the same way (nil
+	// when Config.NoBackendReuse disables reuse).
+	backends *sync.Pool
 }
 
 // info exports the plan's schedule facts for the report.
@@ -90,6 +107,11 @@ func buildPlan(cfg Config, seedIdx int, src string) (*filePlan, error) {
 		return nil, fmt.Errorf("campaign: corpus[%d]: %w", seedIdx, err)
 	}
 	plan.pool.CheckedRebind = cfg.Paranoid
+	if !cfg.NoBackendReuse {
+		plan.backends = &sync.Pool{New: func() interface{} {
+			return &backendState{mach: interp.NewMachine(), cache: minicc.NewCache()}
+		}}
+	}
 	budget := cfg.MaxVariantsPerFile
 	if budget <= 0 {
 		// a non-positive budget exhausts itself on the first enumerated

@@ -11,26 +11,28 @@ import (
 // expressions evaluate to a pointer to their storage (array decay, struct
 // by reference).
 func (m *machine) eval(e cc.Expr) Value {
-	m.step(e.NodePos())
+	m.stepNode(e)
+	// hot cases first: a type switch tests cases in order, and variable
+	// reads, literals, and binary arithmetic dominate C expression trees
 	switch e := e.(type) {
+	case *cc.Ident:
+		return m.loadIdent(e)
 	case *cc.IntLit:
 		return IntValue(e.Val, e.Type)
+	case *cc.BinaryExpr:
+		return m.evalBinary(e)
+	case *cc.AssignExpr:
+		return m.evalAssign(e)
+	case *cc.UnaryExpr:
+		return m.evalUnary(e)
+	case *cc.PostfixExpr:
+		return m.evalPostfix(e)
 	case *cc.FloatLit:
 		return FloatValue(e.Val, e.Type)
 	case *cc.CharLit:
 		return IntValue(int64(e.Val), cc.TypeInt)
 	case *cc.StringLit:
 		return m.stringValue(e)
-	case *cc.Ident:
-		return m.loadIdent(e)
-	case *cc.UnaryExpr:
-		return m.evalUnary(e)
-	case *cc.PostfixExpr:
-		return m.evalPostfix(e)
-	case *cc.BinaryExpr:
-		return m.evalBinary(e)
-	case *cc.AssignExpr:
-		return m.evalAssign(e)
 	case *cc.CondExpr:
 		if m.evalCond(e.Cond) {
 			return m.evalBranch(e.T, e)
@@ -268,7 +270,8 @@ func (m *machine) evalUnary(e *cc.UnaryExpr) Value {
 		if v.Kind == VFloat {
 			return FloatValue(-v.F, v.Typ)
 		}
-		return m.intArith("-", IntValue(0, v.Typ), v, e.Pos, v.Typ)
+		zero := IntValue(0, v.Typ)
+		return m.intArith("-", &zero, &v, e.Pos, v.Typ)
 	case "+":
 		return m.eval(e.X)
 	case "~":
@@ -285,7 +288,8 @@ func (m *machine) evalUnary(e *cc.UnaryExpr) Value {
 		if e.Op == "--" {
 			op = "-"
 		}
-		nv := m.addSub(op, old, IntValue(1, cc.TypeInt), e.Pos, old.Typ)
+		one := IntValue(1, cc.TypeInt)
+		nv := m.addSub(op, &old, &one, e.Pos, old.Typ)
 		m.store(ptr, nv, e.Pos)
 		return nv
 	default:
@@ -300,7 +304,8 @@ func (m *machine) evalPostfix(e *cc.PostfixExpr) Value {
 	if e.Op == "--" {
 		op = "-"
 	}
-	nv := m.addSub(op, old, IntValue(1, cc.TypeInt), e.Pos, old.Typ)
+	one := IntValue(1, cc.TypeInt)
+	nv := m.addSub(op, &old, &one, e.Pos, old.Typ)
 	m.store(ptr, nv, e.Pos)
 	return old
 }
@@ -327,11 +332,11 @@ func (m *machine) evalBinary(e *cc.BinaryExpr) Value {
 	}
 	x := m.eval(e.X)
 	y := m.eval(e.Y)
-	return m.binop(e.Op, x, y, e.Pos, e.Type)
+	return m.binop(e.Op, &x, &y, e.Pos, e.Type)
 }
 
 // binop dispatches a (non-short-circuit) binary operation.
-func (m *machine) binop(op string, x, y Value, pos cc.Pos, resType cc.Type) Value {
+func (m *machine) binop(op string, x, y *Value, pos cc.Pos, resType cc.Type) Value {
 	// pointer arithmetic and comparisons
 	if x.Kind == VPtr || y.Kind == VPtr {
 		return m.ptrOp(op, x, y, pos)
@@ -364,7 +369,7 @@ func (m *machine) binop(op string, x, y Value, pos cc.Pos, resType cc.Type) Valu
 	}
 }
 
-func intCompare(op string, x, y Value) bool {
+func intCompare(op string, x, y *Value) bool {
 	t := usualArith(x.Typ, y.Typ)
 	if isUnsigned(t) {
 		a, b := uint64(truncInt(x.I, t)), uint64(truncInt(y.I, t))
@@ -407,7 +412,7 @@ func intCompare(op string, x, y Value) bool {
 }
 
 // addSub performs x op 1 style increments honoring pointer types.
-func (m *machine) addSub(op string, x, y Value, pos cc.Pos, t cc.Type) Value {
+func (m *machine) addSub(op string, x, y *Value, pos cc.Pos, t cc.Type) Value {
 	if x.Kind == VPtr {
 		return m.ptrOp(op, x, y, pos)
 	}
@@ -418,7 +423,7 @@ func (m *machine) addSub(op string, x, y Value, pos cc.Pos, t cc.Type) Value {
 }
 
 // intArith performs integer arithmetic with signed-overflow detection.
-func (m *machine) intArith(op string, x, y Value, pos cc.Pos, t cc.Type) Value {
+func (m *machine) intArith(op string, x, y *Value, pos cc.Pos, t cc.Type) Value {
 	if isUnsigned(t) {
 		w := widthOf(t)
 		a, b := uint64(x.I), uint64(y.I)
@@ -490,7 +495,7 @@ func (m *machine) intArith(op string, x, y Value, pos cc.Pos, t cc.Type) Value {
 	return IntValue(r, t)
 }
 
-func (m *machine) shift(op string, x, y Value, pos cc.Pos) Value {
+func (m *machine) shift(op string, x, y *Value, pos cc.Pos) Value {
 	t := promoteType(x.Typ)
 	w := widthOf(t)
 	if y.I < 0 || uint(y.I) >= w {
@@ -522,7 +527,7 @@ func (m *machine) shift(op string, x, y Value, pos cc.Pos) Value {
 	return IntValue(x.I>>uint(y.I), t)
 }
 
-func (m *machine) floatOp(op string, x, y Value, pos cc.Pos) Value {
+func (m *machine) floatOp(op string, x, y *Value, pos cc.Pos) Value {
 	a := toF(x)
 	b := toF(y)
 	t := cc.Type(cc.TypeDouble)
@@ -558,7 +563,7 @@ func (m *machine) floatOp(op string, x, y Value, pos cc.Pos) Value {
 	}
 }
 
-func toF(v Value) float64 {
+func toF(v *Value) float64 {
 	if v.Kind == VFloat {
 		return v.F
 	}
@@ -568,7 +573,7 @@ func toF(v Value) float64 {
 	return float64(v.I)
 }
 
-func (m *machine) ptrOp(op string, x, y Value, pos cc.Pos) Value {
+func (m *machine) ptrOp(op string, x, y *Value, pos cc.Pos) Value {
 	switch op {
 	case "+", "-":
 		if x.Kind == VPtr && y.Kind == VInt {
@@ -608,7 +613,8 @@ func (m *machine) ptrOp(op string, x, y Value, pos cc.Pos) Value {
 		if x.Kind != VPtr || y.Kind != VPtr || x.P.Obj != y.P.Obj {
 			m.ub(UBOutOfBounds, pos, "relational comparison of unrelated pointers")
 		}
-		return IntValue(b2i(intCompare(op, IntValue(int64(x.P.Off), cc.TypeLong), IntValue(int64(y.P.Off), cc.TypeLong))), cc.TypeInt)
+		xo, yo := IntValue(int64(x.P.Off), cc.TypeLong), IntValue(int64(y.P.Off), cc.TypeLong)
+		return IntValue(b2i(intCompare(op, &xo, &yo)), cc.TypeInt)
 	}
 	m.ub(UBOutOfBounds, pos, "invalid pointer operation %s", op)
 	panic("unreachable")
@@ -643,7 +649,7 @@ func (m *machine) evalAssign(e *cc.AssignExpr) Value {
 		old := m.load(ptr, e.Pos, lt)
 		rhs := m.eval(e.RHS)
 		op := e.Op[:len(e.Op)-1]
-		v = m.convert(m.binop(op, old, rhs, e.Pos, lt), valueType(lt), e.Pos)
+		v = m.convert(m.binop(op, &old, &rhs, e.Pos, lt), valueType(lt), e.Pos)
 	}
 	m.store(ptr, v, e.Pos)
 	return v
@@ -692,7 +698,7 @@ func (m *machine) convert(v Value, t cc.Type, pos cc.Pos) Value {
 		return v
 	case *cc.BasicType:
 		if tt.IsFloat() {
-			return FloatValue(toF(v), t)
+			return FloatValue(toF(&v), t)
 		}
 		switch v.Kind {
 		case VFloat:

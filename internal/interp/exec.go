@@ -49,7 +49,12 @@ func stmtContainsLabel(st cc.Stmt, label string) bool {
 	case *cc.LabeledStmt:
 		return st.Label == label || stmtContainsLabel(st.Stmt, label)
 	case *cc.BlockStmt:
-		return findLabel(st.List, label) >= 0
+		for _, s := range st.List {
+			if stmtContainsLabel(s, label) {
+				return true
+			}
+		}
+		return false
 	case *cc.IfStmt:
 		if stmtContainsLabel(st.Then, label) {
 			return true
@@ -73,8 +78,10 @@ func (m *machine) exec(st cc.Stmt) flow {
 	if m.seeking {
 		return m.execSeeking(st)
 	}
-	m.step(st.NodePos())
-	m.executed[st] = true
+	m.stepNode(st)
+	if m.trackExec {
+		m.executed[st] = true
+	}
 	switch st := st.(type) {
 	case *cc.BlockStmt:
 		return m.execList(st.List)
@@ -255,14 +262,11 @@ func (m *machine) execSeeking(st cc.Stmt) flow {
 // calls (C semantics).
 func (m *machine) execDecl(d *cc.VarDecl) {
 	if d.Storage == cc.StorageStatic {
-		if m.statics == nil {
-			m.statics = make(map[*cc.Symbol]*Object)
-		}
-		obj, ok := m.statics[d.Sym]
-		if !ok {
+		obj := m.statics[d.Sym.ID]
+		if obj == nil {
 			obj = m.alloc(d.Sym.Type, d.Name)
 			obj.Persistent = true
-			m.statics[d.Sym] = obj
+			m.statics[d.Sym.ID] = obj
 			if d.Init != nil {
 				m.initObject(obj, d.Sym.Type, d.Init)
 			} else {
@@ -270,15 +274,15 @@ func (m *machine) execDecl(d *cc.VarDecl) {
 			}
 		}
 		if len(m.frames) > 0 {
-			m.frames[len(m.frames)-1].vars[d.Sym] = obj
+			m.frames[len(m.frames)-1].vars[d.Sym.ID] = obj
 		}
 		return
 	}
 	obj := m.alloc(d.Sym.Type, d.Name)
 	if len(m.frames) > 0 {
-		m.frames[len(m.frames)-1].vars[d.Sym] = obj
+		m.frames[len(m.frames)-1].vars[d.Sym.ID] = obj
 	} else {
-		m.globals[d.Sym] = obj
+		m.globals[d.Sym.ID] = obj
 	}
 	if d.Init != nil {
 		m.initObject(obj, d.Sym.Type, d.Init)

@@ -2,7 +2,6 @@ package interp
 
 import (
 	"fmt"
-	"strings"
 
 	"spe/internal/cc"
 )
@@ -47,7 +46,9 @@ type Result struct {
 	// Steps is the number of evaluation steps performed.
 	Steps int64
 	// Executed records every statement that was actually executed,
-	// for dead-region detection by the mutation baseline.
+	// for dead-region detection by the mutation baseline. When the Result
+	// comes from a reusable Machine, the map is owned by the Machine and
+	// only valid until its next Run.
 	Executed map[cc.Stmt]bool
 }
 
@@ -55,17 +56,166 @@ type Result struct {
 // resource exhaustion).
 func (r *Result) Defined() bool { return r.UB == nil && r.Limit == nil }
 
-// Run interprets the program's main function.
-func Run(prog *cc.Program, cfg Config) (res *Result) {
-	cfg = cfg.withDefaults()
-	m := &machine{
-		prog:     prog,
-		cfg:      cfg,
-		globals:  make(map[*cc.Symbol]*Object),
-		funcs:    make(map[string]*cc.FuncDecl),
-		executed: make(map[cc.Stmt]bool),
+// Run interprets the program's main function on a fresh, single-use
+// machine. The returned Result (including Result.Executed) is independently
+// owned by the caller. Callers executing many programs in sequence — the
+// campaign engine runs one per variant — should reuse a Machine instead,
+// which recycles its frames, environments, and memory objects across runs.
+func Run(prog *cc.Program, cfg Config) *Result {
+	m := machine{trackExec: true}
+	return m.run(prog, cfg)
+}
+
+// Machine is a reusable interpreter. Running a program through a Machine is
+// observationally identical to the package-level Run, but the machine's
+// internal state — object slab, frame free list, environment maps, output
+// buffer — is reset and reused instead of reallocated, which removes
+// nearly all per-run allocation on the campaign hot path.
+//
+// Ownership contract: a Machine is strictly single-goroutine (give each
+// worker its own; there is no internal locking), and the Result of Run —
+// in particular Result.Executed — aliases machine-owned storage that is
+// recycled by the next Run. Callers that retain a Result across runs must
+// copy what they need first. No state leaks between runs: globals, static
+// locals, interned string literals, and the heap are rebuilt from the
+// program on every Run (pinned by the dirty-state regression tests).
+type Machine struct {
+	m machine
+}
+
+// NewMachine returns an empty reusable interpreter.
+func NewMachine() *Machine { return &Machine{} }
+
+// Run interprets the program's main function, reusing the machine's pooled
+// state. See the Machine ownership contract for Result lifetime.
+func (mm *Machine) Run(prog *cc.Program, cfg Config) *Result {
+	return mm.m.run(prog, cfg)
+}
+
+type ubPanic struct{ err *UBError }
+type limitPanic struct{ err *LimitError }
+type exitPanic struct{ code int }
+type abortPanic struct{}
+
+// flow is the control-flow signal threaded through statement execution.
+type flow int
+
+const (
+	flowNormal flow = iota
+	flowBreak
+	flowContinue
+	flowReturn
+	flowGoto
+)
+
+type machine struct {
+	prog *cc.Program
+	cfg  Config
+	// globals and statics are object environments indexed by the dense
+	// Symbol.ID (valid because every symbol of the running program is in
+	// prog.Symbols); frames carry the same representation per call.
+	globals []*Object
+	statics []*Object
+	nsyms   int
+	frames  []*frame
+	funcs   map[string]*cc.FuncDecl
+	out     []byte
+	steps   int64
+	nextID  int
+	// trackExec enables the Result.Executed statement map. The package-
+	// level Run records it (the mutation baseline consumes it); pooled
+	// Machines skip the per-statement map write on the campaign hot path.
+	trackExec bool
+	executed  map[cc.Stmt]bool
+
+	// return value of the innermost returning function
+	retVal Value
+	retSet bool
+	// target label of an in-flight goto
+	gotoLabel string
+	// seeking is true while unwinding forward to a goto target
+	seeking bool
+	// string literal objects are interned per literal node
+	strLits map[*cc.StringLit]*Object
+
+	// objs is the object slab: every Object this machine ever allocated,
+	// reused in allocation order. objUsed is the live prefix of the current
+	// run; reset rewinds it to zero instead of releasing anything, so run
+	// N+1 re-fills the cells run N left behind.
+	objs    []*Object
+	objUsed int
+	// frameFree recycles call frames (and their variable maps) popped by
+	// returning calls.
+	frameFree []*frame
+}
+
+type frame struct {
+	fn *cc.FuncDecl
+	// vars is the local environment, indexed by Symbol.ID; nil slots are
+	// unbound. A dense slice beats a map here: variable lookup is the
+	// single hottest operation of the interpreter.
+	vars []*Object
+}
+
+// reset rewinds the machine for a fresh run of prog: maps are cleared in
+// place, the output buffer and object slab are truncated, and live frames
+// (none unless a previous run panicked out) are dropped.
+func (m *machine) reset(prog *cc.Program, cfg Config) {
+	m.prog = prog
+	m.cfg = cfg
+	m.steps = 0
+	m.nextID = 0
+	m.retVal = Value{}
+	m.retSet = false
+	m.gotoLabel = ""
+	m.seeking = false
+	m.out = m.out[:0]
+	m.objUsed = 0
+	m.frames = m.frames[:0]
+	m.nsyms = len(prog.Symbols)
+	m.globals = resizeEnv(m.globals, m.nsyms)
+	m.statics = resizeEnv(m.statics, m.nsyms)
+	if m.funcs == nil {
+		m.funcs = make(map[string]*cc.FuncDecl)
+	} else {
+		for k := range m.funcs {
+			delete(m.funcs, k)
+		}
 	}
-	res = &Result{Executed: m.executed}
+	if m.trackExec {
+		if m.executed == nil {
+			m.executed = make(map[cc.Stmt]bool)
+		} else {
+			for k := range m.executed {
+				delete(m.executed, k)
+			}
+		}
+	}
+	for k := range m.strLits {
+		delete(m.strLits, k)
+	}
+}
+
+// resizeEnv returns env resized to n slots, all nil.
+func resizeEnv(env []*Object, n int) []*Object {
+	if cap(env) < n {
+		return make([]*Object, n)
+	}
+	env = env[:n]
+	for i := range env {
+		env[i] = nil
+	}
+	return env
+}
+
+// run interprets the program's main function.
+func (m *machine) run(prog *cc.Program, cfg Config) (res *Result) {
+	cfg = cfg.withDefaults()
+	m.reset(prog, cfg)
+	res = &Result{}
+	if m.trackExec {
+		res.Executed = m.executed
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			switch p := r.(type) {
@@ -81,7 +231,7 @@ func Run(prog *cc.Program, cfg Config) (res *Result) {
 				panic(r)
 			}
 		}
-		res.Output = m.out.String()
+		res.Output = string(m.out)
 		res.Steps = m.steps
 	}()
 
@@ -92,7 +242,7 @@ func Run(prog *cc.Program, cfg Config) (res *Result) {
 	for _, d := range prog.File.Decls {
 		if vd, ok := d.(*cc.VarDecl); ok {
 			obj := m.alloc(vd.Sym.Type, vd.Name)
-			m.globals[vd.Sym] = obj
+			m.globals[vd.Sym.ID] = obj
 			if vd.Init != nil {
 				m.initObject(obj, vd.Sym.Type, vd.Init)
 			} else {
@@ -115,52 +265,6 @@ func Run(prog *cc.Program, cfg Config) (res *Result) {
 	return res
 }
 
-type ubPanic struct{ err *UBError }
-type limitPanic struct{ err *LimitError }
-type exitPanic struct{ code int }
-type abortPanic struct{}
-
-// flow is the control-flow signal threaded through statement execution.
-type flow int
-
-const (
-	flowNormal flow = iota
-	flowBreak
-	flowContinue
-	flowReturn
-	flowGoto
-)
-
-type machine struct {
-	prog     *cc.Program
-	cfg      Config
-	globals  map[*cc.Symbol]*Object
-	frames   []*frame
-	funcs    map[string]*cc.FuncDecl
-	out      strings.Builder
-	steps    int64
-	nextID   int
-	executed map[cc.Stmt]bool
-
-	// return value of the innermost returning function
-	retVal Value
-	retSet bool
-	// target label of an in-flight goto
-	gotoLabel string
-	// seeking is true while unwinding forward to a goto target
-	seeking bool
-	// string literal objects are interned per literal node
-	strLits map[*cc.StringLit]*Object
-	// statics holds static-local objects, initialized once and persistent
-	// across calls
-	statics map[*cc.Symbol]*Object
-}
-
-type frame struct {
-	fn   *cc.FuncDecl
-	vars map[*cc.Symbol]*Object
-}
-
 func (m *machine) ub(kind UBKind, pos cc.Pos, format string, args ...interface{}) {
 	panic(ubPanic{&UBError{Kind: kind, Pos: pos, Msg: fmt.Sprintf(format, args...)}})
 }
@@ -176,9 +280,43 @@ func (m *machine) step(pos cc.Pos) {
 	}
 }
 
+// stepNode is step with the position resolved lazily: NodePos is an
+// interface call per evaluation step, only needed on the (terminal) budget-
+// exhaustion path.
+func (m *machine) stepNode(n interface{ NodePos() cc.Pos }) {
+	m.steps++
+	if m.steps > m.cfg.MaxSteps {
+		m.limit("step budget exhausted at %s", n.NodePos())
+	}
+}
+
+// alloc carves an object out of the slab, reusing a previous run's object
+// (and its cell capacity) when one is available. Reused cells are cleared
+// back to the uninitialized state, so UB detection of uninitialized reads
+// is unaffected by pooling. Objects are never recycled within a run —
+// dangling-pointer detection relies on dead objects staying distinct.
 func (m *machine) alloc(t cc.Type, name string) *Object {
 	m.nextID++
-	return &Object{ID: m.nextID, Cells: make([]Cell, cellCount(t)), Live: true, Name: name}
+	n := cellCount(t)
+	if m.objUsed < len(m.objs) {
+		obj := m.objs[m.objUsed]
+		m.objUsed++
+		cells := obj.Cells
+		if cap(cells) >= n {
+			cells = cells[:n]
+			for i := range cells {
+				cells[i] = Cell{}
+			}
+		} else {
+			cells = make([]Cell, n)
+		}
+		*obj = Object{ID: m.nextID, Cells: cells, Live: true, Name: name}
+		return obj
+	}
+	obj := &Object{ID: m.nextID, Cells: make([]Cell, n), Live: true, Name: name}
+	m.objs = append(m.objs, obj)
+	m.objUsed++
+	return obj
 }
 
 func (m *machine) zeroObject(obj *Object, t cc.Type) {
@@ -268,12 +406,35 @@ func valueType(t cc.Type) cc.Type {
 	return scalarType(t)
 }
 
+// newFrame takes a frame off the free list (or allocates one) and binds it
+// to fn with an empty variable environment.
+func (m *machine) newFrame(fn *cc.FuncDecl) *frame {
+	var fr *frame
+	if n := len(m.frameFree); n > 0 {
+		fr = m.frameFree[n-1]
+		m.frameFree = m.frameFree[:n-1]
+	} else {
+		fr = &frame{}
+	}
+	fr.fn = fn
+	fr.vars = resizeEnv(fr.vars, m.nsyms)
+	return fr
+}
+
+// freeFrame returns a popped frame to the free list for the next call (its
+// environment is cleared on reacquisition, sized to the then-current
+// program).
+func (m *machine) freeFrame(fr *frame) {
+	fr.fn = nil
+	m.frameFree = append(m.frameFree, fr)
+}
+
 // call invokes fn with evaluated arguments, returning its value (if any).
 func (m *machine) call(fn *cc.FuncDecl, args []Value, pos cc.Pos) (Value, bool) {
 	if len(m.frames) >= m.cfg.MaxDepth {
 		m.limit("call depth exceeded at %s", pos)
 	}
-	fr := &frame{fn: fn, vars: make(map[*cc.Symbol]*Object)}
+	fr := m.newFrame(fn)
 	for i, p := range fn.Params {
 		obj := m.alloc(p.Type, p.Name)
 		var v Value
@@ -284,17 +445,18 @@ func (m *machine) call(fn *cc.FuncDecl, args []Value, pos cc.Pos) (Value, bool) 
 		}
 		obj.Cells[0] = Cell{Val: v, Init: true}
 		if p.Sym != nil {
-			fr.vars[p.Sym] = obj
+			fr.vars[p.Sym.ID] = obj
 		}
 	}
 	m.frames = append(m.frames, fr)
 	defer func() {
 		for _, obj := range fr.vars {
-			if !obj.Persistent {
+			if obj != nil && !obj.Persistent {
 				obj.Live = false
 			}
 		}
 		m.frames = m.frames[:len(m.frames)-1]
+		m.freeFrame(fr)
 	}()
 
 	m.retSet = false
@@ -312,21 +474,21 @@ func (m *machine) call(fn *cc.FuncDecl, args []Value, pos cc.Pos) (Value, bool) 
 
 // lookupVar finds the object bound to a symbol.
 func (m *machine) lookupVar(sym *cc.Symbol, pos cc.Pos) *Object {
-	if len(m.frames) > 0 {
-		if obj, ok := m.frames[len(m.frames)-1].vars[sym]; ok {
+	if n := len(m.frames); n > 0 {
+		if obj := m.frames[n-1].vars[sym.ID]; obj != nil {
 			return obj
 		}
 	}
-	if obj, ok := m.globals[sym]; ok {
+	if obj := m.globals[sym.ID]; obj != nil {
 		return obj
 	}
 	// a local of an enclosing block not yet allocated (e.g. jumped over by
 	// goto before its DeclStmt ran): allocate lazily, uninitialized
 	obj := m.alloc(sym.Type, sym.Name)
 	if len(m.frames) > 0 && sym.FuncIdx >= 0 {
-		m.frames[len(m.frames)-1].vars[sym] = obj
+		m.frames[len(m.frames)-1].vars[sym.ID] = obj
 	} else {
-		m.globals[sym] = obj
+		m.globals[sym.ID] = obj
 	}
 	return obj
 }

@@ -1,0 +1,152 @@
+package interp
+
+import (
+	"fmt"
+	"testing"
+
+	"spe/internal/cc"
+)
+
+// TestMachineReuseMatchesRun pins the pooling refactor's core contract: a
+// reused Machine produces, for every program, exactly the Result a fresh
+// single-use machine produces — same output, exit code, UB classification,
+// and step count — no matter what ran on the machine before.
+func TestMachineReuseMatchesRun(t *testing.T) {
+	srcs := []string{
+		// plain arithmetic
+		`int main() { int a = 3, b = 4; return a * b; }`,
+		// globals mutated in place
+		`int g = 1;
+		 int bump() { g = g + 7; return g; }
+		 int main() { bump(); bump(); return g; }`,
+		// static locals persisting across calls
+		`int f() { static int n = 0; n++; return n; }
+		 int main() { f(); f(); return f(); }`,
+		// printf output
+		`int main() { int i; for (i = 0; i < 3; i++) printf("%d;", i); return 0; }`,
+		// uninitialized read (UB)
+		`int main() { int x; return x + 1; }`,
+		// arrays and pointers
+		`int main() { int a[4]; int *p = a; int i;
+		   for (i = 0; i < 4; i++) p[i] = i * i;
+		   return a[3]; }`,
+		// recursion exercising the frame free list
+		`int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+		 int main() { return fib(10); }`,
+		// dangling pointer (UB via frame-exit kill)
+		`int *leak() { int x = 5; return &x; }
+		 int main() { int *p = leak(); return *p; }`,
+		// abort
+		`int main() { abort(); return 1; }`,
+	}
+	m := NewMachine()
+	for i, src := range srcs {
+		prog := cc.MustAnalyze(src)
+		want := Run(prog, Config{})
+		// run everything twice on the shared machine: the second pass hits
+		// the slab/frame reuse paths warmed by the first
+		for pass := 0; pass < 2; pass++ {
+			got := m.Run(prog, Config{})
+			if err := sameResult(got, want); err != nil {
+				t.Errorf("src %d pass %d: %v", i, pass, err)
+			}
+		}
+	}
+}
+
+func sameResult(got, want *Result) error {
+	if got.Output != want.Output {
+		return fmt.Errorf("output %q, want %q", got.Output, want.Output)
+	}
+	if got.Exit != want.Exit {
+		return fmt.Errorf("exit %d, want %d", got.Exit, want.Exit)
+	}
+	if (got.UB == nil) != (want.UB == nil) {
+		return fmt.Errorf("UB %v, want %v", got.UB, want.UB)
+	}
+	if got.UB != nil && (got.UB.Kind != want.UB.Kind || got.UB.Msg != want.UB.Msg) {
+		return fmt.Errorf("UB %v, want %v", got.UB, want.UB)
+	}
+	if (got.Limit == nil) != (want.Limit == nil) {
+		return fmt.Errorf("limit %v, want %v", got.Limit, want.Limit)
+	}
+	if got.Aborted != want.Aborted {
+		return fmt.Errorf("aborted %v, want %v", got.Aborted, want.Aborted)
+	}
+	if got.Steps != want.Steps {
+		return fmt.Errorf("steps %d, want %d", got.Steps, want.Steps)
+	}
+	return nil
+}
+
+// TestMachineNoStateLeak is the dirty-state regression test: a variant that
+// mutates globals, statics, and heap objects must not leak any of it into
+// the next variant run on the same machine. The probe program's result
+// depends on exactly the state a leak would corrupt.
+func TestMachineNoStateLeak(t *testing.T) {
+	dirty := cc.MustAnalyze(`
+int g = 0;
+int arr[8];
+int f() { static int calls = 0; calls++; return calls; }
+int main() {
+    int i;
+    g = 999;
+    for (i = 0; i < 8; i++) arr[i] = 7;
+    f(); f(); f();
+    printf("dirty g=%d arr0=%d\n", g, arr[0]);
+    return 0;
+}`)
+	probe := cc.MustAnalyze(`
+int g = 0;
+int arr[8];
+int f() { static int calls = 0; calls++; return calls; }
+int main() {
+    printf("probe g=%d arr3=%d calls=%d\n", g, arr[3], f());
+    return g + arr[3];
+}`)
+	want := Run(probe, Config{})
+	m := NewMachine()
+	for round := 0; round < 3; round++ {
+		if r := m.Run(dirty, Config{}); !r.Defined() || r.Exit != 0 {
+			t.Fatalf("round %d: dirty run failed: %+v", round, r)
+		}
+		got := m.Run(probe, Config{})
+		if err := sameResult(got, want); err != nil {
+			t.Fatalf("round %d: state leaked into probe: %v", round, err)
+		}
+		if got.Exit != 0 || got.Output != "probe g=0 arr3=0 calls=1\n" {
+			t.Fatalf("round %d: probe saw dirty state: exit=%d output=%q",
+				round, got.Exit, got.Output)
+		}
+	}
+}
+
+// TestMachineUninitAfterReuse pins that slab reuse clears cells back to the
+// uninitialized state: a program reading an uninitialized local must report
+// UB even when the backing object previously held initialized data.
+func TestMachineUninitAfterReuse(t *testing.T) {
+	writer := cc.MustAnalyze(`int main() { int x = 42; return x; }`)
+	reader := cc.MustAnalyze(`int main() { int x; return x; }`)
+	m := NewMachine()
+	if r := m.Run(writer, Config{}); r.Exit != 42 || !r.Defined() {
+		t.Fatalf("writer: %+v", r)
+	}
+	r := m.Run(reader, Config{})
+	if r.UB == nil || r.UB.Kind != UBUninitRead {
+		t.Fatalf("reader after reuse: want uninitialized-read UB, got %+v", r)
+	}
+}
+
+// TestMachineResultOwnership documents the Result lifetime contract: the
+// fresh-machine Run hands out an independent Executed map, so callers that
+// need it across runs use Run (or copy), not a shared Machine.
+func TestMachineResultOwnership(t *testing.T) {
+	prog := cc.MustAnalyze(`int main() { return 3; }`)
+	r1 := Run(prog, Config{})
+	n := len(r1.Executed)
+	prog2 := cc.MustAnalyze(`int main() { int a = 1, b = 2; return a + b; }`)
+	Run(prog2, Config{})
+	if len(r1.Executed) != n {
+		t.Fatalf("package-level Run results must be independent")
+	}
+}

@@ -107,7 +107,7 @@ func FormatPrintf(format string, next func() (Value, bool), readStr func(Value) 
 			if !ok {
 				return sb.String(), false
 			}
-			fmt.Fprintf(&sb, spec+string(conv), toF(v))
+			fmt.Fprintf(&sb, spec+string(conv), toF(&v))
 		case 's':
 			v, ok := next()
 			if !ok {
@@ -138,7 +138,7 @@ func FormatPrintf(format string, next func() (Value, bool), readStr func(Value) 
 
 // ToFloat exposes the numeric coercion used by %f/%g for sharing with the
 // minicc VM.
-func ToFloat(v Value) float64 { return toF(v) }
+func ToFloat(v Value) float64 { return toF(&v) }
 
 // builtinPrintf implements the printf builtin for the reference
 // interpreter.
@@ -161,8 +161,8 @@ func (m *machine) builtinPrintf(e *cc.CallExpr) Value {
 		return m.readCString(v, e.Pos), true
 	}
 	out, _ := FormatPrintf(format, next, readStr)
-	m.out.WriteString(out)
-	if m.out.Len() > m.cfg.MaxOutput {
+	m.out = append(m.out, out...)
+	if len(m.out) > m.cfg.MaxOutput {
 		m.limit("output budget exhausted")
 	}
 	return IntValue(int64(len(out)), cc.TypeInt)

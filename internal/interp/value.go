@@ -10,6 +10,15 @@
 // out-of-bounds array and pointer accesses, null and dangling pointer
 // dereferences, oversized or negative shift counts, and falling off the end
 // of a value-returning function whose value is used.
+//
+// Concurrency and ownership: the package-level Run is safe to call from any
+// goroutine (each call builds a private machine) and its Result is caller-
+// owned. A Machine amortizes machine state across sequential runs and is
+// strictly single-goroutine; its Results alias machine-owned storage that
+// the next Run recycles. Campaign workers hold one Machine each and never
+// share it — the pattern every backend in this repository follows: shared
+// inputs are immutable (the analyzed AST), mutable execution state is
+// per-worker and reset, not reallocated, between variants.
 package interp
 
 import (

@@ -1,6 +1,9 @@
 package minicc
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // BugKind classifies seeded bugs with the paper's Table 4 taxonomy.
 type BugKind int
@@ -180,12 +183,17 @@ func (s *BugSet) Without(hook string) *BugSet {
 	return out
 }
 
-// Hooks returns the active hooks, for iteration by the harness.
+// Hooks returns the active hooks, sorted, for iteration by the harness.
+// The order is part of the campaign's determinism surface: wrong-code
+// attribution deactivates hooks one at a time and keeps the first that
+// explains the symptom, so when two seeded bugs both explain it the winner
+// must not depend on map iteration order.
 func (s *BugSet) Hooks() []string {
-	var out []string
+	out := make([]string, 0, len(s.active))
 	for k := range s.active {
 		out = append(out, k)
 	}
+	sort.Strings(out)
 	return out
 }
 

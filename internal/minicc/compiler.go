@@ -91,6 +91,16 @@ func (c *Compiler) Compile(src *cc.Program) (out *Output) {
 		return out
 	}
 	out.Program = irp
+	c.runPasses(irp, bugs, cov, budget)
+	return out
+}
+
+// runPasses drives the optimization pipeline over a lowered program — the
+// post-frontend half of Compile, shared with the template-cached RunCached
+// path so both flavors optimize (and trigger seeded middle-end/backend
+// bugs) identically. It can panic with *CrashError or *TimeoutError; the
+// callers' recover turns those into Output fields.
+func (c *Compiler) runPasses(irp *Program, bugs *BugSet, cov *Coverage, budget int64) {
 	p := &passCtx{cov: cov, bugs: bugs, budget: budget}
 	for _, f := range irp.Funcs {
 		c.optimizeFunc(f, p)
@@ -100,7 +110,6 @@ func (c *Compiler) Compile(src *cc.Program) (out *Output) {
 			})
 		}
 	}
-	return out
 }
 
 func (c *Compiler) optimizeFunc(f *Func, p *passCtx) {

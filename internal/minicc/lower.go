@@ -38,11 +38,23 @@ type lowerer struct {
 	retType  cc.Type
 	structsT map[string]*cc.StructType
 	irp      *Program
+	// tr, when non-nil, records the template trace of this lowering:
+	// coverage hits and seeded-crash callsites in emission order, plus the
+	// IR sites that depend on hole identifiers (see template.go). Hole uses
+	// of register-promoted variables are lowered to per-hole sentinel
+	// registers that resolveSentinels rewrites to the real registers after
+	// the function is complete, which is how the trace learns exactly which
+	// operand slots a hole's value flows into.
+	tr *lowerTrace
 }
 
 // Lower translates an analyzed program to IR. It can crash with a
 // *CrashError when a seeded frontend bug is triggered.
-func Lower(prog *cc.Program, bugs *BugSet, cov *Coverage) (irp *Program, err error) {
+func Lower(prog *cc.Program, bugs *BugSet, cov *Coverage) (*Program, error) {
+	return lowerProgram(prog, bugs, cov, nil)
+}
+
+func lowerProgram(prog *cc.Program, bugs *BugSet, cov *Coverage, tr *lowerTrace) (irp *Program, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if ce, ok := r.(*CrashError); ok {
@@ -59,14 +71,15 @@ func Lower(prog *cc.Program, bugs *BugSet, cov *Coverage) (irp *Program, err err
 	if bugs == nil {
 		bugs = EmptyBugSet()
 	}
-	cov.Hit("lower.entry")
+	lw := &lowerer{cov: cov, bugs: bugs, tr: tr}
+	lw.hit("lower.entry")
 	irp = &Program{Funcs: make(map[string]*Func), Source: prog}
 	for _, d := range prog.File.Decls {
 		if vd, ok := d.(*cc.VarDecl); ok {
 			irp.Globals = append(irp.Globals, vd)
 		}
 	}
-	for _, fd := range prog.Funcs {
+	for fi, fd := range prog.Funcs {
 		lw := &lowerer{
 			cov:      cov,
 			bugs:     bugs,
@@ -75,10 +88,50 @@ func Lower(prog *cc.Program, bugs *BugSet, cov *Coverage) (irp *Program, err err
 			retType:  fd.Ret,
 			structsT: prog.File.Structs,
 			irp:      irp,
+			tr:       tr,
 		}
-		irp.Funcs[fd.Name] = lw.lowerFunc(fd)
+		if tr != nil {
+			tr.curFunc = fi
+		}
+		f := lw.lowerFunc(fd)
+		if tr != nil {
+			tr.resolveSentinels(fi, f)
+		}
+		irp.Funcs[fd.Name] = f
 	}
 	return irp, nil
+}
+
+// hit records a coverage hit, mirrored into the template trace.
+func (l *lowerer) hit(site string) {
+	l.cov.Hit(site)
+	if l.tr != nil {
+		l.tr.events = append(l.tr.events, traceEvent{site: site})
+	}
+}
+
+// crash guards a seeded-crash callsite whose trigger reads only the AST.
+// When tracing, the trigger closure itself is recorded: hole rebinding
+// patches the AST in place, so replaying the closure evaluates the trigger
+// against each variant's symbols (equal-operand shapes, ternary depths, and
+// operand types are exactly the conditions a refill can flip).
+func (l *lowerer) crash(hook string, trigger func() bool) {
+	l.bugs.MaybeCrash(l.cov, hook, trigger)
+	if l.tr != nil {
+		l.tr.events = append(l.tr.events, traceEvent{hook: hook, cond: trigger})
+	}
+}
+
+// crashSticky guards a callsite whose trigger reads transient lowering
+// state (the label table and loop context). That state is a function of the
+// skeleton's fixed syntax, never of the hole filling, so tracing evaluates
+// the trigger once and replays the boolean.
+func (l *lowerer) crashSticky(hook string, trigger func() bool) {
+	l.bugs.MaybeCrash(l.cov, hook, trigger)
+	if l.tr != nil {
+		v := trigger()
+		l.tr.events = append(l.tr.events, traceEvent{hook: hook, cond: func() bool { return v }})
+	}
 }
 
 func (l *lowerer) unsupported(pos cc.Pos, format string, args ...interface{}) {
@@ -86,7 +139,7 @@ func (l *lowerer) unsupported(pos cc.Pos, format string, args ...interface{}) {
 }
 
 func (l *lowerer) lowerFunc(fd *cc.FuncDecl) *Func {
-	l.cov.Hit("lower.func")
+	l.hit("lower.func")
 	f := &Func{
 		Name:    fd.Name,
 		Decl:    fd,
@@ -274,11 +327,11 @@ func (l *lowerer) stmt(st cc.Stmt) {
 			l.declStmt(d)
 		}
 	case *cc.ExprStmt:
-		l.cov.Hit("lower.exprstmt")
+		l.hit("lower.exprstmt")
 		l.exprDiscard(st.X)
 	case *cc.EmptyStmt:
 	case *cc.IfStmt:
-		l.cov.Hit("lower.if")
+		l.hit("lower.if")
 		cond := l.expr(st.Cond)
 		thenB := l.f.NewBlock("if.then")
 		joinB := l.f.NewBlock("if.join")
@@ -296,7 +349,7 @@ func (l *lowerer) stmt(st cc.Stmt) {
 			l.cur = joinB
 		}
 	case *cc.WhileStmt:
-		l.cov.Hit("lower.while")
+		l.hit("lower.while")
 		condB := l.f.NewBlock("while.cond")
 		bodyB := l.f.NewBlock("while.body")
 		exitB := l.f.NewBlock("while.exit")
@@ -310,7 +363,7 @@ func (l *lowerer) stmt(st cc.Stmt) {
 		l.conts = l.conts[:len(l.conts)-1]
 		l.terminate(Term{Kind: TermJmp, To: condB}, exitB)
 	case *cc.DoWhileStmt:
-		l.cov.Hit("lower.dowhile")
+		l.hit("lower.dowhile")
 		bodyB := l.f.NewBlock("do.body")
 		condB := l.f.NewBlock("do.cond")
 		exitB := l.f.NewBlock("do.exit")
@@ -324,7 +377,7 @@ func (l *lowerer) stmt(st cc.Stmt) {
 		cond := l.expr(st.Cond)
 		l.terminate(Term{Kind: TermBr, Cond: cond, To: bodyB, Else: exitB, Pos: st.Pos}, exitB)
 	case *cc.ForStmt:
-		l.cov.Hit("lower.for")
+		l.hit("lower.for")
 		if st.Init != nil {
 			l.stmt(st.Init)
 		}
@@ -350,7 +403,7 @@ func (l *lowerer) stmt(st cc.Stmt) {
 		}
 		l.terminate(Term{Kind: TermJmp, To: condB}, exitB)
 	case *cc.ReturnStmt:
-		l.cov.Hit("lower.return")
+		l.hit("lower.return")
 		t := Term{Kind: TermRet, Pos: st.Pos}
 		if st.X != nil {
 			t.Val = l.expr(st.X)
@@ -368,8 +421,8 @@ func (l *lowerer) stmt(st cc.Stmt) {
 		}
 		l.terminate(Term{Kind: TermJmp, To: l.conts[len(l.conts)-1]}, nil)
 	case *cc.GotoStmt:
-		l.cov.Hit("lower.goto")
-		l.bugs.MaybeCrash(l.cov, "frontend-goto-irreducible", func() bool {
+		l.hit("lower.goto")
+		l.crashSticky("frontend-goto-irreducible", func() bool {
 			// seeded crash: goto jumping backward into a loop context
 			// (modeled on GCC PR69740's irreducible-loop assertion)
 			return l.labels[st.Label] != nil && len(l.breaks) > 0
@@ -385,7 +438,7 @@ func (l *lowerer) stmt(st cc.Stmt) {
 }
 
 func (l *lowerer) declStmt(d *cc.VarDecl) {
-	l.cov.Hit("lower.decl")
+	l.hit("lower.decl")
 	sym := d.Sym
 	l.bindVar(sym)
 	if sym.Storage == cc.StorageStatic {

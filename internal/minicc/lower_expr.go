@@ -130,10 +130,28 @@ func (l *lowerer) place(e cc.Expr) place {
 		}
 		l.bindVar(sym)
 		if r, ok := l.f.VarRegs[sym]; ok {
+			if l.tr != nil {
+				if hi, isHole := l.tr.holeOf[e]; isHole {
+					// template build: stand in a per-hole sentinel register
+					// so resolveSentinels can record every operand slot this
+					// hole's value reaches (the real register is substituted
+					// there, keeping the template IR byte-identical to an
+					// untraced lowering)
+					l.tr.note(hi, shapeReg)
+					return place{varReg: holeSentinel(hi), typ: sym.Type}
+				}
+			}
 			return place{varReg: r, typ: sym.Type}
 		}
 		addr := l.f.NewReg()
 		l.emit(Instr{Op: OpAddrVar, Dst: addr, Sym: sym, Pos: e.Pos})
+		if l.tr != nil {
+			if hi, isHole := l.tr.holeOf[e]; isHole {
+				l.tr.note(hi, shapeMem)
+				l.tr.memSites[hi] = append(l.tr.memSites[hi],
+					irSite{fn: l.tr.curFunc, block: l.cur.ID, instr: len(l.cur.Instrs) - 1})
+			}
+		}
 		return place{addr: addr, typ: sym.Type}
 	case *cc.UnaryExpr:
 		if e.Op != "*" {
@@ -149,7 +167,7 @@ func (l *lowerer) place(e cc.Expr) place {
 		l.emit(Instr{Op: OpAddrIdx, Dst: addr, A: base, B: idx, Scale: cellCountOf(elem), Pos: e.Pos})
 		return place{addr: addr, typ: elem}
 	case *cc.MemberExpr:
-		l.bugs.MaybeCrash(l.cov, "frontend-nested-struct-member", func() bool {
+		l.crash("frontend-nested-struct-member", func() bool {
 			// member access chains of depth >= 3 (x.a.b.c or mixed ->)
 			depth := 0
 			for cur := cc.Expr(e); ; {
@@ -189,8 +207,8 @@ func (l *lowerer) place(e cc.Expr) place {
 	case *cc.CondExpr:
 		// lvalue conditional (used by struct-member-of-ternary, Fig. 3):
 		// branch to compute the chosen address into a shared register
-		l.cov.Hit("lower.condlvalue")
-		l.bugs.MaybeCrash(l.cov, "fold-ternary-equal-operands", func() bool {
+		l.hit("lower.condlvalue")
+		l.crash("fold-ternary-equal-operands", func() bool {
 			return equalShape(e.T, e.F)
 		})
 		cond := l.expr(e.Cond)
@@ -300,14 +318,14 @@ func (l *lowerer) unary(e *cc.UnaryExpr) Reg {
 
 func (l *lowerer) binary(e *cc.BinaryExpr) Reg {
 	if e.Op == "<<" || e.Op == ">>" {
-		l.bugs.MaybeCrash(l.cov, "frontend-char-shift", func() bool {
+		l.crash("frontend-char-shift", func() bool {
 			bt, ok := exprType(e.X).(*cc.BasicType)
 			return ok && (bt.Kind == cc.Char || bt.Kind == cc.UChar)
 		})
 	}
 	switch e.Op {
 	case "&&", "||":
-		l.cov.Hit("lower.shortcircuit")
+		l.hit("lower.shortcircuit")
 		// result register assigned in both arms
 		out := l.f.NewReg()
 		rhsB := l.f.NewBlock("sc.rhs")
@@ -340,7 +358,7 @@ func (l *lowerer) binary(e *cc.BinaryExpr) Reg {
 }
 
 func (l *lowerer) assign(e *cc.AssignExpr) Reg {
-	l.cov.Hit("lower.assign")
+	l.hit("lower.assign")
 	p := l.place(e.LHS)
 	if e.Op == "=" {
 		v := l.expr(e.RHS)
@@ -365,11 +383,11 @@ func (l *lowerer) cond(e *cc.CondExpr) Reg {
 		p := l.place(e)
 		return p.addr
 	}
-	l.cov.Hit("lower.cond")
-	l.bugs.MaybeCrash(l.cov, "frontend-deep-ternary", func() bool {
+	l.hit("lower.cond")
+	l.crash("frontend-deep-ternary", func() bool {
 		return ternaryDepth(e) >= 3
 	})
-	l.bugs.MaybeCrash(l.cov, "fold-ternary-equal-operands", func() bool {
+	l.crash("fold-ternary-equal-operands", func() bool {
 		return equalShape(e.T, e.F)
 	})
 	cond := l.expr(e.Cond)
@@ -388,7 +406,7 @@ func (l *lowerer) cond(e *cc.CondExpr) Reg {
 }
 
 func (l *lowerer) call(e *cc.CallExpr, needValue bool) Reg {
-	l.cov.Hit("lower.call")
+	l.hit("lower.call")
 	args := make([]Reg, len(e.Args))
 	for i, a := range e.Args {
 		args[i] = l.expr(a)

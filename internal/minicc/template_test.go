@@ -1,0 +1,218 @@
+package minicc_test
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+
+	"spe/internal/cc"
+	"spe/internal/minicc"
+	"spe/internal/skeleton"
+	"spe/internal/spe"
+)
+
+// runBoth compiles and executes one variant through the plain pipeline and
+// the template-cached one (with the paranoid fresh-lowering cross-check
+// enabled) and requires identical outcomes, including coverage.
+func runBoth(t *testing.T, c *minicc.Compiler, ca *minicc.Cache, prog *cc.Program, holes []*cc.Ident, label string) {
+	t.Helper()
+	plainCov := minicc.NewCoverage()
+	cachedCov := minicc.NewCoverage()
+
+	plain := &minicc.Compiler{Version: c.Version, Opt: c.Opt, Seeded: c.Seeded, Coverage: plainCov}
+	want := plain.Run(prog, minicc.ExecConfig{MaxSteps: 60_000})
+
+	cached := &minicc.Compiler{Version: c.Version, Opt: c.Opt, Seeded: c.Seeded, Coverage: cachedCov}
+	got, err := cached.RunCached(ca, prog, holes, minicc.ExecConfig{MaxSteps: 60_000}, true)
+	if err != nil {
+		t.Fatalf("%s: paranoid cross-check failed: %v", label, err)
+	}
+
+	if err := sameOutcome(got, want); err != nil {
+		t.Fatalf("%s: cached outcome diverges: %v", label, err)
+	}
+	for _, site := range minicc.Sites() {
+		if g, w := cachedCov.SiteCount(site), plainCov.SiteCount(site); g != w {
+			t.Fatalf("%s: coverage site %s: cached %d hits, plain %d", label, site, g, w)
+		}
+	}
+}
+
+func sameOutcome(got, want *minicc.RunOutcome) error {
+	g, w := got.Compile, want.Compile
+	if (g.Crash == nil) != (w.Crash == nil) {
+		return fmt.Errorf("crash %v, want %v", g.Crash, w.Crash)
+	}
+	if g.Crash != nil && (g.Crash.Signature != w.Crash.Signature || g.Crash.BugID != w.Crash.BugID) {
+		return fmt.Errorf("crash %v, want %v", g.Crash, w.Crash)
+	}
+	if (g.Timeout == nil) != (w.Timeout == nil) {
+		return fmt.Errorf("timeout %v, want %v", g.Timeout, w.Timeout)
+	}
+	if (g.Err == nil) != (w.Err == nil) {
+		return fmt.Errorf("err %v, want %v", g.Err, w.Err)
+	}
+	if (got.Exec == nil) != (want.Exec == nil) {
+		return fmt.Errorf("exec %v, want %v", got.Exec, want.Exec)
+	}
+	if got.Exec != nil {
+		ge, we := got.Exec, want.Exec
+		if ge.Exit != we.Exit || ge.Output != we.Output || ge.Trap != we.Trap ||
+			ge.Timeout != we.Timeout || ge.Aborted != we.Aborted || ge.Steps != we.Steps {
+			return fmt.Errorf("exec %+v, want %+v", ge, we)
+		}
+	}
+	return nil
+}
+
+// sweepSkeleton runs every filling of a skeleton through every compiler
+// configuration, cached vs plain.
+func sweepSkeleton(t *testing.T, src string, maxFills int64) {
+	t.Helper()
+	sk := skeleton.MustBuild(src)
+	space, err := spe.NewSpace(sk, spe.Options{Mode: spe.ModeCanonical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sk.NewInstance()
+	ca := minicc.NewCache()
+	total := space.Total()
+	idx := new(big.Int)
+	for j := int64(0); j < maxFills; j++ {
+		idx.SetInt64(j)
+		if idx.Cmp(total) >= 0 {
+			break
+		}
+		fill, err := space.FillAt(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Instantiate(fill); err != nil {
+			t.Fatal(err)
+		}
+		for _, ver := range []string{"4.8", "trunk"} {
+			for _, opt := range minicc.OptLevels {
+				c := &minicc.Compiler{Version: ver, Opt: opt, Seeded: true}
+				runBoth(t, c, ca, in.Program(), in.HoleIdents(),
+					fmt.Sprintf("fill %d %s -O%d", j, ver, opt))
+			}
+		}
+	}
+}
+
+// TestTemplateEquivalenceBasic sweeps a register-heavy skeleton: every hole
+// is a promoted scalar, so the cached path exercises pure operand patching.
+func TestTemplateEquivalenceBasic(t *testing.T) {
+	sweepSkeleton(t, `
+int main() {
+    int a = 3, b = 5, c = 0;
+    c = a + b * 2;
+    if (c > a) c = c - b;
+    for (a = 0; a < 4; a++) c += a;
+    printf("%d\n", c);
+    return c;
+}
+`, 200)
+}
+
+// TestTemplateEquivalenceCrashConditions sweeps a skeleton whose fillings
+// flip the equal-operand ternary trigger (bug 69801 fires exactly when both
+// arms rebind to the same variable): the replayed crash closures must track
+// the live AST, per fill and per version.
+func TestTemplateEquivalenceCrashConditions(t *testing.T) {
+	sweepSkeleton(t, `
+int main() {
+    int a = 1, b = 2;
+    int r = a ? a : b;
+    return r + b;
+}
+`, 200)
+}
+
+// TestTemplateEquivalenceMemoryHoles sweeps a skeleton whose holes rebind
+// across globals and statics (memory-resident on every path), exercising
+// the OpAddrVar symbol patching.
+func TestTemplateEquivalenceMemoryHoles(t *testing.T) {
+	sweepSkeleton(t, `
+int g = 2, h = 7;
+int main() {
+    g = g + h;
+    h = g - h;
+    printf("%d %d\n", g, h);
+    return g;
+}
+`, 200)
+}
+
+// TestTemplateEquivalenceAddrTakenFallback sweeps a skeleton with holes
+// under '&' (volatile: refilling moves the address-taken set): those
+// variants must fall back to fresh lowering and still agree everywhere.
+func TestTemplateEquivalenceAddrTakenFallback(t *testing.T) {
+	sweepSkeleton(t, `
+int main() {
+    int a = 1, b = 2, c = 3;
+    int *p = &a;
+    *p = b + c;
+    c = a + *p;
+    return c;
+}
+`, 200)
+}
+
+// TestTemplateEquivalenceMixedShapes sweeps a skeleton where hole groups
+// mix register-promoted locals with an address-taken (memory) local of the
+// same type, forcing shape-mismatch fallbacks on some fillings.
+func TestTemplateEquivalenceMixedShapes(t *testing.T) {
+	sweepSkeleton(t, `
+int main() {
+    int a = 1, b = 2, m = 3;
+    int *p = &m;
+    b = a + m;
+    a = b * m;
+    return a + b + *p;
+}
+`, 300)
+}
+
+// TestTemplateEquivalenceGotoLoops covers the sticky goto-irreducibility
+// trigger plus label-heavy control flow.
+func TestTemplateEquivalenceGotoLoops(t *testing.T) {
+	sweepSkeleton(t, `
+int main() {
+    int i = 0, n = 5;
+  top:
+    while (i < n) {
+        i++;
+        if (i == 3) goto top;
+    }
+    return i;
+}
+`, 100)
+}
+
+// TestCacheScratchOwnership pins the documented outcome lifetime: two
+// RunCached calls on one cache reuse the scratch clone, so outcomes must be
+// consumed before the next call (the test just asserts results stay correct
+// across many interleaved calls on the same cache).
+func TestCacheScratchOwnership(t *testing.T) {
+	sk := skeleton.MustBuild(`
+int main() {
+    int a = 2, b = 3;
+    return a * b + a;
+}
+`)
+	in := sk.NewInstance()
+	ca := minicc.NewCache()
+	for round := 0; round < 5; round++ {
+		for _, opt := range minicc.OptLevels {
+			c := &minicc.Compiler{Version: "trunk", Opt: opt, Seeded: true}
+			ro, err := c.RunCached(ca, in.Program(), in.HoleIdents(), minicc.ExecConfig{}, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ro.Compile.Ok() || ro.Exec.Exit != 8 {
+				t.Fatalf("round %d -O%d: %+v", round, opt, ro)
+			}
+		}
+	}
+}

@@ -55,30 +55,124 @@ type vm struct {
 	cfg     ExecConfig
 	cov     *Coverage
 	bugs    *BugSet
+	st      *execState
 	globals map[*cc.Symbol]*interp.Object
 	statics map[*cc.Symbol]*interp.Object
 	strs    map[string]*interp.Object
-	out     strings.Builder
+	out     []byte
 	steps   int64
 	depth   int
 	nextID  int
 }
 
-// Execute runs a compiled program's main function.
-func Execute(p *Program, bugs *BugSet, cov *Coverage, cfg ExecConfig) (res *ExecResult) {
-	cfg = cfg.withDefaults()
-	if bugs == nil {
-		bugs = EmptyBugSet()
-	}
-	m := &vm{
-		prog: p, cfg: cfg, cov: cov, bugs: bugs,
+// execState is the VM's reusable machine state: the global/static/string
+// environments, the output buffer, an object slab, and a register-file free
+// list. One execState serves many Execute runs in sequence (the campaign's
+// per-worker backend cache holds one); reset clears the environments and
+// rewinds the slab instead of reallocating. Strictly single-goroutine.
+type execState struct {
+	globals  map[*cc.Symbol]*interp.Object
+	statics  map[*cc.Symbol]*interp.Object
+	strs     map[string]*interp.Object
+	out      []byte
+	objs     []*interp.Object
+	objUsed  int
+	regsFree [][]interp.Value
+}
+
+func newExecState() *execState {
+	return &execState{
 		globals: make(map[*cc.Symbol]*interp.Object),
 		statics: make(map[*cc.Symbol]*interp.Object),
 		strs:    make(map[string]*interp.Object),
 	}
+}
+
+func (st *execState) reset() {
+	for k := range st.globals {
+		delete(st.globals, k)
+	}
+	for k := range st.statics {
+		delete(st.statics, k)
+	}
+	for k := range st.strs {
+		delete(st.strs, k)
+	}
+	st.out = st.out[:0]
+	st.objUsed = 0
+}
+
+// allocObj hands out a slab object. Cells of reused objects are NOT
+// cleared: every caller fully initializes the cells it allocates (globals,
+// statics, and frame-local memory objects are all zero-filled on
+// allocation, matching the deterministic-binary model).
+func (st *execState) allocObj(id, cells int, name string) *interp.Object {
+	if st.objUsed < len(st.objs) {
+		obj := st.objs[st.objUsed]
+		st.objUsed++
+		cs := obj.Cells
+		if cap(cs) >= cells {
+			cs = cs[:cells]
+		} else {
+			cs = make([]interp.Cell, cells)
+		}
+		*obj = interp.Object{ID: id, Cells: cs, Live: true, Name: name}
+		return obj
+	}
+	obj := &interp.Object{ID: id, Cells: make([]interp.Cell, cells), Live: true, Name: name}
+	st.objs = append(st.objs, obj)
+	st.objUsed++
+	return obj
+}
+
+// getRegs hands out a zeroed register file of length n.
+func (st *execState) getRegs(n int) []interp.Value {
+	if k := len(st.regsFree); k > 0 {
+		r := st.regsFree[k-1]
+		st.regsFree = st.regsFree[:k-1]
+		if cap(r) >= n {
+			r = r[:n]
+			for i := range r {
+				r[i] = interp.Value{}
+			}
+			return r
+		}
+	}
+	return make([]interp.Value, n)
+}
+
+func (st *execState) putRegs(r []interp.Value) { st.regsFree = append(st.regsFree, r) }
+
+// Execute runs a compiled program's main function on fresh, single-use
+// machine state. Callers executing many programs in sequence go through a
+// Cache (RunCached), which reuses one execState across runs.
+func Execute(p *Program, bugs *BugSet, cov *Coverage, cfg ExecConfig) *ExecResult {
+	return executeWith(nil, p, bugs, cov, cfg)
+}
+
+// executeWith is Execute on pooled machine state. st may be nil (a fresh
+// state is built); a non-nil st is reset and reused, and must not be shared
+// across goroutines.
+func executeWith(st *execState, p *Program, bugs *BugSet, cov *Coverage, cfg ExecConfig) (res *ExecResult) {
+	cfg = cfg.withDefaults()
+	if bugs == nil {
+		bugs = EmptyBugSet()
+	}
+	if st == nil {
+		st = newExecState()
+	}
+	st.reset()
+	m := &vm{
+		prog: p, cfg: cfg, cov: cov, bugs: bugs, st: st,
+		globals: st.globals,
+		statics: st.statics,
+		strs:    st.strs,
+		out:     st.out,
+	}
 	res = &ExecResult{}
 	defer func() {
-		res.Output = m.out.String()
+		st.out = m.out // return the (possibly grown) buffer to the pool
+		res.Output = string(m.out)
 		res.Steps = m.steps
 		if r := recover(); r != nil {
 			switch t := r.(type) {
@@ -122,7 +216,7 @@ func (m *vm) tick() {
 
 func (m *vm) allocObj(t cc.Type, name string) *interp.Object {
 	m.nextID++
-	return &interp.Object{ID: m.nextID, Cells: make([]interp.Cell, cellCountOf(t)), Live: true, Name: name}
+	return m.st.allocObj(m.nextID, cellCountOf(t), name)
 }
 
 // initGlobals evaluates constant global initializers. C requires global
@@ -294,7 +388,8 @@ func (m *vm) call(f *Func, args []interp.Value) (interp.Value, bool) {
 	m.depth++
 	defer func() { m.depth-- }()
 
-	regs := make([]interp.Value, f.NumRegs+1)
+	regs := m.st.getRegs(f.NumRegs + 1)
+	defer m.st.putRegs(regs)
 	vars := make(map[*cc.Symbol]*interp.Object)
 	for _, sym := range memVarList(f) {
 		vars[sym] = m.allocObj(sym.Type, sym.Name)
@@ -463,8 +558,8 @@ func (m *vm) execCall(f *Func, in *Instr, regs []interp.Value, vars map[*cc.Symb
 			return v, true
 		}
 		out, _ := interp.FormatPrintf(format, next, m.readStr)
-		m.out.WriteString(out)
-		if m.out.Len() > m.cfg.MaxOutput {
+		m.out = append(m.out, out...)
+		if len(m.out) > m.cfg.MaxOutput {
 			panic(vmTimeout{})
 		}
 		if in.Dst != NoReg {

@@ -66,6 +66,15 @@ func (in *Instance) Fill() []partition.VarRef {
 	return append([]partition.VarRef(nil), in.cur...)
 }
 
+// HoleIdents exposes the clone-side hole use sites, aligned with the
+// skeleton's Holes: HoleIdents()[i].Sym is the variable the i-th hole is
+// currently bound to. This is the hole→use-site metadata the backends key
+// their per-skeleton caches on (minicc records which IR sites each ident
+// feeds and patches only those per filling). The slice and its idents are
+// owned by the instance — callers must treat both as read-only and rebind
+// exclusively through Instantiate.
+func (in *Instance) HoleIdents() []*cc.Ident { return in.holes }
+
 // Instantiate patches the instance to the given whole-skeleton filling,
 // rebinding only the holes whose variable changed since the last call.
 func (in *Instance) Instantiate(fill []partition.VarRef) error {

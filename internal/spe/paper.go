@@ -3,6 +3,16 @@
 // restricted-growth-string enumerator, naive enumeration, big-integer
 // counting for all three, and the thresholded corpus driver used by the
 // evaluation harness.
+//
+// Concurrency and ownership: a Skeleton and its analyzed program are
+// immutable after Build and may be shared freely. Everything mutable hangs
+// off a Space — ranker memo tables, the delta-unranking cache, the pooled
+// AST instances — and a Space is strictly single-goroutine; concurrent
+// callers go through a Pool, which hands each goroutine a private Space
+// over the shared skeleton. Programs and instances returned by
+// ProgramAt/AcquireAt are exclusively owned until their release function
+// is called; workers may read them, hand them to the backends, and patch
+// them only through Instantiate — never retain them past release.
 package spe
 
 import (

@@ -220,6 +220,19 @@ func (s *Space) RenderAt(idx *big.Int) (string, error) {
 // the holes that moved). Printing the program with cc.PrintFile yields
 // exactly RenderAt's bytes.
 func (s *Space) ProgramAt(idx *big.Int) (*cc.Program, func(), error) {
+	in, release, err := s.AcquireAt(idx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return in.Program(), release, nil
+}
+
+// AcquireAt is ProgramAt exposing the instance itself: callers that key
+// per-skeleton backend state (the campaign's interpreter machines and
+// compiler IR-template caches) need the instance's hole→use-site metadata
+// (Instance.HoleIdents) alongside the program. The instance is owned by the
+// caller until release is called and must not be used after.
+func (s *Space) AcquireAt(idx *big.Int) (*skeleton.Instance, func(), error) {
 	fill, _, err := s.FillDeltaAt(idx)
 	if err != nil {
 		return nil, nil, err
@@ -236,7 +249,7 @@ func (s *Space) ProgramAt(idx *big.Int) (*cc.Program, func(), error) {
 		return nil, nil, err
 	}
 	release := func() { s.instances = append(s.instances, in) }
-	return in.Program(), release, nil
+	return in, release, nil
 }
 
 // Pool shares one skeleton's enumeration across goroutines by handing each

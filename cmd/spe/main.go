@@ -15,8 +15,8 @@
 //	spe campaign [-workers N] [-checkpoint path] [-variants N]
 //	             [-versions list] [-schedule fifo|coverage]
 //	             [-target-shard-ms N] [-curve] [-reduce] [-inter]
-//	             [-paranoid] [-render-path] [-backend-reuse=false]
-//	             [file.c ...]
+//	             [-oracle tree|bytecode] [-paranoid] [-render-path]
+//	             [-backend-reuse=false] [file.c ...]
 //	                                 run a parallel differential-testing
 //	                                 campaign (default corpus: the bundled
 //	                                 seed programs); with -checkpoint, an
@@ -28,16 +28,21 @@
 //	                                 byte-identical to fifo order);
 //	                                 variants are instantiated in place on
 //	                                 AST templates and executed on pooled
-//	                                 backends (reusable interpreter
+//	                                 backends (skeleton-compiled bytecode
+//	                                 reference oracle, reusable interpreter
 //	                                 machines, skeleton-keyed compiler IR
-//	                                 templates) — -paranoid cross-checks
-//	                                 every instantiation against a fresh
-//	                                 render+reparse and every patched IR
-//	                                 template against a fresh lowering,
-//	                                 -render-path restores the historical
-//	                                 text pipeline, and -backend-reuse=false
-//	                                 runs the backends cold (all three keep
-//	                                 reports byte-identical)
+//	                                 templates) — -oracle=tree restores the
+//	                                 tree-walking reference interpreter,
+//	                                 -paranoid cross-checks every
+//	                                 instantiation against a fresh
+//	                                 render+reparse, every patched IR
+//	                                 template against a fresh lowering, and
+//	                                 every bytecode oracle verdict against
+//	                                 the tree-walker, -render-path restores
+//	                                 the historical text pipeline, and
+//	                                 -backend-reuse=false runs the backends
+//	                                 cold (all four keep reports
+//	                                 byte-identical)
 package main
 
 import (
@@ -144,7 +149,8 @@ func runCampaign(args []string) {
 	curve := fs.Bool("curve", false, "record and print the coverage-over-time curve to stderr (under fifo this enables coverage collection)")
 	reduce := fs.Bool("reduce", false, "delta-debug each finding's sample test case")
 	inter := fs.Bool("inter", false, "inter-procedural granularity")
-	paranoid := fs.Bool("paranoid", false, "cross-check every AST-instantiated variant against a fresh render+reparse, and every patched IR template against a fresh lowering (debug mode; slower)")
+	oracle := fs.String("oracle", campaign.OracleBytecode, "reference oracle: bytecode (skeleton-compiled UB-checking bytecode VM) or tree (historical tree-walking interpreter); reports are byte-identical either way")
+	paranoid := fs.Bool("paranoid", false, "cross-check every AST-instantiated variant against a fresh render+reparse, every patched IR template against a fresh lowering, and (with -oracle=bytecode) every bytecode oracle verdict against the tree-walking interpreter (debug mode; slower)")
 	renderPath := fs.Bool("render-path", false, "use the historical render+reparse pipeline instead of AST-resident instantiation (baseline; same report)")
 	backendReuse := fs.Bool("backend-reuse", true, "reuse pooled backend state across variants: interpreter machine pooling and skeleton-keyed compiler IR templates (same report; disable as baseline or to bisect)")
 	if err := fs.Parse(args); err != nil {
@@ -206,6 +212,7 @@ func runCampaign(args []string) {
 		Schedule:           *schedule,
 		TargetShardMillis:  *targetShardMs,
 		CoverageCurve:      *curve,
+		Oracle:             *oracle,
 		Paranoid:           *paranoid,
 		ForceRenderPath:    *renderPath,
 		NoBackendReuse:     !*backendReuse,

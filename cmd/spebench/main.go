@@ -6,24 +6,33 @@
 //
 //	spebench [-quick] [-workers N] [-checkpoint path]
 //	         [-schedule fifo|coverage] [-target-shard-ms N]
-//	         [-paranoid] [-bench-json path] [experiment...]
+//	         [-oracle tree|bytecode] [-paranoid] [-bench-json path]
+//	         [-cpuprofile path] [-memprofile path] [experiment...]
 //
 // where experiment is any of: table1 table2 table3 table4 fig8 fig9 fig10
-// example6 variants backend. With no arguments, all experiments run in
-// order.
+// example6 variants backend oracle. With no arguments, all experiments
+// run in order.
 // -workers sizes the campaign engine's worker pool (0 = GOMAXPROCS; the
 // tables are identical at any setting), -checkpoint makes campaign
 // experiments persist resumable progress, -schedule selects the shard
 // dispatch policy (coverage drains novel regions first; tables are
 // unaffected), and -target-shard-ms enables adaptive shard sizing.
-// -paranoid cross-checks the AST-resident instantiation per variant
-// (render+reparse+binding assertion; for the backend experiment it also
-// checks every patched IR template against a fresh lowering), and
-// -bench-json makes the variants and backend experiments write their
-// variants/sec results (BENCH_variants.json and BENCH_backend.json in CI);
-// when a single invocation runs more than one experiment, the experiment
-// name is inserted before the extension so the results don't overwrite
-// each other.
+// -oracle selects the campaign reference engine (bytecode, the default
+// skeleton-compiled UB-checking VM, or tree, the historical tree-walking
+// interpreter; tables are identical either way — the oracle experiment
+// measures both regardless of the flag). -paranoid cross-checks the
+// AST-resident instantiation per variant (render+reparse+binding
+// assertion; for the backend experiment it also checks every patched IR
+// template against a fresh lowering, and for the oracle experiment every
+// bytecode verdict against the tree-walker), and -bench-json makes the
+// variants, backend, and oracle experiments write their variants/sec
+// results (BENCH_variants.json, BENCH_backend.json, and BENCH_oracle.json
+// in CI); when a single invocation runs more than one experiment, the
+// experiment name is inserted before the extension so the results don't
+// overwrite each other.
+// -cpuprofile and -memprofile write pprof profiles covering the whole
+// invocation (CPU profile over every experiment run; heap profile at
+// exit), so the next bottleneck hunt needs no ad-hoc patches.
 package main
 
 import (
@@ -31,20 +40,60 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"spe/internal/experiments"
 )
 
 func main() {
+	// benchMain owns the profiling defers: os.Exit here (after it
+	// returns) never truncates a CPU profile or skips the heap snapshot,
+	// even when an experiment fails — failed runs are exactly the ones
+	// worth profiling.
+	os.Exit(benchMain())
+}
+
+func benchMain() int {
 	quick := flag.Bool("quick", false, "use a reduced scale for a fast run")
 	workers := flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS); results are identical at any setting")
 	checkpoint := flag.String("checkpoint", "", "persist campaign progress to this path (campaign experiments only)")
 	schedule := flag.String("schedule", "", "campaign shard dispatch policy: fifo (default) or coverage; tables are identical either way")
 	targetShardMs := flag.Int("target-shard-ms", 0, "adaptive campaign shard sizing toward this duration (0 = fixed shards)")
+	oracle := flag.String("oracle", "", "campaign reference oracle: bytecode (default) or tree; tables are identical either way")
 	paranoid := flag.Bool("paranoid", false, "cross-check the AST-resident instantiation per variant (render+reparse+binding assertion)")
 	benchJSON := flag.String("bench-json", "", "write the variants experiment's result to this path as JSON")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this path")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spebench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "spebench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spebench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "spebench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 	scale := experiments.Scale{}
 	if *quick {
 		scale = experiments.Scale{
@@ -58,10 +107,11 @@ func main() {
 	scale.Workers = *workers
 	scale.Schedule = *schedule
 	scale.TargetShardMillis = *targetShardMs
+	scale.Oracle = *oracle
 	scale.Paranoid = *paranoid
 	which := flag.Args()
 	if len(which) == 0 {
-		which = []string{"example6", "table1", "table2", "fig8", "table3", "table4", "fig10", "fig9", "generality", "variants", "backend"}
+		which = []string{"example6", "table1", "table2", "fig8", "table3", "table4", "fig10", "fig9", "generality", "variants", "backend", "oracle"}
 	}
 	for _, name := range which {
 		start := time.Now()
@@ -82,10 +132,11 @@ func main() {
 		out, err := run(name, scale)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spebench: %s: %v\n", name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("==== %s (%.1fs) ====\n%s\n", name, time.Since(start).Seconds(), out)
 	}
+	return 0
 }
 
 // benchJSONFor inserts the experiment name before the path's extension:
@@ -122,6 +173,8 @@ func run(name string, scale experiments.Scale) (string, error) {
 		return experiments.VariantsBench(scale)
 	case "backend":
 		return experiments.BackendBench(scale)
+	case "oracle":
+		return experiments.OracleBench(scale)
 	default:
 		return "", fmt.Errorf("unknown experiment %q", name)
 	}

@@ -119,6 +119,24 @@ type Config struct {
 	// variants/sec benchmark and for bisecting suspected instantiation
 	// bugs without -paranoid's double cost.
 	ForceRenderPath bool
+	// Oracle selects the reference-semantics engine that filters UB
+	// variants and supplies the expected output/exit for differential
+	// testing: OracleBytecode (the default) compiles each skeleton
+	// template once into internal/refvm's compact UB-checking bytecode
+	// and patches only the hole-fed sites per variant, OracleTree is the
+	// historical tree-walking interpreter. The two are observationally
+	// identical — same UB verdicts, output bytes, exit statuses, and step
+	// counts — so reports are byte-identical under either engine (pinned
+	// by the oracle-equivalence tests); the knob exists as the benchmark
+	// baseline and for bisecting suspected oracle bugs. The bytecode
+	// engine serves the AST-resident hot path; seed originals, the
+	// ForceRenderPath baseline, and the test-case reducer always use the
+	// tree-walker (a freshly parsed program has no template identity to
+	// key the bytecode cache on). Under Paranoid, every bytecode verdict
+	// is additionally cross-checked against the tree-walker per variant
+	// (stdout bytes, exit status, UB kind and position, step count) and a
+	// divergence aborts the campaign.
+	Oracle string
 	// NoBackendReuse disables the pooled execution backends: with reuse on
 	// (the default), each worker holds a reusable reference-interpreter
 	// machine (frames, environments, and memory objects reset instead of
@@ -138,6 +156,12 @@ type Config struct {
 const (
 	ScheduleFIFO     = "fifo"
 	ScheduleCoverage = "coverage"
+)
+
+// Oracle values for Config.Oracle.
+const (
+	OracleTree     = "tree"
+	OracleBytecode = "bytecode"
 )
 
 func (c Config) withDefaults() Config {
@@ -173,6 +197,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Schedule == "" {
 		c.Schedule = ScheduleFIFO
+	}
+	if c.Oracle == "" {
+		c.Oracle = OracleBytecode
 	}
 	if c.Lookahead <= 0 {
 		c.Lookahead = 256

@@ -6,6 +6,7 @@ import (
 	"spe/internal/cc"
 	"spe/internal/interp"
 	"spe/internal/minicc"
+	"spe/internal/refvm"
 )
 
 // The classification pipeline is split across the worker/aggregator
@@ -99,12 +100,9 @@ func evalSource(cfg Config, src string, be *backendState, attr map[string]string
 // would only blur the novelty signal.
 func evalProgram(cfg Config, prog *cc.Program, holes []*cc.Ident, be *backendState, render func() string, attr map[string]string, cov *minicc.Coverage) (variantResult, error) {
 	vr := variantResult{}
-	var ref *interp.Result
-	if be != nil {
-		// pooled machine: frames/objects/environments reset, not reallocated
-		ref = be.mach.Run(prog, interp.Config{MaxSteps: cfg.Steps})
-	} else {
-		ref = interp.Run(prog, interp.Config{MaxSteps: cfg.Steps})
+	ref, err := referenceRun(cfg, prog, holes, be)
+	if err != nil {
+		return vr, err
 	}
 	if !ref.Defined() {
 		vr.status = statusUB
@@ -144,6 +142,71 @@ func evalProgram(cfg Config, prog *cc.Program, holes []*cc.Ident, be *backendSta
 		}
 	}
 	return vr, nil
+}
+
+// referenceRun obtains the variant's reference semantics from the
+// configured oracle. The bytecode engine serves the AST-resident hot path
+// (it keys its template cache on the analyzed program's identity and the
+// skeleton's hole metadata); evalSource callers pass nil holes and always
+// get the tree-walker. With backend reuse off, the bytecode oracle
+// compiles fresh per variant — still the bytecode semantics, cold — so
+// reuse on/off stays byte-identical under either oracle. Under Paranoid,
+// the bytecode verdict is cross-checked against the tree-walker and a
+// divergence aborts the campaign with an error naming the difference.
+func referenceRun(cfg Config, prog *cc.Program, holes []*cc.Ident, be *backendState) (*interp.Result, error) {
+	runTree := func() *interp.Result {
+		if be != nil {
+			// pooled machine: frames/objects/environments reset, not reallocated
+			return be.mach.Run(prog, interp.Config{MaxSteps: cfg.Steps})
+		}
+		return interp.Run(prog, interp.Config{MaxSteps: cfg.Steps})
+	}
+	if cfg.Oracle != OracleBytecode || holes == nil {
+		return runTree(), nil
+	}
+	var ref *interp.Result
+	if be != nil {
+		ref = be.ref.Run(prog, holes, refvm.Config{MaxSteps: cfg.Steps})
+	} else {
+		ref = refvm.Run(prog, refvm.Config{MaxSteps: cfg.Steps})
+	}
+	if cfg.Paranoid {
+		if err := crossCheckOracle(runTree(), ref); err != nil {
+			return nil, err
+		}
+	}
+	return ref, nil
+}
+
+// crossCheckOracle is the -paranoid assertion for the bytecode oracle:
+// the two engines must agree on the whole verdict surface the campaign
+// consumes — UB kind and position, limit presence, abort flag, exit
+// status, stdout bytes, and (for defined runs) the step count that sizes
+// the compiled binary's execution budget.
+func crossCheckOracle(tree, bc *interp.Result) error {
+	switch {
+	case (tree.UB == nil) != (bc.UB == nil):
+		return fmt.Errorf("paranoid: oracle divergence: tree UB %v, bytecode UB %v", tree.UB, bc.UB)
+	case tree.UB != nil:
+		if tree.UB.Kind != bc.UB.Kind || tree.UB.Pos != bc.UB.Pos {
+			return fmt.Errorf("paranoid: oracle divergence: tree UB %v at %v, bytecode UB %v at %v",
+				tree.UB.Kind, tree.UB.Pos, bc.UB.Kind, bc.UB.Pos)
+		}
+		return nil
+	case (tree.Limit == nil) != (bc.Limit == nil):
+		return fmt.Errorf("paranoid: oracle divergence: tree limit %v, bytecode limit %v", tree.Limit, bc.Limit)
+	case tree.Limit != nil:
+		return nil
+	case tree.Aborted != bc.Aborted:
+		return fmt.Errorf("paranoid: oracle divergence: tree aborted %v, bytecode aborted %v", tree.Aborted, bc.Aborted)
+	case tree.Exit != bc.Exit:
+		return fmt.Errorf("paranoid: oracle divergence: tree exit %d, bytecode exit %d", tree.Exit, bc.Exit)
+	case tree.Output != bc.Output:
+		return fmt.Errorf("paranoid: oracle divergence: tree output %q, bytecode output %q", tree.Output, bc.Output)
+	case tree.Steps != bc.Steps:
+		return fmt.Errorf("paranoid: oracle divergence: tree steps %d, bytecode steps %d", tree.Steps, bc.Steps)
+	}
+	return nil
 }
 
 // classifyOutcome turns one compile+run outcome into a symptom record.

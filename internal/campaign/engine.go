@@ -49,6 +49,10 @@ func runEngine(ctx context.Context, cfg Config, st *aggState) (*Report, error) {
 		return nil, fmt.Errorf("campaign: unknown schedule %q (want %q or %q)",
 			cfg.Schedule, ScheduleFIFO, ScheduleCoverage)
 	}
+	if cfg.Oracle != OracleTree && cfg.Oracle != OracleBytecode {
+		return nil, fmt.Errorf("campaign: unknown oracle %q (want %q or %q)",
+			cfg.Oracle, OracleTree, OracleBytecode)
+	}
 	// the task sequence is derived up front (it is a pure function of the
 	// config) so the scheduler can prioritize over the whole campaign;
 	// tasks the checkpoint has already merged are excluded at startSeq

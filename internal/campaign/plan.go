@@ -8,18 +8,22 @@ import (
 	"spe/internal/cc"
 	"spe/internal/interp"
 	"spe/internal/minicc"
+	"spe/internal/refvm"
 	"spe/internal/skeleton"
 	"spe/internal/spe"
 )
 
 // backendState is the per-worker-checkout bundle of reusable execution
-// backends: a pooled reference-interpreter machine and the minicc backend
-// cache (IR templates + VM state). Like a spe.Space, a backendState is
-// single-goroutine between a Get and its Put; workers check one out per
-// shard task, so machines, IR templates, and slabs amortize across every
-// variant a worker drains from one file.
+// backends: a pooled reference-interpreter machine (tree oracle and
+// paranoid cross-checks), the bytecode-oracle cache (skeleton-keyed
+// bytecode templates + pooled VM, the default reference engine), and the
+// minicc backend cache (IR templates + VM state). Like a spe.Space, a
+// backendState is single-goroutine between a Get and its Put; workers
+// check one out per shard task, so machines, templates, and slabs
+// amortize across every variant a worker drains from one file.
 type backendState struct {
 	mach  *interp.Machine
+	ref   *refvm.Cache
 	cache *minicc.Cache
 }
 
@@ -109,7 +113,7 @@ func buildPlan(cfg Config, seedIdx int, src string) (*filePlan, error) {
 	plan.pool.CheckedRebind = cfg.Paranoid
 	if !cfg.NoBackendReuse {
 		plan.backends = &sync.Pool{New: func() interface{} {
-			return &backendState{mach: interp.NewMachine(), cache: minicc.NewCache()}
+			return &backendState{mach: interp.NewMachine(), ref: refvm.NewCache(), cache: minicc.NewCache()}
 		}}
 	}
 	budget := cfg.MaxVariantsPerFile

@@ -45,9 +45,15 @@ type Scale struct {
 	// TargetShardMillis enables the campaign engine's adaptive shard
 	// sizing (0 = fixed shards).
 	TargetShardMillis int
+	// Oracle selects the campaign reference engine ("" = bytecode, the
+	// skeleton-compiled UB-checking bytecode VM; "tree" = the historical
+	// tree-walking interpreter). Tables are identical under either.
+	Oracle string
 	// Paranoid enables the campaign engine's per-variant render+reparse
 	// cross-check of the AST-resident instantiation (campaign.Config.
-	// Paranoid); tables are identical, campaigns just pay the extra check.
+	// Paranoid) and, under the bytecode oracle, the per-variant
+	// tree-vs-bytecode verdict cross-check; tables are identical,
+	// campaigns just pay the extra checks.
 	Paranoid bool
 	// ForceRenderPath routes campaigns through the historical
 	// render→re-parse pipeline (the variants/sec baseline).
@@ -284,6 +290,7 @@ func Campaign(scale Scale, versions []string) (*harness.Report, error) {
 		CheckpointPath:     scale.Checkpoint,
 		Schedule:           scale.Schedule,
 		TargetShardMillis:  scale.TargetShardMillis,
+		Oracle:             scale.Oracle,
 		Paranoid:           scale.Paranoid,
 		ForceRenderPath:    scale.ForceRenderPath,
 	})

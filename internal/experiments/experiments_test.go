@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -90,5 +92,34 @@ func TestCorpusDeterministic(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatal("corpus not deterministic")
 		}
+	}
+}
+
+func TestOracleBenchSmoke(t *testing.T) {
+	scale := tinyScale
+	scale.BenchJSON = t.TempDir() + "/BENCH_oracle.json"
+	scale.Paranoid = true
+	out, err := OracleBench(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"bytecode", "speedup", "byte-identical: true", "paranoid cross-check: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("OracleBench missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(scale.BenchJSON)
+	if err != nil {
+		t.Fatalf("BENCH_oracle.json not written: %v", err)
+	}
+	var res OracleBenchResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("BENCH_oracle.json malformed: %v", err)
+	}
+	if !res.ReportsIdentical || !res.ParanoidChecked {
+		t.Errorf("oracle bench result not verified: %+v", res)
+	}
+	if res.BytecodeVPS <= 0 || res.TreeVPS <= 0 {
+		t.Errorf("oracle bench recorded no throughput: %+v", res)
 	}
 }

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"spe/internal/corpus"
+	"spe/internal/harness"
+)
+
+// OracleBenchResult is the machine-readable outcome of the oracle
+// benchmark (emitted as BENCH_oracle.json by cmd/spebench). Where the
+// backend experiment measured pooled-vs-cold execution state (PR 4), this
+// one measures what PR 5 targets: the reference oracle itself — the
+// tree-walking UB-checking interpreter versus the skeleton-compiled
+// bytecode VM that patches hole-fed sites per variant.
+type OracleBenchResult struct {
+	Workers int `json:"workers"`
+	Files   int `json:"files"`
+	// full differential campaign throughput, tree vs bytecode oracle
+	CampaignVariants int     `json:"campaign_variants"`
+	TreeVPS          float64 `json:"campaign_tree_variants_per_sec"`
+	BytecodeVPS      float64 `json:"campaign_bytecode_variants_per_sec"`
+	Speedup          float64 `json:"campaign_bytecode_speedup"`
+	// ReportsIdentical confirms the two oracles produced byte-identical
+	// reports; ParanoidChecked additionally confirms a bytecode campaign
+	// passed the per-variant tree-vs-bytecode verdict cross-check.
+	ReportsIdentical bool `json:"reports_identical"`
+	ParanoidChecked  bool `json:"paranoid_checked"`
+}
+
+// OracleBench measures full-campaign variants/sec with the tree-walking
+// and bytecode reference oracles and cross-checks report equivalence.
+// When scale.BenchJSON is set the result is also written there as JSON.
+func OracleBench(scale Scale) (string, error) {
+	scale = scale.withDefaults()
+	progs := corpus.Seeds()
+	progs = append(progs, corpus.Generate(corpus.Config{N: scale.CampaignCorpus, Seed: scale.Seed + 3})...)
+	res := &OracleBenchResult{Workers: scale.Workers, Files: len(progs)}
+
+	campaign := func(oracle string, paranoid bool) (*harness.Report, float64, error) {
+		cfg := harness.Config{
+			Corpus:             progs,
+			Versions:           []string{"trunk"},
+			Threshold:          -1,
+			MaxVariantsPerFile: scale.MaxVariants,
+			Workers:            scale.Workers,
+			Oracle:             oracle,
+			Paranoid:           paranoid,
+		}
+		start := time.Now()
+		rep, err := harness.Run(cfg)
+		return rep, time.Since(start).Seconds(), err
+	}
+
+	treeRep, treeSec, err := campaign("tree", false)
+	if err != nil {
+		return "", fmt.Errorf("experiments: oracle: tree campaign: %w", err)
+	}
+	bcRep, bcSec, err := campaign("bytecode", false)
+	if err != nil {
+		return "", fmt.Errorf("experiments: oracle: bytecode campaign: %w", err)
+	}
+	res.CampaignVariants = bcRep.Stats.Variants
+	res.TreeVPS = float64(treeRep.Stats.Variants) / treeSec
+	res.BytecodeVPS = float64(bcRep.Stats.Variants) / bcSec
+	res.Speedup = res.BytecodeVPS / res.TreeVPS
+	res.ReportsIdentical = treeRep.Format() == bcRep.Format()
+	if !res.ReportsIdentical {
+		return "", fmt.Errorf("experiments: oracle: bytecode report diverges from tree baseline")
+	}
+	if scale.Paranoid {
+		paranoidRep, _, err := campaign("bytecode", true)
+		if err != nil {
+			return "", fmt.Errorf("experiments: oracle: paranoid cross-check: %w", err)
+		}
+		if paranoidRep.Format() != bcRep.Format() {
+			return "", fmt.Errorf("experiments: oracle: paranoid report diverges")
+		}
+		res.ParanoidChecked = true
+	}
+
+	if scale.BenchJSON != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return "", fmt.Errorf("experiments: oracle: %w", err)
+		}
+		if err := os.WriteFile(scale.BenchJSON, append(data, '\n'), 0o644); err != nil {
+			return "", fmt.Errorf("experiments: oracle: %w", err)
+		}
+	}
+
+	out := "Oracle throughput: skeleton-compiled bytecode reference VM vs tree-walking interpreter\n"
+	out += fmt.Sprintf("  corpus: %d files, %d campaign variants (workers=%d)\n",
+		res.Files, res.CampaignVariants, res.Workers)
+	out += fmt.Sprintf("  full campaign: tree %8.0f variants/s | bytecode %8.0f variants/s | speedup %.2fx\n",
+		res.TreeVPS, res.BytecodeVPS, res.Speedup)
+	out += fmt.Sprintf("  reports byte-identical: %v, paranoid cross-check: %v\n",
+		res.ReportsIdentical, res.ParanoidChecked)
+	return out, nil
+}

@@ -215,7 +215,7 @@ func (m *machine) lvalue(e cc.Expr) Pointer {
 			m.ub(UBOutOfBounds, e.Pos, "non-integer index")
 		}
 		scale := cellCount(base.P.Elem)
-		return Pointer{Obj: base.P.Obj, Off: base.P.Off + int(idx.I)*scale, Elem: elemOf(base.P.Elem)}
+		return Pointer{Obj: base.P.Obj, Off: base.P.Off + int(idx.I())*scale, Elem: elemOf(base.P.Elem)}
 	case *cc.MemberExpr:
 		var base Pointer
 		var st *cc.StructType
@@ -268,10 +268,10 @@ func (m *machine) evalUnary(e *cc.UnaryExpr) Value {
 	case "-":
 		v := m.eval(e.X)
 		if v.Kind == VFloat {
-			return FloatValue(-v.F, v.Typ)
+			return FloatValue(-v.F(), v.Typ())
 		}
-		zero := IntValue(0, v.Typ)
-		return m.intArith("-", &zero, &v, e.Pos, v.Typ)
+		zero := IntValue(0, v.Typ())
+		return m.intArith("-", &zero, &v, e.Pos, v.Typ())
 	case "+":
 		return m.eval(e.X)
 	case "~":
@@ -279,8 +279,8 @@ func (m *machine) evalUnary(e *cc.UnaryExpr) Value {
 		if v.Kind != VInt {
 			m.ub(UBShift, e.Pos, "~ on non-integer")
 		}
-		t := promoteType(v.Typ)
-		return IntValue(^v.I, t)
+		t := promoteType(v.Typ())
+		return IntValue(^v.I(), t)
 	case "++", "--":
 		ptr := m.lvalue(e.X)
 		old := m.load(ptr, e.Pos, e.X.ExprType())
@@ -289,7 +289,7 @@ func (m *machine) evalUnary(e *cc.UnaryExpr) Value {
 			op = "-"
 		}
 		one := IntValue(1, cc.TypeInt)
-		nv := m.addSub(op, &old, &one, e.Pos, old.Typ)
+		nv := m.addSub(op, &old, &one, e.Pos, old.Typ())
 		m.store(ptr, nv, e.Pos)
 		return nv
 	default:
@@ -305,7 +305,7 @@ func (m *machine) evalPostfix(e *cc.PostfixExpr) Value {
 		op = "-"
 	}
 	one := IntValue(1, cc.TypeInt)
-	nv := m.addSub(op, &old, &one, e.Pos, old.Typ)
+	nv := m.addSub(op, &old, &one, e.Pos, old.Typ())
 	m.store(ptr, nv, e.Pos)
 	return old
 }
@@ -346,20 +346,20 @@ func (m *machine) binop(op string, x, y *Value, pos cc.Pos, resType cc.Type) Val
 	}
 	switch op {
 	case "+", "-", "*", "/", "%":
-		t := usualArith(x.Typ, y.Typ)
+		t := usualArith(x.Typ(), y.Typ())
 		return m.intArith(op, x, y, pos, t)
 	case "<<", ">>":
 		return m.shift(op, x, y, pos)
 	case "&", "|", "^":
-		t := usualArith(x.Typ, y.Typ)
+		t := usualArith(x.Typ(), y.Typ())
 		var r int64
 		switch op {
 		case "&":
-			r = x.I & y.I
+			r = x.I() & y.I()
 		case "|":
-			r = x.I | y.I
+			r = x.I() | y.I()
 		case "^":
-			r = x.I ^ y.I
+			r = x.I() ^ y.I()
 		}
 		return IntValue(r, t)
 	case "==", "!=", "<", ">", "<=", ">=":
@@ -370,9 +370,9 @@ func (m *machine) binop(op string, x, y *Value, pos cc.Pos, resType cc.Type) Val
 }
 
 func intCompare(op string, x, y *Value) bool {
-	t := usualArith(x.Typ, y.Typ)
+	t := usualArith(x.Typ(), y.Typ())
 	if isUnsigned(t) {
-		a, b := uint64(truncInt(x.I, t)), uint64(truncInt(y.I, t))
+		a, b := uint64(truncInt(x.I(), t)), uint64(truncInt(y.I(), t))
 		// normalize sub-64-bit widths to their unsigned value
 		if w := widthOf(t); w < 64 {
 			mask := uint64(1)<<w - 1
@@ -394,7 +394,7 @@ func intCompare(op string, x, y *Value) bool {
 			return a >= b
 		}
 	}
-	a, b := x.I, y.I
+	a, b := x.I(), y.I()
 	switch op {
 	case "==":
 		return a == b
@@ -426,7 +426,7 @@ func (m *machine) addSub(op string, x, y *Value, pos cc.Pos, t cc.Type) Value {
 func (m *machine) intArith(op string, x, y *Value, pos cc.Pos, t cc.Type) Value {
 	if isUnsigned(t) {
 		w := widthOf(t)
-		a, b := uint64(x.I), uint64(y.I)
+		a, b := uint64(x.I()), uint64(y.I())
 		if w < 64 {
 			mask := uint64(1)<<w - 1
 			a &= mask
@@ -453,7 +453,7 @@ func (m *machine) intArith(op string, x, y *Value, pos cc.Pos, t cc.Type) Value 
 		}
 		return IntValue(int64(r), t)
 	}
-	a, b := x.I, y.I
+	a, b := x.I(), y.I()
 	var r int64
 	switch op {
 	case "+":
@@ -496,35 +496,35 @@ func (m *machine) intArith(op string, x, y *Value, pos cc.Pos, t cc.Type) Value 
 }
 
 func (m *machine) shift(op string, x, y *Value, pos cc.Pos) Value {
-	t := promoteType(x.Typ)
+	t := promoteType(x.Typ())
 	w := widthOf(t)
-	if y.I < 0 || uint(y.I) >= w {
-		m.ub(UBShift, pos, "shift count %d for %d-bit type", y.I, w)
+	if y.I() < 0 || uint(y.I()) >= w {
+		m.ub(UBShift, pos, "shift count %d for %d-bit type", y.I(), w)
 	}
 	if isUnsigned(t) {
-		a := uint64(truncInt(x.I, t))
+		a := uint64(truncInt(x.I(), t))
 		if w < 64 {
 			a &= uint64(1)<<w - 1
 		}
 		var r uint64
 		if op == "<<" {
-			r = a << uint(y.I)
+			r = a << uint(y.I())
 		} else {
-			r = a >> uint(y.I)
+			r = a >> uint(y.I())
 		}
 		return IntValue(int64(r), t)
 	}
 	if op == "<<" {
-		if x.I < 0 {
-			m.ub(UBShift, pos, "left shift of negative value %d", x.I)
+		if x.I() < 0 {
+			m.ub(UBShift, pos, "left shift of negative value %d", x.I())
 		}
-		r := x.I << uint(y.I)
+		r := x.I() << uint(y.I())
 		if truncInt(r, t) != r || r < 0 {
 			m.ub(UBShift, pos, "left shift overflow")
 		}
 		return IntValue(r, t)
 	}
-	return IntValue(x.I>>uint(y.I), t)
+	return IntValue(x.I()>>uint(y.I()), t)
 }
 
 func (m *machine) floatOp(op string, x, y *Value, pos cc.Pos) Value {
@@ -565,19 +565,19 @@ func (m *machine) floatOp(op string, x, y *Value, pos cc.Pos) Value {
 
 func toF(v *Value) float64 {
 	if v.Kind == VFloat {
-		return v.F
+		return v.F()
 	}
-	if isUnsigned(v.Typ) {
-		return float64(uint64(v.I))
+	if isUnsigned(v.Typ()) {
+		return float64(uint64(v.I()))
 	}
-	return float64(v.I)
+	return float64(v.I())
 }
 
 func (m *machine) ptrOp(op string, x, y *Value, pos cc.Pos) Value {
 	switch op {
 	case "+", "-":
 		if x.Kind == VPtr && y.Kind == VInt {
-			delta := int(y.I) * cellCount(x.P.Elem)
+			delta := int(y.I()) * cellCount(x.P.Elem)
 			if op == "-" {
 				delta = -delta
 			}
@@ -585,7 +585,7 @@ func (m *machine) ptrOp(op string, x, y *Value, pos cc.Pos) Value {
 			if np.Obj != nil && (np.Off < 0 || np.Off > len(np.Obj.Cells)) {
 				m.ub(UBOutOfBounds, pos, "pointer arithmetic past object %s", np.Obj.Name)
 			}
-			return PtrValue(np, x.Typ)
+			return PtrValue(np, x.Typ())
 		}
 		if x.Kind == VInt && y.Kind == VPtr && op == "+" {
 			return m.ptrOp("+", y, x, pos)
@@ -599,10 +599,10 @@ func (m *machine) ptrOp(op string, x, y *Value, pos cc.Pos) Value {
 		}
 	case "==", "!=":
 		same := x.Kind == VPtr && y.Kind == VPtr && x.P.Obj == y.P.Obj && x.P.Off == y.P.Off
-		if x.Kind == VInt && x.I == 0 {
+		if x.Kind == VInt && x.I() == 0 {
 			same = y.P.IsNull()
 		}
-		if y.Kind == VInt && y.I == 0 {
+		if y.Kind == VInt && y.I() == 0 {
 			same = x.P.IsNull()
 		}
 		if op == "!=" {
@@ -665,7 +665,7 @@ func (m *machine) evalCall(e *cc.CallExpr) (Value, bool) {
 	case "exit":
 		code := 0
 		if len(e.Args) > 0 {
-			code = int(uint8(m.eval(e.Args[0]).I))
+			code = int(uint8(m.eval(e.Args[0]).I()))
 		}
 		panic(exitPanic{code: code})
 	}
@@ -689,11 +689,11 @@ func (m *machine) convert(v Value, t cc.Type, pos cc.Pos) Value {
 		case VPtr:
 			return PtrValue(Pointer{Obj: v.P.Obj, Off: v.P.Off, Elem: tt.Elem}, t)
 		case VInt:
-			if v.I == 0 {
+			if v.I() == 0 {
 				return PtrValue(Pointer{Elem: tt.Elem}, t)
 			}
 			// integers forged into pointers dereference as UB later
-			return PtrValue(Pointer{Obj: &Object{Name: "forged", Live: false}, Off: int(v.I), Elem: tt.Elem}, t)
+			return PtrValue(Pointer{Obj: &Object{Name: "forged", Live: false}, Off: int(v.I()), Elem: tt.Elem}, t)
 		}
 		return v
 	case *cc.BasicType:
@@ -702,10 +702,10 @@ func (m *machine) convert(v Value, t cc.Type, pos cc.Pos) Value {
 		}
 		switch v.Kind {
 		case VFloat:
-			if math.IsNaN(v.F) || v.F >= 9.3e18 || v.F <= -9.3e18 {
-				m.ub(UBSignedOverflow, pos, "float-to-int conversion of %g", v.F)
+			if math.IsNaN(v.F()) || v.F() >= 9.3e18 || v.F() <= -9.3e18 {
+				m.ub(UBSignedOverflow, pos, "float-to-int conversion of %g", v.F())
 			}
-			return IntValue(int64(v.F), t)
+			return IntValue(int64(v.F()), t)
 		case VPtr:
 			// pointer-to-integer: a stable synthetic address
 			addr := int64(0)
@@ -714,7 +714,7 @@ func (m *machine) convert(v Value, t cc.Type, pos cc.Pos) Value {
 			}
 			return IntValue(addr, t)
 		default:
-			return IntValue(v.I, t)
+			return IntValue(v.I(), t)
 		}
 	}
 	return v

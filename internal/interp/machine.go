@@ -258,7 +258,7 @@ func (m *machine) run(prog *cc.Program, cfg Config) (res *Result) {
 	}
 	v, has := m.call(mainFn, nil, cc.Pos{Line: 0, Col: 0})
 	if has {
-		res.Exit = int(uint8(v.I))
+		res.Exit = int(uint8(v.I()))
 	} else {
 		res.Exit = 0 // C99 5.1.2.2.3: falling off main returns 0
 	}

@@ -67,7 +67,7 @@ func FormatPrintf(format string, next func() (Value, bool), readStr func(Value) 
 			if !ok {
 				return sb.String(), false
 			}
-			n := v.I
+			n := v.I()
 			if long == 0 {
 				n = int64(int32(n))
 			}
@@ -79,9 +79,9 @@ func FormatPrintf(format string, next func() (Value, bool), readStr func(Value) 
 			}
 			var n uint64
 			if long == 0 {
-				n = uint64(uint32(v.I))
+				n = uint64(uint32(v.I()))
 			} else {
-				n = uint64(v.I)
+				n = uint64(v.I())
 			}
 			fmt.Fprintf(&sb, spec+"d", n)
 		case 'x', 'X':
@@ -91,9 +91,9 @@ func FormatPrintf(format string, next func() (Value, bool), readStr func(Value) 
 			}
 			var n uint64
 			if long == 0 {
-				n = uint64(uint32(v.I))
+				n = uint64(uint32(v.I()))
 			} else {
-				n = uint64(v.I)
+				n = uint64(v.I())
 			}
 			fmt.Fprintf(&sb, spec+string(conv), n)
 		case 'c':
@@ -101,7 +101,7 @@ func FormatPrintf(format string, next func() (Value, bool), readStr func(Value) 
 			if !ok {
 				return sb.String(), false
 			}
-			sb.WriteByte(byte(v.I))
+			sb.WriteByte(byte(v.I()))
 		case 'f', 'g', 'e':
 			v, ok := next()
 			if !ok {
@@ -184,10 +184,10 @@ func (m *machine) readCString(v Value, pos cc.Pos) string {
 		if !cell.Init {
 			m.ub(UBUninitRead, pos, "string read")
 		}
-		if cell.Val.I == 0 {
+		if cell.Val.I() == 0 {
 			return sb.String()
 		}
-		sb.WriteByte(byte(cell.Val.I))
+		sb.WriteByte(byte(cell.Val.I()))
 		p.Off++
 	}
 }

@@ -1,0 +1,24 @@
+package interp
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestValueSize pins the packed Value layout. The reference interpreter
+// moves a Value on every evaluation step, so its size is a first-order
+// term of campaign throughput: the historical layout carried the integer
+// and float payloads side by side plus a cc.Type interface and weighed 72
+// bytes. If a change grows Value (or Cell) past these bounds, shrink the
+// new field instead of raising the limit.
+func TestValueSize(t *testing.T) {
+	if got, max := unsafe.Sizeof(Value{}), uintptr(56); got > max {
+		t.Errorf("interp.Value is %d bytes, want <= %d", got, max)
+	}
+	if got, max := unsafe.Sizeof(Cell{}), uintptr(64); got > max {
+		t.Errorf("interp.Cell is %d bytes, want <= %d", got, max)
+	}
+	if got, max := unsafe.Sizeof(Pointer{}), uintptr(32); got > max {
+		t.Errorf("interp.Pointer is %d bytes, want <= %d", got, max)
+	}
+}

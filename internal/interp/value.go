@@ -23,6 +23,7 @@ package interp
 
 import (
 	"fmt"
+	"math"
 
 	"spe/internal/cc"
 )
@@ -105,7 +106,7 @@ type Pointer struct {
 func (p Pointer) IsNull() bool { return p.Obj == nil }
 
 // ValueKind discriminates runtime values.
-type ValueKind int
+type ValueKind uint8
 
 // Value kinds.
 const (
@@ -114,39 +115,93 @@ const (
 	VPtr
 )
 
-// Value is a runtime scalar value.
+// Value is a runtime scalar value, packed for the campaign hot path: the
+// integer and float payloads share one 64-bit word and the type is a
+// *cc.BasicType pointer instead of a cc.Type interface (pointer values
+// carry their typing in P.Elem; their basic type is nil). The historical
+// 72-byte interface-carrying layout taxed every evaluation step of the
+// reference interpreter; TestValueSize pins the packed size so it cannot
+// creep back up.
 type Value struct {
-	Kind ValueKind
-	I    int64 // integer payload (sign-extended storage)
-	F    float64
+	bits uint64 // VInt: sign-extended integer; VFloat: IEEE-754 bits
+	// typ is the basic C type governing width and signedness; nil for
+	// pointers and for values built with non-basic types (which the
+	// arithmetic helpers treat exactly like the old non-basic interface
+	// values: no truncation, signed, 64-bit wide).
+	typ  *cc.BasicType
 	P    Pointer
-	// Typ is the C type governing width and signedness.
-	Typ cc.Type
+	Kind ValueKind
 }
+
+// I returns the integer payload (sign-extended storage). Like the
+// historical separate I field, it reads as zero for float and pointer
+// values — printf %d of a float argument, for example, must keep printing
+// 0, not the float's bit pattern.
+func (v Value) I() int64 {
+	if v.Kind != VInt {
+		return 0
+	}
+	return int64(v.bits)
+}
+
+// F returns the floating payload (zero for non-float values, like the
+// historical separate F field).
+func (v Value) F() float64 {
+	if v.Kind != VFloat {
+		return 0
+	}
+	return math.Float64frombits(v.bits)
+}
+
+// Typ returns the C type governing width and signedness (nil for pointer
+// values, whose typing lives in P.Elem).
+func (v Value) Typ() cc.Type {
+	if v.typ == nil {
+		return nil
+	}
+	return v.typ
+}
+
+// BasicTyp returns the value's basic type (nil for pointers and values of
+// non-basic type).
+func (v Value) BasicTyp() *cc.BasicType { return v.typ }
 
 // IntValue builds an integer value of type t, truncating to t's width.
 func IntValue(v int64, t cc.Type) Value {
-	return Value{Kind: VInt, I: truncInt(v, t), Typ: t}
+	bt, _ := t.(*cc.BasicType)
+	return Value{Kind: VInt, bits: uint64(truncBasic(v, bt)), typ: bt}
+}
+
+// RawIntValue builds an integer value of type t without truncating the
+// payload to t's width (the minicc VM's seeded truncation-skipping bug
+// needs the un-normalized representation).
+func RawIntValue(v int64, t cc.Type) Value {
+	bt, _ := t.(*cc.BasicType)
+	return Value{Kind: VInt, bits: uint64(v), typ: bt}
 }
 
 // FloatValue builds a floating value of type t.
 func FloatValue(f float64, t cc.Type) Value {
-	if bt, ok := t.(*cc.BasicType); ok && bt.Kind == cc.Float {
+	bt, ok := t.(*cc.BasicType)
+	if ok && bt.Kind == cc.Float {
 		f = float64(float32(f))
 	}
-	return Value{Kind: VFloat, F: f, Typ: t}
+	return Value{Kind: VFloat, bits: math.Float64bits(f), typ: bt}
 }
 
-// PtrValue builds a pointer value.
-func PtrValue(p Pointer, t cc.Type) Value { return Value{Kind: VPtr, P: p, Typ: t} }
+// PtrValue builds a pointer value. The type argument is accepted for
+// call-site symmetry with IntValue/FloatValue but not stored: nothing in
+// the evaluator consumes a pointer value's own C type — pointer semantics
+// (arithmetic scaling, element typing) flow through p.Elem.
+func PtrValue(p Pointer, t cc.Type) Value { return Value{Kind: VPtr, P: p} }
 
 // IsZero reports whether the value is scalar zero (used for conditions).
 func (v Value) IsZero() bool {
 	switch v.Kind {
 	case VInt:
-		return v.I == 0
+		return v.bits == 0
 	case VFloat:
-		return v.F == 0
+		return v.F() == 0
 	default:
 		return v.P.IsNull()
 	}
@@ -155,9 +210,9 @@ func (v Value) IsZero() bool {
 func (v Value) String() string {
 	switch v.Kind {
 	case VInt:
-		return fmt.Sprintf("%d", v.I)
+		return fmt.Sprintf("%d", v.I())
 	case VFloat:
-		return fmt.Sprintf("%g", v.F)
+		return fmt.Sprintf("%g", v.F())
 	default:
 		if v.P.IsNull() {
 			return "nullptr"
@@ -168,8 +223,14 @@ func (v Value) String() string {
 
 // truncInt truncates v to the width and signedness of t.
 func truncInt(v int64, t cc.Type) int64 {
-	bt, ok := t.(*cc.BasicType)
-	if !ok {
+	bt, _ := t.(*cc.BasicType)
+	return truncBasic(v, bt)
+}
+
+// truncBasic is truncInt on the basic type directly (nil behaves like the
+// historical non-basic case: no truncation).
+func truncBasic(v int64, bt *cc.BasicType) int64 {
+	if bt == nil {
 		return v
 	}
 	switch bt.Kind {

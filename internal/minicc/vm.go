@@ -198,7 +198,7 @@ func executeWith(st *execState, p *Program, bugs *BugSet, cov *Coverage, cfg Exe
 	}
 	v, has := m.call(mainFn, nil)
 	if has {
-		res.Exit = int(uint8(v.I))
+		res.Exit = int(uint8(v.I()))
 	}
 	return res
 }
@@ -317,13 +317,13 @@ func (m *vm) constEval(e cc.Expr, t cc.Type) (interp.Value, bool) {
 			switch e.Op {
 			case "-":
 				if v.Kind == interp.VFloat {
-					return convertVal(interp.FloatValue(-v.F, v.Typ), t, m), true
+					return convertVal(interp.FloatValue(-v.F(), v.Typ()), t, m), true
 				}
-				return convertVal(interp.IntValue(-v.I, v.Typ), t, m), true
+				return convertVal(interp.IntValue(-v.I(), v.Typ()), t, m), true
 			case "+":
 				return convertVal(v, t, m), true
 			case "~":
-				return convertVal(interp.IntValue(^v.I, v.Typ), t, m), true
+				return convertVal(interp.IntValue(^v.I(), v.Typ()), t, m), true
 			default:
 				b := int64(0)
 				if v.IsZero() {
@@ -506,8 +506,8 @@ func (m *vm) execInstr(f *Func, in *Instr, regs []interp.Value, vars map[*cc.Sym
 		}
 		idx := regs[in.B]
 		np := base.P
-		np.Off += int(idx.I) * in.Scale
-		regs[in.Dst] = interp.PtrValue(np, base.Typ)
+		np.Off += int(idx.I()) * in.Scale
+		regs[in.Dst] = interp.PtrValue(np, base.Typ())
 	case OpLoad:
 		m.cov.Hit("vm.load")
 		v := regs[in.A]
@@ -571,7 +571,7 @@ func (m *vm) execCall(f *Func, in *Instr, regs []interp.Value, vars map[*cc.Symb
 	case "exit":
 		code := 0
 		if len(in.Args) > 0 {
-			code = int(uint8(regs[in.Args[0]].I))
+			code = int(uint8(regs[in.Args[0]].I()))
 		}
 		panic(vmExit{code: code})
 	}
@@ -605,10 +605,10 @@ func (m *vm) readStr(v interp.Value) (string, bool) {
 			return "", false
 		}
 		c := p.Obj.Cells[p.Off].Val
-		if c.I == 0 {
+		if c.I() == 0 {
 			return sb.String(), true
 		}
-		sb.WriteByte(byte(c.I))
+		sb.WriteByte(byte(c.I()))
 		p.Off++
 	}
 	return "", false
@@ -620,11 +620,11 @@ func (m *vm) unop(op string, a interp.Value, t cc.Type) interp.Value {
 	switch op {
 	case "-":
 		if a.Kind == interp.VFloat {
-			return interp.FloatValue(-a.F, t)
+			return interp.FloatValue(-a.F(), t)
 		}
-		return m.truncTo(-a.I, t)
+		return m.truncTo(-a.I(), t)
 	case "~":
-		return m.truncTo(^a.I, t)
+		return m.truncTo(^a.I(), t)
 	case "!":
 		if a.IsZero() {
 			return interp.IntValue(1, cc.TypeInt)
@@ -643,7 +643,7 @@ func (m *vm) unop(op string, a interp.Value, t cc.Type) interp.Value {
 // zero-extension), a defined-behavior miscompilation.
 func (m *vm) truncTo(v int64, t cc.Type) interp.Value {
 	if bt, ok := t.(*cc.BasicType); ok && bt.Kind == cc.UChar && m.bugs.Active("vm-uchar-wrap") {
-		return interp.Value{Kind: interp.VInt, I: v, Typ: t}
+		return interp.RawIntValue(v, t)
 	}
 	return interp.IntValue(v, t)
 }
@@ -673,7 +673,7 @@ func (m *vm) binop(op string, a, b interp.Value, t cc.Type) interp.Value {
 	if bt, ok := t.(*cc.BasicType); ok {
 		unsigned = bt.IsUnsigned()
 	}
-	x, y := a.I, b.I
+	x, y := a.I(), b.I()
 	switch op {
 	case "+":
 		return m.truncTo(x+y, t)
@@ -806,17 +806,17 @@ func (m *vm) ptrBinop(op string, a, b interp.Value) interp.Value {
 	case "+", "-":
 		if a.Kind == interp.VPtr && b.Kind == interp.VInt {
 			np := a.P
-			d := int(b.I) * cellCountOf(np.Elem)
+			d := int(b.I()) * cellCountOf(np.Elem)
 			if op == "-" {
 				d = -d
 			}
 			np.Off += d
-			return interp.PtrValue(np, a.Typ)
+			return interp.PtrValue(np, a.Typ())
 		}
 		if a.Kind == interp.VInt && b.Kind == interp.VPtr && op == "+" {
 			np := b.P
-			np.Off += int(a.I) * cellCountOf(np.Elem)
-			return interp.PtrValue(np, b.Typ)
+			np.Off += int(a.I()) * cellCountOf(np.Elem)
+			return interp.PtrValue(np, b.Typ())
 		}
 		if a.Kind == interp.VPtr && b.Kind == interp.VPtr && op == "-" {
 			scale := cellCountOf(a.P.Elem)
@@ -829,9 +829,9 @@ func (m *vm) ptrBinop(op string, a, b interp.Value) interp.Value {
 		same := false
 		if a.Kind == interp.VPtr && b.Kind == interp.VPtr {
 			same = a.P.Obj == b.P.Obj && a.P.Off == b.P.Off
-		} else if a.Kind == interp.VInt && a.I == 0 && b.Kind == interp.VPtr {
+		} else if a.Kind == interp.VInt && a.I() == 0 && b.Kind == interp.VPtr {
 			same = b.P.IsNull()
-		} else if b.Kind == interp.VInt && b.I == 0 && a.Kind == interp.VPtr {
+		} else if b.Kind == interp.VInt && b.I() == 0 && a.Kind == interp.VPtr {
 			same = a.P.IsNull()
 		}
 		if op == "!=" {
@@ -856,17 +856,17 @@ func convertVal(v interp.Value, t cc.Type, m *vm) interp.Value {
 			np.Elem = tt.Elem
 			return interp.PtrValue(np, t)
 		}
-		if v.Kind == interp.VInt && v.I == 0 {
+		if v.Kind == interp.VInt && v.I() == 0 {
 			return interp.PtrValue(interp.Pointer{Elem: tt.Elem}, t)
 		}
-		return interp.PtrValue(interp.Pointer{Obj: nil, Off: int(v.I), Elem: tt.Elem}, t)
+		return interp.PtrValue(interp.Pointer{Obj: nil, Off: int(v.I()), Elem: tt.Elem}, t)
 	case *cc.BasicType:
 		if tt.IsFloat() {
 			return interp.FloatValue(interp.ToFloat(v), t)
 		}
 		switch v.Kind {
 		case interp.VFloat:
-			f := v.F
+			f := v.F()
 			if math.IsNaN(f) || f > 9.2e18 || f < -9.2e18 {
 				return interp.IntValue(0, t) // saturate deterministically
 			}
@@ -878,7 +878,7 @@ func convertVal(v interp.Value, t cc.Type, m *vm) interp.Value {
 			}
 			return m.truncTo(addr, t)
 		default:
-			return m.truncTo(v.I, t)
+			return m.truncTo(v.I(), t)
 		}
 	}
 	return v

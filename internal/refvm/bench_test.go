@@ -1,0 +1,50 @@
+package refvm
+
+import (
+	"testing"
+
+	"spe/internal/cc"
+	"spe/internal/corpus"
+	"spe/internal/interp"
+)
+
+func benchPrograms(b *testing.B) []*cc.Program {
+	b.Helper()
+	var progs []*cc.Program
+	srcs := corpus.Seeds()
+	srcs = append(srcs, corpus.Generate(corpus.Config{N: 20, Seed: 99})...)
+	for _, src := range srcs {
+		f, err := cc.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := cc.Analyze(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		progs = append(progs, p)
+	}
+	return progs
+}
+
+// BenchmarkOracleTree is the tree-walking reference oracle on a pooled
+// machine (the PR 4 hot path).
+func BenchmarkOracleTree(b *testing.B) {
+	progs := benchPrograms(b)
+	m := interp.NewMachine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(progs[i%len(progs)], interp.Config{})
+	}
+}
+
+// BenchmarkOracleBytecode is the bytecode oracle through the template
+// cache (the PR 5 hot path: compile once, patch and run per variant).
+func BenchmarkOracleBytecode(b *testing.B) {
+	progs := benchPrograms(b)
+	ca := NewCache()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ca.Run(progs[i%len(progs)], nil, Config{})
+	}
+}

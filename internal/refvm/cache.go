@@ -1,0 +1,165 @@
+// Package refvm is the bytecode reference oracle: the UB-checking
+// reference semantics of the cc C subset (see internal/interp), compiled
+// once per skeleton template into a compact, flat bytecode and executed on
+// dense register/slot frames with 24-byte {kind, bits, type-index} values.
+//
+// It exists for one reason: after PR 3–4 made variant instantiation and
+// the minicc backend nearly free, the tree-walking reference interpreter
+// was ~85% of campaign hot-path CPU. refvm applies the repository's
+// template discipline to the oracle itself — all variants of a skeleton
+// share their syntax, so the oracle's per-variant work shrinks to
+// patching the hole-fed variable references recorded during compilation
+// (the same trace-and-patch idea as minicc.Cache) and running the
+// bytecode.
+//
+// Equivalence contract: for every analyzed program, Run and Cache.Run
+// return a Result observationally identical to internal/interp — the same
+// output bytes, exit status, abort flag, undefined-behavior verdict (kind
+// and position), resource-limit verdict, and step count (the campaign
+// derives the compiled binary's execution budget from the oracle's steps,
+// so even Steps must match for reports to stay byte-identical across
+// oracles). UB message text is matched on a best-effort basis; the
+// structured fields are the contract, pinned by the package's
+// corpus-wide differential tests.
+//
+// Concurrency and ownership: package-level Run is safe from any goroutine
+// (private compile + private machine per call). A Cache is strictly
+// single-goroutine — campaign workers each check one out per shard task —
+// and the Result of Cache.Run is caller-owned (no aliasing of pooled
+// state), while the machine's slab, frames, and stacks are reset, not
+// reallocated, between runs.
+package refvm
+
+import (
+	"spe/internal/cc"
+	"spe/internal/interp"
+)
+
+// Run compiles prog fresh and executes it on a private machine. Use a
+// Cache on the campaign hot path, which compiles once per skeleton.
+func Run(prog *cc.Program, cfg Config) *interp.Result {
+	p := compileProgram(prog, nil)
+	return newVMState().run(p, cfg)
+}
+
+// template is the cached compilation of one skeleton template program,
+// plus the patch bookkeeping that retargets its hole sites per variant.
+type template struct {
+	p      *program
+	holes  []*cc.Ident
+	holeFn []int // each hole's enclosing function index
+	// cur tracks each hole's currently patched symbol; patching diffs the
+	// requested filling against it, so walking stride-neighbor variants
+	// rewrites only the holes that moved.
+	cur []*cc.Symbol
+	// patchInfo memoizes the per-symbol slot descriptor (and whether the
+	// symbol is patchable in place) — the candidate set of a hole is
+	// finite, so each symbol is resolved once per template.
+	patchInfo map[*cc.Symbol]patchEntry
+}
+
+type patchEntry struct {
+	vr varRef
+	ok bool
+}
+
+// Cache is the per-worker reusable oracle backend: bytecode templates
+// keyed on the identity of the analyzed template program, plus the pooled
+// virtual machine. It is the oracle analogue of minicc.Cache and follows
+// the same contract: strictly single-goroutine, holes must be the same
+// slice identity-wise for every Run with the same prog, and rebinding a
+// hole in place (skeleton.Instance.Instantiate) between Runs is the
+// supported way to select a variant.
+type Cache struct {
+	templates map[*cc.Program]*template
+	vm        *vmState
+}
+
+// NewCache returns an empty oracle cache.
+func NewCache() *Cache {
+	return &Cache{templates: make(map[*cc.Program]*template), vm: newVMState()}
+}
+
+// Run executes the variant currently bound into prog's holes. The
+// template is compiled on first use; later calls patch only the moved
+// holes' recorded sites. A hole rebound to a symbol the template cannot
+// patch in place (a different storage class is fine — slots carry their
+// class — but a type change would alter the compiled load/decay shape)
+// falls back to a fresh compilation of the already-patched tree, exactly
+// like minicc.Cache's fresh-lowering fallback. Unlike minicc, '&'-holes
+// need no fallback: the oracle has no register promotion to invalidate.
+func (ca *Cache) Run(prog *cc.Program, holes []*cc.Ident, cfg Config) *interp.Result {
+	tm, ok := ca.templates[prog]
+	if !ok {
+		tm = &template{
+			p:         compileProgram(prog, holes),
+			holes:     holes,
+			holeFn:    make([]int, len(holes)),
+			cur:       make([]*cc.Symbol, len(holes)),
+			patchInfo: make(map[*cc.Symbol]patchEntry),
+		}
+		for i, id := range holes {
+			tm.cur[i] = id.Sym
+			tm.holeFn[i] = id.FuncIdx
+		}
+		ca.templates[prog] = tm
+	}
+	if !tm.patch(holes) {
+		// fresh-compile fallback: the patched tree is authoritative
+		return ca.vm.run(compileProgram(prog, nil), cfg)
+	}
+	return ca.vm.run(tm.p, cfg)
+}
+
+// patch retargets the sites of every hole whose symbol moved since the
+// last call, reporting false when some hole cannot be patched in place
+// (the template stays consistent either way: holes patched before the
+// failing one keep their new binding and cur reflects it).
+func (tm *template) patch(holes []*cc.Ident) bool {
+	for i, id := range holes {
+		sym := id.Sym
+		if sym == tm.cur[i] {
+			continue
+		}
+		pe, ok := tm.patchInfo[sym]
+		if !ok {
+			pe = tm.resolve(sym)
+			tm.patchInfo[sym] = pe
+		}
+		// the compiled load/decay shape is a function of the hole's type;
+		// every candidate the skeleton admits shares it, and a local
+		// candidate is necessarily visible in the hole's own function —
+		// but a caller rebinding holes by hand could violate either, so
+		// verify and fall back rather than corrupt the template.
+		if !pe.ok || pe.vr.allocT != tm.p.holeT[i] ||
+			(sym.FuncIdx >= 0 && sym.FuncIdx != tm.holeFn[i]) {
+			return false
+		}
+		for _, vi := range tm.p.holeSites[i] {
+			tm.p.varRefs[vi] = pe.vr
+		}
+		tm.cur[i] = sym
+	}
+	return true
+}
+
+// resolve builds the slot descriptor of one candidate symbol from the
+// template program's deterministic slot assignment.
+func (tm *template) resolve(sym *cc.Symbol) patchEntry {
+	p := tm.p
+	if sym == nil || sym.ID < 0 || sym.ID >= len(p.slotOf) {
+		return patchEntry{}
+	}
+	vr := varRef{
+		allocT: p.tt.intern(sym.Type),
+		elem:   p.tt.intern(elemOfType(sym.Type)),
+		name:   p.internName(sym.Name),
+	}
+	if sym.FuncIdx < 0 {
+		vr.global = true
+		vr.slot = p.gslotOf[sym.ID]
+	} else {
+		vr.slot = p.slotOf[sym.ID]
+	}
+	return patchEntry{vr: vr, ok: true}
+}

@@ -1,0 +1,22 @@
+package refvm
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestValueSize pins the compact value word: the whole point of the
+// bytecode oracle's data model is a <=24-byte {kind, bits, type-index}
+// value against the tree-walker's interface-carrying struct. If a change
+// grows it, pack the new field instead of raising the limit.
+func TestValueSize(t *testing.T) {
+	if got, max := unsafe.Sizeof(Value{}), uintptr(24); got > max {
+		t.Errorf("refvm.Value is %d bytes, want <= %d", got, max)
+	}
+	if got, max := unsafe.Sizeof(vCell{}), uintptr(32); got > max {
+		t.Errorf("refvm.vCell is %d bytes, want <= %d", got, max)
+	}
+	if got, max := unsafe.Sizeof(instr{}), uintptr(16); got > max {
+		t.Errorf("refvm.instr is %d bytes, want <= %d", got, max)
+	}
+}

@@ -1,0 +1,229 @@
+package refvm
+
+import "spe/internal/cc"
+
+// The type table interns every cc.Type a compiled program touches into a
+// dense index so runtime values never carry interface words. The first
+// numBasic entries are the basic types in cc.BasicKind order, which makes a
+// basic value's type index its kind — the usual-arithmetic-conversion
+// helpers below operate on raw indices.
+
+// Basic type indices mirror cc.BasicKind (see cc/types.go).
+const (
+	basicVoid int32 = iota
+	basicChar
+	basicUChar
+	basicShort
+	basicUShort
+	basicInt
+	basicUInt
+	basicLong
+	basicULong
+	basicFloat
+	basicDouble
+	numBasic
+)
+
+// tidxNone marks "no basic type": the analogue of the tree-walker's nil
+// Value.Typ (pointer values, and intermediate states that never carry a
+// type). Helpers treat it as non-basic: no truncation, signed, 64-bit.
+const tidxNone int32 = -1
+
+// kinds of non-basic table entries.
+const (
+	tkBasic uint8 = iota
+	tkPtr
+	tkArray
+	tkStruct
+	tkOther // function types and anything else that never reaches arithmetic
+)
+
+type typeEntry struct {
+	kind  uint8
+	cells int32 // cellCount of the type
+	// elem is the type's element index: the pointee for pointers, the
+	// element for arrays, the entry's own index otherwise (mirroring the
+	// tree-walker's elemOf).
+	elem int32
+	typ  cc.Type
+}
+
+type typeTable struct {
+	entries []typeEntry
+	index   map[string]int32 // canonical spelling -> entry
+}
+
+func newTypeTable() *typeTable {
+	tt := &typeTable{index: make(map[string]int32)}
+	for k := basicVoid; k < numBasic; k++ {
+		bt := &cc.BasicType{Kind: cc.BasicKind(k)}
+		tt.entries = append(tt.entries, typeEntry{kind: tkBasic, cells: 1, elem: k, typ: bt})
+		tt.index[bt.String()] = k
+	}
+	return tt
+}
+
+// intern returns the index of t, adding it (and its element chain) on
+// first use. nil types intern to tidxNone.
+func (tt *typeTable) intern(t cc.Type) int32 {
+	if t == nil {
+		return tidxNone
+	}
+	if bt, ok := t.(*cc.BasicType); ok {
+		return int32(bt.Kind)
+	}
+	key := t.String()
+	if ti, ok := tt.index[key]; ok {
+		return ti
+	}
+	// reserve the slot first: recursive types cannot occur in the subset,
+	// but element interning below must not race the map entry.
+	ti := int32(len(tt.entries))
+	tt.entries = append(tt.entries, typeEntry{typ: t})
+	tt.index[key] = ti
+	e := typeEntry{typ: t, cells: int32(cellCount(t)), elem: ti}
+	switch t := t.(type) {
+	case *cc.PointerType:
+		// a pointer entry's elem records its POINTEE (consulted when a
+		// value converts to this pointer type); elemOf never decays
+		// pointers, only arrays, matching the tree-walker's elemOf.
+		e.kind = tkPtr
+		e.elem = tt.intern(t.Elem)
+	case *cc.ArrayType:
+		e.kind = tkArray
+		e.elem = tt.intern(t.Elem)
+	case *cc.StructType:
+		e.kind = tkStruct
+	default:
+		e.kind = tkOther
+	}
+	tt.entries[ti] = e
+	return ti
+}
+
+// cells returns the cell count of entry ti (1 for basic/none).
+func (tt *typeTable) cells(ti int32) int32 {
+	if ti < 0 {
+		return 1
+	}
+	return tt.entries[ti].cells
+}
+
+// elemOf mirrors the tree-walker's elemOf: arrays yield their element,
+// everything else yields itself.
+func (tt *typeTable) elemOf(ti int32) int32 {
+	if ti >= 0 && tt.entries[ti].kind == tkArray {
+		return tt.entries[ti].elem
+	}
+	return ti
+}
+
+// cellCount mirrors interp's cellCount.
+func cellCount(t cc.Type) int {
+	switch t := t.(type) {
+	case *cc.ArrayType:
+		return t.Len * cellCount(t.Elem)
+	case *cc.StructType:
+		n := 0
+		for _, f := range t.Fields {
+			n += cellCount(f.Type)
+		}
+		return n
+	default:
+		return 1
+	}
+}
+
+// scalarTypeOf mirrors interp's scalarType (arrays flattened to their
+// bottom element; structs and scalars are themselves).
+func scalarTypeOf(t cc.Type) cc.Type {
+	if at, ok := t.(*cc.ArrayType); ok {
+		return scalarTypeOf(at.Elem)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------- helpers
+//
+// The arithmetic helpers operate on type indices and mirror interp's
+// truncInt/isUnsigned/widthOf/promoteType/usualArith bit for bit. A
+// non-basic index (tidxNone, or any entry >= numBasic) behaves like the
+// tree-walker's non-basic cc.Type: no truncation, signed, 64 bits.
+
+func isBasic(ti int32) bool { return ti >= 0 && ti < numBasic }
+
+// trunc truncates x to the width and signedness of ti.
+func (tt *typeTable) trunc(x int64, ti int32) int64 { return truncTidx(x, ti) }
+
+func truncTidx(x int64, ti int32) int64 {
+	if !isBasic(ti) {
+		return x
+	}
+	switch ti {
+	case basicChar:
+		return int64(int8(x))
+	case basicUChar:
+		return int64(uint8(x))
+	case basicShort:
+		return int64(int16(x))
+	case basicUShort:
+		return int64(uint16(x))
+	case basicInt:
+		return int64(int32(x))
+	case basicUInt:
+		return int64(uint32(x))
+	default: // long, ulong (signed bit pattern), float/double never reach
+		return x
+	}
+}
+
+func isUnsigned(ti int32) bool {
+	switch ti {
+	case basicUChar, basicUShort, basicUInt, basicULong:
+		return true
+	}
+	return false
+}
+
+func isFloatTidx(ti int32) bool { return ti == basicFloat || ti == basicDouble }
+
+func widthOf(ti int32) uint {
+	if !isBasic(ti) {
+		return 64
+	}
+	switch ti {
+	case basicChar, basicUChar:
+		return 8
+	case basicShort, basicUShort:
+		return 16
+	case basicInt, basicUInt:
+		return 32
+	default:
+		return 64
+	}
+}
+
+// promote applies the integer promotions; non-basic indices pass through.
+func promote(ti int32) int32 {
+	switch ti {
+	case basicChar, basicUChar, basicShort, basicUShort:
+		return basicInt
+	}
+	return ti
+}
+
+// usual applies the usual arithmetic conversions, mirroring interp's
+// usualArith: a non-basic operand yields the other operand unpromoted.
+func usual(a, b int32) int32 {
+	pa, pb := promote(a), promote(b)
+	if !isBasic(pa) {
+		return b
+	}
+	if !isBasic(pb) {
+		return a
+	}
+	if pa >= pb {
+		return pa
+	}
+	return pb
+}

@@ -16,7 +16,9 @@
 //	             [-versions list] [-schedule fifo|coverage]
 //	             [-target-shard-ms N] [-curve] [-reduce] [-inter]
 //	             [-oracle tree|bytecode] [-paranoid] [-render-path]
-//	             [-backend-reuse=false] [file.c ...]
+//	             [-backend-reuse=false] [-status-addr host:port]
+//	             [-progress 30s] [-cpuprofile path] [-memprofile path]
+//	             [file.c ...]
 //	                                 run a parallel differential-testing
 //	                                 campaign (default corpus: the bundled
 //	                                 seed programs); with -checkpoint, an
@@ -42,10 +44,23 @@
 //	                                 the historical text pipeline, and
 //	                                 -backend-reuse=false runs the backends
 //	                                 cold (all four keep reports
-//	                                 byte-identical)
+//	                                 byte-identical); -status-addr serves
+//	                                 live telemetry over HTTP (/metrics in
+//	                                 Prometheus text format, /status as
+//	                                 JSON, /events as an SSE stream of
+//	                                 findings and coverage points, and
+//	                                 /debug/pprof/), -progress prints a
+//	                                 one-line ticker to stderr at the given
+//	                                 interval, and -cpuprofile/-memprofile
+//	                                 write pprof profiles of the campaign —
+//	                                 all of them observational only: the
+//	                                 report on stdout stays byte-identical
+//	                                 with or without them (see
+//	                                 docs/OBSERVABILITY.md)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -55,6 +70,7 @@ import (
 	"spe/internal/campaign"
 	"spe/internal/cc"
 	"spe/internal/corpus"
+	"spe/internal/obs"
 	"spe/internal/skeleton"
 	"spe/internal/spe"
 )
@@ -138,7 +154,16 @@ func main() {
 // runCampaign drives the sharded campaign engine from the command line.
 // An existing -checkpoint file is resumed; otherwise a fresh campaign
 // starts (and, with -checkpoint set, persists its progress there).
+// Errors funnel through campaignMain's return value rather than fatal so
+// the telemetry server, progress ticker, and pprof profiles always wind
+// down cleanly (a truncated CPU profile is worthless).
 func runCampaign(args []string) {
+	if err := campaignMain(args); err != nil {
+		fatal(err)
+	}
+}
+
+func campaignMain(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); any value yields identical reports")
 	checkpoint := fs.String("checkpoint", "", "periodically persist campaign state to this path; resumed if it exists")
@@ -153,6 +178,10 @@ func runCampaign(args []string) {
 	paranoid := fs.Bool("paranoid", false, "cross-check every AST-instantiated variant against a fresh render+reparse, every patched IR template against a fresh lowering, and (with -oracle=bytecode) every bytecode oracle verdict against the tree-walking interpreter (debug mode; slower)")
 	renderPath := fs.Bool("render-path", false, "use the historical render+reparse pipeline instead of AST-resident instantiation (baseline; same report)")
 	backendReuse := fs.Bool("backend-reuse", true, "reuse pooled backend state across variants: interpreter machine pooling and skeleton-keyed compiler IR templates (same report; disable as baseline or to bisect)")
+	statusAddr := fs.String("status-addr", "", "serve live telemetry on this HTTP address (/metrics, /status, /events, /debug/pprof/); the report stays byte-identical")
+	progress := fs.Duration("progress", 0, "print a one-line progress ticker to stderr at this interval (0 = off)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this path")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -160,7 +189,30 @@ func runCampaign(args []string) {
 		// the cross-check validates AST-resident instantiation; on the
 		// render path there is nothing to check, so reject the combination
 		// instead of silently ignoring -paranoid
-		fatal(fmt.Errorf("-paranoid cross-checks the AST instantiation path and cannot be combined with -render-path"))
+		return fmt.Errorf("-paranoid cross-checks the AST instantiation path and cannot be combined with -render-path")
+	}
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
+	// telemetry is observational only: the campaign runs identically (and
+	// reports byte-identically) whether tel is attached or nil
+	var tel *campaign.Telemetry
+	if *statusAddr != "" || *progress > 0 {
+		tel = campaign.NewTelemetry()
+	}
+	if *statusAddr != "" {
+		srv, err := obs.Serve(*statusAddr, tel.Handler())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "spe: telemetry on http://%s/ (metrics, status, events, debug/pprof)\n", srv.Addr)
+	}
+	if *progress > 0 {
+		stop := tel.StartProgressTicker(os.Stderr, *progress)
+		defer stop()
 	}
 	if *checkpoint != "" {
 		_, err := os.Stat(*checkpoint)
@@ -170,27 +222,27 @@ func runCampaign(args []string) {
 			// settings); explicitly passed files would be silently
 			// ignored, so reject the combination instead
 			if fs.NArg() > 0 {
-				fatal(fmt.Errorf("checkpoint %s already exists; remove it or drop the corpus file arguments (a resume replays the checkpointed corpus and settings)", *checkpoint))
+				return fmt.Errorf("checkpoint %s already exists; remove it or drop the corpus file arguments (a resume replays the checkpointed corpus and settings)", *checkpoint)
 			}
-			fmt.Fprintf(os.Stderr, "spe: resuming campaign from %s (flags other than -checkpoint are taken from the checkpoint)\n", *checkpoint)
-			rep, err := campaign.Resume(*checkpoint)
+			fmt.Fprintf(os.Stderr, "spe: resuming campaign from %s (flags other than -checkpoint and the telemetry flags are taken from the checkpoint)\n", *checkpoint)
+			rep, err := campaign.ResumeTelemetry(context.Background(), *checkpoint, tel)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			if *curve {
 				fmt.Fprint(os.Stderr, rep.FormatCoverageCurve())
 			}
 			fmt.Print(rep.Format())
-			return
+			return nil
 		case !os.IsNotExist(err):
-			fatal(err) // unreadable checkpoint: don't silently overwrite it
+			return err // unreadable checkpoint: don't silently overwrite it
 		}
 	}
 	var progs []string
 	for _, path := range fs.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		progs = append(progs, string(data))
 	}
@@ -216,14 +268,16 @@ func runCampaign(args []string) {
 		Paranoid:           *paranoid,
 		ForceRenderPath:    *renderPath,
 		NoBackendReuse:     !*backendReuse,
+		Telemetry:          tel,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *curve {
 		fmt.Fprint(os.Stderr, rep.FormatCoverageCurve())
 	}
 	fmt.Print(rep.Format())
+	return nil
 }
 
 func usage() {

@@ -7,10 +7,11 @@
 //	spebench [-quick] [-workers N] [-checkpoint path]
 //	         [-schedule fifo|coverage] [-target-shard-ms N]
 //	         [-oracle tree|bytecode] [-paranoid] [-bench-json path]
-//	         [-cpuprofile path] [-memprofile path] [experiment...]
+//	         [-cpuprofile path] [-memprofile path]
+//	         [-status-addr host:port] [-progress 30s] [experiment...]
 //
 // where experiment is any of: table1 table2 table3 table4 fig8 fig9 fig10
-// example6 variants backend oracle. With no arguments, all experiments
+// example6 variants backend oracle obs. With no arguments, all experiments
 // run in order.
 // -workers sizes the campaign engine's worker pool (0 = GOMAXPROCS; the
 // tables are identical at any setting), -checkpoint makes campaign
@@ -33,6 +34,13 @@
 // -cpuprofile and -memprofile write pprof profiles covering the whole
 // invocation (CPU profile over every experiment run; heap profile at
 // exit), so the next bottleneck hunt needs no ad-hoc patches.
+// -status-addr serves live campaign telemetry over HTTP for the whole
+// invocation (/metrics, /status, /events, /debug/pprof/ — see
+// docs/OBSERVABILITY.md) and -progress prints a one-line campaign ticker
+// to stderr at the given interval; both are observational only and leave
+// every table and bench result byte-identical. The obs experiment
+// measures exactly that: telemetry-on vs telemetry-off campaign
+// throughput plus report equivalence (BENCH_obs.json in CI).
 package main
 
 import (
@@ -40,11 +48,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
-	"runtime/pprof"
 	"time"
 
+	"spe/internal/campaign"
 	"spe/internal/experiments"
+	"spe/internal/obs"
 )
 
 func main() {
@@ -66,33 +74,34 @@ func benchMain() int {
 	benchJSON := flag.String("bench-json", "", "write the variants experiment's result to this path as JSON")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this path")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
+	statusAddr := flag.String("status-addr", "", "serve live campaign telemetry on this HTTP address (/metrics, /status, /events, /debug/pprof/); results stay byte-identical")
+	progress := flag.Duration("progress", 0, "print a one-line campaign progress ticker to stderr at this interval (0 = off)")
 	flag.Parse()
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "spebench: -cpuprofile: %v\n", err)
-			return 1
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "spebench: -cpuprofile: %v\n", err)
-			return 1
-		}
-		defer pprof.StopCPUProfile()
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spebench: %v\n", err)
+		return 1
 	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "spebench: -memprofile: %v\n", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "spebench: -memprofile: %v\n", err)
-			}
-		}()
+	defer stopProfiles()
+	// one Telemetry spans every experiment in the invocation: counters
+	// accumulate across campaigns, /status tracks the campaign currently
+	// running (the obs experiment manages its own private instance)
+	var tel *campaign.Telemetry
+	if *statusAddr != "" || *progress > 0 {
+		tel = campaign.NewTelemetry()
+	}
+	if *statusAddr != "" {
+		srv, err := obs.Serve(*statusAddr, tel.Handler())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spebench: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "spebench: telemetry on http://%s/\n", srv.Addr)
+	}
+	if *progress > 0 {
+		stop := tel.StartProgressTicker(os.Stderr, *progress)
+		defer stop()
 	}
 	scale := experiments.Scale{}
 	if *quick {
@@ -109,9 +118,10 @@ func benchMain() int {
 	scale.TargetShardMillis = *targetShardMs
 	scale.Oracle = *oracle
 	scale.Paranoid = *paranoid
+	scale.Telemetry = tel
 	which := flag.Args()
 	if len(which) == 0 {
-		which = []string{"example6", "table1", "table2", "fig8", "table3", "table4", "fig10", "fig9", "generality", "variants", "backend", "oracle"}
+		which = []string{"example6", "table1", "table2", "fig8", "table3", "table4", "fig10", "fig9", "generality", "variants", "backend", "oracle", "obs"}
 	}
 	for _, name := range which {
 		start := time.Now()
@@ -175,6 +185,8 @@ func run(name string, scale experiments.Scale) (string, error) {
 		return experiments.BackendBench(scale)
 	case "oracle":
 		return experiments.OracleBench(scale)
+	case "obs":
+		return experiments.ObsBench(scale)
 	default:
 		return "", fmt.Errorf("unknown experiment %q", name)
 	}

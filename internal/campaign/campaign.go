@@ -137,6 +137,16 @@ type Config struct {
 	// (stdout bytes, exit status, UB kind and position, step count) and a
 	// divergence aborts the campaign.
 	Oracle string
+	// Telemetry, when non-nil, streams live campaign vitals: per-stage
+	// timing splits, pool and cache hit rates, shard latency, coverage
+	// frontier growth, findings by class — served over HTTP by
+	// Telemetry.Handler (/metrics, /status, /events, /debug/pprof/) and
+	// the stderr progress ticker. Telemetry is strictly observational and
+	// provably inert: reports are byte-identical with it attached or nil
+	// (pinned by the obs-equivalence tests), and it is never persisted in
+	// checkpoints (a resume attaches a fresh instance via
+	// ResumeTelemetry).
+	Telemetry *Telemetry `json:"-"`
 	// NoBackendReuse disables the pooled execution backends: with reuse on
 	// (the default), each worker holds a reusable reference-interpreter
 	// machine (frames, environments, and memory objects reset instead of

@@ -109,11 +109,19 @@ func Resume(path string) (*Report, error) {
 
 // ResumeContext is Resume with cancellation.
 func ResumeContext(ctx context.Context, path string) (*Report, error) {
+	return ResumeTelemetry(ctx, path, nil)
+}
+
+// ResumeTelemetry is ResumeContext with live telemetry attached to the
+// resumed run (checkpoints never persist telemetry — Config.Telemetry is
+// json:"-" — so it must be re-supplied on resume). tel may be nil.
+func ResumeTelemetry(ctx context.Context, path string, tel *Telemetry) (*Report, error) {
 	cfg, st, err := loadCheckpoint(path)
 	if err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	cfg.CheckpointPath = path
+	cfg.Telemetry = tel
 	return runEngine(ctx, cfg, st)
 }

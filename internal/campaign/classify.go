@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"fmt"
+	"time"
 
 	"spe/internal/cc"
 	"spe/internal/interp"
@@ -73,7 +74,7 @@ type variantResult struct {
 // candidates. A freshly parsed program has no stable identity to key the
 // IR-template cache on, so only the interpreter machine of be is reused
 // here; compilation runs cold.
-func evalSource(cfg Config, src string, be *backendState, attr map[string]string, cov *minicc.Coverage) variantResult {
+func evalSource(cfg Config, src string, be *backendState, attr map[string]string, cov *minicc.Coverage, so *shardObs) variantResult {
 	file, err := cc.Parse(src)
 	if err != nil {
 		return variantResult{src: src}
@@ -82,7 +83,7 @@ func evalSource(cfg Config, src string, be *backendState, attr map[string]string
 	if err != nil {
 		return variantResult{src: src}
 	}
-	vr, _ := evalProgram(cfg, prog, nil, be, func() string { return src }, attr, cov)
+	vr, _ := evalProgram(cfg, prog, nil, be, func() string { return src }, attr, cov, so)
 	return vr
 }
 
@@ -98,9 +99,18 @@ func evalSource(cfg Config, src string, be *backendState, attr map[string]string
 // differential verdicts). Attribution recompilations deliberately bypass
 // the recorder: they re-run the same program with bugs deactivated and
 // would only blur the novelty signal.
-func evalProgram(cfg Config, prog *cc.Program, holes []*cc.Ident, be *backendState, render func() string, attr map[string]string, cov *minicc.Coverage) (variantResult, error) {
+func evalProgram(cfg Config, prog *cc.Program, holes []*cc.Ident, be *backendState, render func() string, attr map[string]string, cov *minicc.Coverage, so *shardObs) (variantResult, error) {
 	vr := variantResult{}
-	ref, err := referenceRun(cfg, prog, holes, be)
+	// stage timing exists only when telemetry is attached (so != nil): with
+	// telemetry off, no clock is read anywhere on the per-variant path
+	var t0 time.Time
+	if so != nil {
+		t0 = time.Now()
+	}
+	ref, err := referenceRun(cfg, prog, holes, be, so)
+	if so != nil {
+		so.oracleNs += time.Since(t0).Nanoseconds()
+	}
 	if err != nil {
 		return vr, err
 	}
@@ -109,6 +119,10 @@ func evalProgram(cfg Config, prog *cc.Program, holes []*cc.Ident, be *backendSta
 		return vr, nil
 	}
 	vr.status = statusClean
+	if so != nil {
+		t0 = time.Now()
+		defer func() { so.backendNs += time.Since(t0).Nanoseconds() }()
+	}
 
 	// the compiled binary needs only a small multiple of the reference's
 	// step count; a much larger consumption is already a hang symptom, so
@@ -153,7 +167,7 @@ func evalProgram(cfg Config, prog *cc.Program, holes []*cc.Ident, be *backendSta
 // reuse on/off stays byte-identical under either oracle. Under Paranoid,
 // the bytecode verdict is cross-checked against the tree-walker and a
 // divergence aborts the campaign with an error naming the difference.
-func referenceRun(cfg Config, prog *cc.Program, holes []*cc.Ident, be *backendState) (*interp.Result, error) {
+func referenceRun(cfg Config, prog *cc.Program, holes []*cc.Ident, be *backendState, so *shardObs) (*interp.Result, error) {
 	runTree := func() *interp.Result {
 		if be != nil {
 			// pooled machine: frames/objects/environments reset, not reallocated
@@ -171,6 +185,9 @@ func referenceRun(cfg Config, prog *cc.Program, holes []*cc.Ident, be *backendSt
 		ref = refvm.Run(prog, refvm.Config{MaxSteps: cfg.Steps})
 	}
 	if cfg.Paranoid {
+		if so != nil {
+			so.paranoidChecks++
+		}
 		if err := crossCheckOracle(runTree(), ref); err != nil {
 			return nil, err
 		}

@@ -40,6 +40,9 @@ type taskResult struct {
 	// elapsedNs and ranVariants feed the adaptive-sizing cost model.
 	elapsedNs   int64
 	ranVariants int
+	// obs carries the shard's locally-accumulated telemetry (stage
+	// timing splits, cache stats deltas); nil when telemetry is off.
+	obs *shardObs
 }
 
 // runEngine drives the scheduler → worker pool → aggregator pipeline.
@@ -61,6 +64,9 @@ func runEngine(ctx context.Context, cfg Config, st *aggState) (*Report, error) {
 		return nil, err
 	}
 	sched := newScheduler(cfg, all, st.nextSeq, st.steer)
+	tel := cfg.Telemetry
+	tel.campaignStarted(cfg, all, st.nextSeq)
+	st.tel = tel
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -117,6 +123,7 @@ func runEngine(ctx context.Context, cfg Config, st *aggState) (*Report, error) {
 					spent += sched.predictNs(t2)
 				}
 			}
+			tel.observeDispatch(len(batch))
 			select {
 			case batches <- batch:
 			case <-ctx.Done():
@@ -165,7 +172,10 @@ func runEngine(ctx context.Context, cfg Config, st *aggState) (*Report, error) {
 			cancel()
 			continue
 		}
-		sched.observe(r)
+		point, novel := sched.observe(r)
+		if tel != nil {
+			tel.observeSteering(sched.costSample(), point, novel)
+		}
 		pending[r.seq] = r
 		for {
 			nr, ok := pending[st.nextSeq]
@@ -182,15 +192,22 @@ func runEngine(ctx context.Context, cfg Config, st *aggState) (*Report, error) {
 			sched.advance(st.nextSeq)
 			<-window
 			if cfg.CheckpointPath != "" && st.sinceCkpt >= cfg.CheckpointEvery {
+				var ckStart time.Time
+				if tel != nil {
+					ckStart = time.Now()
+				}
 				if err := writeCheckpoint(cfg, st, sched.steeringSnapshot()); err != nil {
 					firstErr = err
 					cancel()
 					break
 				}
+				tel.observeCheckpoint(st.nextSeq, time.Since(ckStart))
 				st.sinceCkpt = 0
 			}
 		}
+		tel.observeAggregator(len(pending))
 	}
+	tel.campaignDone()
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -240,13 +257,24 @@ func runTask(ctx context.Context, cfg Config, t *task) *taskResult {
 	}
 	var be *backendState
 	if t.plan.backends != nil {
-		be = t.plan.backends.Get().(*backendState)
+		be = t.plan.backends.Get()
 		defer t.plan.backends.Put(be)
+	}
+	// shard-local telemetry accumulator: plain ints touched on the variant
+	// path, folded into the shared atomics once at merge. nil (and therefore
+	// completely absent from the hot path) when telemetry is off.
+	var so *shardObs
+	if cfg.Telemetry != nil {
+		so = &shardObs{}
+		if be != nil {
+			so.miniccBase = be.cache.Stats()
+			so.refvmBase = be.ref.Stats()
+		}
 	}
 	// shard-local attribution memo (seed-scoped: a task never spans files)
 	attr := make(map[string]string)
 	if t.includeOriginal {
-		res.variants = append(res.variants, evalSource(cfg, t.plan.src, be, attr, cov))
+		res.variants = append(res.variants, evalSource(cfg, t.plan.src, be, attr, cov, so))
 	}
 	if t.toJ > t.fromJ {
 		space := t.plan.pool.Get()
@@ -260,7 +288,7 @@ func runTask(ctx context.Context, cfg Config, t *task) *taskResult {
 			}
 			idx.SetInt64(j)
 			idx.Mul(idx, stride)
-			vr, err := runVariant(cfg, space, be, idx, attr, cov)
+			vr, err := runVariant(cfg, space, be, idx, attr, cov, so)
 			if err != nil {
 				res.err = fmt.Errorf("campaign: corpus[%d] variant %d: %w", t.plan.seedIdx, j, err)
 				return res
@@ -272,6 +300,13 @@ func runTask(ctx context.Context, cfg Config, t *task) *taskResult {
 		res.err = fmt.Errorf("campaign: corpus[%d]: coverage registry drift: %w", t.plan.seedIdx, err)
 		return res
 	}
+	if so != nil {
+		if be != nil {
+			so.minicc = be.cache.Stats().Sub(so.miniccBase)
+			so.refvm = be.ref.Stats().Sub(so.refvmBase)
+		}
+		res.obs = so
+	}
 	res.sites = cov.Snapshot()
 	res.elapsedNs = time.Since(start).Nanoseconds()
 	res.ranVariants = len(res.variants)
@@ -280,15 +315,25 @@ func runTask(ctx context.Context, cfg Config, t *task) *taskResult {
 
 // runVariant evaluates the variant at one enumeration index through the
 // configured pipeline flavor.
-func runVariant(cfg Config, space *spe.Space, be *backendState, idx *big.Int, attr map[string]string, cov *minicc.Coverage) (variantResult, error) {
+func runVariant(cfg Config, space *spe.Space, be *backendState, idx *big.Int, attr map[string]string, cov *minicc.Coverage, so *shardObs) (variantResult, error) {
+	var t0 time.Time
+	if so != nil {
+		t0 = time.Now()
+	}
 	if cfg.ForceRenderPath {
 		src, err := space.RenderAt(idx)
+		if so != nil {
+			so.instNs += time.Since(t0).Nanoseconds()
+		}
 		if err != nil {
 			return variantResult{}, err
 		}
-		return evalSource(cfg, src, be, attr, cov), nil
+		return evalSource(cfg, src, be, attr, cov, so), nil
 	}
 	in, release, err := space.AcquireAt(idx)
+	if so != nil {
+		so.instNs += time.Since(t0).Nanoseconds()
+	}
 	if err != nil {
 		return variantResult{}, err
 	}
@@ -296,6 +341,9 @@ func runVariant(cfg Config, space *spe.Space, be *backendState, idx *big.Int, at
 	prog := in.Program()
 	rendered := ""
 	if cfg.Paranoid {
+		if so != nil {
+			so.paranoidChecks++
+		}
 		rendered = cc.PrintFile(prog.File)
 		if err := crossCheckVariant(prog, rendered); err != nil {
 			return variantResult{}, err
@@ -307,7 +355,7 @@ func runVariant(cfg Config, space *spe.Space, be *backendState, idx *big.Int, at
 		}
 		return cc.PrintFile(prog.File)
 	}
-	return evalProgram(cfg, prog, in.HoleIdents(), be, render, attr, cov)
+	return evalProgram(cfg, prog, in.HoleIdents(), be, render, attr, cov, so)
 }
 
 // crossCheckVariant is the -paranoid equivalence assertion: the typed
@@ -362,6 +410,9 @@ type aggState struct {
 	// steer is the scheduler steering (coverage frontier, cost model,
 	// region scores) restored from a checkpoint; nil on a fresh campaign.
 	steer *steering
+	// tel mirrors Config.Telemetry for the merge path; nil-safe (every
+	// *Telemetry method no-ops on a nil receiver) and never persisted.
+	tel *Telemetry
 }
 
 func newAggState() *aggState {
@@ -400,6 +451,7 @@ func (st *aggState) merge(cfg Config, r *taskResult) {
 			st.applySymptom(r.plan.seedIdx, vr.src, s)
 		}
 	}
+	st.tel.observeMerge(r)
 }
 
 // applySymptom replays one symptom record against the finding map — the
@@ -428,6 +480,7 @@ func (st *aggState) applySymptom(seedIdx int, src string, s symptom) {
 		fd.Occurrences++
 		fd.OptLevels = addUniqueInt(fd.OptLevels, s.Opt)
 		fd.Versions = addUniqueStr(fd.Versions, s.Ver)
+		st.tel.observeFinding(fd, !ok)
 	}
 
 	switch s.Class {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 	"sync"
+	"sync/atomic"
 
 	"spe/internal/cc"
 	"spe/internal/interp"
@@ -25,6 +26,40 @@ type backendState struct {
 	mach  *interp.Machine
 	ref   *refvm.Cache
 	cache *minicc.Cache
+}
+
+// backendPool pools backendStates per file and counts checkout hit/miss
+// rates for telemetry (one atomic add per Get, i.e. per shard task —
+// never per variant).
+type backendPool struct {
+	pool sync.Pool
+	gets atomic.Int64
+	news atomic.Int64
+}
+
+func newBackendPool() *backendPool {
+	p := &backendPool{}
+	p.pool.New = func() interface{} {
+		p.news.Add(1)
+		return &backendState{mach: interp.NewMachine(), ref: refvm.NewCache(), cache: minicc.NewCache()}
+	}
+	return p
+}
+
+// Get checks a backendState out for exclusive use until Put.
+func (p *backendPool) Get() *backendState {
+	p.gets.Add(1)
+	return p.pool.Get().(*backendState)
+}
+
+// Put returns a state obtained from Get.
+func (p *backendPool) Put(b *backendState) { p.pool.Put(b) }
+
+// Stats reports checkouts served by a recycled state (hits) versus
+// building fresh backends (misses). Purely observational.
+func (p *backendPool) Stats() (hits, misses int64) {
+	n := p.news.Load()
+	return p.gets.Load() - n, n
 }
 
 // filePlan is the deterministic testing schedule of one corpus file: the
@@ -59,7 +94,7 @@ type filePlan struct {
 	pool *spe.Pool
 	// backends pools the per-worker execution backends the same way (nil
 	// when Config.NoBackendReuse disables reuse).
-	backends *sync.Pool
+	backends *backendPool
 }
 
 // info exports the plan's schedule facts for the report.
@@ -112,9 +147,7 @@ func buildPlan(cfg Config, seedIdx int, src string) (*filePlan, error) {
 	}
 	plan.pool.CheckedRebind = cfg.Paranoid
 	if !cfg.NoBackendReuse {
-		plan.backends = &sync.Pool{New: func() interface{} {
-			return &backendState{mach: interp.NewMachine(), ref: refvm.NewCache(), cache: minicc.NewCache()}
-		}}
+		plan.backends = newBackendPool()
 	}
 	budget := cfg.MaxVariantsPerFile
 	if budget <= 0 {

@@ -197,12 +197,14 @@ func (s *scheduler) pop(lastCredit bool) (*task, bool) {
 // observe folds one completed shard's report back into the steering state:
 // frontier growth, region novelty, cost model, and the coverage curve.
 // Called on arrival (not merge) so feedback reaches dispatch decisions as
-// early as possible.
-func (s *scheduler) observe(r *taskResult) {
+// early as possible. It reports the shard's coverage point and whether the
+// shard pushed the frontier (novel), for the campaign's telemetry; steering
+// itself never depends on the return values.
+func (s *scheduler) observe(r *taskResult) (CoveragePoint, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if r.ranVariants == 0 {
-		return // header of a skipped/empty file: no information
+		return CoveragePoint{}, false // header of a skipped/empty file: no information
 	}
 	novel := 0
 	for _, site := range r.sites {
@@ -227,9 +229,19 @@ func (s *scheduler) observe(r *taskResult) {
 		}
 	}
 	s.variants += r.ranVariants
+	point := CoveragePoint{Variants: s.variants, Sites: len(s.frontier)}
 	if novel > 0 {
-		s.curve = append(s.curve, CoveragePoint{Variants: s.variants, Sites: len(s.frontier)})
+		s.curve = append(s.curve, point)
 	}
+	return point, novel > 0
+}
+
+// costSample reports the EWMA cost model's current per-variant estimate in
+// nanoseconds (0 = unlearned). Telemetry-facing; dispatch uses predictNs.
+func (s *scheduler) costSample() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.costNs
 }
 
 // advance tracks the aggregator's merge cursor, widening the eligibility

@@ -51,6 +51,7 @@ func BackendBench(scale Scale) (string, error) {
 			Workers:            scale.Workers,
 			NoBackendReuse:     noReuse,
 			Paranoid:           paranoid,
+			Telemetry:          scale.Telemetry,
 		}
 		start := time.Now()
 		rep, err := harness.Run(cfg)

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"spe/internal/campaign"
 	"spe/internal/cc"
 	"spe/internal/corpus"
 	"spe/internal/harness"
@@ -61,6 +62,11 @@ type Scale struct {
 	// BenchJSON, when non-empty, makes VariantsBench write its result
 	// there as JSON (the CI artifact BENCH_variants.json).
 	BenchJSON string
+	// Telemetry, when non-nil, attaches live campaign telemetry (the
+	// cmd/spebench -status-addr/-progress flags) to every campaign the
+	// experiments run. Purely observational: tables and bench reports are
+	// byte-identical with or without it.
+	Telemetry *campaign.Telemetry
 }
 
 func (s Scale) withDefaults() Scale {
@@ -293,6 +299,7 @@ func Campaign(scale Scale, versions []string) (*harness.Report, error) {
 		Oracle:             scale.Oracle,
 		Paranoid:           scale.Paranoid,
 		ForceRenderPath:    scale.ForceRenderPath,
+		Telemetry:          scale.Telemetry,
 	})
 }
 

@@ -49,6 +49,7 @@ func OracleBench(scale Scale) (string, error) {
 			Workers:            scale.Workers,
 			Oracle:             oracle,
 			Paranoid:           paranoid,
+			Telemetry:          scale.Telemetry,
 		}
 		start := time.Now()
 		rep, err := harness.Run(cfg)

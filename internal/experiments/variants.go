@@ -146,6 +146,7 @@ func VariantsBench(scale Scale) (string, error) {
 			Workers:            scale.Workers,
 			ForceRenderPath:    renderPath,
 			Paranoid:           paranoid,
+			Telemetry:          scale.Telemetry,
 		}
 		start := time.Now()
 		rep, err := harness.Run(cfg)

@@ -57,7 +57,32 @@ import (
 type Cache struct {
 	templates map[*cc.Program]*irTemplate
 	exec      *execState
+	stats     CacheStats
 }
+
+// CacheStats counts the cache's template activity: how many IR templates
+// were lowered (once per skeleton per cache), how many compilations were
+// served by trace replay + patch, and how many fell back to a fresh
+// lowering (unsupported templates, '&'-holes, shape changes). Plain ints
+// — the cache is single-goroutine — read by the campaign's telemetry
+// once per shard.
+type CacheStats struct {
+	TemplateBuilds int64
+	Replays        int64
+	FreshLowerings int64
+}
+
+// Sub returns the stats delta since base.
+func (s CacheStats) Sub(base CacheStats) CacheStats {
+	return CacheStats{
+		TemplateBuilds: s.TemplateBuilds - base.TemplateBuilds,
+		Replays:        s.Replays - base.Replays,
+		FreshLowerings: s.FreshLowerings - base.FreshLowerings,
+	}
+}
+
+// Stats returns the cache's cumulative activity counters.
+func (ca *Cache) Stats() CacheStats { return ca.stats }
 
 // NewCache returns an empty backend cache.
 func NewCache() *Cache {
@@ -73,6 +98,7 @@ func (ca *Cache) template(prog *cc.Program, holes []*cc.Ident) *irTemplate {
 	}
 	tm := buildTemplate(prog, holes)
 	ca.templates[prog] = tm
+	ca.stats.TemplateBuilds++
 	return tm
 }
 
@@ -95,6 +121,11 @@ func (c *Compiler) RunCached(ca *Cache, prog *cc.Program, holes []*cc.Ident, cfg
 	cov := c.Coverage
 	tm := ca.template(prog, holes)
 	irp, usedTemplate, lerr := lowerFrom(tm, prog, bugs, cov)
+	if usedTemplate {
+		ca.stats.Replays++
+	} else {
+		ca.stats.FreshLowerings++
+	}
 	if paranoid && usedTemplate {
 		if err := tm.crossCheck(prog, bugs, irp, lerr); err != nil {
 			return nil, err

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// formatFloat renders a float the way Prometheus text exposition expects:
+// shortest representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus encodes every registered metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by series id so output is
+// deterministic for a given set of values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastName := ""
+	for _, s := range r.sorted() {
+		if s.name != lastName {
+			typ := "counter"
+			switch s.kind {
+			case kindGauge, kindGaugeFunc:
+				typ = "gauge"
+			case kindHistogram:
+				typ = "histogram"
+			}
+			if s.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.name, s.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.name, typ); err != nil {
+				return err
+			}
+			lastName = s.name
+		}
+		var err error
+		switch s.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", s.name, renderLabels(s.labels), s.counter.Load())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", s.name, renderLabels(s.labels), formatFloat(s.gauge.Load()))
+		case kindGaugeFunc:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", s.name, renderLabels(s.labels), formatFloat(s.fn()))
+		case kindHistogram:
+			snap := s.hist.snapshot()
+			for _, b := range snap.Buckets {
+				le := append(append([]Label(nil), s.labels...), Label{Key: "le", Value: b.LE})
+				if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, renderLabels(le), b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum%s %s\n", s.name, renderLabels(s.labels), formatFloat(snap.Sum)); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count%s %d\n", s.name, renderLabels(s.labels), snap.Count)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot returns a JSON-encodable view of every registered metric,
+// keyed by series id (name plus label set). Counter values are int64,
+// gauge values float64, histograms HistogramSnapshot. Go's JSON encoder
+// sorts map keys, so the encoding is deterministic for given values.
+func (r *Registry) Snapshot() map[string]interface{} {
+	out := make(map[string]interface{})
+	for _, s := range r.sorted() {
+		switch s.kind {
+		case kindCounter:
+			out[s.id()] = s.counter.Load()
+		case kindGauge:
+			out[s.id()] = s.gauge.Load()
+		case kindGaugeFunc:
+			out[s.id()] = s.fn()
+		case kindHistogram:
+			out[s.id()] = s.hist.snapshot()
+		}
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+// Package obs is the repository's zero-dependency observability core: a
+// small metrics library (atomic counters, float gauges, sampled
+// histograms) with Prometheus-text and JSON snapshot encoders, a
+// lock-free ring of recent events for live streaming, and an embedded
+// HTTP server exposing /metrics, /status, /events (SSE), and
+// /debug/pprof/*.
+//
+// The package exists so long-running campaigns can stream their vitals
+// without perturbing the work they observe. Everything here is built for
+// that inertness contract:
+//
+//   - recording is wait-free on the hot path — counters and gauges are
+//     single atomic operations, histogram observation is one atomic add
+//     per bucket plus a CAS loop for the sum;
+//   - nothing ever blocks a recorder on a reader: encoders read the same
+//     atomics, the event ring overwrites instead of applying backpressure
+//     (readers that fall behind lose the oldest events, never slow the
+//     writer);
+//   - registration is idempotent, so instrumented code can look metrics
+//     up by name without threading instances around.
+//
+// Consumers hold the typed metric handles; the Registry only exists to
+// enumerate them deterministically at encode time. Metric values are
+// advisory telemetry by construction — no decision that affects a
+// campaign's Report may read them.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value pair attached to a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be non-negative).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket sampled distribution: cumulative bucket
+// counts in the Prometheus style (each bucket counts observations <= its
+// upper bound; an implicit +Inf bucket catches the rest), plus a total
+// count and sum. Observation is lock-free.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds; immutable after construction
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, buckets: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// HistogramSnapshot is the JSON-encodable state of a Histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	// Buckets maps each upper bound (formatted like the Prometheus le
+	// label, "+Inf" last) to its cumulative count.
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// BucketCount is one cumulative histogram bucket.
+type BucketCount struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+	cum := int64(0)
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		s.Buckets = append(s.Buckets, BucketCount{LE: le, Count: cum})
+	}
+	return s
+}
+
+// ExpBuckets returns n exponentially growing bucket bounds starting at
+// start and multiplying by factor — the usual latency-histogram shape.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// metricKind discriminates registry entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// series is one registered metric instance.
+type series struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []Label
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// id is the unique registration key: name plus rendered label set.
+func (s *series) id() string { return s.name + renderLabels(s.labels) }
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", l.Key, l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Registry holds named metrics and encodes them deterministically.
+// Registration is idempotent: registering the same name+labels again
+// returns the existing instance (a kind mismatch panics — that is a
+// programming error, not an operational condition).
+type Registry struct {
+	mu     sync.Mutex
+	byID   map[string]*series
+	series []*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]*series)}
+}
+
+func (r *Registry) register(s *series) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.byID[s.id()]; ok {
+		if old.kind != s.kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered with a different kind", s.id()))
+		}
+		return old
+	}
+	r.byID[s.id()] = s
+	r.series = append(r.series, s)
+	return s
+}
+
+// Counter registers (or returns the existing) counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.register(&series{name: name, help: help, kind: kindCounter, labels: labels, counter: &Counter{}})
+	return s.counter
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.register(&series{name: name, help: help, kind: kindGauge, labels: labels, gauge: &Gauge{}})
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed at encode time —
+// the hook for state that already maintains its own counters (pool
+// hit/miss atomics, scheduler internals) and should not be mirrored on
+// the hot path.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(&series{name: name, help: help, kind: kindGaugeFunc, labels: labels, fn: fn})
+}
+
+// Histogram registers (or returns the existing) histogram series with the
+// given upper bucket bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	s := r.register(&series{name: name, help: help, kind: kindHistogram, labels: labels, hist: newHistogram(bounds)})
+	return s.hist
+}
+
+// sorted returns the series in deterministic encode order.
+func (r *Registry) sorted() []*series {
+	r.mu.Lock()
+	out := append([]*series(nil), r.series...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id() < out[j].id() })
+	return out
+}

@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "help")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				c.Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*1000*3 {
+		t.Fatalf("counter = %d, want %d", got, 8*1000*3)
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("g", "help")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Set(float64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := g.Load(); got < 0 || got > 7 {
+		t.Fatalf("gauge = %v, want one of the written values", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", "help", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Fatalf("sum = %v, want 106", h.Sum())
+	}
+	snap := h.snapshot()
+	want := []BucketCount{{"1", 2}, {"2", 3}, {"4", 4}, {"+Inf", 5}}
+	if len(snap.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", snap.Buckets, want)
+	}
+	for i, b := range want {
+		if snap.Buckets[i] != b {
+			t.Fatalf("bucket %d = %+v, want %+v", i, snap.Buckets[i], b)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", "help", ExpBuckets(1, 2, 10))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i % 700))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	var wantSum float64
+	for i := 0; i < 1000; i++ {
+		wantSum += float64(i % 700)
+	}
+	if h.Sum() != 8*wantSum {
+		t.Fatalf("sum = %v, want %v", h.Sum(), 8*wantSum)
+	}
+	snap := h.snapshot()
+	if last := snap.Buckets[len(snap.Buckets)-1]; last.Count != 8000 {
+		t.Fatalf("+Inf bucket = %d, want 8000", last.Count)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "help", L("k", "v"))
+	b := reg.Counter("x_total", "other help", L("k", "v"))
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	c := reg.Counter("x_total", "help", L("k", "w"))
+	if a == c {
+		t.Fatal("different labels must return a distinct counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	reg.Gauge("x_total", "help", L("k", "v"))
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("spe_things_total", "Things processed.").Add(42)
+	reg.Counter("spe_by_class_total", "By class.", L("class", "a")).Add(1)
+	reg.Counter("spe_by_class_total", "By class.", L("class", "b")).Add(2)
+	reg.Gauge("spe_level", "Current level.").Set(2.5)
+	reg.GaugeFunc("spe_fn", "Computed.", func() float64 { return 7 })
+	h := reg.Histogram("spe_lat_ms", "Latency.", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP spe_by_class_total By class.
+# TYPE spe_by_class_total counter
+spe_by_class_total{class="a"} 1
+spe_by_class_total{class="b"} 2
+# HELP spe_fn Computed.
+# TYPE spe_fn gauge
+spe_fn 7
+# HELP spe_lat_ms Latency.
+# TYPE spe_lat_ms histogram
+spe_lat_ms_bucket{le="1"} 1
+spe_lat_ms_bucket{le="2"} 1
+spe_lat_ms_bucket{le="+Inf"} 2
+spe_lat_ms_sum 3.5
+spe_lat_ms_count 2
+# HELP spe_level Current level.
+# TYPE spe_level gauge
+spe_level 2.5
+# HELP spe_things_total Things processed.
+# TYPE spe_things_total counter
+spe_things_total 42
+`
+	if sb.String() != want {
+		t.Fatalf("prometheus encoding:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestSnapshotGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "").Add(3)
+	reg.Gauge("b", "").Set(1.5)
+	reg.Histogram("c_ms", "", []float64{10}).Observe(4)
+	data, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"a_total":3,"b":1.5,"c_ms":{"count":1,"sum":4,"buckets":[{"le":"10","count":1},{"le":"+Inf","count":1}]}}`
+	if string(data) != want {
+		t.Fatalf("snapshot = %s, want %s", data, want)
+	}
+}
+
+func TestRingSinceAndWrap(t *testing.T) {
+	r := NewRing(8)
+	if r.Last() != 0 {
+		t.Fatalf("Last = %d before publish", r.Last())
+	}
+	if got := r.Since(0); got != nil {
+		t.Fatalf("Since(0) = %v on empty ring", got)
+	}
+	for i := 1; i <= 20; i++ {
+		r.Publish("k", i)
+	}
+	if r.Last() != 20 {
+		t.Fatalf("Last = %d, want 20", r.Last())
+	}
+	evs := r.Since(0)
+	// capacity 8: only the 8 newest survive the wrap
+	if len(evs) != 8 {
+		t.Fatalf("Since(0) returned %d events, want 8", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(13 + i); ev.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+	if got := r.Since(18); len(got) != 2 || got[0].Seq != 19 || got[1].Seq != 20 {
+		t.Fatalf("Since(18) = %v, want seqs 19,20", got)
+	}
+	if got := r.Since(20); got != nil {
+		t.Fatalf("Since(Last) = %v, want nil", got)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		var since uint64
+		for {
+			for _, ev := range r.Since(since) {
+				if ev.Seq <= since {
+					t.Error("Since returned non-ascending seq")
+					return
+				}
+				since = ev.Seq
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	var pubs sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		pubs.Add(1)
+		go func(w int) {
+			defer pubs.Done()
+			for i := 0; i < 2000; i++ {
+				r.Publish("k", fmt.Sprintf("%d/%d", w, i))
+			}
+		}(w)
+	}
+	pubs.Wait()
+	close(stop)
+	<-readerDone
+	if r.Last() != 8000 {
+		t.Fatalf("Last = %d, want 8000", r.Last())
+	}
+}

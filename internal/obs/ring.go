@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Event is one entry of the recent-events ring: a finding, a coverage
+// point, a checkpoint write — anything a live consumer wants pushed
+// rather than polled. Data must be JSON-encodable.
+type Event struct {
+	Seq  uint64      `json:"seq"`
+	Time time.Time   `json:"time"`
+	Kind string      `json:"kind"`
+	Data interface{} `json:"data,omitempty"`
+}
+
+// Ring is a lock-free fixed-capacity buffer of recent events. Publishing
+// is wait-free (one atomic increment plus one atomic pointer store) and
+// never blocks on readers: when the ring wraps, the oldest events are
+// overwritten. Readers poll Since and tolerate gaps — the ring is a
+// live-streaming surface, not a durable log (the durable campaign record
+// is the Report and the checkpoint).
+type Ring struct {
+	slots []atomic.Pointer[Event]
+	mask  uint64
+	next  atomic.Uint64 // last assigned seq; seq numbering starts at 1
+}
+
+// NewRing returns a ring holding the most recent size events (rounded up
+// to a power of two, minimum 8).
+func NewRing(size int) *Ring {
+	n := 8
+	for n < size {
+		n <<= 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[Event], n), mask: uint64(n - 1)}
+}
+
+// Publish appends an event and returns its sequence number.
+func (r *Ring) Publish(kind string, data interface{}) uint64 {
+	seq := r.next.Add(1)
+	ev := &Event{Seq: seq, Time: time.Now(), Kind: kind, Data: data}
+	r.slots[seq&r.mask].Store(ev)
+	return seq
+}
+
+// Last returns the sequence number of the most recently published event
+// (0 before the first Publish).
+func (r *Ring) Last() uint64 { return r.next.Load() }
+
+// Since returns the buffered events with sequence numbers greater than
+// seq, in ascending order. Events that have already been overwritten are
+// silently skipped; an event whose slot is mid-overwrite is detected by
+// its embedded sequence number and skipped likewise.
+func (r *Ring) Since(seq uint64) []*Event {
+	cur := r.next.Load()
+	if cur <= seq {
+		return nil
+	}
+	lo := seq + 1
+	if n := uint64(len(r.slots)); cur-lo+1 > n {
+		lo = cur - n + 1
+	}
+	out := make([]*Event, 0, cur-lo+1)
+	for i := lo; i <= cur; i++ {
+		ev := r.slots[i&r.mask].Load()
+		if ev != nil && ev.Seq == i {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

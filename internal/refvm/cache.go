@@ -73,7 +73,32 @@ type patchEntry struct {
 type Cache struct {
 	templates map[*cc.Program]*template
 	vm        *vmState
+	stats     CacheStats
 }
+
+// CacheStats counts the oracle cache's template activity: bytecode
+// templates compiled (once per skeleton per cache), runs served by
+// patching the moved holes in place, and runs that fell back to a fresh
+// compilation of the patched tree (type-shape drift). Plain ints — the
+// cache is single-goroutine — read by the campaign's telemetry once per
+// shard.
+type CacheStats struct {
+	TemplateCompiles int64
+	PatchRuns        int64
+	Fallbacks        int64
+}
+
+// Sub returns the stats delta since base.
+func (s CacheStats) Sub(base CacheStats) CacheStats {
+	return CacheStats{
+		TemplateCompiles: s.TemplateCompiles - base.TemplateCompiles,
+		PatchRuns:        s.PatchRuns - base.PatchRuns,
+		Fallbacks:        s.Fallbacks - base.Fallbacks,
+	}
+}
+
+// Stats returns the cache's cumulative activity counters.
+func (ca *Cache) Stats() CacheStats { return ca.stats }
 
 // NewCache returns an empty oracle cache.
 func NewCache() *Cache {
@@ -91,6 +116,7 @@ func NewCache() *Cache {
 func (ca *Cache) Run(prog *cc.Program, holes []*cc.Ident, cfg Config) *interp.Result {
 	tm, ok := ca.templates[prog]
 	if !ok {
+		ca.stats.TemplateCompiles++
 		tm = &template{
 			p:         compileProgram(prog, holes),
 			holes:     holes,
@@ -106,8 +132,10 @@ func (ca *Cache) Run(prog *cc.Program, holes []*cc.Ident, cfg Config) *interp.Re
 	}
 	if !tm.patch(holes) {
 		// fresh-compile fallback: the patched tree is authoritative
+		ca.stats.Fallbacks++
 		return ca.vm.run(compileProgram(prog, nil), cfg)
 	}
+	ca.stats.PatchRuns++
 	return ca.vm.run(tm.p, cfg)
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 	"sync"
+	"sync/atomic"
 
 	"spe/internal/cc"
 	"spe/internal/partition"
@@ -265,7 +266,15 @@ type Pool struct {
 	pool sync.Pool
 	// CheckedRebind is propagated to every Space the pool hands out.
 	CheckedRebind bool
+	// hits/misses count Gets served by a recycled Space versus a fresh
+	// build — telemetry the campaign's /metrics surface sums at scrape
+	// time (see Stats). One atomic add per Get, i.e. per shard task.
+	hits, misses atomic.Int64
 }
+
+// Stats reports how many Gets were served by a recycled Space (hits)
+// versus building a fresh one (misses). Purely observational.
+func (p *Pool) Stats() (hits, misses int64) { return p.hits.Load(), p.misses.Load() }
 
 // NewPool validates the options once (by building a probe Space) and
 // returns the pool. The probe is kept for the first Get.
@@ -282,10 +291,12 @@ func NewPool(sk *skeleton.Skeleton, opts Options) (*Pool, error) {
 // Get hands out a Space for exclusive use by the calling goroutine.
 func (p *Pool) Get() *Space {
 	if s, ok := p.pool.Get().(*Space); ok && s != nil {
+		p.hits.Add(1)
 		s.CheckedRebind = p.CheckedRebind
 		return s
 	}
 	// construction cannot fail here: NewPool validated the options
+	p.misses.Add(1)
 	s, err := NewSpace(p.sk, p.opts)
 	if err != nil {
 		panic(fmt.Sprintf("spe: pool: %v", err))

@@ -1,0 +1,240 @@
+// Command benchgate is the CI bench-regression gate: it diffs freshly
+// produced bench-result JSON artifacts (the BENCH_*.json files cmd/spebench
+// emits via -bench-json) against committed baselines and fails when any
+// throughput metric regressed beyond tolerance.
+//
+// Usage:
+//
+//	benchgate [-baseline dir] [-fresh dir] [-tolerance 0.20]
+//	          [-tolerances artifact=frac,...] [-summary path]
+//	          artifact.json ...
+//
+// For each named artifact, the file is read from both the -baseline and
+// -fresh directories and every numeric metric whose key ends in _per_sec
+// and is present in both documents is compared. A metric regresses when
+//
+//	fresh < baseline * (1 - tolerance)
+//
+// with the tolerance taken from the artifact's -tolerances override when
+// one is given and from -tolerance (default 0.20, i.e. a 20% haircut,
+// absorbing CI runner noise) otherwise. Metrics only present on one side
+// are reported as skipped, never failed — adding a new metric to an
+// experiment must not break the gate before its baseline is re-recorded.
+//
+// The comparison is rendered as a GitHub-flavored markdown table on
+// stdout (append it to $GITHUB_STEP_SUMMARY in CI); -summary writes the
+// same table to a file as well. The exit status is 1 when any metric
+// regressed, 2 on usage or I/O errors, and 0 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(gateMain(os.Args[1:], os.Stdout))
+}
+
+func gateMain(args []string, stdout *os.File) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	baseline := fs.String("baseline", "baseline", "directory holding the committed baseline artifacts")
+	fresh := fs.String("fresh", ".", "directory holding the freshly produced artifacts")
+	tolerance := fs.Float64("tolerance", 0.20, "default allowed fractional regression per metric")
+	overrides := fs.String("tolerances", "", "per-artifact overrides, e.g. BENCH_obs.json=0.5,BENCH_oracle.json=0.3")
+	summary := fs.String("summary", "", "also write the markdown comparison table to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no artifacts named; usage: benchgate [flags] artifact.json ...")
+		return 2
+	}
+	perArtifact, err := parseOverrides(*overrides)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return 2
+	}
+
+	var rows []row
+	regressed := false
+	for _, name := range fs.Args() {
+		tol := *tolerance
+		if t, ok := perArtifact[name]; ok {
+			tol = t
+		}
+		artRows, err := compareArtifact(filepath.Join(*baseline, name), filepath.Join(*fresh, name), name, tol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", name, err)
+			return 2
+		}
+		for _, r := range artRows {
+			if r.status == statusRegressed {
+				regressed = true
+			}
+		}
+		rows = append(rows, artRows...)
+	}
+
+	table := renderTable(rows, regressed)
+	fmt.Fprint(stdout, table)
+	if *summary != "" {
+		if err := os.WriteFile(*summary, []byte(table), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			return 2
+		}
+	}
+	if regressed {
+		fmt.Fprintln(os.Stderr, "benchgate: FAIL: bench regression beyond tolerance")
+		return 1
+	}
+	return 0
+}
+
+// row is one metric's comparison outcome.
+type row struct {
+	artifact string
+	metric   string
+	base     float64
+	fresh    float64
+	tol      float64
+	status   status
+}
+
+type status int
+
+const (
+	statusOK status = iota
+	statusRegressed
+	statusSkipped // metric present on only one side
+)
+
+func (s status) String() string {
+	switch s {
+	case statusRegressed:
+		return "❌ regressed"
+	case statusSkipped:
+		return "– skipped"
+	}
+	return "✅ ok"
+}
+
+// parseOverrides decodes "artifact=frac,artifact=frac".
+func parseOverrides(s string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, frac, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -tolerances entry %q (want artifact=fraction)", part)
+		}
+		f, err := strconv.ParseFloat(frac, 64)
+		if err != nil || f < 0 || f >= 1 {
+			return nil, fmt.Errorf("bad -tolerances fraction %q for %s (want 0 <= f < 1)", frac, name)
+		}
+		out[name] = f
+	}
+	return out, nil
+}
+
+// compareArtifact loads one artifact from both sides and compares every
+// shared *_per_sec metric under the given tolerance.
+func compareArtifact(basePath, freshPath, name string, tol float64) ([]row, error) {
+	base, err := loadMetrics(basePath)
+	if err != nil {
+		return nil, err
+	}
+	fresh, err := loadMetrics(freshPath)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(base)+len(fresh))
+	seen := make(map[string]bool)
+	for k := range base {
+		keys = append(keys, k)
+		seen[k] = true
+	}
+	for k := range fresh {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var rows []row
+	for _, k := range keys {
+		b, inBase := base[k]
+		f, inFresh := fresh[k]
+		r := row{artifact: name, metric: k, base: b, fresh: f, tol: tol}
+		switch {
+		case !inBase || !inFresh:
+			r.status = statusSkipped
+		case f < b*(1-tol):
+			r.status = statusRegressed
+		default:
+			r.status = statusOK
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// loadMetrics reads a bench JSON document and keeps its numeric
+// throughput metrics (keys ending in _per_sec).
+func loadMetrics(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64)
+	for k, v := range doc {
+		if !strings.HasSuffix(k, "_per_sec") {
+			continue
+		}
+		if f, ok := v.(float64); ok {
+			out[k] = f
+		}
+	}
+	return out, nil
+}
+
+// renderTable formats the comparison as a GitHub-flavored markdown table.
+func renderTable(rows []row, regressed bool) string {
+	var sb strings.Builder
+	verdict := "✅ no bench regressions beyond tolerance"
+	if regressed {
+		verdict = "❌ bench regression beyond tolerance"
+	}
+	fmt.Fprintf(&sb, "### Bench gate: %s\n\n", verdict)
+	sb.WriteString("| Artifact | Metric | Baseline | Fresh | Δ | Tolerance | Status |\n")
+	sb.WriteString("|---|---|---:|---:|---:|---:|---|\n")
+	for _, r := range rows {
+		delta := "n/a"
+		baseS, freshS := "n/a", "n/a"
+		if r.status != statusSkipped {
+			baseS = fmt.Sprintf("%.1f", r.base)
+			freshS = fmt.Sprintf("%.1f", r.fresh)
+			if r.base != 0 {
+				delta = fmt.Sprintf("%+.1f%%", 100*(r.fresh-r.base)/r.base)
+			}
+		} else if r.base != 0 {
+			baseS = fmt.Sprintf("%.1f", r.base)
+		} else if r.fresh != 0 {
+			freshS = fmt.Sprintf("%.1f", r.fresh)
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %s | %s | %s | -%.0f%% | %s |\n",
+			r.artifact, r.metric, baseS, freshS, delta, 100*r.tol, r.status)
+	}
+	return sb.String()
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJSON(t *testing.T, dir, name, body string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareArtifact(t *testing.T) {
+	base := t.TempDir()
+	fresh := t.TempDir()
+	writeJSON(t, base, "b.json", `{"a_per_sec": 100, "b_per_sec": 100, "old_per_sec": 50, "speedup": 2, "files": 3}`)
+	writeJSON(t, fresh, "b.json", `{"a_per_sec": 85, "b_per_sec": 79.9, "new_per_sec": 10, "speedup": 1, "files": 3}`)
+
+	rows, err := compareArtifact(filepath.Join(base, "b.json"), filepath.Join(fresh, "b.json"), "b.json", 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]status)
+	for _, r := range rows {
+		got[r.metric] = r.status
+	}
+	// only *_per_sec keys participate; speedup and files must not appear
+	if _, ok := got["speedup"]; ok {
+		t.Error("non-throughput key compared")
+	}
+	if got["a_per_sec"] != statusOK {
+		t.Errorf("a_per_sec (−15%% at 20%% tolerance) = %v, want ok", got["a_per_sec"])
+	}
+	if got["b_per_sec"] != statusRegressed {
+		t.Errorf("b_per_sec (−20.1%% at 20%% tolerance) = %v, want regressed", got["b_per_sec"])
+	}
+	// one-sided metrics are skipped, never failed
+	if got["old_per_sec"] != statusSkipped || got["new_per_sec"] != statusSkipped {
+		t.Errorf("one-sided metrics = %v/%v, want skipped", got["old_per_sec"], got["new_per_sec"])
+	}
+}
+
+func TestCompareArtifactImprovementPasses(t *testing.T) {
+	dir := t.TempDir()
+	writeJSON(t, dir, "base.json", `{"x_per_sec": 100}`)
+	writeJSON(t, dir, "fresh.json", `{"x_per_sec": 1000}`)
+	rows, err := compareArtifact(filepath.Join(dir, "base.json"), filepath.Join(dir, "fresh.json"), "a", 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].status != statusOK {
+		t.Fatalf("10x improvement flagged: %+v", rows)
+	}
+}
+
+func TestParseOverrides(t *testing.T) {
+	m, err := parseOverrides("BENCH_obs.json=0.5, BENCH_oracle.json=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["BENCH_obs.json"] != 0.5 || m["BENCH_oracle.json"] != 0.3 {
+		t.Fatalf("overrides = %v", m)
+	}
+	for _, bad := range []string{"noequals", "a=1.5", "a=-0.1", "a=x"} {
+		if _, err := parseOverrides(bad); err == nil {
+			t.Errorf("parseOverrides(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRenderTableMentionsVerdict(t *testing.T) {
+	rows := []row{{artifact: "a.json", metric: "x_per_sec", base: 100, fresh: 50, tol: 0.2, status: statusRegressed}}
+	out := renderTable(rows, true)
+	if !strings.Contains(out, "regression") || !strings.Contains(out, "x_per_sec") || !strings.Contains(out, "-50.0%") {
+		t.Fatalf("table missing expected cells:\n%s", out)
+	}
+}

@@ -6,7 +6,8 @@
 //
 //	spebench [-quick] [-workers N] [-checkpoint path]
 //	         [-schedule fifo|coverage] [-target-shard-ms N]
-//	         [-oracle tree|bytecode] [-paranoid] [-bench-json path]
+//	         [-oracle tree|bytecode] [-dispatch threaded|switch]
+//	         [-oracle-batch=false] [-paranoid] [-bench-json path]
 //	         [-cpuprofile path] [-memprofile path]
 //	         [-status-addr host:port] [-progress 30s] [experiment...]
 //
@@ -21,7 +22,12 @@
 // -oracle selects the campaign reference engine (bytecode, the default
 // skeleton-compiled UB-checking VM, or tree, the historical tree-walking
 // interpreter; tables are identical either way — the oracle experiment
-// measures both regardless of the flag). -paranoid cross-checks the
+// measures both regardless of the flag). -dispatch selects the bytecode
+// VM's instruction dispatch engine (threaded, the default fused and
+// specialized handler table, or switch, the monolithic opcode switch
+// baseline) and -oracle-batch=false disables batched shard execution;
+// tables are identical under any combination, and the oracle experiment
+// measures both axes regardless of the flags. -paranoid cross-checks the
 // AST-resident instantiation per variant (render+reparse+binding
 // assertion; for the backend experiment it also checks every patched IR
 // template against a fresh lowering, and for the oracle experiment every
@@ -70,6 +76,8 @@ func benchMain() int {
 	schedule := flag.String("schedule", "", "campaign shard dispatch policy: fifo (default) or coverage; tables are identical either way")
 	targetShardMs := flag.Int("target-shard-ms", 0, "adaptive campaign shard sizing toward this duration (0 = fixed shards)")
 	oracle := flag.String("oracle", "", "campaign reference oracle: bytecode (default) or tree; tables are identical either way")
+	dispatch := flag.String("dispatch", "", "bytecode oracle instruction dispatch: threaded (default) or switch; tables are identical either way")
+	oracleBatch := flag.Bool("oracle-batch", true, "batch each campaign shard's oracle runs on one checked-out VM (disable as baseline; tables are identical either way)")
 	paranoid := flag.Bool("paranoid", false, "cross-check the AST-resident instantiation per variant (render+reparse+binding assertion)")
 	benchJSON := flag.String("bench-json", "", "write the variants experiment's result to this path as JSON")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this path")
@@ -117,6 +125,8 @@ func benchMain() int {
 	scale.Schedule = *schedule
 	scale.TargetShardMillis = *targetShardMs
 	scale.Oracle = *oracle
+	scale.Dispatch = *dispatch
+	scale.NoOracleBatch = !*oracleBatch
 	scale.Paranoid = *paranoid
 	scale.Telemetry = tel
 	which := flag.Args()

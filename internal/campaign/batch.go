@@ -1,0 +1,176 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"time"
+
+	"spe/internal/cc"
+	"spe/internal/interp"
+	"spe/internal/minicc"
+	"spe/internal/refvm"
+	"spe/internal/spe"
+)
+
+// Batched shard execution: instead of interleaving oracle and compiler
+// work per variant, an eligible shard first drains all of its oracle
+// verdicts through refvm.Cache.RunBatch on one checked-out VM — each
+// neighboring fill is rebound into the held instance and only the moved
+// hole sites are re-patched between runs — and then replays the compiler
+// configurations over the clean variants in the same ascending order.
+// The split keeps the oracle's bytecode, handler tables, and slab hot in
+// cache across the whole shard and drops the per-variant template lookup.
+//
+// Determinism: both phases walk the shard's enumeration indices in
+// ascending order, so the refvm patch sequence, the minicc replay
+// sequence, the shard-local attribution memo, coverage recording, and
+// symptom emission all replay exactly what the interleaved path does —
+// reports are byte-identical with batching on or off (pinned by the
+// dispatch-equivalence tests). Clean variants are instantiated twice
+// (once per phase); instantiation is orders of magnitude cheaper than a
+// differential test, so the second bind is noise next to the locality
+// won.
+
+// batchEligible reports whether a shard can take the batched oracle
+// path: the bytecode oracle serving the AST-resident pipeline with
+// pooled backends, and batching not disabled.
+func batchEligible(cfg Config, be *backendState) bool {
+	return cfg.Oracle == OracleBytecode && !cfg.ForceRenderPath &&
+		be != nil && !cfg.NoOracleBatch
+}
+
+// runShardBatch processes one shard's enumerated variants through the
+// two-phase batched pipeline, appending to res.variants. The -paranoid
+// cross-checks (sema invariants per bind, tree-walker verdict per run)
+// ride inside phase 1, exactly as they wrap the interleaved path.
+func runShardBatch(ctx context.Context, cfg Config, t *task, space *spe.Space, be *backendState, attr map[string]string, cov *minicc.Coverage, so *shardObs, res *taskResult) error {
+	n := int(t.toJ - t.fromJ)
+	idx := new(big.Int)
+	stride := big.NewInt(t.plan.stride)
+	setIdx := func(i int) {
+		idx.SetInt64(t.fromJ + int64(i))
+		idx.Mul(idx, stride)
+	}
+	wrap := func(i int, err error) error {
+		return fmt.Errorf("campaign: corpus[%d] variant %d: %w", t.plan.seedIdx, t.fromJ+int64(i), err)
+	}
+
+	// RunBatch needs the analyzed template program and hole metadata
+	// before its first bind, so the first variant is acquired up front and
+	// bind(0) skips straight to the cross-checks.
+	setIdx(0)
+	var t0 time.Time
+	if so != nil {
+		t0 = time.Now()
+	}
+	in, release, err := space.AcquireAt(idx)
+	if so != nil {
+		so.instNs += time.Since(t0).Nanoseconds()
+	}
+	if err != nil {
+		return wrap(0, err)
+	}
+	defer release()
+	prog := in.Program()
+	holes := in.HoleIdents()
+
+	// phase 1: every oracle verdict for the shard, one batch, one VM
+	refs := make([]*interp.Result, n)
+	var tOracle time.Time
+	bind := func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if i > 0 {
+			setIdx(i)
+			if so != nil {
+				t0 = time.Now()
+			}
+			fill, _, err := space.FillDeltaAt(idx)
+			if err == nil {
+				err = in.Instantiate(fill)
+			}
+			if so != nil {
+				so.instNs += time.Since(t0).Nanoseconds()
+			}
+			if err != nil {
+				return wrap(i, err)
+			}
+		}
+		if cfg.Paranoid {
+			if so != nil {
+				so.paranoidChecks++
+			}
+			if err := crossCheckVariant(prog, cc.PrintFile(prog.File)); err != nil {
+				return wrap(i, err)
+			}
+		}
+		if so != nil {
+			tOracle = time.Now()
+		}
+		return nil
+	}
+	yield := func(i int, ref *interp.Result) error {
+		if cfg.Paranoid {
+			if so != nil {
+				so.paranoidChecks++
+			}
+			if err := crossCheckOracle(be.mach.Run(prog, interp.Config{MaxSteps: cfg.Steps}), ref); err != nil {
+				return wrap(i, err)
+			}
+		}
+		if so != nil {
+			so.oracleNs += time.Since(tOracle).Nanoseconds()
+		}
+		refs[i] = ref
+		return nil
+	}
+	rcfg := refvm.Config{MaxSteps: cfg.Steps, Dispatch: cfg.Dispatch}
+	if err := be.ref.RunBatch(prog, holes, rcfg, n, bind, yield); err != nil {
+		return err
+	}
+
+	// phase 2: compiler configurations over the clean variants, ascending
+	// — the same order the interleaved path classifies in
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ref := refs[i]
+		vr := variantResult{}
+		if !ref.Defined() {
+			vr.status = statusUB
+			res.variants = append(res.variants, vr)
+			continue
+		}
+		vr.status = statusClean
+		setIdx(i)
+		if so != nil {
+			t0 = time.Now()
+		}
+		fill, _, err := space.FillDeltaAt(idx)
+		if err == nil {
+			err = in.Instantiate(fill)
+		}
+		if so != nil {
+			so.instNs += time.Since(t0).Nanoseconds()
+		}
+		if err != nil {
+			return wrap(i, err)
+		}
+		render := func() string { return cc.PrintFile(prog.File) }
+		if so != nil {
+			t0 = time.Now()
+		}
+		err = evalBackends(cfg, prog, holes, be, ref, render, attr, cov, &vr)
+		if so != nil {
+			so.backendNs += time.Since(t0).Nanoseconds()
+		}
+		if err != nil {
+			return wrap(i, err)
+		}
+		res.variants = append(res.variants, vr)
+	}
+	return nil
+}

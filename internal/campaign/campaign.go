@@ -36,6 +36,7 @@ import (
 	"strings"
 
 	"spe/internal/minicc"
+	"spe/internal/refvm"
 	"spe/internal/spe"
 )
 
@@ -137,6 +138,28 @@ type Config struct {
 	// (stdout bytes, exit status, UB kind and position, step count) and a
 	// divergence aborts the campaign.
 	Oracle string
+	// Dispatch selects the bytecode oracle's instruction dispatch engine:
+	// DispatchThreaded (the default) executes through refvm's
+	// per-instruction function-pointer handler table, built at skeleton
+	// compile time with superinstruction fusion and compile-time-provable
+	// operand specialization; DispatchSwitch is the monolithic opcode
+	// switch. The two engines are observationally identical — same UB
+	// verdicts, output bytes, exit statuses, and step counts, so reports
+	// are byte-identical either way (pinned by the dispatch-equivalence
+	// tests) — and the knob exists as the benchmark baseline and for
+	// bisecting suspected dispatch bugs. With Oracle set to OracleTree the
+	// engine selection is accepted but moot.
+	Dispatch string
+	// NoOracleBatch disables batched shard execution. With batching on
+	// (the default, when the bytecode oracle serves the AST-resident path
+	// with pooled backends), a worker drains its whole shard through
+	// refvm.Cache.RunBatch on one checked-out VM — each neighboring fill is
+	// rebound into the instance and only the moved hole sites re-patched
+	// between runs — and then replays the compiler configurations over the
+	// clean variants. Reports are byte-identical either way (pinned by the
+	// dispatch-equivalence tests); the knob exists as the benchmark
+	// baseline and for bisecting suspected batching bugs.
+	NoOracleBatch bool
 	// Telemetry, when non-nil, streams live campaign vitals: per-stage
 	// timing splits, pool and cache hit rates, shard latency, coverage
 	// frontier growth, findings by class — served over HTTP by
@@ -172,6 +195,13 @@ const (
 const (
 	OracleTree     = "tree"
 	OracleBytecode = "bytecode"
+)
+
+// Dispatch values for Config.Dispatch (aliases of refvm's, so the flag
+// surface and the oracle agree by construction).
+const (
+	DispatchThreaded = refvm.DispatchThreaded
+	DispatchSwitch   = refvm.DispatchSwitch
 )
 
 func (c Config) withDefaults() Config {
@@ -210,6 +240,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Oracle == "" {
 		c.Oracle = OracleBytecode
+	}
+	if c.Dispatch == "" {
+		c.Dispatch = DispatchThreaded
 	}
 	if c.Lookahead <= 0 {
 		c.Lookahead = 256

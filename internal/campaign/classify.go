@@ -123,7 +123,20 @@ func evalProgram(cfg Config, prog *cc.Program, holes []*cc.Ident, be *backendSta
 		t0 = time.Now()
 		defer func() { so.backendNs += time.Since(t0).Nanoseconds() }()
 	}
+	if err := evalBackends(cfg, prog, holes, be, ref, render, attr, cov, &vr); err != nil {
+		return vr, err
+	}
+	return vr, nil
+}
 
+// evalBackends is the compiler half of evalProgram: it runs one clean
+// variant through every (version, optimization level) configuration and
+// classifies each divergence from the oracle verdict ref into vr's
+// symptoms. It is shared between the interleaved per-variant path
+// (evalProgram) and the batched shard path, which collects a whole
+// shard's oracle verdicts first and replays this half over the clean
+// variants afterwards.
+func evalBackends(cfg Config, prog *cc.Program, holes []*cc.Ident, be *backendState, ref *interp.Result, render func() string, attr map[string]string, cov *minicc.Coverage, vr *variantResult) error {
 	// the compiled binary needs only a small multiple of the reference's
 	// step count; a much larger consumption is already a hang symptom, so
 	// an adaptive budget keeps miscompiled infinite loops cheap to detect
@@ -141,7 +154,7 @@ func evalProgram(cfg Config, prog *cc.Program, holes []*cc.Ident, be *backendSta
 				// campaign
 				cached, err := comp.RunCached(be.cache, prog, holes, minicc.ExecConfig{MaxSteps: execSteps}, cfg.Paranoid)
 				if err != nil {
-					return vr, err
+					return err
 				}
 				ro = cached
 			} else {
@@ -155,7 +168,7 @@ func evalProgram(cfg Config, prog *cc.Program, holes []*cc.Ident, be *backendSta
 			}
 		}
 	}
-	return vr, nil
+	return nil
 }
 
 // referenceRun obtains the variant's reference semantics from the
@@ -180,9 +193,9 @@ func referenceRun(cfg Config, prog *cc.Program, holes []*cc.Ident, be *backendSt
 	}
 	var ref *interp.Result
 	if be != nil {
-		ref = be.ref.Run(prog, holes, refvm.Config{MaxSteps: cfg.Steps})
+		ref = be.ref.Run(prog, holes, refvm.Config{MaxSteps: cfg.Steps, Dispatch: cfg.Dispatch})
 	} else {
-		ref = refvm.Run(prog, refvm.Config{MaxSteps: cfg.Steps})
+		ref = refvm.Run(prog, refvm.Config{MaxSteps: cfg.Steps, Dispatch: cfg.Dispatch})
 	}
 	if cfg.Paranoid {
 		if so != nil {

@@ -1,0 +1,142 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// These tests pin the dispatch/batching invariant of the bytecode oracle
+// rework: campaign reports are byte-identical across -dispatch=threaded
+// (the default handler-table engine), -dispatch=switch (the original
+// monolithic switch), and -oracle-batch on/off (batched shard execution
+// vs per-variant template runs) — across worker counts and schedules,
+// under -paranoid, and through checkpoint/resume. The tree-walking
+// oracle's report is the ground truth, so each cell is compared against
+// it rather than against a sibling cell.
+
+// TestDispatchEquivalenceMatrix is the full cross of dispatch engine x
+// batching x schedule x workers against the tree baseline.
+func TestDispatchEquivalenceMatrix(t *testing.T) {
+	tree := oracleBaseConfig()
+	tree.Oracle = OracleTree
+	tree.Workers = 1
+	want := mustRun(t, tree).Format()
+
+	workerCounts := []int{1, 3}
+	schedules := []string{ScheduleFIFO, ScheduleCoverage}
+	if testing.Short() {
+		workerCounts = []int{3} // race CI: one parallel config per cell
+		schedules = []string{ScheduleFIFO}
+	}
+	for _, schedule := range schedules {
+		for _, workers := range workerCounts {
+			for _, dispatch := range []string{DispatchThreaded, DispatchSwitch} {
+				for _, noBatch := range []bool{false, true} {
+					cfg := oracleBaseConfig()
+					cfg.Oracle = OracleBytecode
+					cfg.Schedule = schedule
+					cfg.Workers = workers
+					cfg.Dispatch = dispatch
+					cfg.NoOracleBatch = noBatch
+					if got := mustRun(t, cfg).Format(); got != want {
+						t.Errorf("report diverges (schedule=%s workers=%d dispatch=%s noBatch=%v):\n--- bytecode ---\n%s--- tree ---\n%s",
+							schedule, workers, dispatch, noBatch, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDispatchParanoid runs the switch engine and the batched default
+// under -paranoid, where every variant's bytecode verdict is re-checked
+// against a tree run in-line. The batched path cross-checks inside the
+// RunBatch yield, so this exercises that plumbing specifically.
+func TestDispatchParanoid(t *testing.T) {
+	tree := oracleBaseConfig()
+	tree.Oracle = OracleTree
+	tree.Workers = 1
+	want := mustRun(t, tree).Format()
+
+	for _, dispatch := range []string{DispatchThreaded, DispatchSwitch} {
+		cfg := oracleBaseConfig()
+		cfg.Oracle = OracleBytecode
+		cfg.Dispatch = dispatch
+		cfg.Paranoid = true
+		cfg.Workers = 2
+		if got := mustRun(t, cfg).Format(); got != want {
+			t.Errorf("paranoid report diverges (dispatch=%s):\n--- bytecode ---\n%s--- tree ---\n%s",
+				dispatch, got, want)
+		}
+	}
+}
+
+// TestDispatchResume kills a checkpointed switch-dispatch batched
+// campaign mid-run and asserts the resumed report matches the tree
+// baseline: the checkpoint embeds Dispatch in its config, and the
+// batched shard loop replays deterministically from the shard boundary.
+func TestDispatchResume(t *testing.T) {
+	base := oracleBaseConfig()
+	base.Workers = 2
+	base.CheckpointEvery = 1
+
+	tree := base
+	tree.Oracle = OracleTree
+	want := mustRun(t, tree).Format()
+
+	path := filepath.Join(t.TempDir(), "dispatch.ckpt.json")
+	cfg := base
+	cfg.Oracle = OracleBytecode
+	cfg.Dispatch = DispatchSwitch
+	cfg.CheckpointPath = path
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Millisecond):
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				continue
+			}
+			var ck checkpointFile
+			if json.Unmarshal(data, &ck) == nil && ck.NextSeq >= 3 {
+				cancel()
+				return
+			}
+		}
+	}()
+	if _, err := RunContext(ctx, cfg); err == nil {
+		t.Log("campaign completed before cancellation; resume still replays the tail")
+	}
+	cancel()
+	<-done
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no checkpoint survived the kill: %v", err)
+	}
+	resumed, err := Resume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.Format(); got != want {
+		t.Errorf("resumed switch-dispatch report diverges from tree baseline:\n--- resumed ---\n%s--- tree ---\n%s", got, want)
+	}
+}
+
+// TestDispatchUnknownRejected pins the config validation.
+func TestDispatchUnknownRejected(t *testing.T) {
+	cfg := oracleBaseConfig()
+	cfg.Dispatch = "quantum"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown dispatch accepted")
+	}
+}

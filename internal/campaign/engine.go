@@ -56,6 +56,10 @@ func runEngine(ctx context.Context, cfg Config, st *aggState) (*Report, error) {
 		return nil, fmt.Errorf("campaign: unknown oracle %q (want %q or %q)",
 			cfg.Oracle, OracleTree, OracleBytecode)
 	}
+	if cfg.Dispatch != DispatchThreaded && cfg.Dispatch != DispatchSwitch {
+		return nil, fmt.Errorf("campaign: unknown dispatch %q (want %q or %q)",
+			cfg.Dispatch, DispatchThreaded, DispatchSwitch)
+	}
 	// the task sequence is derived up front (it is a pure function of the
 	// config) so the scheduler can prioritize over the whole campaign;
 	// tasks the checkpoint has already merged are excluded at startSeq
@@ -279,21 +283,31 @@ func runTask(ctx context.Context, cfg Config, t *task) *taskResult {
 	if t.toJ > t.fromJ {
 		space := t.plan.pool.Get()
 		defer t.plan.pool.Put(space)
-		idx := new(big.Int)
-		stride := big.NewInt(t.plan.stride)
-		for j := t.fromJ; j < t.toJ; j++ {
-			if ctx.Err() != nil {
-				res.err = ctx.Err()
+		if batchEligible(cfg, be) {
+			// batched shard path: all oracle verdicts first on one
+			// checked-out VM, then the compiler configurations over the
+			// clean variants — same ascending order, byte-identical report
+			if err := runShardBatch(ctx, cfg, t, space, be, attr, cov, so, res); err != nil {
+				res.err = err
 				return res
 			}
-			idx.SetInt64(j)
-			idx.Mul(idx, stride)
-			vr, err := runVariant(cfg, space, be, idx, attr, cov, so)
-			if err != nil {
-				res.err = fmt.Errorf("campaign: corpus[%d] variant %d: %w", t.plan.seedIdx, j, err)
-				return res
+		} else {
+			idx := new(big.Int)
+			stride := big.NewInt(t.plan.stride)
+			for j := t.fromJ; j < t.toJ; j++ {
+				if ctx.Err() != nil {
+					res.err = ctx.Err()
+					return res
+				}
+				idx.SetInt64(j)
+				idx.Mul(idx, stride)
+				vr, err := runVariant(cfg, space, be, idx, attr, cov, so)
+				if err != nil {
+					res.err = fmt.Errorf("campaign: corpus[%d] variant %d: %w", t.plan.seedIdx, j, err)
+					return res
+				}
+				res.variants = append(res.variants, vr)
 			}
-			res.variants = append(res.variants, vr)
 		}
 	}
 	if err := cov.Err(); err != nil {

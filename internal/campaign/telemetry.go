@@ -55,6 +55,10 @@ type Telemetry struct {
 	refvmCompiles        *obs.Counter
 	refvmPatchRuns       *obs.Counter
 	refvmFallbacks       *obs.Counter
+	refvmThreadedRuns    *obs.Counter
+	refvmSwitchRuns      *obs.Counter
+	refvmBatchRuns       *obs.Counter
+	refvmBatches         *obs.Counter
 
 	costNsPerVariant *obs.Gauge
 	reorderPending   *obs.Gauge
@@ -119,6 +123,10 @@ func NewTelemetry() *Telemetry {
 		refvmCompiles:        reg.Counter("spe_refvm_template_compiles_total", "refvm bytecode templates compiled (once per skeleton per cache)."),
 		refvmPatchRuns:       reg.Counter("spe_refvm_patch_runs_total", "Oracle runs served by patching moved holes in cached bytecode."),
 		refvmFallbacks:       reg.Counter("spe_refvm_fallbacks_total", "Oracle runs that fell back to a fresh bytecode compilation."),
+		refvmThreadedRuns:    reg.Counter("spe_refvm_runs_total", "Oracle runs by instruction dispatch engine.", obs.L("dispatch", "threaded")),
+		refvmSwitchRuns:      reg.Counter("spe_refvm_runs_total", "Oracle runs by instruction dispatch engine.", obs.L("dispatch", "switch")),
+		refvmBatchRuns:       reg.Counter("spe_refvm_batch_runs_total", "Oracle runs served inside a batched shard execution."),
+		refvmBatches:         reg.Counter("spe_refvm_batches_total", "Batched shard executions (one RunBatch per eligible shard)."),
 
 		costNsPerVariant: reg.Gauge("spe_cost_ns_per_variant", "EWMA per-variant wall-clock cost model (adaptive shard sizing)."),
 		reorderPending:   reg.Gauge("spe_reorder_pending_shards", "Shard results buffered awaiting in-order merge."),
@@ -303,6 +311,10 @@ func (t *Telemetry) observeMerge(r *taskResult) {
 		t.refvmCompiles.Add(so.refvm.TemplateCompiles)
 		t.refvmPatchRuns.Add(so.refvm.PatchRuns)
 		t.refvmFallbacks.Add(so.refvm.Fallbacks)
+		t.refvmThreadedRuns.Add(so.refvm.ThreadedRuns)
+		t.refvmSwitchRuns.Add(so.refvm.SwitchRuns)
+		t.refvmBatchRuns.Add(so.refvm.BatchRuns)
+		t.refvmBatches.Add(so.refvm.Batches)
 	}
 }
 

@@ -50,6 +50,15 @@ type Scale struct {
 	// skeleton-compiled UB-checking bytecode VM; "tree" = the historical
 	// tree-walking interpreter). Tables are identical under either.
 	Oracle string
+	// Dispatch selects the bytecode oracle's instruction dispatch engine
+	// ("" = threaded, the fused and specialized handler table; "switch" =
+	// the monolithic opcode switch baseline). Tables are identical under
+	// either.
+	Dispatch string
+	// NoOracleBatch disables the campaign's batched shard execution (one
+	// oracle VM checkout per shard); the baseline knob. Tables are
+	// identical either way.
+	NoOracleBatch bool
 	// Paranoid enables the campaign engine's per-variant render+reparse
 	// cross-check of the AST-resident instantiation (campaign.Config.
 	// Paranoid) and, under the bytecode oracle, the per-variant
@@ -297,6 +306,8 @@ func Campaign(scale Scale, versions []string) (*harness.Report, error) {
 		Schedule:           scale.Schedule,
 		TargetShardMillis:  scale.TargetShardMillis,
 		Oracle:             scale.Oracle,
+		Dispatch:           scale.Dispatch,
+		NoOracleBatch:      scale.NoOracleBatch,
 		Paranoid:           scale.Paranoid,
 		ForceRenderPath:    scale.ForceRenderPath,
 		Telemetry:          scale.Telemetry,

@@ -80,6 +80,18 @@ const (
 	opLimit
 	opCallMain
 	opHalt
+
+	// Superinstructions: fuseCode rewrites the first opcode of a hot
+	// adjacent pair in place (the second instruction stays in the stream
+	// as the operand word, read via code[pc+1] and skipped with pc+=2),
+	// so every jump target and call return address keeps its meaning.
+	opLoadVarBinop // scalar opLoadVar + opBinop   (a = varRef; next.a = binop code)
+	opConstBinop   // opConst + opBinop            (a = const;  next.a = binop code)
+	opBinopJz      // opBinop + opJz               (a = binop code; next.a = target)
+	opBinopJnz     // opBinop + opJnz              (a = binop code; next.a = target)
+	opConstStore   // opConst + opStoreConv        (a = const;  next.a = conv tidx)
+
+	nOps // count, sizes the threaded handler table
 )
 
 // opIncDec flag bits (instr.b).
@@ -99,8 +111,28 @@ type instr struct {
 	pos  int32
 }
 
-// binop operator codes (instr.a of opBinop), mirroring the operator
-// strings interp's binop dispatches on.
+// binop operator codes (instr.a of opBinop): the VM's arithmetic dispatch
+// switches on these directly; binopNames (same order) is kept only for
+// cold-path UB message formatting.
+const (
+	bopAdd int32 = iota
+	bopSub
+	bopMul
+	bopDiv
+	bopMod
+	bopShl
+	bopShr
+	bopAnd
+	bopOr
+	bopXor
+	bopEq
+	bopNe
+	bopLt
+	bopGt
+	bopLe
+	bopGe
+)
+
 var binopNames = []string{"+", "-", "*", "/", "%", "<<", ">>", "&", "|", "^", "==", "!=", "<", ">", "<=", ">="}
 
 var binopCode = func() map[string]int32 {
@@ -148,12 +180,15 @@ type paramInfo struct {
 	name   int32
 }
 
-// fnCode is one compiled function.
+// fnCode is one compiled function. handlers is the threaded-dispatch
+// function-pointer table, parallel to code, built once at compile time
+// (specialized per instruction where operand kinds are provable).
 type fnCode struct {
-	name   string
-	code   []instr
-	params []paramInfo
-	nslots int32
+	name     string
+	code     []instr
+	handlers []opFunc
+	params   []paramInfo
+	nslots   int32
 }
 
 // program is a compiled translation unit plus its side tables. The varRefs
@@ -231,6 +266,12 @@ type compiler struct {
 // hole use-sites (skeleton.Instance.HoleIdents): the compiler records the
 // varRef entries each hole feeds so Cache can patch rebindings in place.
 func compileProgram(prog *cc.Program, holes []*cc.Ident) *program {
+	return compileProgramOpt(prog, holes, false)
+}
+
+// compileProgramOpt additionally exposes the superinstruction fuser as a
+// switch (noFuse) so tests can pin fused against unfused execution.
+func compileProgramOpt(prog *cc.Program, holes []*cc.Ident, noFuse bool) *program {
 	c := &compiler{
 		p:        &program{tt: newTypeTable(), mainFn: -1},
 		prog:     prog,
@@ -320,6 +361,15 @@ func compileProgram(prog *cc.Program, holes []*cc.Ident) *program {
 	c.p.nameIdx = c.nameIdx
 	c.p.slotOf = c.slotOf
 	c.p.gslotOf = c.gslotOf
+	if !noFuse {
+		for _, fn := range c.p.fns {
+			fuseCode(c.p, fn)
+		}
+		fuseCode(c.p, c.p.entry)
+	}
+	// handler tables come last: they specialize on the final instruction
+	// stream (post-fusion) and the complete varRefs table.
+	buildHandlers(c.p)
 	return c.p
 }
 

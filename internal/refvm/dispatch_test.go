@@ -1,0 +1,283 @@
+package refvm
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+
+	"spe/internal/cc"
+	"spe/internal/corpus"
+	"spe/internal/interp"
+	"spe/internal/skeleton"
+	"spe/internal/spe"
+)
+
+// These tests pin the dispatch-engine equivalence contract: the threaded
+// (function-pointer handler table) and switch (monolithic opcode switch)
+// engines, with and without superinstruction fusion, must return
+// observationally identical Results — output bytes, exit status, abort
+// flag, UB kind+position, limit presence, and step count — for every
+// program, because the campaign's reports are a pure function of that
+// verdict surface.
+
+// TestDispatchEquivalence sweeps the corpus through both dispatch
+// engines and compares each against the tree-walking oracle.
+func TestDispatchEquivalence(t *testing.T) {
+	progs := corpus.Seeds()
+	n := 80
+	if testing.Short() {
+		n = 20
+	}
+	progs = append(progs, corpus.Generate(corpus.Config{N: n, Seed: 20170618})...)
+	for i, src := range progs {
+		prog := cc.MustAnalyze(src)
+		tree := interp.Run(prog, interp.Config{})
+		if err := diff(tree, Run(prog, Config{Dispatch: DispatchThreaded})); err != nil {
+			t.Errorf("file[%d] threaded: %v", i, err)
+		}
+		if err := diff(tree, Run(prog, Config{Dispatch: DispatchSwitch})); err != nil {
+			t.Errorf("file[%d] switch: %v", i, err)
+		}
+		if t.Failed() {
+			break
+		}
+	}
+}
+
+// countSuperOps tallies fused superinstructions across a compiled
+// program's functions.
+func countSuperOps(p *program) int {
+	n := 0
+	count := func(fn *fnCode) {
+		for i := range fn.code {
+			switch fn.code[i].op {
+			case opLoadVarBinop, opConstBinop, opBinopJz, opBinopJnz, opConstStore:
+				n++
+			}
+		}
+	}
+	for _, fn := range p.fns {
+		count(fn)
+	}
+	count(p.entry)
+	return n
+}
+
+// TestFusionEquivalence compiles every corpus program twice — with the
+// superinstruction pass on and off — and requires identical verdicts
+// from both under both dispatch engines. It also asserts the pass
+// actually fires: a corpus-wide zero fusion count means the pattern
+// matcher silently stopped matching the compiler's output shapes.
+func TestFusionEquivalence(t *testing.T) {
+	progs := corpus.Seeds()
+	n := 40
+	if testing.Short() {
+		n = 10
+	}
+	progs = append(progs, corpus.Generate(corpus.Config{N: n, Seed: 11})...)
+	fusedOps := 0
+	for i, src := range progs {
+		prog := cc.MustAnalyze(src)
+		fused := compileProgram(prog, nil)
+		plain := compileProgramOpt(prog, nil, true)
+		fusedOps += countSuperOps(fused)
+		if c := countSuperOps(plain); c != 0 {
+			t.Fatalf("file[%d]: noFuse compilation contains %d superinstructions", i, c)
+		}
+		for _, dispatch := range []string{DispatchSwitch, DispatchThreaded} {
+			a := newVMState().run(plain, Config{Dispatch: dispatch})
+			b := newVMState().run(fused, Config{Dispatch: dispatch})
+			if err := diff(a, b); err != nil {
+				t.Errorf("file[%d] %s dispatch: fused verdict diverges from unfused: %v\n--- source ---\n%s",
+					i, dispatch, err, src)
+			}
+		}
+		if t.Failed() {
+			break
+		}
+	}
+	if fusedOps == 0 {
+		t.Fatal("superinstruction pass fused nothing across the whole corpus")
+	}
+}
+
+// TestFusionShapes pins each superinstruction pattern individually: a
+// program built around one hot pair must fuse it, and the fused program
+// must still agree with the tree-walker.
+func TestFusionShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		op   uint8
+		src  string
+	}{
+		{"scalar load + binop", opLoadVarBinop, `
+int main() {
+    int a = 3, b = 4;
+    return a + b;
+}`},
+		{"const + binop", opConstBinop, `
+int main() {
+    int a = 3;
+    return a * 7;
+}`},
+		// In `i < 5` the const+binop pair fuses first and consumes the
+		// compare, so the branch shape needs a compare whose operands are
+		// themselves fused pairs.
+		{"compare + jz", opBinopJz, `
+int main() {
+    int i = 0, n = 3;
+    while (i * i < n * n) { i = i + 1; }
+    return i;
+}`},
+		{"const + store", opConstStore, `
+int main() {
+    int a;
+    a = 41;
+    return a + 1;
+}`},
+	}
+	for _, tc := range cases {
+		prog := cc.MustAnalyze(tc.src)
+		p := compileProgram(prog, nil)
+		found := false
+		scan := func(fn *fnCode) {
+			for i := range fn.code {
+				if fn.code[i].op == tc.op {
+					found = true
+				}
+			}
+		}
+		for _, fn := range p.fns {
+			scan(fn)
+		}
+		scan(p.entry)
+		if !found {
+			t.Errorf("%s: expected superinstruction not emitted", tc.name)
+		}
+		tree := interp.Run(prog, interp.Config{})
+		for _, dispatch := range []string{DispatchSwitch, DispatchThreaded} {
+			if err := diff(tree, newVMState().run(p, Config{Dispatch: dispatch})); err != nil {
+				t.Errorf("%s (%s dispatch): %v", tc.name, dispatch, err)
+			}
+		}
+	}
+}
+
+// TestBatchRunIdentity drives Cache.RunBatch over enumerated skeleton
+// variants exactly like a campaign shard and requires each batched
+// Result to be identical to a per-variant Cache.Run of the same fill —
+// including Steps, UB kind and position, and output bytes — under both
+// dispatch engines.
+func TestBatchRunIdentity(t *testing.T) {
+	progs := corpus.Seeds()
+	gen := 10
+	maxVariants := int64(30)
+	if testing.Short() {
+		gen, maxVariants = 3, 12
+	}
+	progs = append(progs, corpus.Generate(corpus.Config{N: gen, Seed: 7})...)
+
+	for _, dispatch := range []string{DispatchThreaded, DispatchSwitch} {
+		cfg := Config{Dispatch: dispatch}
+		for fi, src := range progs {
+			prog := cc.MustAnalyze(src)
+			sk, err := skeleton.Build(prog)
+			if err != nil {
+				t.Fatalf("file[%d]: skeleton: %v", fi, err)
+			}
+			newSpace := func() *spe.Space {
+				space, err := spe.NewSpace(sk, spe.Options{Mode: spe.ModeCanonical})
+				if err != nil {
+					t.Fatalf("file[%d]: space: %v", fi, err)
+				}
+				return space
+			}
+			total := newSpace().Total()
+			n := maxVariants
+			if total.IsInt64() && total.Int64() < n {
+				n = total.Int64()
+			}
+
+			// pass 1: per-variant Cache.Run, the reference sequence
+			spaceA := newSpace()
+			cacheA := NewCache()
+			want := make([]*interp.Result, n)
+			idx := new(big.Int)
+			for j := int64(0); j < n; j++ {
+				idx.SetInt64(j)
+				in, release, err := spaceA.AcquireAt(idx)
+				if err != nil {
+					t.Fatalf("file[%d] variant %d: %v", fi, j, err)
+				}
+				want[j] = cacheA.Run(in.Program(), in.HoleIdents(), cfg)
+				release()
+			}
+
+			// pass 2: one RunBatch over the same fills
+			spaceB := newSpace()
+			cacheB := NewCache()
+			idx.SetInt64(0)
+			in, release, err := spaceB.AcquireAt(idx)
+			if err != nil {
+				t.Fatalf("file[%d]: acquire: %v", fi, err)
+			}
+			bind := func(i int) error {
+				if i == 0 {
+					return nil
+				}
+				idx.SetInt64(int64(i))
+				fill, _, err := spaceB.FillDeltaAt(idx)
+				if err != nil {
+					return err
+				}
+				return in.Instantiate(fill)
+			}
+			yield := func(i int, res *interp.Result) error {
+				if err := diff(want[i], res); err != nil {
+					return fmt.Errorf("variant %d: batched verdict diverges: %w", i, err)
+				}
+				return nil
+			}
+			err = cacheB.RunBatch(in.Program(), in.HoleIdents(), cfg, int(n), bind, yield)
+			release()
+			if err != nil {
+				t.Errorf("file[%d] (%s dispatch): %v", fi, dispatch, err)
+			}
+			st := cacheB.Stats()
+			if st.Batches != 1 || st.BatchRuns != n {
+				t.Errorf("file[%d]: batch stats = %+v, want 1 batch of %d runs", fi, st, n)
+			}
+			if t.Failed() {
+				return
+			}
+		}
+	}
+}
+
+// TestDispatchStats pins the per-engine run counters the campaign
+// telemetry consumes.
+func TestDispatchStats(t *testing.T) {
+	src := corpus.Seeds()[0]
+	prog := cc.MustAnalyze(src)
+	sk, err := skeleton.Build(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := spe.NewSpace(sk, spe.Options{Mode: spe.ModeCanonical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, release, err := space.AcquireAt(big.NewInt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ca := NewCache()
+	ca.Run(in.Program(), in.HoleIdents(), Config{})
+	ca.Run(in.Program(), in.HoleIdents(), Config{Dispatch: DispatchThreaded})
+	ca.Run(in.Program(), in.HoleIdents(), Config{Dispatch: DispatchSwitch})
+	st := ca.Stats()
+	if st.ThreadedRuns != 2 || st.SwitchRuns != 1 {
+		t.Errorf("dispatch counters = %+v, want 2 threaded (default + explicit) and 1 switch", st)
+	}
+}

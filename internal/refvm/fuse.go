@@ -1,0 +1,75 @@
+package refvm
+
+// Superinstruction fusion: the hottest opcode pairs in campaign profiles
+// (scalar load + binop, const + binop, compare + conditional branch,
+// const + store) collapse into one dispatch each. The rewrite is strictly
+// in place — the second instruction of a fused pair stays in the stream
+// as the superinstruction's operand word and is skipped at run time with
+// pc+=2 — so every jump target, call return address, and varRef-indexed
+// hole patch site keeps its meaning; fused templates patch exactly like
+// unfused ones.
+//
+// A pair is fused only when
+//   - the second instruction is not a jump target or a call return
+//     address (control flow may never land in the middle of a pair), and
+//   - the second instruction carries no pending step (always true for the
+//     fused shapes — the compiler flushes pending steps onto a subtree's
+//     first instruction — but checked, since step accounting is part of
+//     the oracle's observable surface), and
+//   - for load+binop, the loaded variable is provably scalar in the
+//     interned type table (patch-stable: Cache.patch refuses rebindings
+//     that change a hole's interned type, so an aggregate can never
+//     appear under a scalar-specialized superinstruction).
+
+func fuseCode(p *program, fn *fnCode) {
+	code := fn.code
+	if len(code) < 2 {
+		return
+	}
+	// Addresses control flow can land on: explicit jump targets, the lazy
+	// printf/static resume points, and call return addresses.
+	target := make([]bool, len(code)+1)
+	for i := range code {
+		switch code[i].op {
+		case opJmp, opJz, opJnz:
+			target[code[i].a] = true
+		case opStaticBegin, opPrintfBegin, opPrintfFeed:
+			target[code[i].b] = true
+		case opCallV, opCallD, opCallMain:
+			target[i+1] = true
+		}
+	}
+	for i := 0; i+1 < len(code); i++ {
+		if target[i+1] || code[i+1].step != 0 {
+			continue
+		}
+		in := &code[i]
+		switch nop := code[i+1].op; {
+		case in.op == opLoadVar && nop == opBinop && scalarRef(p, in.a):
+			in.op = opLoadVarBinop
+			i++
+		case in.op == opConst && nop == opBinop:
+			in.op = opConstBinop
+			i++
+		case in.op == opBinop && nop == opJz:
+			in.op = opBinopJz
+			i++
+		case in.op == opBinop && nop == opJnz:
+			in.op = opBinopJnz
+			i++
+		case in.op == opConst && nop == opStoreConv:
+			in.op = opConstStore
+			i++
+		}
+	}
+}
+
+// scalarRef reports whether a varRef's interned type is loaded as a
+// scalar by opLoadVar (aggregates push their storage pointer instead).
+func scalarRef(p *program, vi int32) bool {
+	switch p.tt.entries[p.varRefs[vi].allocT].kind {
+	case tkArray, tkStruct:
+		return false
+	}
+	return true
+}

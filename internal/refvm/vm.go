@@ -22,12 +22,22 @@ const (
 	ubNoReturnValue  = int32(interp.UBNoReturnValue)
 )
 
+// Dispatch modes. Both execute the same bytecode (superinstruction fusion
+// happens at compile time, before the mode is chosen) and produce
+// byte-identical Results; switch dispatch is the simpler loop kept as a
+// cross-checking referee and an escape hatch.
+const (
+	DispatchThreaded = "threaded" // function-pointer handler table (default)
+	DispatchSwitch   = "switch"   // monolithic opcode switch
+)
+
 // Config bounds an execution; the defaults match interp.Config so the two
 // oracles agree on every resource verdict.
 type Config struct {
-	MaxSteps  int64 // default 2,000,000
-	MaxDepth  int   // default 256
-	MaxOutput int   // default 1 MiB
+	MaxSteps  int64  // default 2,000,000
+	MaxDepth  int    // default 256
+	MaxOutput int    // default 1 MiB
+	Dispatch  string // DispatchThreaded (default) or DispatchSwitch
 }
 
 func (c Config) withDefaults() Config {
@@ -39,6 +49,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxOutput == 0 {
 		c.MaxOutput = 1 << 20
+	}
+	if c.Dispatch == "" {
+		c.Dispatch = DispatchThreaded
 	}
 	return c
 }
@@ -105,6 +118,11 @@ type vmState struct {
 	exit    int
 	hasRet  bool
 	retVal  Value
+
+	// tfn is the threaded-dispatch loop's current function: call/return
+	// handlers retarget it and the loop reloads its code/handler tables
+	// when it moves (nil = halt). The switch loop ignores it.
+	tfn *fnCode
 }
 
 func newVMState() *vmState {
@@ -174,7 +192,11 @@ func (vm *vmState) run(p *program, cfg Config) (res *interp.Result) {
 		res.Output = string(vm.out)
 		res.Steps = vm.steps
 	}()
-	vm.exec()
+	if vm.cfg.Dispatch == DispatchSwitch {
+		vm.exec()
+	} else {
+		vm.execThreaded()
+	}
 	res.Exit = vm.exit
 	return res
 }
@@ -393,7 +415,58 @@ func (vm *vmState) exec() {
 		case opBinop:
 			y := vm.pop()
 			x := vm.pop()
-			vm.push(vm.binop(binopNames[in.a], x, y, in.pos))
+			vm.push(vm.binop(in.a, x, y, in.pos))
+
+		// Superinstructions: the absorbed second instruction sits at pc+1
+		// as the operand word (see fuseCode); pc advances by 2.
+		case opLoadVarBinop:
+			vr := &vm.p.varRefs[in.a]
+			h := vm.varObj(vr)
+			cell := &vm.objs[h].cells[0]
+			if !cell.init {
+				vm.ub(ubUninitRead, in.pos, "object %s cell %d", vm.p.names[vr.name], 0)
+			}
+			nxt := &code[pc+1]
+			x := vm.pop()
+			vm.push(vm.binop(nxt.a, x, cell.val, nxt.pos))
+			pc += 2
+			continue
+
+		case opConstBinop:
+			nxt := &code[pc+1]
+			x := vm.pop()
+			vm.push(vm.binop(nxt.a, x, vm.p.consts[in.a], nxt.pos))
+			pc += 2
+			continue
+
+		case opBinopJz:
+			y := vm.pop()
+			x := vm.pop()
+			if vm.binop(in.a, x, y, in.pos).isZero() {
+				pc = code[pc+1].a
+			} else {
+				pc += 2
+			}
+			continue
+
+		case opBinopJnz:
+			y := vm.pop()
+			x := vm.pop()
+			if !vm.binop(in.a, x, y, in.pos).isZero() {
+				pc = code[pc+1].a
+			} else {
+				pc += 2
+			}
+			continue
+
+		case opConstStore:
+			nxt := &code[pc+1]
+			p := vm.pop()
+			cv := vm.convertAt(vm.p.consts[in.a], nxt.a, nxt.pos)
+			vm.store(p, cv, nxt.pos)
+			vm.push(cv)
+			pc += 2
+			continue
 
 		case opNot:
 			v := vm.pop()
@@ -406,7 +479,7 @@ func (vm *vmState) exec() {
 			} else {
 				t := typeOf(v)
 				zero := Value{Kind: kInt, TIdx: t}
-				vm.push(vm.intArith("-", zero, v, in.pos, t))
+				vm.push(vm.intArith(bopSub, zero, v, in.pos, t))
 			}
 
 		case opBitNot:
@@ -420,9 +493,9 @@ func (vm *vmState) exec() {
 		case opIncDec:
 			p := vm.pop()
 			old := vm.load(p, in.pos, in.a, in.b&incAgg != 0)
-			op := "+"
+			op := bopAdd
 			if in.b&incDec != 0 {
-				op = "-"
+				op = bopSub
 			}
 			one := Value{Kind: kInt, Bits: 1, TIdx: basicInt}
 			nv := vm.addSub(op, old, one, in.pos, typeOf(old))
@@ -710,7 +783,7 @@ func boolValue(b bool) Value {
 // compact value word, bit for bit: same UB conditions, same messages,
 // same result typing (including the quirks around non-basic types).
 
-func (vm *vmState) binop(op string, x, y Value, posIdx int32) Value {
+func (vm *vmState) binop(op int32, x, y Value, posIdx int32) Value {
 	if x.Kind == kPtr || y.Kind == kPtr {
 		return vm.ptrOp(op, x, y, posIdx)
 	}
@@ -718,31 +791,31 @@ func (vm *vmState) binop(op string, x, y Value, posIdx int32) Value {
 		return vm.floatOp(op, x, y, posIdx)
 	}
 	switch op {
-	case "+", "-", "*", "/", "%":
+	case bopAdd, bopSub, bopMul, bopDiv, bopMod:
 		t := usual(typeOf(x), typeOf(y))
 		return vm.intArith(op, x, y, posIdx, t)
-	case "<<", ">>":
+	case bopShl, bopShr:
 		return vm.shift(op, x, y, posIdx)
-	case "&", "|", "^":
+	case bopAnd, bopOr, bopXor:
 		t := usual(typeOf(x), typeOf(y))
 		var r int64
 		switch op {
-		case "&":
+		case bopAnd:
 			r = iOf(x) & iOf(y)
-		case "|":
+		case bopOr:
 			r = iOf(x) | iOf(y)
-		case "^":
+		default:
 			r = iOf(x) ^ iOf(y)
 		}
 		return vm.p.tt.mkInt(r, t)
-	case "==", "!=", "<", ">", "<=", ">=":
+	case bopEq, bopNe, bopLt, bopGt, bopLe, bopGe:
 		return boolValue(intCompare(op, x, y))
 	default:
-		panic("refvm: unknown binop " + op)
+		panic(fmt.Sprintf("refvm: unknown binop code %d", op))
 	}
 }
 
-func intCompare(op string, x, y Value) bool {
+func intCompare(op int32, x, y Value) bool {
 	t := usual(typeOf(x), typeOf(y))
 	if isUnsigned(t) {
 		a, b := uint64(truncTidx(iOf(x), t)), uint64(truncTidx(iOf(y), t))
@@ -752,15 +825,15 @@ func intCompare(op string, x, y Value) bool {
 			b &= mask
 		}
 		switch op {
-		case "==":
+		case bopEq:
 			return a == b
-		case "!=":
+		case bopNe:
 			return a != b
-		case "<":
+		case bopLt:
 			return a < b
-		case ">":
+		case bopGt:
 			return a > b
-		case "<=":
+		case bopLe:
 			return a <= b
 		default:
 			return a >= b
@@ -768,15 +841,15 @@ func intCompare(op string, x, y Value) bool {
 	}
 	a, b := iOf(x), iOf(y)
 	switch op {
-	case "==":
+	case bopEq:
 		return a == b
-	case "!=":
+	case bopNe:
 		return a != b
-	case "<":
+	case bopLt:
 		return a < b
-	case ">":
+	case bopGt:
 		return a > b
-	case "<=":
+	case bopLe:
 		return a <= b
 	default:
 		return a >= b
@@ -784,7 +857,7 @@ func intCompare(op string, x, y Value) bool {
 }
 
 // addSub mirrors machine.addSub.
-func (vm *vmState) addSub(op string, x, y Value, posIdx int32, t int32) Value {
+func (vm *vmState) addSub(op int32, x, y Value, posIdx int32, t int32) Value {
 	if x.Kind == kPtr {
 		return vm.ptrOp(op, x, y, posIdx)
 	}
@@ -794,7 +867,7 @@ func (vm *vmState) addSub(op string, x, y Value, posIdx int32, t int32) Value {
 	return vm.intArith(op, x, y, posIdx, t)
 }
 
-func (vm *vmState) intArith(op string, x, y Value, posIdx int32, t int32) Value {
+func (vm *vmState) intArith(op int32, x, y Value, posIdx int32, t int32) Value {
 	if isUnsigned(t) {
 		w := widthOf(t)
 		a, b := uint64(iOf(x)), uint64(iOf(y))
@@ -805,18 +878,18 @@ func (vm *vmState) intArith(op string, x, y Value, posIdx int32, t int32) Value 
 		}
 		var r uint64
 		switch op {
-		case "+":
+		case bopAdd:
 			r = a + b
-		case "-":
+		case bopSub:
 			r = a - b
-		case "*":
+		case bopMul:
 			r = a * b
-		case "/":
+		case bopDiv:
 			if b == 0 {
 				vm.ub(ubDivByZero, posIdx, "")
 			}
 			r = a / b
-		case "%":
+		case bopMod:
 			if b == 0 {
 				vm.ub(ubDivByZero, posIdx, "")
 			}
@@ -827,22 +900,22 @@ func (vm *vmState) intArith(op string, x, y Value, posIdx int32, t int32) Value 
 	a, b := iOf(x), iOf(y)
 	var r int64
 	switch op {
-	case "+":
+	case bopAdd:
 		r = a + b
 		if (a > 0 && b > 0 && r < a) || (a < 0 && b < 0 && r > a) {
 			vm.ub(ubSignedOverflow, posIdx, "%d + %d", a, b)
 		}
-	case "-":
+	case bopSub:
 		r = a - b
 		if (b < 0 && r < a) || (b > 0 && r > a) {
 			vm.ub(ubSignedOverflow, posIdx, "%d - %d", a, b)
 		}
-	case "*":
+	case bopMul:
 		r = a * b
 		if a != 0 && (r/a != b || (a == -1 && b == math.MinInt64)) {
 			vm.ub(ubSignedOverflow, posIdx, "%d * %d", a, b)
 		}
-	case "/":
+	case bopDiv:
 		if b == 0 {
 			vm.ub(ubDivByZero, posIdx, "")
 		}
@@ -850,7 +923,7 @@ func (vm *vmState) intArith(op string, x, y Value, posIdx int32, t int32) Value 
 			vm.ub(ubSignedOverflow, posIdx, "INT_MIN / -1")
 		}
 		r = a / b
-	case "%":
+	case bopMod:
 		if b == 0 {
 			vm.ub(ubDivByZero, posIdx, "")
 		}
@@ -875,7 +948,7 @@ func (vm *vmState) typeName(t int32) interface{} {
 	return vm.p.tt.entries[t].typ
 }
 
-func (vm *vmState) shift(op string, x, y Value, posIdx int32) Value {
+func (vm *vmState) shift(op int32, x, y Value, posIdx int32) Value {
 	t := promote(typeOf(x))
 	w := widthOf(t)
 	yi := iOf(y)
@@ -888,7 +961,7 @@ func (vm *vmState) shift(op string, x, y Value, posIdx int32) Value {
 			a &= uint64(1)<<w - 1
 		}
 		var r uint64
-		if op == "<<" {
+		if op == bopShl {
 			r = a << uint(yi)
 		} else {
 			r = a >> uint(yi)
@@ -896,7 +969,7 @@ func (vm *vmState) shift(op string, x, y Value, posIdx int32) Value {
 		return vm.p.tt.mkInt(int64(r), t)
 	}
 	xi := iOf(x)
-	if op == "<<" {
+	if op == bopShl {
 		if xi < 0 {
 			vm.ub(ubShift, posIdx, "left shift of negative value %d", xi)
 		}
@@ -909,37 +982,37 @@ func (vm *vmState) shift(op string, x, y Value, posIdx int32) Value {
 	return vm.p.tt.mkInt(xi>>uint(yi), t)
 }
 
-func (vm *vmState) floatOp(op string, x, y Value, posIdx int32) Value {
+func (vm *vmState) floatOp(op int32, x, y Value, posIdx int32) Value {
 	a := toF(x)
 	b := toF(y)
 	switch op {
-	case "+":
+	case bopAdd:
 		return vm.p.tt.mkFloat(a+b, basicDouble)
-	case "-":
+	case bopSub:
 		return vm.p.tt.mkFloat(a-b, basicDouble)
-	case "*":
+	case bopMul:
 		return vm.p.tt.mkFloat(a*b, basicDouble)
-	case "/":
+	case bopDiv:
 		return vm.p.tt.mkFloat(a/b, basicDouble) // IEEE division by zero is defined
-	case "==", "!=", "<", ">", "<=", ">=":
+	case bopEq, bopNe, bopLt, bopGt, bopLe, bopGe:
 		var r bool
 		switch op {
-		case "==":
+		case bopEq:
 			r = a == b
-		case "!=":
+		case bopNe:
 			r = a != b
-		case "<":
+		case bopLt:
 			r = a < b
-		case ">":
+		case bopGt:
 			r = a > b
-		case "<=":
+		case bopLe:
 			r = a <= b
 		default:
 			r = a >= b
 		}
 		return boolValue(r)
 	default:
-		vm.ub(ubShift, posIdx, "invalid float operation %s", op)
+		vm.ub(ubShift, posIdx, "invalid float operation %s", binopNames[op])
 		panic("unreachable")
 	}
 }
@@ -954,12 +1027,12 @@ func toF(v Value) float64 {
 	return float64(iOf(v))
 }
 
-func (vm *vmState) ptrOp(op string, x, y Value, posIdx int32) Value {
+func (vm *vmState) ptrOp(op int32, x, y Value, posIdx int32) Value {
 	switch op {
-	case "+", "-":
+	case bopAdd, bopSub:
 		if x.Kind == kPtr && y.Kind == kInt {
 			delta := iOf(y) * int64(vm.p.tt.cells(x.TIdx))
-			if op == "-" {
+			if op == bopSub {
 				delta = -delta
 			}
 			noff := x.off() + delta
@@ -970,17 +1043,17 @@ func (vm *vmState) ptrOp(op string, x, y Value, posIdx int32) Value {
 			}
 			return mkPtr(x.Obj, noff, x.TIdx)
 		}
-		if x.Kind == kInt && y.Kind == kPtr && op == "+" {
-			return vm.ptrOp("+", y, x, posIdx)
+		if x.Kind == kInt && y.Kind == kPtr && op == bopAdd {
+			return vm.ptrOp(bopAdd, y, x, posIdx)
 		}
-		if x.Kind == kPtr && y.Kind == kPtr && op == "-" {
+		if x.Kind == kPtr && y.Kind == kPtr && op == bopSub {
 			if x.Obj != y.Obj {
 				vm.ub(ubOutOfBounds, posIdx, "subtracting pointers to different objects")
 			}
 			scale := int64(vm.p.tt.cells(x.TIdx))
 			return vm.p.tt.mkInt((x.off()-y.off())/scale, basicLong)
 		}
-	case "==", "!=":
+	case bopEq, bopNe:
 		same := x.Kind == kPtr && y.Kind == kPtr && x.Obj == y.Obj && x.off() == y.off()
 		if x.Kind == kInt && iOf(x) == 0 {
 			same = y.isNull()
@@ -988,11 +1061,11 @@ func (vm *vmState) ptrOp(op string, x, y Value, posIdx int32) Value {
 		if y.Kind == kInt && iOf(y) == 0 {
 			same = x.isNull()
 		}
-		if op == "!=" {
+		if op == bopNe {
 			same = !same
 		}
 		return boolValue(same)
-	case "<", ">", "<=", ">=":
+	case bopLt, bopGt, bopLe, bopGe:
 		if x.Kind != kPtr || y.Kind != kPtr || x.Obj != y.Obj {
 			vm.ub(ubOutOfBounds, posIdx, "relational comparison of unrelated pointers")
 		}
@@ -1000,7 +1073,7 @@ func (vm *vmState) ptrOp(op string, x, y Value, posIdx int32) Value {
 		yo := vm.p.tt.mkInt(y.off(), basicLong)
 		return boolValue(intCompare(op, xo, yo))
 	}
-	vm.ub(ubOutOfBounds, posIdx, "invalid pointer operation %s", op)
+	vm.ub(ubOutOfBounds, posIdx, "invalid pointer operation %s", binopNames[op])
 	panic("unreachable")
 }
 

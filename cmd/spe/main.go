@@ -16,7 +16,8 @@
 //	             [-versions list] [-schedule fifo|coverage]
 //	             [-target-shard-ms N] [-curve] [-reduce] [-inter]
 //	             [-oracle tree|bytecode] [-dispatch threaded|switch]
-//	             [-oracle-batch=false] [-paranoid] [-render-path]
+//	             [-oracle-batch=false] [-backend-dispatch threaded|switch]
+//	             [-backend-batch=false] [-paranoid] [-render-path]
 //	             [-backend-reuse=false] [-status-addr host:port]
 //	             [-progress 30s] [-cpuprofile path] [-memprofile path]
 //	             [file.c ...]
@@ -43,7 +44,14 @@
 //	                                 table), -oracle-batch=false disables
 //	                                 batched shard execution (one oracle
 //	                                 VM checkout per shard instead of
-//	                                 per variant),
+//	                                 per variant), -backend-dispatch=switch
+//	                                 restores the compiled-binary VM's
+//	                                 monolithic opcode switch (the default
+//	                                 threaded engine dispatches the fused
+//	                                 minicc IR through a handler table),
+//	                                 -backend-batch=false disables the
+//	                                 batched per-config compiler walk
+//	                                 inside batched shards,
 //	                                 -paranoid cross-checks every
 //	                                 instantiation against a fresh
 //	                                 render+reparse, every patched IR
@@ -186,6 +194,8 @@ func campaignMain(args []string) error {
 	oracle := fs.String("oracle", campaign.OracleBytecode, "reference oracle: bytecode (skeleton-compiled UB-checking bytecode VM) or tree (historical tree-walking interpreter); reports are byte-identical either way")
 	dispatch := fs.String("dispatch", campaign.DispatchThreaded, "bytecode oracle instruction dispatch: threaded (fused, specialized handler table) or switch (monolithic opcode switch); reports are byte-identical either way")
 	oracleBatch := fs.Bool("oracle-batch", true, "batch each shard's oracle runs on one checked-out VM, re-patching moved holes between runs (same report; disable as baseline or to bisect)")
+	backendDispatch := fs.String("backend-dispatch", campaign.BackendDispatchThreaded, "compiled-binary VM instruction dispatch: threaded (fused handler table) or switch (monolithic opcode switch); reports are byte-identical either way")
+	backendBatch := fs.Bool("backend-batch", true, "inside a batched shard, drain each compiler configuration over all clean variants through one batched walk (same report; disable as baseline or to bisect)")
 	paranoid := fs.Bool("paranoid", false, "cross-check every AST-instantiated variant against a fresh render+reparse, every patched IR template against a fresh lowering, and (with -oracle=bytecode) every bytecode oracle verdict against the tree-walking interpreter (debug mode; slower)")
 	renderPath := fs.Bool("render-path", false, "use the historical render+reparse pipeline instead of AST-resident instantiation (baseline; same report)")
 	backendReuse := fs.Bool("backend-reuse", true, "reuse pooled backend state across variants: interpreter machine pooling and skeleton-keyed compiler IR templates (same report; disable as baseline or to bisect)")
@@ -278,6 +288,8 @@ func campaignMain(args []string) error {
 		Oracle:             *oracle,
 		Dispatch:           *dispatch,
 		NoOracleBatch:      !*oracleBatch,
+		BackendDispatch:    *backendDispatch,
+		NoBackendBatch:     !*backendBatch,
 		Paranoid:           *paranoid,
 		ForceRenderPath:    *renderPath,
 		NoBackendReuse:     !*backendReuse,

@@ -7,7 +7,8 @@
 //	spebench [-quick] [-workers N] [-checkpoint path]
 //	         [-schedule fifo|coverage] [-target-shard-ms N]
 //	         [-oracle tree|bytecode] [-dispatch threaded|switch]
-//	         [-oracle-batch=false] [-paranoid] [-bench-json path]
+//	         [-oracle-batch=false] [-backend-dispatch threaded|switch]
+//	         [-backend-batch=false] [-paranoid] [-bench-json path]
 //	         [-cpuprofile path] [-memprofile path]
 //	         [-status-addr host:port] [-progress 30s] [experiment...]
 //
@@ -27,7 +28,12 @@
 // specialized handler table, or switch, the monolithic opcode switch
 // baseline) and -oracle-batch=false disables batched shard execution;
 // tables are identical under any combination, and the oracle experiment
-// measures both axes regardless of the flags. -paranoid cross-checks the
+// measures both axes regardless of the flags. -backend-dispatch selects
+// the compiled-binary minicc VM's dispatch engine the same way, and
+// -backend-batch=false disables the batched per-config compiler walk
+// inside batched shards; tables are identical under any combination, and
+// the backend experiment measures both axes regardless of the flags.
+// -paranoid cross-checks the
 // AST-resident instantiation per variant (render+reparse+binding
 // assertion; for the backend experiment it also checks every patched IR
 // template against a fresh lowering, and for the oracle experiment every
@@ -78,6 +84,8 @@ func benchMain() int {
 	oracle := flag.String("oracle", "", "campaign reference oracle: bytecode (default) or tree; tables are identical either way")
 	dispatch := flag.String("dispatch", "", "bytecode oracle instruction dispatch: threaded (default) or switch; tables are identical either way")
 	oracleBatch := flag.Bool("oracle-batch", true, "batch each campaign shard's oracle runs on one checked-out VM (disable as baseline; tables are identical either way)")
+	backendDispatch := flag.String("backend-dispatch", "", "compiled-binary minicc VM instruction dispatch: threaded (default) or switch; tables are identical either way")
+	backendBatch := flag.Bool("backend-batch", true, "drain each compiler configuration over a batched shard's clean variants in one walk (disable as baseline; tables are identical either way)")
 	paranoid := flag.Bool("paranoid", false, "cross-check the AST-resident instantiation per variant (render+reparse+binding assertion)")
 	benchJSON := flag.String("bench-json", "", "write the variants experiment's result to this path as JSON")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this path")
@@ -127,6 +135,8 @@ func benchMain() int {
 	scale.Oracle = *oracle
 	scale.Dispatch = *dispatch
 	scale.NoOracleBatch = !*oracleBatch
+	scale.BackendDispatch = *backendDispatch
+	scale.NoBackendBatch = !*backendBatch
 	scale.Paranoid = *paranoid
 	scale.Telemetry = tel
 	which := flag.Args()

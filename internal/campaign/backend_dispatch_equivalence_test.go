@@ -1,0 +1,143 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// These tests pin the speed-axis invariant of the compiled-binary backend
+// rework: campaign reports are byte-identical across -backend-dispatch
+// threaded (the default fused handler-table minicc VM) and switch (the
+// monolithic opcode switch), and with the batched per-config shard walk on
+// and off (-backend-batch) — across worker counts and schedules, under
+// -paranoid, and through checkpoint/resume. The baseline is the
+// variant-outer, switch-dispatch shape (the PR 7 semantics), so every cell
+// is compared against it rather than against a sibling cell.
+
+// TestBackendDispatchEquivalenceMatrix is the full cross of backend
+// dispatch engine x per-config batching x schedule x workers against the
+// variant-outer switch baseline.
+func TestBackendDispatchEquivalenceMatrix(t *testing.T) {
+	base := backendBaseConfig()
+	base.Workers = 1
+	base.BackendDispatch = BackendDispatchSwitch
+	base.NoBackendBatch = true
+	want := mustRun(t, base).Format()
+
+	workerCounts := []int{1, 3}
+	schedules := []string{ScheduleFIFO, ScheduleCoverage}
+	if testing.Short() {
+		workerCounts = []int{3} // race CI: one parallel config per cell
+		schedules = []string{ScheduleFIFO}
+	}
+	for _, schedule := range schedules {
+		for _, workers := range workerCounts {
+			for _, dispatch := range []string{BackendDispatchThreaded, BackendDispatchSwitch} {
+				for _, noBatch := range []bool{false, true} {
+					cfg := backendBaseConfig()
+					cfg.Schedule = schedule
+					cfg.Workers = workers
+					cfg.BackendDispatch = dispatch
+					cfg.NoBackendBatch = noBatch
+					if got := mustRun(t, cfg).Format(); got != want {
+						t.Errorf("report diverges (schedule=%s workers=%d backend-dispatch=%s noBatch=%v):\n--- got ---\n%s--- baseline ---\n%s",
+							schedule, workers, dispatch, noBatch, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBackendDispatchParanoid runs both backend dispatch engines with
+// batching on under -paranoid, where every re-bound variant of the
+// config-outer walk carries the render+reparse and patched-IR
+// cross-checks; the report must still match the variant-outer baseline.
+func TestBackendDispatchParanoid(t *testing.T) {
+	base := backendBaseConfig()
+	base.Workers = 1
+	base.BackendDispatch = BackendDispatchSwitch
+	base.NoBackendBatch = true
+	want := mustRun(t, base).Format()
+
+	for _, dispatch := range []string{BackendDispatchThreaded, BackendDispatchSwitch} {
+		cfg := backendBaseConfig()
+		cfg.BackendDispatch = dispatch
+		cfg.Paranoid = true
+		cfg.Workers = 2
+		if got := mustRun(t, cfg).Format(); got != want {
+			t.Errorf("paranoid report diverges (backend-dispatch=%s):\n--- got ---\n%s--- baseline ---\n%s",
+				dispatch, got, want)
+		}
+	}
+}
+
+// TestBackendDispatchResume kills a checkpointed switch-dispatch batched
+// campaign mid-run and asserts the resumed report matches the baseline:
+// the checkpoint embeds BackendDispatch in its config, and the
+// config-outer walk replays deterministically from the shard boundary.
+func TestBackendDispatchResume(t *testing.T) {
+	base := backendBaseConfig()
+	base.Workers = 2
+	base.CheckpointEvery = 1
+
+	baseline := base
+	baseline.BackendDispatch = BackendDispatchSwitch
+	baseline.NoBackendBatch = true
+	want := mustRun(t, baseline).Format()
+
+	path := filepath.Join(t.TempDir(), "backend-dispatch.ckpt.json")
+	cfg := base
+	cfg.BackendDispatch = BackendDispatchSwitch
+	cfg.CheckpointPath = path
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Millisecond):
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				continue
+			}
+			var ck checkpointFile
+			if json.Unmarshal(data, &ck) == nil && ck.NextSeq >= 3 {
+				cancel()
+				return
+			}
+		}
+	}()
+	if _, err := RunContext(ctx, cfg); err == nil {
+		t.Log("campaign completed before cancellation; resume still replays the tail")
+	}
+	cancel()
+	<-done
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no checkpoint survived the kill: %v", err)
+	}
+	resumed, err := Resume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.Format(); got != want {
+		t.Errorf("resumed switch-dispatch report diverges from baseline:\n--- resumed ---\n%s--- baseline ---\n%s", got, want)
+	}
+}
+
+// TestBackendDispatchUnknownRejected pins the config validation.
+func TestBackendDispatchUnknownRejected(t *testing.T) {
+	cfg := backendBaseConfig()
+	cfg.BackendDispatch = "quantum"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown backend dispatch accepted")
+	}
+}

@@ -18,19 +18,31 @@ import (
 // verdicts through refvm.Cache.RunBatch on one checked-out VM — each
 // neighboring fill is rebound into the held instance and only the moved
 // hole sites are re-patched between runs — and then replays the compiler
-// configurations over the clean variants in the same ascending order.
-// The split keeps the oracle's bytecode, handler tables, and slab hot in
-// cache across the whole shard and drops the per-variant template lookup.
+// configurations over the clean variants. The split keeps the oracle's
+// bytecode, handler tables, and slab hot in cache across the whole shard
+// and drops the per-variant template lookup.
 //
-// Determinism: both phases walk the shard's enumeration indices in
-// ascending order, so the refvm patch sequence, the minicc replay
-// sequence, the shard-local attribution memo, coverage recording, and
-// symptom emission all replay exactly what the interleaved path does —
-// reports are byte-identical with batching on or off (pinned by the
-// dispatch-equivalence tests). Clean variants are instantiated twice
-// (once per phase); instantiation is orders of magnitude cheaper than a
-// differential test, so the second bind is noise next to the locality
-// won.
+// Phase 2 is itself batched (unless NoBackendBatch): the configuration
+// loop moves outside the variant loop, and each (version, opt) pair
+// drains every clean variant in ascending order through
+// minicc.Cache.RunBatch. One compiler configuration's template trace,
+// pass pipeline, and fused VM state then stay hot across the whole
+// shard, and the per-run setup (bug-set resolution, template lookup) is
+// paid once per configuration instead of once per execution.
+//
+// Determinism: every loop walks the shard's enumeration indices in
+// ascending order (and configurations in the campaign's canonical
+// version-outer, opt-inner order), so the refvm patch sequence, the
+// minicc replay sequence, the shard-local attribution memo, coverage
+// recording, and symptom emission all replay exactly what the
+// interleaved path does — the attribution memo is keyed per (version,
+// opt, symptom class), so the config-outer walk fills each key from the
+// same lowest-index variant the variant-outer walk does. Reports are
+// byte-identical with batching on or off (pinned by the
+// dispatch-equivalence tests). Clean variants are re-instantiated per
+// phase and per configuration; instantiation is orders of magnitude
+// cheaper than a compile+execute, so the extra binds are noise next to
+// the locality won.
 
 // batchEligible reports whether a shard can take the batched oracle
 // path: the bytecode oracle serving the AST-resident pipeline with
@@ -44,7 +56,7 @@ func batchEligible(cfg Config, be *backendState) bool {
 // two-phase batched pipeline, appending to res.variants. The -paranoid
 // cross-checks (sema invariants per bind, tree-walker verdict per run)
 // ride inside phase 1, exactly as they wrap the interleaved path.
-func runShardBatch(ctx context.Context, cfg Config, t *task, space *spe.Space, be *backendState, attr map[string]string, cov *minicc.Coverage, so *shardObs, res *taskResult) error {
+func runShardBatch(ctx context.Context, cfg Config, t *task, space *spe.Space, be *backendState, cl *classifier, cov *minicc.Coverage, so *shardObs, res *taskResult) error {
 	n := int(t.toJ - t.fromJ)
 	idx := new(big.Int)
 	stride := big.NewInt(t.plan.stride)
@@ -131,46 +143,147 @@ func runShardBatch(ctx context.Context, cfg Config, t *task, space *spe.Space, b
 		return err
 	}
 
-	// phase 2: compiler configurations over the clean variants, ascending
-	// — the same order the interleaved path classifies in
-	for i := 0; i < n; i++ {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		ref := refs[i]
-		vr := variantResult{}
-		if !ref.Defined() {
-			vr.status = statusUB
+	if cfg.NoBackendBatch {
+		// variant-outer fallback: one bind per clean variant, all compiler
+		// configurations interleaved through evalBackends — the benchmark
+		// baseline for the config-outer batched walk below
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			ref := refs[i]
+			vr := variantResult{}
+			if !ref.Defined() {
+				vr.status = statusUB
+				res.variants = append(res.variants, vr)
+				continue
+			}
+			vr.status = statusClean
+			setIdx(i)
+			if so != nil {
+				t0 = time.Now()
+			}
+			fill, _, err := space.FillDeltaAt(idx)
+			if err == nil {
+				err = in.Instantiate(fill)
+			}
+			if so != nil {
+				so.instNs += time.Since(t0).Nanoseconds()
+			}
+			if err != nil {
+				return wrap(i, err)
+			}
+			render := func() string { return cc.PrintFile(prog.File) }
+			if err := evalBackends(cfg, prog, holes, be, ref, render, cl, cov, so, &vr); err != nil {
+				return wrap(i, err)
+			}
 			res.variants = append(res.variants, vr)
-			continue
 		}
-		vr.status = statusClean
-		setIdx(i)
-		if so != nil {
-			t0 = time.Now()
-		}
-		fill, _, err := space.FillDeltaAt(idx)
-		if err == nil {
-			err = in.Instantiate(fill)
-		}
-		if so != nil {
-			so.instNs += time.Since(t0).Nanoseconds()
-		}
-		if err != nil {
-			return wrap(i, err)
-		}
-		render := func() string { return cc.PrintFile(prog.File) }
-		if so != nil {
-			t0 = time.Now()
-		}
-		err = evalBackends(cfg, prog, holes, be, ref, render, attr, cov, &vr)
-		if so != nil {
-			so.backendNs += time.Since(t0).Nanoseconds()
-		}
-		if err != nil {
-			return wrap(i, err)
-		}
-		res.variants = append(res.variants, vr)
+		return nil
 	}
+
+	// phase 2, config-outer: each (version, opt) pair drains all clean
+	// variants in ascending order through minicc.Cache.RunBatch, so one
+	// configuration's template trace and VM stay hot across the shard
+	slots := make([]variantResult, n)
+	clean := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if refs[i].Defined() {
+			slots[i].status = statusClean
+			clean = append(clean, i)
+		} else {
+			slots[i].status = statusUB
+		}
+	}
+	if len(clean) > 0 {
+		var tRun time.Time
+		bound := clean[0]
+		for _, ver := range cfg.Versions {
+			for _, opt := range cfg.OptLevels {
+				comp := &minicc.Compiler{Version: ver, Opt: opt, Seeded: true, Coverage: cov}
+				bind := func(k int) (minicc.ExecConfig, error) {
+					i := clean[k]
+					bound = i
+					if err := ctx.Err(); err != nil {
+						return minicc.ExecConfig{}, err
+					}
+					setIdx(i)
+					if so != nil {
+						t0 = time.Now()
+					}
+					fill, _, err := space.FillDeltaAt(idx)
+					if err == nil {
+						err = in.Instantiate(fill)
+					}
+					if so != nil {
+						now := time.Now()
+						so.instNs += now.Sub(t0).Nanoseconds()
+						tRun = now
+					}
+					if err != nil {
+						return minicc.ExecConfig{}, err
+					}
+					return minicc.ExecConfig{MaxSteps: refs[i].Steps*20 + 50_000, Dispatch: cfg.BackendDispatch}, nil
+				}
+				yield := func(k int, ro *minicc.RunOutcome) error {
+					i := clean[k]
+					if so != nil {
+						now := time.Now()
+						so.backendNs += now.Sub(tRun).Nanoseconds()
+						t0 = now
+					}
+					slots[i].executions++
+					if s, found := classifyOutcome(cfg, ver, opt, refs[i], ro, prog, cl); found {
+						if slots[i].src == "" {
+							// the instance is still bound to variant i while
+							// yield runs, so the test case can render here
+							slots[i].src = cc.PrintFile(prog.File)
+						}
+						cl.recs = append(cl.recs, symRec{slot: i, s: s})
+					}
+					if so != nil {
+						so.classifyNs += time.Since(t0).Nanoseconds()
+					}
+					return nil
+				}
+				if err := comp.RunBatch(be.cache, prog, holes, cfg.Paranoid, len(clean), bind, yield); err != nil {
+					if ctx.Err() != nil {
+						return ctx.Err()
+					}
+					return wrap(bound, err)
+				}
+			}
+		}
+	}
+	// bucket-fill the arrival-ordered symptom records into one shard-wide
+	// arena. Arrival order is config-outer, variant-inner; filtering it by
+	// slot recovers each variant's canonical (version, opt) symptom order,
+	// and the single allocation replaces one slice per symptomatic variant.
+	// The arena is allocated fresh per shard and handed off with the
+	// results, so nothing pooled escapes the task.
+	if len(cl.recs) > 0 {
+		counts := make([]int, n)
+		for _, r := range cl.recs {
+			counts[r.slot]++
+		}
+		arena := make([]symptom, len(cl.recs))
+		off := 0
+		for i := range slots {
+			c := counts[i]
+			if c == 0 {
+				continue
+			}
+			// zero-length, capacity-capped window: appends fill the arena in
+			// place and can never cross into the next variant's bucket
+			slots[i].symptoms = arena[off : off : off+c]
+			off += c
+		}
+		for _, r := range cl.recs {
+			s := &slots[r.slot]
+			s.symptoms = append(s.symptoms, r.s)
+		}
+		cl.recs = cl.recs[:0]
+	}
+	res.variants = append(res.variants, slots...)
 	return nil
 }

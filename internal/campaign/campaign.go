@@ -160,6 +160,27 @@ type Config struct {
 	// dispatch-equivalence tests); the knob exists as the benchmark
 	// baseline and for bisecting suspected batching bugs.
 	NoOracleBatch bool
+	// BackendDispatch selects the minicc VM's instruction dispatch engine
+	// for the compiled binaries under test: BackendDispatchThreaded (the
+	// default) executes the superinstruction-fused IR through a per-opcode
+	// handler table, BackendDispatchSwitch is the monolithic opcode switch
+	// running the same fused code. The two engines are observationally
+	// identical — same seeded crashes, coverage hits, trap/exit/output
+	// verdicts, and step accounting — so reports are byte-identical either
+	// way (pinned by the backend-dispatch-equivalence tests); the knob
+	// exists as the benchmark baseline and for bisecting suspected
+	// dispatch bugs.
+	BackendDispatch string
+	// NoBackendBatch disables batched compiler execution inside a batched
+	// shard. With batching on (the default, whenever the shard takes the
+	// batched oracle path), phase 2 walks configurations in the outer loop:
+	// each (version, opt) pair drains every UB-free variant in ascending
+	// order through minicc.Cache.RunBatch, keeping one compiler
+	// configuration's template trace, pass pipeline, and VM state hot
+	// across the whole shard. Reports are byte-identical either way
+	// (pinned by the backend-dispatch-equivalence tests); the knob exists
+	// as the benchmark baseline and for bisecting suspected batching bugs.
+	NoBackendBatch bool
 	// Telemetry, when non-nil, streams live campaign vitals: per-stage
 	// timing splits, pool and cache hit rates, shard latency, coverage
 	// frontier growth, findings by class — served over HTTP by
@@ -204,6 +225,13 @@ const (
 	DispatchSwitch   = refvm.DispatchSwitch
 )
 
+// BackendDispatch values for Config.BackendDispatch (aliases of minicc's,
+// so the flag surface and the backend VM agree by construction).
+const (
+	BackendDispatchThreaded = minicc.DispatchThreaded
+	BackendDispatchSwitch   = minicc.DispatchSwitch
+)
+
 func (c Config) withDefaults() Config {
 	if len(c.Versions) == 0 {
 		c.Versions = []string{"trunk"}
@@ -243,6 +271,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Dispatch == "" {
 		c.Dispatch = DispatchThreaded
+	}
+	if c.BackendDispatch == "" {
+		c.BackendDispatch = BackendDispatchThreaded
 	}
 	if c.Lookahead <= 0 {
 		c.Lookahead = 256

@@ -67,6 +67,38 @@ type variantResult struct {
 	symptoms   []symptom
 }
 
+// attrKey keys the shard-local wrong-code attribution memo: a compact
+// comparable struct instead of the historical "ver|opt|coarse" string, so
+// the per-mismatch memo probe allocates and formats nothing.
+type attrKey struct {
+	ver    string
+	opt    int
+	coarse string
+}
+
+// symRec is one symptom observed by the batched shard path, tagged with
+// its variant slot. Records accumulate in arrival order and are
+// bucket-filled into a single shard-wide symptom arena afterwards (see
+// runShardBatch), replacing a per-symptomatic-variant slice allocation.
+type symRec struct {
+	slot int
+	s    symptom
+}
+
+// classifier carries a shard task's classification state: the attribution
+// memo and the batched path's symptom-record scratch. It is checked out
+// per shard task exactly like the Space and backendState — shard-local,
+// never shared across workers — which keeps attribution memoization
+// deterministic (seed-scoped: a task never spans files).
+type classifier struct {
+	attr map[attrKey]string
+	recs []symRec
+}
+
+func newClassifier() *classifier {
+	return &classifier{attr: make(map[attrKey]string)}
+}
+
 // evalSource runs one variant given as source text: the historical
 // render→parse→analyze front end followed by evalProgram. It serves the
 // original seed programs (whose report text must stay the raw corpus
@@ -74,7 +106,7 @@ type variantResult struct {
 // candidates. A freshly parsed program has no stable identity to key the
 // IR-template cache on, so only the interpreter machine of be is reused
 // here; compilation runs cold.
-func evalSource(cfg Config, src string, be *backendState, attr map[string]string, cov *minicc.Coverage, so *shardObs) variantResult {
+func evalSource(cfg Config, src string, be *backendState, cl *classifier, cov *minicc.Coverage, so *shardObs) variantResult {
 	file, err := cc.Parse(src)
 	if err != nil {
 		return variantResult{src: src}
@@ -83,7 +115,7 @@ func evalSource(cfg Config, src string, be *backendState, attr map[string]string
 	if err != nil {
 		return variantResult{src: src}
 	}
-	vr, _ := evalProgram(cfg, prog, nil, be, func() string { return src }, attr, cov, so)
+	vr, _ := evalProgram(cfg, prog, nil, be, func() string { return src }, cl, cov, so)
 	return vr
 }
 
@@ -92,14 +124,14 @@ func evalSource(cfg Config, src string, be *backendState, attr map[string]string
 // now consuming the typed program directly so the AST-resident hot path
 // skips the front end entirely. render supplies the variant's source on
 // demand; it is invoked at most once, and only when the variant exhibits a
-// symptom (the text becomes a finding's reproduction test case). attr is
-// the shard-local attribution memo (see classifyOutcome); cov records the
+// symptom (the text becomes a finding's reproduction test case). cl is
+// the shard-local classifier (see classifyOutcome); cov records the
 // compiler instrumentation sites the variant exercises (recording is
 // side-effect-free in minicc, so coverage collection never perturbs the
 // differential verdicts). Attribution recompilations deliberately bypass
 // the recorder: they re-run the same program with bugs deactivated and
 // would only blur the novelty signal.
-func evalProgram(cfg Config, prog *cc.Program, holes []*cc.Ident, be *backendState, render func() string, attr map[string]string, cov *minicc.Coverage, so *shardObs) (variantResult, error) {
+func evalProgram(cfg Config, prog *cc.Program, holes []*cc.Ident, be *backendState, render func() string, cl *classifier, cov *minicc.Coverage, so *shardObs) (variantResult, error) {
 	vr := variantResult{}
 	// stage timing exists only when telemetry is attached (so != nil): with
 	// telemetry off, no clock is read anywhere on the per-variant path
@@ -119,11 +151,7 @@ func evalProgram(cfg Config, prog *cc.Program, holes []*cc.Ident, be *backendSta
 		return vr, nil
 	}
 	vr.status = statusClean
-	if so != nil {
-		t0 = time.Now()
-		defer func() { so.backendNs += time.Since(t0).Nanoseconds() }()
-	}
-	if err := evalBackends(cfg, prog, holes, be, ref, render, attr, cov, &vr); err != nil {
+	if err := evalBackends(cfg, prog, holes, be, ref, render, cl, cov, so, &vr); err != nil {
 		return vr, err
 	}
 	return vr, nil
@@ -132,19 +160,26 @@ func evalProgram(cfg Config, prog *cc.Program, holes []*cc.Ident, be *backendSta
 // evalBackends is the compiler half of evalProgram: it runs one clean
 // variant through every (version, optimization level) configuration and
 // classifies each divergence from the oracle verdict ref into vr's
-// symptoms. It is shared between the interleaved per-variant path
-// (evalProgram) and the batched shard path, which collects a whole
-// shard's oracle verdicts first and replays this half over the clean
-// variants afterwards.
-func evalBackends(cfg Config, prog *cc.Program, holes []*cc.Ident, be *backendState, ref *interp.Result, render func() string, attr map[string]string, cov *minicc.Coverage, vr *variantResult) error {
+// symptoms. It serves the interleaved per-variant path (evalProgram); the
+// batched shard path walks the same configurations config-outer through
+// minicc.Cache.RunBatch instead (runShardBatch) with byte-identical
+// results. Stage timing splits compile+execute (backend) from
+// classification and attribution (classify), so /status shows where a
+// configuration's time actually goes.
+func evalBackends(cfg Config, prog *cc.Program, holes []*cc.Ident, be *backendState, ref *interp.Result, render func() string, cl *classifier, cov *minicc.Coverage, so *shardObs, vr *variantResult) error {
 	// the compiled binary needs only a small multiple of the reference's
 	// step count; a much larger consumption is already a hang symptom, so
 	// an adaptive budget keeps miscompiled infinite loops cheap to detect
 	execSteps := ref.Steps*20 + 50_000
+	var t0 time.Time
 	for _, ver := range cfg.Versions {
 		for _, opt := range cfg.OptLevels {
 			vr.executions++
 			comp := &minicc.Compiler{Version: ver, Opt: opt, Seeded: true, Coverage: cov}
+			if so != nil {
+				t0 = time.Now()
+			}
+			ecfg := minicc.ExecConfig{MaxSteps: execSteps, Dispatch: cfg.BackendDispatch}
 			var ro *minicc.RunOutcome
 			if be != nil && holes != nil {
 				// template-cached backend: the skeleton was lowered once,
@@ -152,19 +187,27 @@ func evalBackends(cfg Config, prog *cc.Program, holes []*cc.Ident, be *backendSt
 				// holes' IR sites; under -paranoid each patched lowering is
 				// checked against a fresh Lower and a divergence aborts the
 				// campaign
-				cached, err := comp.RunCached(be.cache, prog, holes, minicc.ExecConfig{MaxSteps: execSteps}, cfg.Paranoid)
+				cached, err := comp.RunCached(be.cache, prog, holes, ecfg, cfg.Paranoid)
 				if err != nil {
 					return err
 				}
 				ro = cached
 			} else {
-				ro = comp.Run(prog, minicc.ExecConfig{MaxSteps: execSteps})
+				ro = comp.Run(prog, ecfg)
 			}
-			if s, found := classifyOutcome(cfg, ver, opt, ref, ro, prog, attr); found {
+			if so != nil {
+				now := time.Now()
+				so.backendNs += now.Sub(t0).Nanoseconds()
+				t0 = now
+			}
+			if s, found := classifyOutcome(cfg, ver, opt, ref, ro, prog, cl); found {
 				if vr.src == "" {
 					vr.src = render()
 				}
 				vr.symptoms = append(vr.symptoms, s)
+			}
+			if so != nil {
+				so.classifyNs += time.Since(t0).Nanoseconds()
 			}
 		}
 	}
@@ -247,7 +290,7 @@ func crossCheckOracle(tree, bc *interp.Result) error {
 // within a whole campaign. The aggregator reduces the shard-local memos to
 // the campaign-global one.
 func classifyOutcome(cfg Config, ver string, opt int, ref *interp.Result,
-	ro *minicc.RunOutcome, prog *cc.Program, attr map[string]string) (symptom, bool) {
+	ro *minicc.RunOutcome, prog *cc.Program, cl *classifier) (symptom, bool) {
 
 	out := ro.Compile
 	switch {
@@ -284,11 +327,11 @@ func classifyOutcome(cfg Config, ver string, opt int, ref *interp.Result,
 		coarse = "hang"
 		sig = "runtime hang (step budget exhausted)"
 	}
-	memoKey := fmt.Sprintf("%s|%d|%s", ver, opt, coarse)
-	bugID, cached := attr[memoKey]
+	memo := attrKey{ver: ver, opt: opt, coarse: coarse}
+	bugID, cached := cl.attr[memo]
 	if !cached {
 		bugID = attributeWrongCode(prog, ver, opt, ref, cfg)
-		attr[memoKey] = bugID
+		cl.attr[memo] = bugID
 	}
 	return symptom{Ver: ver, Opt: opt, Class: classMismatch,
 		BugID: bugID, Sig: sig, Coarse: coarse}, true
@@ -306,7 +349,7 @@ func attributeWrongCode(prog *cc.Program, ver string, opt int, ref *interp.Resul
 	for _, hook := range full.Hooks() {
 		reduced := full.Without(hook)
 		comp := &minicc.Compiler{Version: ver, Opt: opt, Bugs: reduced}
-		ro := comp.Run(prog, minicc.ExecConfig{MaxSteps: ref.Steps*20 + 50_000})
+		ro := comp.Run(prog, minicc.ExecConfig{MaxSteps: ref.Steps*20 + 50_000, Dispatch: cfg.BackendDispatch})
 		if !ro.Compile.Ok() {
 			continue
 		}

@@ -60,6 +60,10 @@ func runEngine(ctx context.Context, cfg Config, st *aggState) (*Report, error) {
 		return nil, fmt.Errorf("campaign: unknown dispatch %q (want %q or %q)",
 			cfg.Dispatch, DispatchThreaded, DispatchSwitch)
 	}
+	if cfg.BackendDispatch != BackendDispatchThreaded && cfg.BackendDispatch != BackendDispatchSwitch {
+		return nil, fmt.Errorf("campaign: unknown backend dispatch %q (want %q or %q)",
+			cfg.BackendDispatch, BackendDispatchThreaded, BackendDispatchSwitch)
+	}
 	// the task sequence is derived up front (it is a pure function of the
 	// config) so the scheduler can prioritize over the whole campaign;
 	// tasks the checkpoint has already merged are excluded at startSeq
@@ -275,10 +279,11 @@ func runTask(ctx context.Context, cfg Config, t *task) *taskResult {
 			so.refvmBase = be.ref.Stats()
 		}
 	}
-	// shard-local attribution memo (seed-scoped: a task never spans files)
-	attr := make(map[string]string)
+	// shard-local classifier: attribution memo plus the batched path's
+	// symptom scratch (seed-scoped: a task never spans files)
+	cl := newClassifier()
 	if t.includeOriginal {
-		res.variants = append(res.variants, evalSource(cfg, t.plan.src, be, attr, cov, so))
+		res.variants = append(res.variants, evalSource(cfg, t.plan.src, be, cl, cov, so))
 	}
 	if t.toJ > t.fromJ {
 		space := t.plan.pool.Get()
@@ -287,7 +292,7 @@ func runTask(ctx context.Context, cfg Config, t *task) *taskResult {
 			// batched shard path: all oracle verdicts first on one
 			// checked-out VM, then the compiler configurations over the
 			// clean variants — same ascending order, byte-identical report
-			if err := runShardBatch(ctx, cfg, t, space, be, attr, cov, so, res); err != nil {
+			if err := runShardBatch(ctx, cfg, t, space, be, cl, cov, so, res); err != nil {
 				res.err = err
 				return res
 			}
@@ -301,7 +306,7 @@ func runTask(ctx context.Context, cfg Config, t *task) *taskResult {
 				}
 				idx.SetInt64(j)
 				idx.Mul(idx, stride)
-				vr, err := runVariant(cfg, space, be, idx, attr, cov, so)
+				vr, err := runVariant(cfg, space, be, idx, cl, cov, so)
 				if err != nil {
 					res.err = fmt.Errorf("campaign: corpus[%d] variant %d: %w", t.plan.seedIdx, j, err)
 					return res
@@ -329,7 +334,7 @@ func runTask(ctx context.Context, cfg Config, t *task) *taskResult {
 
 // runVariant evaluates the variant at one enumeration index through the
 // configured pipeline flavor.
-func runVariant(cfg Config, space *spe.Space, be *backendState, idx *big.Int, attr map[string]string, cov *minicc.Coverage, so *shardObs) (variantResult, error) {
+func runVariant(cfg Config, space *spe.Space, be *backendState, idx *big.Int, cl *classifier, cov *minicc.Coverage, so *shardObs) (variantResult, error) {
 	var t0 time.Time
 	if so != nil {
 		t0 = time.Now()
@@ -342,7 +347,7 @@ func runVariant(cfg Config, space *spe.Space, be *backendState, idx *big.Int, at
 		if err != nil {
 			return variantResult{}, err
 		}
-		return evalSource(cfg, src, be, attr, cov, so), nil
+		return evalSource(cfg, src, be, cl, cov, so), nil
 	}
 	in, release, err := space.AcquireAt(idx)
 	if so != nil {
@@ -369,7 +374,7 @@ func runVariant(cfg Config, space *spe.Space, be *backendState, idx *big.Int, at
 		}
 		return cc.PrintFile(prog.File)
 	}
-	return evalProgram(cfg, prog, in.HoleIdents(), be, render, attr, cov, so)
+	return evalProgram(cfg, prog, in.HoleIdents(), be, render, cl, cov, so)
 }
 
 // crossCheckVariant is the -paranoid equivalence assertion: the typed

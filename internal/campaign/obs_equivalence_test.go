@@ -132,7 +132,32 @@ func TestTelemetryCountersMatchReport(t *testing.T) {
 	cfg.Schedule = ScheduleCoverage
 	tel := NewTelemetry()
 	cfg.Telemetry = tel
+	start := time.Now()
 	rep := mustRun(t, cfg)
+	elapsed := time.Since(start).Nanoseconds()
+
+	// The per-stage wall-clock split must cover the campaign's real work:
+	// every stage (including the classification split added with the
+	// batched backend walk) advanced, and the stages sum to no more than
+	// the workers' combined wall time — the gauges are a partition of
+	// worker time, not overlapping rebrackets of the same nanoseconds.
+	stages := map[string]int64{
+		"instantiate": tel.stageInstantiateNs.Load(),
+		"oracle":      tel.stageOracleNs.Load(),
+		"backend":     tel.stageBackendNs.Load(),
+		"classify":    tel.stageClassifyNs.Load(),
+	}
+	var stageSum int64
+	for stage, ns := range stages {
+		if ns <= 0 {
+			t.Errorf("spe_stage_ns_total{stage=%q} = %d, want > 0", stage, ns)
+		}
+		stageSum += ns
+	}
+	if budget := elapsed * int64(cfg.Workers); stageSum > budget {
+		t.Errorf("stage ns sum %d exceeds workers' wall-time budget %d (%d workers x %dns elapsed)",
+			stageSum, budget, cfg.Workers, elapsed)
+	}
 
 	if got, want := tel.variants.Load(), int64(rep.Stats.Variants); got != want {
 		t.Errorf("spe_variants_total = %d, report has %d", got, want)

@@ -48,10 +48,15 @@ type Telemetry struct {
 	stageInstantiateNs *obs.Counter
 	stageOracleNs      *obs.Counter
 	stageBackendNs     *obs.Counter
+	stageClassifyNs    *obs.Counter
 
 	miniccTemplateBuilds *obs.Counter
 	miniccReplays        *obs.Counter
 	miniccFreshLowerings *obs.Counter
+	miniccThreadedRuns   *obs.Counter
+	miniccSwitchRuns     *obs.Counter
+	miniccBatchRuns      *obs.Counter
+	miniccBatches        *obs.Counter
 	refvmCompiles        *obs.Counter
 	refvmPatchRuns       *obs.Counter
 	refvmFallbacks       *obs.Counter
@@ -116,10 +121,15 @@ func NewTelemetry() *Telemetry {
 		stageInstantiateNs: reg.Counter("spe_stage_ns_total", "Per-stage wall-clock split, nanoseconds.", obs.L("stage", "instantiate")),
 		stageOracleNs:      reg.Counter("spe_stage_ns_total", "Per-stage wall-clock split, nanoseconds.", obs.L("stage", "oracle")),
 		stageBackendNs:     reg.Counter("spe_stage_ns_total", "Per-stage wall-clock split, nanoseconds.", obs.L("stage", "backend")),
+		stageClassifyNs:    reg.Counter("spe_stage_ns_total", "Per-stage wall-clock split, nanoseconds.", obs.L("stage", "classify")),
 
 		miniccTemplateBuilds: reg.Counter("spe_minicc_template_builds_total", "minicc IR templates lowered (once per skeleton per cache)."),
 		miniccReplays:        reg.Counter("spe_minicc_replays_total", "Compilations served by IR-template trace replay."),
 		miniccFreshLowerings: reg.Counter("spe_minicc_fresh_lowerings_total", "Compilations that fell back to a fresh lowering."),
+		miniccThreadedRuns:   reg.Counter("spe_minicc_runs_total", "Compiled-binary executions by instruction dispatch engine.", obs.L("dispatch", "threaded")),
+		miniccSwitchRuns:     reg.Counter("spe_minicc_runs_total", "Compiled-binary executions by instruction dispatch engine.", obs.L("dispatch", "switch")),
+		miniccBatchRuns:      reg.Counter("spe_minicc_batch_runs_total", "Compiled-binary executions served inside a batched per-config shard walk."),
+		miniccBatches:        reg.Counter("spe_minicc_batches_total", "Batched per-config shard walks (one RunBatch per configuration per eligible shard)."),
 		refvmCompiles:        reg.Counter("spe_refvm_template_compiles_total", "refvm bytecode templates compiled (once per skeleton per cache)."),
 		refvmPatchRuns:       reg.Counter("spe_refvm_patch_runs_total", "Oracle runs served by patching moved holes in cached bytecode."),
 		refvmFallbacks:       reg.Counter("spe_refvm_fallbacks_total", "Oracle runs that fell back to a fresh bytecode compilation."),
@@ -304,10 +314,15 @@ func (t *Telemetry) observeMerge(r *taskResult) {
 		t.stageInstantiateNs.Add(so.instNs)
 		t.stageOracleNs.Add(so.oracleNs)
 		t.stageBackendNs.Add(so.backendNs)
+		t.stageClassifyNs.Add(so.classifyNs)
 		t.paranoidChecks.Add(so.paranoidChecks)
 		t.miniccTemplateBuilds.Add(so.minicc.TemplateBuilds)
 		t.miniccReplays.Add(so.minicc.Replays)
 		t.miniccFreshLowerings.Add(so.minicc.FreshLowerings)
+		t.miniccThreadedRuns.Add(so.minicc.ThreadedRuns)
+		t.miniccSwitchRuns.Add(so.minicc.SwitchRuns)
+		t.miniccBatchRuns.Add(so.minicc.BatchRuns)
+		t.miniccBatches.Add(so.minicc.Batches)
 		t.refvmCompiles.Add(so.refvm.TemplateCompiles)
 		t.refvmPatchRuns.Add(so.refvm.PatchRuns)
 		t.refvmFallbacks.Add(so.refvm.Fallbacks)
@@ -528,10 +543,10 @@ func (t *Telemetry) StartProgressTicker(w io.Writer, every time.Duration) (stop 
 // exactly once at merge time. A nil *shardObs (telemetry disabled) skips
 // all timing — the hot path then contains no time.Now calls at all.
 type shardObs struct {
-	instNs, oracleNs, backendNs int64
-	paranoidChecks              int64
-	miniccBase                  minicc.CacheStats
-	refvmBase                   refvm.CacheStats
-	minicc                      minicc.CacheStats
-	refvm                       refvm.CacheStats
+	instNs, oracleNs, backendNs, classifyNs int64
+	paranoidChecks                          int64
+	miniccBase                              minicc.CacheStats
+	refvmBase                               refvm.CacheStats
+	minicc                                  minicc.CacheStats
+	refvm                                   refvm.CacheStats
 }

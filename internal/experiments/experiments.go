@@ -59,6 +59,15 @@ type Scale struct {
 	// oracle VM checkout per shard); the baseline knob. Tables are
 	// identical either way.
 	NoOracleBatch bool
+	// BackendDispatch selects the minicc VM's instruction dispatch engine
+	// for the compiled binaries under test ("" = threaded, the fused
+	// handler table; "switch" = the monolithic opcode switch baseline).
+	// Tables are identical under either.
+	BackendDispatch string
+	// NoBackendBatch disables the campaign's batched per-config compiler
+	// walk inside batched shards; the baseline knob. Tables are identical
+	// either way.
+	NoBackendBatch bool
 	// Paranoid enables the campaign engine's per-variant render+reparse
 	// cross-check of the AST-resident instantiation (campaign.Config.
 	// Paranoid) and, under the bytecode oracle, the per-variant
@@ -308,6 +317,8 @@ func Campaign(scale Scale, versions []string) (*harness.Report, error) {
 		Oracle:             scale.Oracle,
 		Dispatch:           scale.Dispatch,
 		NoOracleBatch:      scale.NoOracleBatch,
+		BackendDispatch:    scale.BackendDispatch,
+		NoBackendBatch:     scale.NoBackendBatch,
 		Paranoid:           scale.Paranoid,
 		ForceRenderPath:    scale.ForceRenderPath,
 		Telemetry:          scale.Telemetry,

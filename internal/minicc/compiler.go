@@ -2,6 +2,7 @@ package minicc
 
 import (
 	"fmt"
+	"sort"
 
 	"spe/internal/cc"
 )
@@ -102,7 +103,16 @@ func (c *Compiler) Compile(src *cc.Program) (out *Output) {
 // callers' recover turns those into Output fields.
 func (c *Compiler) runPasses(irp *Program, bugs *BugSet, cov *Coverage, budget int64) {
 	p := &passCtx{cov: cov, bugs: bugs, budget: budget}
-	for _, f := range irp.Funcs {
+	// Deterministic function order: a seeded crash or budget timeout aborts
+	// the pipeline mid-iteration, so the set of functions optimized before
+	// the abort (and their coverage hits) must not depend on map order.
+	names := make([]string, 0, len(irp.Funcs))
+	for name := range irp.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := irp.Funcs[name]
 		c.optimizeFunc(f, p)
 		if c.Opt >= 1 {
 			bugs.MaybeCrash(cov, "backend-block-limit", func() bool {

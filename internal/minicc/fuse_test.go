@@ -1,0 +1,227 @@
+package minicc
+
+import (
+	"sort"
+	"testing"
+)
+
+// Shape tests for superinstruction fusion: each pattern must actually fire
+// on the canonical source shape that motivates it, fusion must be strictly
+// in place (instruction counts and indices never move), and unfusion must
+// be a lossless inverse. The observational side (fused vs unfused verdict
+// identity) lives in exec_equivalence_test.go.
+
+func lowerProg(t *testing.T, src string) *Program {
+	t.Helper()
+	irp, err := Lower(analyzeT(t, src), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return irp
+}
+
+func sortedFuncNames(p *Program) []string {
+	names := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// progOps snapshots every function's opcode stream, keyed by function name
+// (block order and instruction indices are stable across fuse/unfuse).
+func progOps(p *Program) map[string][]Op {
+	snap := make(map[string][]Op, len(p.Funcs))
+	for name, f := range p.Funcs {
+		var ops []Op
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				ops = append(ops, b.Instrs[i].Op)
+			}
+		}
+		snap[name] = ops
+	}
+	return snap
+}
+
+func sameOps(a, b map[string][]Op) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for name, ops := range a {
+		other, ok := b[name]
+		if !ok || len(ops) != len(other) {
+			return false
+		}
+		for i := range ops {
+			if ops[i] != other[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func countProgOp(p *Program, op Op) int {
+	n := 0
+	for _, f := range p.Funcs {
+		n += countOp(f, op)
+	}
+	return n
+}
+
+// TestFuseShapes pins that each fusion pattern fires on its motivating
+// source shape. The const-store pair only becomes adjacent after the -O2
+// pipeline folds the assignment's conversion, matching where the executor
+// actually fuses (lazily, after the passes).
+func TestFuseShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		opt  int
+		op   Op
+	}{
+		{"const-bin", `int main() { int a = 7; return a + 1; }`, 0, OpConstBin},
+		{"load-bin", `int g = 3; int main() { int a = 2; return g + a; }`, 0, OpLoadBin},
+		{"const-store", `int g; int main() { g = 5; return g; }`, 2, OpConstStore},
+		{"cmp-br", `int main() { int a = 1, b = 2; if (a < b) return a; return b; }`, 0, OpCmpBr},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var irp *Program
+			if tc.opt == 0 {
+				irp = lowerProg(t, tc.src)
+			} else {
+				c := &Compiler{Version: "trunk", Opt: tc.opt}
+				out := c.Compile(analyzeT(t, tc.src))
+				if !out.Ok() {
+					t.Fatalf("compile failed: %+v", out)
+				}
+				irp = out.Program
+			}
+			if got := countProgOp(irp, tc.op); got != 0 {
+				t.Fatalf("op %v present before fusion (%d)", tc.op, got)
+			}
+			fuseProgram(irp)
+			if got := countProgOp(irp, tc.op); got == 0 {
+				t.Errorf("fusion produced no op %v:\n%s", tc.op, irp.Funcs["main"])
+			}
+		})
+	}
+}
+
+// fuseRoundTripSrc exercises every pattern at once, plus call/loop control
+// flow around them.
+const fuseRoundTripSrc = `
+int g = 2, h = 7;
+int add(int x, int y) { return x + y; }
+int main() {
+    int a = 1, b = 0;
+    g = 5;
+    b = g + a;
+    h = h + 1;
+    while (a < b) {
+        a = a + 2;
+        b = add(b, g);
+        if (b > 40) break;
+    }
+    printf("%d %d %d\n", a, b, g + h);
+    return a;
+}
+`
+
+// TestFuseInPlace pins the load-bearing structural property: fusion
+// rewrites Op fields only, so per-function instruction counts (and hence
+// every recorded instruction index — patch sites, trace offsets, seeded
+// crash callsites) survive unchanged.
+func TestFuseInPlace(t *testing.T) {
+	irp := lowerProg(t, fuseRoundTripSrc)
+	before := progOps(irp)
+	fuseProgram(irp)
+	if !irp.fused {
+		t.Fatal("fuseProgram did not mark the program fused")
+	}
+	after := progOps(irp)
+	for _, name := range sortedFuncNames(irp) {
+		if len(after[name]) != len(before[name]) {
+			t.Errorf("%s: %d instructions after fusion, %d before",
+				name, len(after[name]), len(before[name]))
+		}
+	}
+	fusedOps := 0
+	for _, op := range []Op{OpConstBin, OpLoadBin, OpCmpBr} {
+		if n := countProgOp(irp, op); n == 0 {
+			t.Errorf("round-trip source produced no op %v", op)
+		} else {
+			fusedOps += n
+		}
+	}
+	if fusedOps == 0 {
+		t.Fatal("no fused opcodes at all")
+	}
+}
+
+// TestFuseUnfuseRoundTrip pins losslessness and idempotence: unfusing
+// restores the exact original opcode stream, re-fusing reproduces the
+// exact fused stream, and fusing an already-fused program is a no-op.
+func TestFuseUnfuseRoundTrip(t *testing.T) {
+	irp := lowerProg(t, fuseRoundTripSrc)
+	plain := progOps(irp)
+
+	fuseProgram(irp)
+	fused := progOps(irp)
+	if sameOps(plain, fused) {
+		t.Fatal("fusion changed nothing; shape tests are vacuous")
+	}
+
+	fuseProgram(irp) // already fused: must be a no-op
+	if !sameOps(progOps(irp), fused) {
+		t.Error("fusing a fused program changed the stream")
+	}
+
+	unfuseProgram(irp)
+	if irp.fused {
+		t.Error("unfuseProgram left the fused mark set")
+	}
+	if !sameOps(progOps(irp), plain) {
+		t.Error("unfusion did not restore the original opcode stream")
+	}
+	unfuseProgram(irp) // already plain: must be a no-op
+	if !sameOps(progOps(irp), plain) {
+		t.Error("unfusing a plain program changed the stream")
+	}
+
+	fuseProgram(irp)
+	if !sameOps(progOps(irp), fused) {
+		t.Error("re-fusion did not reproduce the fused stream")
+	}
+}
+
+// TestFuseOpTable pins the pair table and its inverse.
+func TestFuseOpTable(t *testing.T) {
+	pairs := []struct {
+		a, b, fused Op
+	}{
+		{OpConst, OpBin, OpConstBin},
+		{OpLoad, OpBin, OpLoadBin},
+		{OpConst, OpStore, OpConstStore},
+	}
+	for _, p := range pairs {
+		if got := fuseOp(p.a, p.b); got != p.fused {
+			t.Errorf("fuseOp(%v, %v) = %v, want %v", p.a, p.b, got, p.fused)
+		}
+		if got := unfuseOp(p.fused); got != p.a {
+			t.Errorf("unfuseOp(%v) = %v, want %v", p.fused, got, p.a)
+		}
+	}
+	if got := fuseOp(OpBin, OpConst); got != OpArg {
+		t.Errorf("fuseOp on a non-pair = %v, want OpArg sentinel", got)
+	}
+	if got := unfuseOp(OpCmpBr); got != OpBin {
+		t.Errorf("unfuseOp(OpCmpBr) = %v, want OpBin", got)
+	}
+	if got := unfuseOp(OpBin); got != OpBin {
+		t.Errorf("unfuseOp(OpBin) = %v, want OpBin", got)
+	}
+}

@@ -55,7 +55,21 @@ const (
 	OpCall              // Dst = Call(Name, Args...)
 	OpArg               // argument marker (unused; args are on OpCall)
 	OpAddrIdx           // Dst = A + B * Scale (pointer indexing)
+
+	// Superinstructions: adjacent-pair fusions applied to executable IR
+	// just before it runs (fuse.go). Fusion rewrites only the first
+	// instruction's Op — the second instruction stays in the stream
+	// unchanged — so instruction indices (hole patch sites, trace
+	// offsets) never move, and every operand field is read live at
+	// execution time, which keeps hole patching composable with fusion.
+	OpConstBin   // OpConst immediately followed by OpBin
+	OpLoadBin    // OpLoad immediately followed by OpBin
+	OpConstStore // OpConst immediately followed by OpStore
+	OpCmpBr      // trailing OpBin comparison feeding this block's TermBr
 )
+
+// numOps sizes the threaded engine's opcode handler table.
+const numOps = int(OpCmpBr) + 1
 
 // Instr is one three-address instruction.
 type Instr struct {
@@ -137,6 +151,11 @@ type Func struct {
 	// MemVars lists variables that live in memory (address taken, or
 	// aggregate, or global).
 	MemVars map[*cc.Symbol]bool
+	// memList caches memVars' declaration-ordered result: frame objects
+	// must allocate in an order independent of map iteration, because
+	// object IDs are observable through pointer-to-integer conversion.
+	memList   []*cc.Symbol
+	memListed bool
 }
 
 // Program is a compiled translation unit.
@@ -148,6 +167,10 @@ type Program struct {
 	// across calls.
 	Statics []*cc.VarDecl
 	Source  *cc.Program
+	// fused records that superinstruction fusion has been applied; the
+	// executor fuses unfused programs lazily, and the optimization passes
+	// require fused programs to be unfused first (they predate fusion).
+	fused bool
 }
 
 // NewReg allocates a fresh register.
@@ -190,8 +213,11 @@ func (f *Func) String() string {
 }
 
 func (in Instr) String() string {
+	// fused superinstructions render as their base form: fusion is an
+	// execution-time encoding, invisible to diagnostics, goldens, and the
+	// -paranoid fresh-lowering comparison
 	switch in.Op {
-	case OpConst:
+	case OpConst, OpConstBin, OpConstStore:
 		if in.Val.IsStr {
 			return fmt.Sprintf("r%d = const %q", in.Dst, in.Val.Str)
 		}
@@ -199,7 +225,7 @@ func (in Instr) String() string {
 			return fmt.Sprintf("r%d = const %g", in.Dst, in.Val.F)
 		}
 		return fmt.Sprintf("r%d = const %d", in.Dst, in.Val.I)
-	case OpBin:
+	case OpBin, OpCmpBr:
 		return fmt.Sprintf("r%d = r%d %s r%d [%s]", in.Dst, in.A, in.BinOp, in.B, typeName(in.Type))
 	case OpUn:
 		return fmt.Sprintf("r%d = %s r%d", in.Dst, in.UnOp, in.A)
@@ -209,7 +235,7 @@ func (in Instr) String() string {
 		return fmt.Sprintf("r%d = r%d", in.Dst, in.A)
 	case OpAddrVar:
 		return fmt.Sprintf("r%d = &%s", in.Dst, in.Sym.Name)
-	case OpLoad:
+	case OpLoad, OpLoadBin:
 		return fmt.Sprintf("r%d = load r%d [%s]", in.Dst, in.A, typeName(in.Type))
 	case OpStore:
 		return fmt.Sprintf("store r%d <- r%d", in.A, in.B)

@@ -267,22 +267,42 @@ func constFold(f *Func, p *passCtx) {
 
 // ---------------------------------------------------------------- constprop
 
+// The propagation lattice is stored densely: one cell per register per
+// block, indexed by Block.ID (dense at every constProp call site — blocks
+// are only renumbered by simplifyCFG, which runs after the last constProp
+// of every pipeline). The dense form replicates the semantics of the
+// previous map-of-maps representation exactly, including the distinction
+// between a register that is absent from the map and one that is present
+// with an undefined value (an OpCopy of an absent source inserts a
+// present zero-lattice, and map equality compared key sets): that is what
+// latPresent encodes. The rewrite keeps fixpoint iteration counts, tick
+// charges, and coverage hits bit-identical while eliminating the map
+// allocation and hashing that dominated compile-path CPU.
+const (
+	latAbsent  int8 = iota // no entry in the equivalent sparse map
+	latConst               // proven constant (val holds it)
+	latTop                 // not a constant
+	latPresent             // present in the sparse map, value undefined
+)
+
 type lattice struct {
-	// state: 0 = undefined (bottom), 1 = constant, 2 = not-a-constant (top)
-	state int
+	state int8
 	val   Const
 }
 
+// meetLat folds one predecessor's present cell into an accumulator cell
+// (per-register; callers skip latAbsent predecessor cells, matching the
+// sparse iteration over present keys only).
 func meetLat(a, b lattice) lattice {
 	switch {
-	case a.state == 0:
+	case a.state == latAbsent || a.state == latPresent:
 		return b
-	case b.state == 0:
+	case b.state == latPresent:
 		return a
-	case a.state == 1 && b.state == 1 && a.val == b.val:
+	case a.state == latConst && b.state == latConst && a.val == b.val:
 		return a
 	default:
-		return lattice{state: 2}
+		return lattice{state: latTop}
 	}
 }
 
@@ -293,47 +313,64 @@ func constProp(f *Func, p *passCtx) {
 	p.cov.Hit("constprop.entry")
 	blocks := reachable(f)
 	pr := preds(f)
-	in := make(map[*Block]map[Reg]lattice)
-	out := make(map[*Block]map[Reg]lattice)
+	maxID := 0
 	for _, b := range blocks {
-		in[b] = map[Reg]lattice{}
-		out[b] = map[Reg]lattice{}
-	}
-	transfer := func(b *Block, state map[Reg]lattice) map[Reg]lattice {
-		st := make(map[Reg]lattice, len(state))
-		for k, v := range state {
-			st[k] = v
+		if b.ID > maxID {
+			maxID = b.ID
 		}
+	}
+	width := f.NumRegs + 1
+	// one flat arena backs every per-block vector plus the two scratch rows
+	arena := make([]lattice, (2*len(blocks)+2)*width)
+	next := func() []lattice {
+		row := arena[:width:width]
+		arena = arena[width:]
+		return row
+	}
+	in := make([][]lattice, maxID+1)
+	out := make([][]lattice, maxID+1)
+	for _, b := range blocks {
+		in[b.ID] = next()
+		out[b.ID] = next()
+	}
+	newIn, newOut := next(), next()
+	transfer := func(b *Block, st []lattice) {
 		for i := range b.Instrs {
 			inr := &b.Instrs[i]
 			switch inr.Op {
 			case OpConst:
 				if inr.Val.IsStr {
-					st[inr.Dst] = lattice{state: 2}
+					st[inr.Dst] = lattice{state: latTop}
 				} else {
-					st[inr.Dst] = lattice{state: 1, val: inr.Val}
+					st[inr.Dst] = lattice{state: latConst, val: inr.Val}
 				}
 			case OpCopy:
-				st[inr.Dst] = st[inr.A]
+				// copying an absent source still defines the destination
+				// (sparse map assignment inserted a zero lattice)
+				if v := st[inr.A]; v.state == latAbsent {
+					st[inr.Dst] = lattice{state: latPresent}
+				} else {
+					st[inr.Dst] = v
+				}
 			case OpBin:
 				a, c := st[inr.A], st[inr.B]
-				if a.state == 1 && c.state == 1 {
+				if a.state == latConst && c.state == latConst {
 					if r, ok := evalConstBin(inr.BinOp, a.val, c.val, inr.Type); ok {
-						st[inr.Dst] = lattice{state: 1, val: r}
+						st[inr.Dst] = lattice{state: latConst, val: r}
 						continue
 					}
 				}
-				st[inr.Dst] = lattice{state: 2}
+				st[inr.Dst] = lattice{state: latTop}
 			case OpUn:
-				if a := st[inr.A]; a.state == 1 {
+				if a := st[inr.A]; a.state == latConst {
 					if r, ok := evalConstUn(inr.UnOp, a.val, inr.Type); ok {
-						st[inr.Dst] = lattice{state: 1, val: r}
+						st[inr.Dst] = lattice{state: latConst, val: r}
 						continue
 					}
 				}
-				st[inr.Dst] = lattice{state: 2}
+				st[inr.Dst] = lattice{state: latTop}
 			case OpConv:
-				if a := st[inr.A]; a.state == 1 && !a.val.IsStr {
+				if a := st[inr.A]; a.state == latConst && !a.val.IsStr {
 					var r Const
 					if bt, okb := inr.Type.(*cc.BasicType); okb && bt.IsFloat() {
 						if a.val.IsFloat {
@@ -346,60 +383,63 @@ func constProp(f *Func, p *passCtx) {
 					} else {
 						r = Const{I: truncConst(a.val.I, inr.Type)}
 					}
-					st[inr.Dst] = lattice{state: 1, val: r}
+					st[inr.Dst] = lattice{state: latConst, val: r}
 					continue
 				}
-				st[inr.Dst] = lattice{state: 2}
+				st[inr.Dst] = lattice{state: latTop}
 			default:
 				if inr.Dst != NoReg {
-					st[inr.Dst] = lattice{state: 2}
+					st[inr.Dst] = lattice{state: latTop}
 				}
 			}
 		}
-		return st
 	}
 	// iterate to fixpoint
 	for changed := true; changed; {
 		changed = false
 		for _, b := range blocks {
 			p.tick(int64(len(b.Instrs))+1, "constprop")
-			newIn := map[Reg]lattice{}
+			for i := range newIn {
+				newIn[i] = lattice{}
+			}
 			for _, pred := range pr[b] {
 				p.cov.Hit("constprop.meet")
-				for r, v := range out[pred] {
-					if cur, ok := newIn[r]; ok {
-						newIn[r] = meetLat(cur, v)
-					} else {
-						newIn[r] = v
+				for r, v := range out[pred.ID] {
+					// registers missing from one predecessor are undefined
+					// there; meet(undef, x) = x, so they contribute nothing
+					if v.state == latAbsent {
+						continue
 					}
+					newIn[r] = meetLat(newIn[r], v)
 				}
-				// registers missing from one predecessor are undefined
-				// there; meet(undef, x) = x, so nothing further needed
 			}
-			newOut := transfer(b, newIn)
-			if !latEqual(newIn, in[b]) || !latEqual(newOut, out[b]) {
-				in[b] = newIn
-				out[b] = newOut
+			copy(newOut, newIn)
+			transfer(b, newOut)
+			if !latEqual(newIn, in[b.ID]) || !latEqual(newOut, out[b.ID]) {
+				copy(in[b.ID], newIn)
+				copy(out[b.ID], newOut)
 				changed = true
 			}
 		}
 	}
 	// rewrite: materialize constants proven at block entry
+	consts := make([]Const, width)
+	hasConst := make([]bool, width)
 	for _, b := range blocks {
-		st := in[b]
-		consts := make(map[Reg]Const)
+		st := in[b.ID]
 		for r, v := range st {
-			if v.state == 1 {
-				consts[r] = v.val
-			}
+			consts[r] = v.val
+			hasConst[r] = v.state == latConst
 		}
 		for i := range b.Instrs {
 			inr := &b.Instrs[i]
 			if inr.Op == OpCopy {
-				if c, ok := consts[inr.A]; ok {
+				if hasConst[inr.A] {
 					p.cov.Hit("constprop.replace")
+					c := consts[inr.A]
 					*inr = Instr{Op: OpConst, Dst: inr.Dst, Val: c, Type: inr.Type, Pos: inr.Pos}
 					consts[inr.Dst] = c
+					hasConst[inr.Dst] = true
 					continue
 				}
 			}
@@ -408,30 +448,30 @@ func constProp(f *Func, p *passCtx) {
 			case OpConst:
 				if !inr.Val.IsStr {
 					consts[inr.Dst] = inr.Val
+					hasConst[inr.Dst] = true
 				} else {
-					delete(consts, inr.Dst)
+					hasConst[inr.Dst] = false
 				}
 			case OpBin:
-				a, aok := consts[inr.A]
-				c, cok := consts[inr.B]
-				if aok && cok {
-					if r, ok := evalConstBin(inr.BinOp, a, c, inr.Type); ok {
+				if hasConst[inr.A] && hasConst[inr.B] {
+					if r, ok := evalConstBin(inr.BinOp, consts[inr.A], consts[inr.B], inr.Type); ok {
 						p.cov.Hit("constprop.replace")
 						p.cov.HitOp("constprop.replace", inr.BinOp)
 						*inr = Instr{Op: OpConst, Dst: inr.Dst, Val: r, Type: inr.Type, Pos: inr.Pos}
 						consts[inr.Dst] = r
+						hasConst[inr.Dst] = true
 						continue
 					}
 				}
-				delete(consts, inr.Dst)
+				hasConst[inr.Dst] = false
 			default:
 				if inr.Dst != NoReg {
-					delete(consts, inr.Dst)
+					hasConst[inr.Dst] = false
 				}
 			}
 		}
 		if b.Term.Kind == TermBr {
-			if v, ok := st[b.Term.Cond]; ok && v.state == 1 {
+			if v := st[b.Term.Cond]; v.state == latConst {
 				// only fold when the condition register is not redefined in
 				// this block
 				redefined := false
@@ -454,12 +494,9 @@ func constProp(f *Func, p *passCtx) {
 	}
 }
 
-func latEqual(a, b map[Reg]lattice) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for k, v := range a {
-		if b[k] != v {
+func latEqual(a, b []lattice) bool {
+	for i := range a {
+		if a[i] != b[i] {
 			return false
 		}
 	}

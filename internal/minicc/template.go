@@ -63,13 +63,21 @@ type Cache struct {
 // CacheStats counts the cache's template activity: how many IR templates
 // were lowered (once per skeleton per cache), how many compilations were
 // served by trace replay + patch, and how many fell back to a fresh
-// lowering (unsupported templates, '&'-holes, shape changes). Plain ints
-// — the cache is single-goroutine — read by the campaign's telemetry
-// once per shard.
+// lowering (unsupported templates, '&'-holes, shape changes). It also
+// splits executions by dispatch engine and counts batched runs. Plain
+// ints — the cache is single-goroutine — read by the campaign's
+// telemetry once per shard.
 type CacheStats struct {
 	TemplateBuilds int64
 	Replays        int64
 	FreshLowerings int64
+	// ThreadedRuns/SwitchRuns split cached executions by engine.
+	ThreadedRuns int64
+	SwitchRuns   int64
+	// BatchRuns counts runs served through RunBatch; Batches counts the
+	// RunBatch calls themselves.
+	BatchRuns int64
+	Batches   int64
 }
 
 // Sub returns the stats delta since base.
@@ -78,6 +86,10 @@ func (s CacheStats) Sub(base CacheStats) CacheStats {
 		TemplateBuilds: s.TemplateBuilds - base.TemplateBuilds,
 		Replays:        s.Replays - base.Replays,
 		FreshLowerings: s.FreshLowerings - base.FreshLowerings,
+		ThreadedRuns:   s.ThreadedRuns - base.ThreadedRuns,
+		SwitchRuns:     s.SwitchRuns - base.SwitchRuns,
+		BatchRuns:      s.BatchRuns - base.BatchRuns,
+		Batches:        s.Batches - base.Batches,
 	}
 }
 
@@ -117,9 +129,44 @@ func (ca *Cache) template(prog *cc.Program, holes []*cc.Ident) *irTemplate {
 // Cache. Holes must be the same slice identity-wise for every call with the
 // same prog.
 func (c *Compiler) RunCached(ca *Cache, prog *cc.Program, holes []*cc.Ident, cfg ExecConfig, paranoid bool) (*RunOutcome, error) {
-	bugs := c.bugSet()
-	cov := c.Coverage
 	tm := ca.template(prog, holes)
+	return c.runOnce(ca, tm, prog, c.bugSet(), cfg, paranoid)
+}
+
+// RunBatch runs n variants of one skeleton through the cached backend,
+// amortizing the per-call setup (bug-set resolution, template lookup)
+// across the whole shard. bind(i) patches the program to variant i — the
+// campaign rebinds holes via the skeleton instance — and returns that
+// variant's execution bounds; yield(i, ro) observes the outcome while the
+// program is still bound to variant i (the outcome aliases cache scratch,
+// exactly as with RunCached). Variants run in ascending order; the first
+// error from bind or yield aborts the batch.
+func (c *Compiler) RunBatch(ca *Cache, prog *cc.Program, holes []*cc.Ident, paranoid bool, n int, bind func(i int) (ExecConfig, error), yield func(i int, ro *RunOutcome) error) error {
+	bugs := c.bugSet()
+	tm := ca.template(prog, holes)
+	ca.stats.Batches++
+	for i := 0; i < n; i++ {
+		cfg, err := bind(i)
+		if err != nil {
+			return err
+		}
+		ro, err := c.runOnce(ca, tm, prog, bugs, cfg, paranoid)
+		if err != nil {
+			return err
+		}
+		ca.stats.BatchRuns++
+		if err := yield(i, ro); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runOnce is the per-variant core shared by RunCached and RunBatch:
+// replay-or-relower, optional paranoid cross-check, optimization passes,
+// execution.
+func (c *Compiler) runOnce(ca *Cache, tm *irTemplate, prog *cc.Program, bugs *BugSet, cfg ExecConfig, paranoid bool) (*RunOutcome, error) {
+	cov := c.Coverage
 	irp, usedTemplate, lerr := lowerFrom(tm, prog, bugs, cov)
 	if usedTemplate {
 		ca.stats.Replays++
@@ -140,6 +187,11 @@ func (c *Compiler) RunCached(ca *Cache, prog *cc.Program, holes []*cc.Ident, cfg
 		out.Err = lerr
 	}
 	if lerr == nil {
+		// the optimization passes predate fusion: give them plain opcodes
+		// (at -O0 no pass reads the stream, so the fused IR runs directly)
+		if irp.fused && c.Opt >= 1 {
+			unfuseProgram(irp)
+		}
 		out.Program = irp
 		budget := c.WorkBudget
 		if budget == 0 {
@@ -165,6 +217,11 @@ func (c *Compiler) RunCached(ca *Cache, prog *cc.Program, holes []*cc.Ident, cfg
 	}
 	ro := &RunOutcome{Compile: out}
 	if out.Ok() {
+		if cfg.Dispatch == DispatchSwitch {
+			ca.stats.SwitchRuns++
+		} else {
+			ca.stats.ThreadedRuns++
+		}
 		ro.Exec = executeWith(ca.exec, out.Program, bugs, cov, cfg)
 	}
 	return ro, nil
@@ -343,8 +400,44 @@ func buildTemplate(prog *cc.Program, holes []*cc.Ident) *irTemplate {
 	tm.memSites = tr.memSites
 	tm.events = tr.events
 	tm.volatile = addrTakenHoles(prog, tr.holeOf)
+	// fuse the template IR in place: only Op fields change, so the patch
+	// sites and trace offsets recorded above stay valid, and instantiate's
+	// memcpy propagates the fusion to every variant for free.
+	// Compare-branch fusion is suppressed in blocks where a hole patch can
+	// rewrite the trailing comparison's destination or the terminator's
+	// condition independently of each other.
+	for fi, f := range tm.funcs {
+		fuseFunc(f, tm.cmpBrBlocked(fi, f))
+	}
+	tm.prog.fused = true
 	tm.scratch = tm.newScratch()
 	return tm
+}
+
+// cmpBrBlocked returns the blocks of function fi (template coordinates)
+// where OpCmpBr fusion is unsafe under hole patching: a patch site that
+// targets the last instruction's Dst or the terminator's Cond can break
+// the Dst == Term.Cond coupling the fusion relies on. (The fused handler
+// re-checks the coupling live as well; skipping here keeps the template
+// conservative.)
+func (tm *irTemplate) cmpBrBlocked(fi int, f *Func) map[*Block]bool {
+	var blocked map[*Block]bool
+	for hi := range tm.regSites {
+		for _, s := range tm.regSites[hi] {
+			if s.fn != fi {
+				continue
+			}
+			b := f.Blocks[s.block]
+			if (s.instr < 0 && s.slot == slotTermCond) ||
+				(s.instr == len(b.Instrs)-1 && s.slot == slotDst) {
+				if blocked == nil {
+					blocked = make(map[*Block]bool)
+				}
+				blocked[b] = true
+			}
+		}
+	}
+	return blocked
 }
 
 // addrTakenHoles marks holes that appear directly under '&': refilling one
@@ -506,6 +599,7 @@ func (tm *irTemplate) newScratch() *irClone {
 		Globals: tm.prog.Globals,
 		Statics: tm.prog.Statics,
 		Source:  tm.prog.Source,
+		fused:   tm.prog.fused,
 	}
 	totalArgs := 0
 	for _, tf := range tm.funcs {
@@ -533,6 +627,9 @@ func (tm *irTemplate) newScratch() *irClone {
 // instantiate on the same template.
 func (tm *irTemplate) instantiate() *Program {
 	cl := tm.scratch
+	// the memcpy below restores the template's (fused) opcodes even when
+	// the previous variant unfused the scratch for the optimization passes
+	cl.prog.fused = tm.prog.fused
 	argOff := 0
 	for fi, tf := range tm.funcs {
 		sf := cl.funcs[fi]

@@ -3,6 +3,7 @@ package minicc
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"spe/internal/cc"
@@ -14,6 +15,15 @@ type ExecConfig struct {
 	MaxSteps  int64 // default 4,000,000
 	MaxDepth  int   // default 256
 	MaxOutput int   // default 1 MiB
+	// Dispatch selects the execution engine: DispatchThreaded (the
+	// default, a per-opcode handler table) or DispatchSwitch (the
+	// monolithic opcode switch). Both run the same fused code and are
+	// observationally identical down to step counts.
+	Dispatch string
+	// NoFuse skips the lazy superinstruction fusion of not-yet-fused
+	// programs — a benchmark knob isolating what fusion buys. Programs
+	// already fused (template-cached IR) run fused regardless.
+	NoFuse bool
 }
 
 func (c ExecConfig) withDefaults() ExecConfig {
@@ -25,6 +35,9 @@ func (c ExecConfig) withDefaults() ExecConfig {
 	}
 	if c.MaxOutput == 0 {
 		c.MaxOutput = 1 << 20
+	}
+	if c.Dispatch == "" {
+		c.Dispatch = DispatchThreaded
 	}
 	return c
 }
@@ -63,6 +76,11 @@ type vm struct {
 	steps   int64
 	depth   int
 	nextID  int
+	// brReady/brTaken carry a fused OpCmpBr's verdict to the block's
+	// TermBr terminator; the comparison is always the block's last
+	// instruction, so the flag never survives past the next terminator.
+	brReady bool
+	brTaken bool
 }
 
 // execState is the VM's reusable machine state: the global/static/string
@@ -78,6 +96,7 @@ type execState struct {
 	objs     []*interp.Object
 	objUsed  int
 	regsFree [][]interp.Value
+	argsFree [][]interp.Value
 }
 
 func newExecState() *execState {
@@ -143,6 +162,21 @@ func (st *execState) getRegs(n int) []interp.Value {
 
 func (st *execState) putRegs(r []interp.Value) { st.regsFree = append(st.regsFree, r) }
 
+// getArgs hands out a call-argument buffer of length n; callers fully
+// assign every element, so reused buffers are not cleared.
+func (st *execState) getArgs(n int) []interp.Value {
+	if k := len(st.argsFree); k > 0 {
+		a := st.argsFree[k-1]
+		st.argsFree = st.argsFree[:k-1]
+		if cap(a) >= n {
+			return a[:n]
+		}
+	}
+	return make([]interp.Value, n)
+}
+
+func (st *execState) putArgs(a []interp.Value) { st.argsFree = append(st.argsFree, a) }
+
 // Execute runs a compiled program's main function on fresh, single-use
 // machine state. Callers executing many programs in sequence go through a
 // Cache (RunCached), which reuses one execState across runs.
@@ -162,6 +196,12 @@ func executeWith(st *execState, p *Program, bugs *BugSet, cov *Coverage, cfg Exe
 		st = newExecState()
 	}
 	st.reset()
+	// fuse lazily: template-cached programs arrive pre-fused; fresh
+	// compilations (and post-pass scratch IR) are fused here, once,
+	// unless the benchmark knob opts out
+	if !p.fused && !cfg.NoFuse {
+		fuseProgram(p)
+	}
 	m := &vm{
 		prog: p, cfg: cfg, cov: cov, bugs: bugs, st: st,
 		globals: st.globals,
@@ -390,11 +430,18 @@ func (m *vm) call(f *Func, args []interp.Value) (interp.Value, bool) {
 
 	regs := m.st.getRegs(f.NumRegs + 1)
 	defer m.st.putRegs(regs)
-	vars := make(map[*cc.Symbol]*interp.Object)
-	for _, sym := range memVarList(f) {
-		vars[sym] = m.allocObj(sym.Type, sym.Name)
-		for i := range vars[sym].Cells {
-			vars[sym].Cells[i] = interp.Cell{Val: zeroVal(scalarOf(sym.Type)), Init: true}
+	// vars stays nil for the common frame with no memory-resident locals
+	// (lookups on a nil map are legal); frame objects allocate in
+	// declaration order so their observable IDs are deterministic
+	var vars map[*cc.Symbol]*interp.Object
+	if ml := f.memVars(); len(ml) > 0 {
+		vars = make(map[*cc.Symbol]*interp.Object, len(ml))
+		for _, sym := range ml {
+			obj := m.allocObj(sym.Type, sym.Name)
+			vars[sym] = obj
+			for i := range obj.Cells {
+				obj.Cells[i] = interp.Cell{Val: zeroVal(scalarOf(sym.Type)), Init: true}
+			}
 		}
 	}
 	// bind parameters
@@ -415,25 +462,41 @@ func (m *vm) call(f *Func, args []interp.Value) (interp.Value, bool) {
 		}
 	}
 
+	threaded := m.cfg.Dispatch != DispatchSwitch
 	b := f.Entry
 	for {
 		// one tick per block transition: empty-block cycles (a miscompiled
 		// infinite loop whose body folded away) must still exhaust the
 		// step budget
 		m.tick()
-		for i := range b.Instrs {
-			m.tick()
-			m.execInstr(f, &b.Instrs[i], regs, vars)
+		ins := b.Instrs
+		if threaded {
+			for i := 0; i < len(ins); {
+				m.tick()
+				i += opHandlers[ins[i].Op](m, f, b, ins, i, regs, vars)
+			}
+		} else {
+			for i := 0; i < len(ins); {
+				m.tick()
+				i += m.execInstrN(f, b, ins, i, regs, vars)
+			}
 		}
 		switch b.Term.Kind {
 		case TermJmp:
 			b = b.Term.To
 		case TermBr:
 			m.cov.Hit("vm.branch")
-			if regs[b.Term.Cond].IsZero() {
-				b = b.Term.Else
+			taken := false
+			if m.brReady {
+				taken = m.brTaken
+				m.brReady = false
 			} else {
+				taken = !regs[b.Term.Cond].IsZero()
+			}
+			if taken {
 				b = b.Term.To
+			} else {
+				b = b.Term.Else
 			}
 		case TermRet:
 			if b.Term.HasVal {
@@ -447,15 +510,23 @@ func (m *vm) call(f *Func, args []interp.Value) (interp.Value, bool) {
 	}
 }
 
-func memVarList(f *Func) []*cc.Symbol {
-	var out []*cc.Symbol
-	for sym := range f.MemVars {
-		// locals only: globals are shared, statics persist separately
-		if sym.Scope.Parent != nil && sym.Storage != cc.StorageStatic {
-			out = append(out, sym)
+// memVars returns the function's frame-allocated locals (locals only:
+// globals are shared, statics persist separately) in declaration order,
+// cached on first use. The order is load-bearing: frame objects allocate
+// in this order, and object IDs are observable through pointer-to-integer
+// conversion, so iteration-order nondeterminism here would leak into
+// program output.
+func (f *Func) memVars() []*cc.Symbol {
+	if !f.memListed {
+		for sym := range f.MemVars {
+			if sym.Scope.Parent != nil && sym.Storage != cc.StorageStatic {
+				f.memList = append(f.memList, sym)
+			}
 		}
+		sort.Slice(f.memList, func(i, j int) bool { return f.memList[i].ID < f.memList[j].ID })
+		f.memListed = true
 	}
-	return out
+	return f.memList
 }
 
 func (m *vm) varObj(f *Func, sym *cc.Symbol, vars map[*cc.Symbol]*interp.Object) *interp.Object {
@@ -475,61 +546,89 @@ func (m *vm) varObj(f *Func, sym *cc.Symbol, vars map[*cc.Symbol]*interp.Object)
 	return nil
 }
 
+// Per-opcode execution bodies, shared verbatim by the switch engine
+// (execInstr) and the threaded handler table (dispatch.go) so the two
+// engines cannot drift.
+
+func (m *vm) execConst(in *Instr, regs []interp.Value) {
+	switch {
+	case in.Val.IsStr:
+		regs[in.Dst] = interp.PtrValue(interp.Pointer{Obj: m.internStr(in.Val.Str), Elem: cc.TypeChar}, in.Type)
+	case in.Val.IsFloat:
+		regs[in.Dst] = interp.FloatValue(in.Val.F, in.Type)
+	default:
+		regs[in.Dst] = interp.IntValue(in.Val.I, in.Type)
+	}
+}
+
+func (m *vm) execBin(in *Instr, regs []interp.Value) {
+	m.cov.Hit("vm.bin")
+	m.cov.HitOp("vm.bin", in.BinOp)
+	regs[in.Dst] = m.binop(in.BinOp, regs[in.A], regs[in.B], in.Type)
+}
+
+func (m *vm) execAddrVar(f *Func, in *Instr, regs []interp.Value, vars map[*cc.Symbol]*interp.Object) {
+	obj := m.varObj(f, in.Sym, vars)
+	regs[in.Dst] = interp.PtrValue(interp.Pointer{Obj: obj, Off: 0, Elem: scalarOf(in.Sym.Type)}, &cc.PointerType{Elem: in.Sym.Type})
+}
+
+func (m *vm) execAddrIdx(in *Instr, regs []interp.Value) {
+	base := regs[in.A]
+	if base.Kind != interp.VPtr {
+		m.trap("address arithmetic on non-pointer at %s", in.Pos)
+	}
+	idx := regs[in.B]
+	np := base.P
+	np.Off += int(idx.I()) * in.Scale
+	regs[in.Dst] = interp.PtrValue(np, base.Typ())
+}
+
+func (m *vm) execLoad(in *Instr, regs []interp.Value) {
+	m.cov.Hit("vm.load")
+	v := regs[in.A]
+	if v.Kind != interp.VPtr {
+		m.trap("load through non-pointer at %s", in.Pos)
+	}
+	p := v.P
+	if p.IsNull() || !p.Obj.Live || p.Off < 0 || p.Off >= len(p.Obj.Cells) {
+		m.trap("segmentation fault (load) at %s", in.Pos)
+	}
+	regs[in.Dst] = p.Obj.Cells[p.Off].Val
+}
+
+func (m *vm) execStore(in *Instr, regs []interp.Value) {
+	m.cov.Hit("vm.store")
+	v := regs[in.A]
+	if v.Kind != interp.VPtr {
+		m.trap("store through non-pointer at %s", in.Pos)
+	}
+	p := v.P
+	if p.IsNull() || !p.Obj.Live || p.Off < 0 || p.Off >= len(p.Obj.Cells) {
+		m.trap("segmentation fault (store) at %s", in.Pos)
+	}
+	p.Obj.Cells[p.Off] = interp.Cell{Val: regs[in.B], Init: true}
+}
+
 func (m *vm) execInstr(f *Func, in *Instr, regs []interp.Value, vars map[*cc.Symbol]*interp.Object) {
 	switch in.Op {
 	case OpConst:
-		switch {
-		case in.Val.IsStr:
-			regs[in.Dst] = interp.PtrValue(interp.Pointer{Obj: m.internStr(in.Val.Str), Elem: cc.TypeChar}, in.Type)
-		case in.Val.IsFloat:
-			regs[in.Dst] = interp.FloatValue(in.Val.F, in.Type)
-		default:
-			regs[in.Dst] = interp.IntValue(in.Val.I, in.Type)
-		}
+		m.execConst(in, regs)
 	case OpCopy:
 		regs[in.Dst] = regs[in.A]
 	case OpBin:
-		m.cov.Hit("vm.bin")
-		m.cov.HitOp("vm.bin", in.BinOp)
-		regs[in.Dst] = m.binop(in.BinOp, regs[in.A], regs[in.B], in.Type)
+		m.execBin(in, regs)
 	case OpUn:
 		regs[in.Dst] = m.unop(in.UnOp, regs[in.A], in.Type)
 	case OpConv:
 		regs[in.Dst] = convertVal(regs[in.A], in.Type, m)
 	case OpAddrVar:
-		obj := m.varObj(f, in.Sym, vars)
-		regs[in.Dst] = interp.PtrValue(interp.Pointer{Obj: obj, Off: 0, Elem: scalarOf(in.Sym.Type)}, &cc.PointerType{Elem: in.Sym.Type})
+		m.execAddrVar(f, in, regs, vars)
 	case OpAddrIdx:
-		base := regs[in.A]
-		if base.Kind != interp.VPtr {
-			m.trap("address arithmetic on non-pointer at %s", in.Pos)
-		}
-		idx := regs[in.B]
-		np := base.P
-		np.Off += int(idx.I()) * in.Scale
-		regs[in.Dst] = interp.PtrValue(np, base.Typ())
+		m.execAddrIdx(in, regs)
 	case OpLoad:
-		m.cov.Hit("vm.load")
-		v := regs[in.A]
-		if v.Kind != interp.VPtr {
-			m.trap("load through non-pointer at %s", in.Pos)
-		}
-		p := v.P
-		if p.IsNull() || !p.Obj.Live || p.Off < 0 || p.Off >= len(p.Obj.Cells) {
-			m.trap("segmentation fault (load) at %s", in.Pos)
-		}
-		regs[in.Dst] = p.Obj.Cells[p.Off].Val
+		m.execLoad(in, regs)
 	case OpStore:
-		m.cov.Hit("vm.store")
-		v := regs[in.A]
-		if v.Kind != interp.VPtr {
-			m.trap("store through non-pointer at %s", in.Pos)
-		}
-		p := v.P
-		if p.IsNull() || !p.Obj.Live || p.Off < 0 || p.Off >= len(p.Obj.Cells) {
-			m.trap("segmentation fault (store) at %s", in.Pos)
-		}
-		p.Obj.Cells[p.Off] = interp.Cell{Val: regs[in.B], Init: true}
+		m.execStore(in, regs)
 	case OpCall:
 		m.execCall(f, in, regs, vars)
 	default:
@@ -579,11 +678,15 @@ func (m *vm) execCall(f *Func, in *Instr, regs []interp.Value, vars map[*cc.Symb
 	if !ok {
 		m.trap("undefined function %s", in.Name)
 	}
-	args := make([]interp.Value, len(in.Args))
+	// args come from a pooled buffer: the callee copies every value into
+	// its own registers or parameter objects before returning, so the
+	// buffer can be recycled as soon as the call completes
+	args := m.st.getArgs(len(in.Args))
 	for i, a := range in.Args {
 		args[i] = regs[a]
 	}
 	v, has := m.call(callee, args)
+	m.st.putArgs(args)
 	if in.Dst != NoReg {
 		if !has {
 			// the binary returns whatever was in the result register:

@@ -20,6 +20,8 @@
 //	             [-backend-batch=false] [-paranoid] [-render-path]
 //	             [-backend-reuse=false] [-status-addr host:port]
 //	             [-progress 30s] [-cpuprofile path] [-memprofile path]
+//	             [-serve host:port | -connect host:port]
+//	             [-lease-timeout 30s] [-max-retries N]
 //	             [file.c ...]
 //	                                 run a parallel differential-testing
 //	                                 campaign (default corpus: the bundled
@@ -73,20 +75,39 @@
 //	                                 all of them observational only: the
 //	                                 report on stdout stays byte-identical
 //	                                 with or without them (see
-//	                                 docs/OBSERVABILITY.md)
+//	                                 docs/OBSERVABILITY.md); -serve runs
+//	                                 this process as a fabric coordinator
+//	                                 leasing shard tasks over HTTP to
+//	                                 -connect worker processes (the merged
+//	                                 report stays byte-identical to an
+//	                                 in-process run under any worker fleet,
+//	                                 crash, or retry — see
+//	                                 docs/DISTRIBUTED.md), with
+//	                                 -lease-timeout bounding how long a
+//	                                 worker holds a shard and -max-retries
+//	                                 bounding re-dispatches before the
+//	                                 campaign fails; SIGINT checkpoints
+//	                                 merged progress (with -checkpoint) and
+//	                                 exits cleanly in every mode
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"syscall"
+	"time"
 
 	"spe/internal/alpha"
 	"spe/internal/campaign"
 	"spe/internal/cc"
 	"spe/internal/corpus"
+	"spe/internal/fabric"
 	"spe/internal/obs"
 	"spe/internal/skeleton"
 	"spe/internal/spe"
@@ -203,6 +224,10 @@ func campaignMain(args []string) error {
 	progress := fs.Duration("progress", 0, "print a one-line progress ticker to stderr at this interval (0 = off)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this path")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this path")
+	serve := fs.String("serve", "", "run as a fabric coordinator on this HTTP address, leasing shard tasks to -connect workers instead of executing locally (same report as an in-process run)")
+	connect := fs.String("connect", "", "run as a fabric worker against the coordinator at this address; the campaign config comes from the coordinator, so only -workers and the telemetry flags apply")
+	leaseTimeout := fs.Duration("lease-timeout", 30*time.Second, "(with -serve) how long a worker holds a leased shard before it is re-leased elsewhere")
+	maxRetries := fs.Int("max-retries", 3, "(with -serve) how many re-dispatches one shard may consume after expiries or worker failures before the campaign fails (-1 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -212,6 +237,14 @@ func campaignMain(args []string) error {
 		// instead of silently ignoring -paranoid
 		return fmt.Errorf("-paranoid cross-checks the AST instantiation path and cannot be combined with -render-path")
 	}
+	if *serve != "" && *connect != "" {
+		return fmt.Errorf("-serve and -connect are mutually exclusive (one process is either the coordinator or a worker)")
+	}
+	// SIGINT/SIGTERM cancel the campaign context: the engine (or fabric
+	// coordinator) checkpoints its merged prefix and exits cleanly instead
+	// of abandoning in-flight progress
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		return err
@@ -235,6 +268,21 @@ func campaignMain(args []string) error {
 		stop := tel.StartProgressTicker(os.Stderr, *progress)
 		defer stop()
 	}
+	if *connect != "" {
+		// worker mode: the campaign (corpus, settings, checkpointing) is
+		// the coordinator's; this process only drains shard leases
+		if fs.NArg() > 0 || *checkpoint != "" {
+			return fmt.Errorf("-connect workers take no corpus files or -checkpoint (the coordinator owns the campaign)")
+		}
+		host, _ := os.Hostname()
+		w := &fabric.Worker{
+			Transport:   fabric.Dial(*connect),
+			ID:          fmt.Sprintf("%s-%d", host, os.Getpid()),
+			Parallelism: workerParallelism(*workers),
+		}
+		fmt.Fprintf(os.Stderr, "spe: worker %s draining shards from %s\n", w.ID, *connect)
+		return w.Run(ctx)
+	}
 	if *checkpoint != "" {
 		_, err := os.Stat(*checkpoint)
 		switch {
@@ -246,9 +294,19 @@ func campaignMain(args []string) error {
 				return fmt.Errorf("checkpoint %s already exists; remove it or drop the corpus file arguments (a resume replays the checkpointed corpus and settings)", *checkpoint)
 			}
 			fmt.Fprintf(os.Stderr, "spe: resuming campaign from %s (flags other than -checkpoint and the telemetry flags are taken from the checkpoint)\n", *checkpoint)
-			rep, err := campaign.ResumeTelemetry(context.Background(), *checkpoint, tel)
+			var rep *campaign.Report
+			var err error
+			if *serve != "" {
+				core, coreErr := campaign.ResumeRemoteEngine(*checkpoint, tel)
+				if coreErr != nil {
+					return coreErr
+				}
+				rep, err = serveCoordinator(ctx, core, tel, *serve, *leaseTimeout, *maxRetries)
+			} else {
+				rep, err = campaign.ResumeTelemetry(ctx, *checkpoint, tel)
+			}
 			if err != nil {
-				return err
+				return interruptedErr(err, *checkpoint)
 			}
 			if *curve {
 				fmt.Fprint(os.Stderr, rep.FormatCoverageCurve())
@@ -274,7 +332,7 @@ func campaignMain(args []string) error {
 	if *inter {
 		gran = spe.Inter
 	}
-	rep, err := campaign.Run(campaign.Config{
+	cfg := campaign.Config{
 		Corpus:             progs,
 		Versions:           strings.Split(*versions, ","),
 		MaxVariantsPerFile: *variants,
@@ -294,15 +352,66 @@ func campaignMain(args []string) error {
 		ForceRenderPath:    *renderPath,
 		NoBackendReuse:     !*backendReuse,
 		Telemetry:          tel,
-	})
-	if err != nil {
-		return err
+	}
+	var rep *campaign.Report
+	if *serve != "" {
+		core, err := campaign.NewRemoteEngine(cfg)
+		if err != nil {
+			return err
+		}
+		rep, err = serveCoordinator(ctx, core, tel, *serve, *leaseTimeout, *maxRetries)
+		if err != nil {
+			return interruptedErr(err, *checkpoint)
+		}
+	} else {
+		var err error
+		rep, err = campaign.RunContext(ctx, cfg)
+		if err != nil {
+			return interruptedErr(err, *checkpoint)
+		}
 	}
 	if *curve {
 		fmt.Fprint(os.Stderr, rep.FormatCoverageCurve())
 	}
 	fmt.Print(rep.Format())
 	return nil
+}
+
+// serveCoordinator runs the fabric coordinator: it binds addr, leases
+// the campaign's shard tasks to -connect workers, and waits for the
+// merged report (or a failure / SIGINT, both of which checkpoint first).
+func serveCoordinator(ctx context.Context, core *campaign.RemoteEngine, tel *campaign.Telemetry, addr string, leaseTimeout time.Duration, maxRetries int) (*campaign.Report, error) {
+	var m *fabric.Metrics
+	if tel != nil {
+		m = fabric.NewMetrics(tel.Registry())
+	}
+	coord := fabric.NewCoordinator(core, fabric.Options{LeaseTimeout: leaseTimeout, MaxRetries: maxRetries, Metrics: m})
+	srv, err := obs.Serve(addr, coord.Handler())
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "spe: coordinator on http://%s/ (campaign %s, %d of %d shard tasks remaining)\n",
+		srv.Addr, coord.ID(), core.TotalTasks()-core.MergedTasks(), core.TotalTasks())
+	return coord.Wait(ctx)
+}
+
+// workerParallelism maps the -workers flag onto a fabric worker's lease
+// concurrency (0 keeps the in-process convention: one slot per CPU).
+func workerParallelism(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// interruptedErr dresses a SIGINT-canceled campaign in its operational
+// meaning: the merged prefix is on disk when a checkpoint path is set.
+func interruptedErr(err error, checkpoint string) error {
+	if errors.Is(err, context.Canceled) && checkpoint != "" {
+		return fmt.Errorf("campaign interrupted; merged progress checkpointed to %s (rerun with -checkpoint to resume)", checkpoint)
+	}
+	return err
 }
 
 func usage() {

@@ -13,8 +13,8 @@
 //	         [-status-addr host:port] [-progress 30s] [experiment...]
 //
 // where experiment is any of: table1 table2 table3 table4 fig8 fig9 fig10
-// example6 variants backend oracle obs. With no arguments, all experiments
-// run in order.
+// example6 variants backend oracle obs fabric. With no arguments, all
+// experiments run in order.
 // -workers sizes the campaign engine's worker pool (0 = GOMAXPROCS; the
 // tables are identical at any setting), -checkpoint makes campaign
 // experiments persist resumable progress, -schedule selects the shard
@@ -52,7 +52,11 @@
 // to stderr at the given interval; both are observational only and leave
 // every table and bench result byte-identical. The obs experiment
 // measures exactly that: telemetry-on vs telemetry-off campaign
-// throughput plus report equivalence (BENCH_obs.json in CI).
+// throughput plus report equivalence (BENCH_obs.json in CI). The fabric
+// experiment runs the same campaign through a loopback HTTP
+// coordinator/worker fabric versus the in-process engine, asserting the
+// reports are byte-identical and recording both throughputs
+// (BENCH_fabric.json in CI; see docs/DISTRIBUTED.md).
 package main
 
 import (
@@ -141,7 +145,7 @@ func benchMain() int {
 	scale.Telemetry = tel
 	which := flag.Args()
 	if len(which) == 0 {
-		which = []string{"example6", "table1", "table2", "fig8", "table3", "table4", "fig10", "fig9", "generality", "variants", "backend", "oracle", "obs"}
+		which = []string{"example6", "table1", "table2", "fig8", "table3", "table4", "fig10", "fig9", "generality", "variants", "backend", "oracle", "obs", "fabric"}
 	}
 	for _, name := range which {
 		start := time.Now()
@@ -207,6 +211,8 @@ func run(name string, scale experiments.Scale) (string, error) {
 		return experiments.OracleBench(scale)
 	case "obs":
 		return experiments.ObsBench(scale)
+	case "fabric":
+		return experiments.FabricBench(scale)
 	default:
 		return "", fmt.Errorf("unknown experiment %q", name)
 	}

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/big"
 	"sort"
@@ -48,21 +49,8 @@ type taskResult struct {
 // runEngine drives the scheduler → worker pool → aggregator pipeline.
 // st carries the aggregator's merge state, pre-seeded by Resume.
 func runEngine(ctx context.Context, cfg Config, st *aggState) (*Report, error) {
-	if cfg.Schedule != ScheduleFIFO && cfg.Schedule != ScheduleCoverage {
-		return nil, fmt.Errorf("campaign: unknown schedule %q (want %q or %q)",
-			cfg.Schedule, ScheduleFIFO, ScheduleCoverage)
-	}
-	if cfg.Oracle != OracleTree && cfg.Oracle != OracleBytecode {
-		return nil, fmt.Errorf("campaign: unknown oracle %q (want %q or %q)",
-			cfg.Oracle, OracleTree, OracleBytecode)
-	}
-	if cfg.Dispatch != DispatchThreaded && cfg.Dispatch != DispatchSwitch {
-		return nil, fmt.Errorf("campaign: unknown dispatch %q (want %q or %q)",
-			cfg.Dispatch, DispatchThreaded, DispatchSwitch)
-	}
-	if cfg.BackendDispatch != BackendDispatchThreaded && cfg.BackendDispatch != BackendDispatchSwitch {
-		return nil, fmt.Errorf("campaign: unknown backend dispatch %q (want %q or %q)",
-			cfg.BackendDispatch, BackendDispatchThreaded, BackendDispatchSwitch)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	// the task sequence is derived up front (it is a pure function of the
 	// config) so the scheduler can prioritize over the whole campaign;
@@ -216,6 +204,16 @@ func runEngine(ctx context.Context, cfg Config, st *aggState) (*Report, error) {
 		tel.observeAggregator(len(pending))
 	}
 	tel.campaignDone()
+	// context-driven shutdown persists the merged prefix: a SIGINT (or any
+	// cancellation) should leave the latest state on disk instead of
+	// abandoning up to CheckpointEvery-1 merged shards, so the resumed
+	// campaign continues from exactly where the interrupted one stopped
+	if ctx.Err() != nil && cfg.CheckpointPath != "" && st.sinceCkpt > 0 &&
+		(firstErr == nil || errors.Is(firstErr, context.Canceled) || errors.Is(firstErr, context.DeadlineExceeded)) {
+		if err := writeCheckpoint(cfg, st, sched.steeringSnapshot()); err == nil {
+			st.sinceCkpt = 0
+		}
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"spe/internal/campaign"
+	"spe/internal/corpus"
+	"spe/internal/fabric"
+	"spe/internal/obs"
+)
+
+// FabricBenchResult is the machine-readable outcome of the distributed
+// fabric benchmark (emitted as BENCH_fabric.json by cmd/spebench). It
+// pins the fabric's two contracts on a real campaign: the loopback
+// coordinator/worker report is byte-identical to the in-process engine's,
+// and the lease/HTTP/JSON overhead of distributing shards stays small
+// (the protocol costs once per shard, not per variant).
+type FabricBenchResult struct {
+	Workers int `json:"workers"`
+	// FleetSize is how many worker processes' worth of lease loops the
+	// loopback fabric ran (each with Workers/FleetSize parallel slots).
+	FleetSize int `json:"fleet_size"`
+	Files     int `json:"files"`
+	// Rounds is how many alternating in-process/fabric pairs ran; each
+	// side's VPS is the best over its rounds.
+	Rounds           int     `json:"rounds"`
+	CampaignVariants int     `json:"campaign_variants"`
+	InProcessVPS     float64 `json:"inprocess_variants_per_sec"`
+	FabricVPS        float64 `json:"fabric_loopback_variants_per_sec"`
+	// OverheadPercent is (inprocess-fabric)/inprocess*100; negative means
+	// the fabric round happened to be faster (noise).
+	OverheadPercent float64 `json:"fabric_overhead_percent"`
+	// ReportsIdentical confirms the loopback fabric campaign produced a
+	// byte-identical report to the in-process engine.
+	ReportsIdentical bool `json:"reports_identical"`
+}
+
+// fabricBenchRounds alternates in-process/fabric pairs to keep slow
+// drift from biasing one side.
+const fabricBenchRounds = 3
+
+// fabricFleetSize is how many workers the loopback fabric joins.
+const fabricFleetSize = 2
+
+// FabricBench measures full-campaign variants/sec through the in-process
+// engine versus a loopback HTTP fabric (a real TCP listener, JSON
+// marshalling, two joined workers splitting the shard parallelism) and
+// cross-checks that the reports are byte-identical. When scale.BenchJSON
+// is set the result is also written there as JSON.
+func FabricBench(scale Scale) (string, error) {
+	scale = scale.withDefaults()
+	progs := corpus.Seeds()
+	progs = append(progs, corpus.Generate(corpus.Config{N: scale.CampaignCorpus, Seed: scale.Seed + 5})...)
+	res := &FabricBenchResult{Workers: scale.Workers, FleetSize: fabricFleetSize, Files: len(progs), Rounds: fabricBenchRounds}
+
+	cfg := campaign.Config{
+		Corpus:             progs,
+		Versions:           []string{"trunk"},
+		Threshold:          -1,
+		MaxVariantsPerFile: scale.MaxVariants,
+		Workers:            scale.Workers,
+		Telemetry:          scale.Telemetry,
+	}
+
+	var inProcReport, fabricReport string
+	for round := 0; round < fabricBenchRounds; round++ {
+		start := time.Now()
+		rep, err := campaign.Run(cfg)
+		if err != nil {
+			return "", fmt.Errorf("experiments: fabric: in-process campaign: %w", err)
+		}
+		if vps := float64(rep.Stats.Variants) / time.Since(start).Seconds(); vps > res.InProcessVPS {
+			res.InProcessVPS = vps
+		}
+		inProcReport = rep.Format()
+		res.CampaignVariants = rep.Stats.Variants
+
+		rep, vps, err := fabricCampaign(cfg)
+		if err != nil {
+			return "", err
+		}
+		if vps > res.FabricVPS {
+			res.FabricVPS = vps
+		}
+		fabricReport = rep.Format()
+	}
+	res.OverheadPercent = (res.InProcessVPS - res.FabricVPS) / res.InProcessVPS * 100
+	res.ReportsIdentical = inProcReport == fabricReport
+	if !res.ReportsIdentical {
+		return "", fmt.Errorf("experiments: fabric: loopback fabric report diverges from the in-process report")
+	}
+
+	if scale.BenchJSON != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return "", fmt.Errorf("experiments: fabric: %w", err)
+		}
+		if err := os.WriteFile(scale.BenchJSON, append(data, '\n'), 0o644); err != nil {
+			return "", fmt.Errorf("experiments: fabric: %w", err)
+		}
+	}
+
+	out := "Distributed fabric: loopback HTTP coordinator/worker campaign vs in-process engine\n"
+	out += fmt.Sprintf("  corpus: %d files, %d campaign variants (workers=%d, fleet=%d, rounds=%d)\n",
+		res.Files, res.CampaignVariants, res.Workers, res.FleetSize, res.Rounds)
+	out += fmt.Sprintf("  full campaign: in-process %8.0f variants/s | fabric %8.0f variants/s | overhead %+.2f%%\n",
+		res.InProcessVPS, res.FabricVPS, res.OverheadPercent)
+	out += fmt.Sprintf("  reports byte-identical: %v\n", res.ReportsIdentical)
+	return out, nil
+}
+
+// fabricCampaign runs one loopback fabric round: a coordinator behind a
+// real HTTP listener, fabricFleetSize workers dialing it over TCP, the
+// campaign's shard parallelism split across the fleet.
+func fabricCampaign(cfg campaign.Config) (*campaign.Report, float64, error) {
+	core, err := campaign.NewRemoteEngine(cfg)
+	if err != nil {
+		return nil, 0, fmt.Errorf("experiments: fabric: %w", err)
+	}
+	coord := fabric.NewCoordinator(core, fabric.Options{LeaseTimeout: time.Minute})
+	srv, err := obs.Serve("127.0.0.1:0", coord.Handler())
+	if err != nil {
+		return nil, 0, fmt.Errorf("experiments: fabric: %w", err)
+	}
+	defer srv.Close()
+
+	slots := cfg.Workers
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	perWorker := slots / fabricFleetSize
+	if perWorker < 1 {
+		perWorker = 1
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+	workerErrs := make([]error, fabricFleetSize)
+	for i := 0; i < fabricFleetSize; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			w := &fabric.Worker{
+				Transport:   fabric.Dial(srv.Addr),
+				ID:          fmt.Sprintf("bench-%d", slot),
+				Parallelism: perWorker,
+			}
+			workerErrs[slot] = w.Run(ctx)
+		}(i)
+	}
+	rep, waitErr := coord.Wait(ctx)
+	cancel()
+	wg.Wait()
+	if waitErr != nil {
+		return nil, 0, fmt.Errorf("experiments: fabric: coordinator: %w", waitErr)
+	}
+	elapsed := time.Since(start).Seconds()
+	for i, err := range workerErrs {
+		// cancellation after Wait returned is the normal fleet teardown
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return nil, 0, fmt.Errorf("experiments: fabric: worker %d: %w", i, err)
+		}
+	}
+	return rep, float64(rep.Stats.Variants) / elapsed, nil
+}

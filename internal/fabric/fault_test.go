@@ -1,0 +1,185 @@
+package fabric
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spe/internal/campaign"
+)
+
+// Fault-injection matrix: every chaos scenario — dropped requests,
+// dropped replies (results land but acks are lost, forcing duplicate
+// delivery), duplicated calls, random delays (reordering across
+// workers), and a worker that dies mid-shard — must still produce a
+// report byte-identical to the in-process engine. Retries are unlimited
+// under chaos (MaxRetries: -1): the contract under test is determinism,
+// not the retry budget (lease_test.go pins that).
+
+// chaosFactory hands each worker its own deterministic fault stream
+// (workers build their transports concurrently, hence the atomic).
+func chaosFactory(seed *int64, chaos ChaosConfig) func(*Coordinator) Transport {
+	return func(c *Coordinator) Transport {
+		cfg := chaos
+		cfg.Seed = atomic.AddInt64(seed, 1)
+		return NewChaos(&LocalTransport{C: c}, cfg)
+	}
+}
+
+// TestFabricChaosMatrix runs each fault class alone and then all of them
+// together, 2 workers each, short leases so orphaned grants re-lease
+// quickly.
+func TestFabricChaosMatrix(t *testing.T) {
+	want := inProcessBaseline(t, baseConfig())
+
+	scenarios := []struct {
+		name  string
+		chaos ChaosConfig
+	}{
+		{"drop-requests", ChaosConfig{DropRequest: 0.2}},
+		{"drop-replies", ChaosConfig{DropReply: 0.2}},
+		{"duplicates", ChaosConfig{Duplicate: 0.2}},
+		{"delays-reorder", ChaosConfig{MaxDelay: 3 * time.Millisecond}},
+		{"everything", ChaosConfig{DropRequest: 0.1, DropReply: 0.1, Duplicate: 0.1, MaxDelay: 2 * time.Millisecond}},
+	}
+	if testing.Short() {
+		scenarios = scenarios[len(scenarios)-1:] // race CI: the combined scenario subsumes the rest
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			seed := int64(1)
+			opts := Options{LeaseTimeout: 250 * time.Millisecond, MaxRetries: -1}
+			got := runFabric(t, baseConfig(), 2, opts, chaosFactory(&seed, sc.chaos))
+			if got != want {
+				t.Errorf("chaos %s diverges from in-process baseline:\n--- fabric ---\n%s--- in-process ---\n%s",
+					sc.name, got, want)
+			}
+		})
+	}
+}
+
+// deadlyTransport kills its worker mid-shard: the first leased task is
+// accepted and then the transport reports the worker dead (every
+// subsequent call fails), so the shard is never reported and must be
+// re-leased to a survivor.
+type deadlyTransport struct {
+	inner Transport
+	mu    sync.Mutex
+	dead  bool
+}
+
+func (d *deadlyTransport) Join(ctx context.Context, req *JoinRequest) (*JoinResponse, error) {
+	return d.inner.Join(ctx, req)
+}
+
+func (d *deadlyTransport) Lease(ctx context.Context, req *LeaseRequest) (*LeaseResponse, error) {
+	d.mu.Lock()
+	if d.dead {
+		d.mu.Unlock()
+		return nil, context.Canceled
+	}
+	d.mu.Unlock()
+	resp, err := d.inner.Lease(ctx, req)
+	if err == nil && resp.Status == StatusTask {
+		// took the lease to the grave: die before executing
+		d.mu.Lock()
+		d.dead = true
+		d.mu.Unlock()
+		return nil, context.Canceled
+	}
+	return resp, err
+}
+
+func (d *deadlyTransport) Result(ctx context.Context, req *ResultRequest) (*ResultResponse, error) {
+	d.mu.Lock()
+	if d.dead {
+		d.mu.Unlock()
+		return nil, context.Canceled
+	}
+	d.mu.Unlock()
+	return d.inner.Result(ctx, req)
+}
+
+// TestFabricWorkerDiesMidShard pairs one worker that takes a lease and
+// dies with one healthy worker. The dead worker's lease must expire and
+// re-dispatch, and the report must stay byte-identical.
+func TestFabricWorkerDiesMidShard(t *testing.T) {
+	want := inProcessBaseline(t, baseConfig())
+
+	core, err := campaign.NewRemoteEngine(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(core, Options{LeaseTimeout: 100 * time.Millisecond, MaxRetries: -1})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var healthyErr error
+	go func() {
+		defer wg.Done()
+		w := &Worker{Transport: &deadlyTransport{inner: local(coord)}, ID: "victim", RetryBackoff: time.Millisecond, MaxErrors: 3}
+		w.Run(ctx) // dies by design; its error is the point
+	}()
+	go func() {
+		defer wg.Done()
+		w := &Worker{Transport: local(coord), ID: "survivor", Parallelism: 2, RetryBackoff: time.Millisecond}
+		healthyErr = w.Run(ctx)
+	}()
+	rep, waitErr := coord.Wait(ctx)
+	wg.Wait()
+	if waitErr != nil {
+		t.Fatalf("coordinator: %v", waitErr)
+	}
+	if healthyErr != nil {
+		t.Fatalf("surviving worker: %v", healthyErr)
+	}
+	if got := rep.Format(); got != want {
+		t.Errorf("report diverges after mid-shard worker death:\n--- fabric ---\n%s--- in-process ---\n%s", got, want)
+	}
+}
+
+// zombieTransport executes its shard but reports the result twice — the
+// second copy arriving after the coordinator already merged the first
+// (the classic zombie worker whose lease expired and whose task was
+// re-run elsewhere in real deployments).
+type zombieTransport struct {
+	inner Transport
+}
+
+func (z *zombieTransport) Join(ctx context.Context, req *JoinRequest) (*JoinResponse, error) {
+	return z.inner.Join(ctx, req)
+}
+
+func (z *zombieTransport) Lease(ctx context.Context, req *LeaseRequest) (*LeaseResponse, error) {
+	return z.inner.Lease(ctx, req)
+}
+
+func (z *zombieTransport) Result(ctx context.Context, req *ResultRequest) (*ResultResponse, error) {
+	resp, err := z.inner.Result(ctx, req)
+	if err != nil {
+		return resp, err
+	}
+	if again, err2 := z.inner.Result(ctx, req); err2 == nil && again.Accepted {
+		// the duplicate must be discarded, never merged twice
+		return nil, context.Canceled
+	}
+	return resp, err
+}
+
+// TestFabricZombieResultDiscarded sends every shard result twice and
+// asserts the duplicates are all discarded (the zombieTransport turns an
+// accepted duplicate into a transport failure, which would blow the
+// worker's MaxErrors) while the report stays byte-identical.
+func TestFabricZombieResultDiscarded(t *testing.T) {
+	want := inProcessBaseline(t, baseConfig())
+	got := runFabric(t, baseConfig(), 2, Options{LeaseTimeout: 30 * time.Second},
+		func(c *Coordinator) Transport { return &zombieTransport{inner: local(c)} })
+	if got != want {
+		t.Errorf("report diverges with zombie duplicate results:\n--- fabric ---\n%s--- in-process ---\n%s", got, want)
+	}
+}

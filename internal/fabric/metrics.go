@@ -1,0 +1,97 @@
+package fabric
+
+import "spe/internal/obs"
+
+// Metrics is the fabric's observability surface, registered alongside
+// the campaign telemetry so one /metrics scrape covers the whole
+// coordinator. Like campaign.Telemetry it is inert by contract: every
+// recording site is nil-guarded, recording is atomic, and no fabric
+// decision reads a metric back.
+type Metrics struct {
+	reg           *obs.Registry
+	leasesGranted *obs.Counter
+	releases      *obs.Counter
+	expiries      *obs.Counter
+	workerErrors  *obs.Counter
+	resultsOK     *obs.Counter
+	resultsDup    *obs.Counter
+	waitPolls     *obs.Counter
+}
+
+// NewMetrics registers the fabric metric set on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		reg:           reg,
+		leasesGranted: reg.Counter("spe_fabric_leases_granted_total", "Shard leases handed to workers (re-leases included)."),
+		releases:      reg.Counter("spe_fabric_re_leases_total", "Leases that re-dispatched a previously leased task after an expiry or worker failure."),
+		expiries:      reg.Counter("spe_fabric_lease_expiries_total", "Leases that exceeded their deadline (straggler or dead worker) and were reclaimed."),
+		workerErrors:  reg.Counter("spe_fabric_worker_errors_total", "Worker-reported shard execution failures."),
+		resultsOK:     reg.Counter("spe_fabric_results_total", "Shard results folded into the campaign.", obs.L("status", "accepted")),
+		resultsDup:    reg.Counter("spe_fabric_results_total", "Shard results folded into the campaign.", obs.L("status", "duplicate")),
+		waitPolls:     reg.Counter("spe_fabric_wait_polls_total", "Lease requests answered with wait (window full or tail drain)."),
+	}
+}
+
+// observeCoordinator registers the liveness gauges, which read the
+// coordinator's own lease table at scrape time instead of mirroring it
+// on the serving path.
+func (m *Metrics) observeCoordinator(c *Coordinator) {
+	if m == nil {
+		return
+	}
+	reg := m.registry()
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("spe_fabric_active_leases", "Unexpired outstanding shard leases.", func() float64 {
+		return float64(c.ActiveLeases())
+	})
+	reg.GaugeFunc("spe_fabric_workers_live", "Workers seen within two lease timeouts.", func() float64 {
+		return float64(c.LiveWorkers())
+	})
+}
+
+// registry is unavailable from counters, so Metrics carries it for the
+// gauge hookup.
+func (m *Metrics) registry() *obs.Registry { return m.reg }
+
+func (m *Metrics) incLeases() {
+	if m != nil {
+		m.leasesGranted.Inc()
+	}
+}
+
+func (m *Metrics) incReleases() {
+	if m != nil {
+		m.releases.Inc()
+	}
+}
+
+func (m *Metrics) incExpiries() {
+	if m != nil {
+		m.expiries.Inc()
+	}
+}
+
+func (m *Metrics) incWorkerErrors() {
+	if m != nil {
+		m.workerErrors.Inc()
+	}
+}
+
+func (m *Metrics) incResults(accepted bool) {
+	if m == nil {
+		return
+	}
+	if accepted {
+		m.resultsOK.Inc()
+	} else {
+		m.resultsDup.Inc()
+	}
+}
+
+func (m *Metrics) incWaitPolls() {
+	if m != nil {
+		m.waitPolls.Inc()
+	}
+}

@@ -1,0 +1,124 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// LocalTransport wires a worker straight to an in-process coordinator —
+// the loopback fabric used by the equivalence tests and the spebench
+// fabric experiment's baseline.
+type LocalTransport struct {
+	C *Coordinator
+}
+
+func (t *LocalTransport) Join(ctx context.Context, req *JoinRequest) (*JoinResponse, error) {
+	return t.C.Join(ctx, req)
+}
+
+func (t *LocalTransport) Lease(ctx context.Context, req *LeaseRequest) (*LeaseResponse, error) {
+	return t.C.Lease(ctx, req)
+}
+
+func (t *LocalTransport) Result(ctx context.Context, req *ResultRequest) (*ResultResponse, error) {
+	return t.C.Result(ctx, req)
+}
+
+// ErrChaosDrop is the injected transport failure.
+var ErrChaosDrop = errors.New("fabric: chaos: message dropped")
+
+// Chaos wraps a Transport with deterministic fault injection for the
+// byte-identity tests: requests vanish before the coordinator sees them,
+// replies vanish after it acted (so results land but their acks are
+// lost, forcing duplicate delivery), calls are duplicated outright, and
+// random delays reorder messages across concurrent workers. Join is left
+// reliable — the handshake carries no campaign state, so faulting it
+// only exercises the worker's generic retry.
+//
+// The wrapped faults compose with lease expiry: a dropped Lease reply
+// leaves an orphaned lease the coordinator must expire and re-lease.
+type Chaos struct {
+	inner Transport
+	cfg   ChaosConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// ChaosConfig tunes the injected fault mix.
+type ChaosConfig struct {
+	// Seed makes the fault sequence reproducible.
+	Seed int64
+	// DropRequest is the probability a call is dropped before delivery.
+	DropRequest float64
+	// DropReply is the probability a reply is dropped after the
+	// coordinator acted.
+	DropReply float64
+	// Duplicate is the probability a call is delivered twice (the first
+	// reply discarded).
+	Duplicate float64
+	// MaxDelay, when positive, sleeps a uniform random duration up to
+	// this before each delivery, reordering messages across workers.
+	MaxDelay time.Duration
+}
+
+// NewChaos wraps inner with the given fault mix.
+func NewChaos(inner Transport, cfg ChaosConfig) *Chaos {
+	return &Chaos{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// roll draws the fault decisions for one call under the lock, so
+// concurrent workers see one deterministic fault sequence.
+func (c *Chaos) roll() (dropReq, dropReply, dup bool, delay time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropReq = c.rng.Float64() < c.cfg.DropRequest
+	dropReply = c.rng.Float64() < c.cfg.DropReply
+	dup = c.rng.Float64() < c.cfg.Duplicate
+	if c.cfg.MaxDelay > 0 {
+		delay = time.Duration(c.rng.Int63n(int64(c.cfg.MaxDelay) + 1))
+	}
+	return
+}
+
+func (c *Chaos) Join(ctx context.Context, req *JoinRequest) (*JoinResponse, error) {
+	return c.inner.Join(ctx, req)
+}
+
+func (c *Chaos) Lease(ctx context.Context, req *LeaseRequest) (*LeaseResponse, error) {
+	return chaosCall(ctx, c, req, c.inner.Lease)
+}
+
+func (c *Chaos) Result(ctx context.Context, req *ResultRequest) (*ResultResponse, error) {
+	return chaosCall(ctx, c, req, c.inner.Result)
+}
+
+// chaosCall applies one call's drawn faults around fn.
+func chaosCall[Req, Resp any](ctx context.Context, c *Chaos, req Req, fn func(context.Context, Req) (Resp, error)) (Resp, error) {
+	var zero Resp
+	dropReq, dropReply, dup, delay := c.roll()
+	if delay > 0 && !sleepCtx(ctx, delay) {
+		return zero, ctx.Err()
+	}
+	if dropReq {
+		return zero, ErrChaosDrop
+	}
+	if dup {
+		// the duplicated send: the coordinator processes it, the "network"
+		// loses the reply, and the retry below is the copy that survives
+		if _, err := fn(ctx, req); err != nil {
+			return zero, err
+		}
+	}
+	resp, err := fn(ctx, req)
+	if err != nil {
+		return zero, err
+	}
+	if dropReply {
+		return zero, ErrChaosDrop
+	}
+	return resp, nil
+}

@@ -1,0 +1,208 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"spe/internal/campaign"
+)
+
+// Worker drains shard leases from a coordinator. It is thin by design:
+// the plan comes from campaign.NewPlanner on the joined Config, and every
+// leased shard runs through Planner.RunSpec — the same pooled,
+// batched execution path the in-process engine uses — so distributed and
+// local campaigns share one code path below the lease loop.
+type Worker struct {
+	// Transport carries the fabric calls (Dial for HTTP, LocalTransport
+	// for loopback, Chaos to inject faults around either).
+	Transport Transport
+	// ID names this worker in leases and liveness tracking; defaults to
+	// "worker".
+	ID string
+	// Parallelism is how many shard leases this process drains
+	// concurrently; zero means 1. (The campaign Config's Workers field
+	// sizes the coordinator's dispatch window, not this.)
+	Parallelism int
+	// RetryBackoff paces wait polls and transport-error retries when the
+	// coordinator does not say otherwise; zero means 20ms.
+	RetryBackoff time.Duration
+	// MaxErrors bounds consecutive transport failures per loop before the
+	// worker gives up; zero means 10.
+	MaxErrors int
+}
+
+// errCampaignOver signals a clean per-goroutine exit.
+var errCampaignOver = errors.New("fabric: campaign complete")
+
+// Run joins the coordinator, derives the local plan, and drains leases
+// until the campaign completes, fails, or ctx is canceled. A clean
+// completion returns nil; campaign failure returns the coordinator's
+// error; cancellation returns ctx.Err().
+func (w *Worker) Run(ctx context.Context) error {
+	id := w.ID
+	if id == "" {
+		id = "worker"
+	}
+	parallelism := w.Parallelism
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	backoff := w.RetryBackoff
+	if backoff <= 0 {
+		backoff = 20 * time.Millisecond
+	}
+	maxErrs := w.MaxErrors
+	if maxErrs <= 0 {
+		maxErrs = 10
+	}
+
+	join, err := w.join(ctx, id, backoff, maxErrs)
+	if err != nil {
+		return err
+	}
+	planner, err := campaign.NewPlanner(join.Config)
+	if err != nil {
+		return fmt.Errorf("fabric: worker %s: plan from joined config: %w", id, err)
+	}
+	if planner.TotalTasks() != join.TotalTasks {
+		return fmt.Errorf("fabric: worker %s derives %d tasks, coordinator has %d: corpus or config drift",
+			id, planner.TotalTasks(), join.TotalTasks)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, parallelism)
+	for i := 0; i < parallelism; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			errs[slot] = w.drain(ctx, join.CampaignID, fmt.Sprintf("%s/%d", id, slot), planner, backoff, maxErrs)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, errCampaignOver) {
+			return err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// join performs the handshake, retrying transport errors.
+func (w *Worker) join(ctx context.Context, id string, backoff time.Duration, maxErrs int) (*JoinResponse, error) {
+	var lastErr error
+	for attempt := 0; attempt < maxErrs; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp, err := w.Transport.Join(ctx, &JoinRequest{WorkerID: id})
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !sleepCtx(ctx, backoff) {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, fmt.Errorf("fabric: worker %s: join: %w", id, lastErr)
+}
+
+// drain is one lease loop: lease, execute, report, repeat.
+func (w *Worker) drain(ctx context.Context, campaignID, slotID string, planner *campaign.Planner, backoff time.Duration, maxErrs int) error {
+	consecutive := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		resp, err := w.Transport.Lease(ctx, &LeaseRequest{CampaignID: campaignID, WorkerID: slotID})
+		if err != nil {
+			consecutive++
+			if consecutive >= maxErrs {
+				return fmt.Errorf("fabric: worker %s: lease: %w", slotID, err)
+			}
+			if !sleepCtx(ctx, backoff) {
+				return ctx.Err()
+			}
+			continue
+		}
+		consecutive = 0
+		switch resp.Status {
+		case StatusDone:
+			return errCampaignOver
+		case StatusFailed:
+			return fmt.Errorf("fabric: campaign failed: %s", resp.Err)
+		case StatusWait:
+			wait := time.Duration(resp.RetryAfterMs) * time.Millisecond
+			if wait <= 0 {
+				wait = backoff
+			}
+			if !sleepCtx(ctx, wait) {
+				return ctx.Err()
+			}
+			continue
+		case StatusTask:
+			if err := w.execute(ctx, campaignID, slotID, planner, resp, backoff, maxErrs); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("fabric: worker %s: unknown lease status %q", slotID, resp.Status)
+		}
+	}
+}
+
+// execute runs one leased shard and reports the outcome. A worker-side
+// shard error is reported to the coordinator (it charges a retry and
+// re-leases); only transport exhaustion and cancellation abort the loop.
+func (w *Worker) execute(ctx context.Context, campaignID, slotID string, planner *campaign.Planner, l *LeaseResponse, backoff time.Duration, maxErrs int) error {
+	res, runErr := planner.RunSpec(ctx, l.Spec)
+	if runErr != nil && ctx.Err() != nil {
+		// canceled mid-shard: exit quietly, the lease will expire and the
+		// task re-leases elsewhere
+		return ctx.Err()
+	}
+	req := &ResultRequest{CampaignID: campaignID, WorkerID: slotID, LeaseID: l.LeaseID, Seq: l.Spec.Seq}
+	if runErr != nil {
+		req.Err = runErr.Error()
+	} else {
+		req.Result = res
+	}
+	consecutive := 0
+	for {
+		resp, err := w.Transport.Result(ctx, req)
+		if err != nil {
+			consecutive++
+			if consecutive >= maxErrs {
+				return fmt.Errorf("fabric: worker %s: report task %d: %w", slotID, l.Spec.Seq, err)
+			}
+			if !sleepCtx(ctx, backoff) {
+				return ctx.Err()
+			}
+			continue // retried reports are how duplicate delivery happens; Deliver discards them
+		}
+		if resp.Failed {
+			return fmt.Errorf("fabric: campaign failed: %s", resp.Err)
+		}
+		if resp.Done {
+			return errCampaignOver
+		}
+		return nil
+	}
+}
+
+// sleepCtx sleeps d unless ctx ends first; reports whether the sleep
+// completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -13,7 +13,7 @@
 //	                                 print variants (default: canonical,
 //	                                 intra-procedural, all of them)
 //	spe campaign [-workers N] [-checkpoint path] [-variants N]
-//	             [-versions list] [-schedule fifo|coverage]
+//	             [-versions list] [-schedule fifo|coverage|region]
 //	             [-target-shard-ms N] [-curve] [-reduce] [-inter]
 //	             [-oracle tree|bytecode] [-dispatch threaded|switch]
 //	             [-oracle-batch=false] [-backend-dispatch threaded|switch]
@@ -28,10 +28,15 @@
 //	                                 seed programs); with -checkpoint, an
 //	                                 existing checkpoint is resumed;
 //	                                 -schedule=coverage dispatches shards
-//	                                 by expected coverage novelty and
-//	                                 -target-shard-ms sizes shard batches
-//	                                 adaptively (both leave the report
-//	                                 byte-identical to fifo order);
+//	                                 by expected coverage novelty,
+//	                                 -schedule=region scores each file's
+//	                                 scheduling regions (contiguous
+//	                                 hole-group ranges of its walk)
+//	                                 independently and drains the novel
+//	                                 ones first, and -target-shard-ms
+//	                                 sizes shard batches adaptively (all
+//	                                 three leave the report byte-identical
+//	                                 to fifo order);
 //	                                 variants are instantiated in place on
 //	                                 AST templates and executed on pooled
 //	                                 backends (skeleton-compiled bytecode
@@ -207,7 +212,7 @@ func campaignMain(args []string) error {
 	checkpoint := fs.String("checkpoint", "", "periodically persist campaign state to this path; resumed if it exists")
 	variants := fs.Int("variants", 200, "maximum enumerated variants tested per file")
 	versions := fs.String("versions", "trunk", "comma-separated compiler versions under test")
-	schedule := fs.String("schedule", campaign.ScheduleFIFO, "shard dispatch policy: fifo (enumeration order) or coverage (drain novel regions first; same final report)")
+	schedule := fs.String("schedule", campaign.ScheduleFIFO, "shard dispatch policy: fifo (enumeration order), coverage (drain novel files first), or region (score each file's regions independently); same final report either way")
 	targetShardMs := fs.Int("target-shard-ms", 0, "adaptive shard sizing: batch dispatches toward this duration (0 = fixed shards)")
 	curve := fs.Bool("curve", false, "record and print the coverage-over-time curve to stderr (under fifo this enables coverage collection)")
 	reduce := fs.Bool("reduce", false, "delta-debug each finding's sample test case")

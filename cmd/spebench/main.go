@@ -5,7 +5,7 @@
 // Usage:
 //
 //	spebench [-quick] [-workers N] [-checkpoint path]
-//	         [-schedule fifo|coverage] [-target-shard-ms N]
+//	         [-schedule fifo|coverage|region] [-target-shard-ms N]
 //	         [-oracle tree|bytecode] [-dispatch threaded|switch]
 //	         [-oracle-batch=false] [-backend-dispatch threaded|switch]
 //	         [-backend-batch=false] [-paranoid] [-bench-json path]
@@ -13,13 +13,13 @@
 //	         [-status-addr host:port] [-progress 30s] [experiment...]
 //
 // where experiment is any of: table1 table2 table3 table4 fig8 fig9 fig10
-// example6 variants backend oracle obs fabric. With no arguments, all
-// experiments run in order.
+// example6 variants backend oracle obs fabric schedule. With no
+// arguments, all experiments run in order.
 // -workers sizes the campaign engine's worker pool (0 = GOMAXPROCS; the
 // tables are identical at any setting), -checkpoint makes campaign
 // experiments persist resumable progress, -schedule selects the shard
-// dispatch policy (coverage drains novel regions first; tables are
-// unaffected), and -target-shard-ms enables adaptive shard sizing.
+// dispatch policy (coverage drains novel files first, region scores each
+// file's scheduling regions independently; tables are unaffected), and -target-shard-ms enables adaptive shard sizing.
 // -oracle selects the campaign reference engine (bytecode, the default
 // skeleton-compiled UB-checking VM, or tree, the historical tree-walking
 // interpreter; tables are identical either way — the oracle experiment
@@ -56,7 +56,12 @@
 // experiment runs the same campaign through a loopback HTTP
 // coordinator/worker fabric versus the in-process engine, asserting the
 // reports are byte-identical and recording both throughputs
-// (BENCH_fabric.json in CI; see docs/DISTRIBUTED.md).
+// (BENCH_fabric.json in CI; see docs/DISTRIBUTED.md). The schedule
+// experiment runs the same single-file campaign under the fifo, coverage,
+// and region dispatch policies, asserting byte-identical reports and
+// recording how many variants each policy needs to reach full compiler
+// coverage (BENCH_schedule.json in CI; the region scheduler's win comes
+// from probing every region of examples/regions/large.c early).
 package main
 
 import (
@@ -83,7 +88,7 @@ func benchMain() int {
 	quick := flag.Bool("quick", false, "use a reduced scale for a fast run")
 	workers := flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS); results are identical at any setting")
 	checkpoint := flag.String("checkpoint", "", "persist campaign progress to this path (campaign experiments only)")
-	schedule := flag.String("schedule", "", "campaign shard dispatch policy: fifo (default) or coverage; tables are identical either way")
+	schedule := flag.String("schedule", "", "campaign shard dispatch policy: fifo (default), coverage, or region; tables are identical either way")
 	targetShardMs := flag.Int("target-shard-ms", 0, "adaptive campaign shard sizing toward this duration (0 = fixed shards)")
 	oracle := flag.String("oracle", "", "campaign reference oracle: bytecode (default) or tree; tables are identical either way")
 	dispatch := flag.String("dispatch", "", "bytecode oracle instruction dispatch: threaded (default) or switch; tables are identical either way")
@@ -145,7 +150,7 @@ func benchMain() int {
 	scale.Telemetry = tel
 	which := flag.Args()
 	if len(which) == 0 {
-		which = []string{"example6", "table1", "table2", "fig8", "table3", "table4", "fig10", "fig9", "generality", "variants", "backend", "oracle", "obs", "fabric"}
+		which = []string{"example6", "table1", "table2", "fig8", "table3", "table4", "fig10", "fig9", "generality", "variants", "backend", "oracle", "obs", "fabric", "schedule"}
 	}
 	for _, name := range which {
 		start := time.Now()
@@ -213,6 +218,8 @@ func run(name string, scale experiments.Scale) (string, error) {
 		return experiments.ObsBench(scale)
 	case "fabric":
 		return experiments.FabricBench(scale)
+	case "schedule":
+		return experiments.ScheduleBench(scale)
 	default:
 		return "", fmt.Errorf("unknown experiment %q", name)
 	}

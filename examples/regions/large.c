@@ -1,0 +1,94 @@
+/* Large multi-function corpus file for the region scheduler.
+ *
+ * The file is built so the campaign's region cuts land inside it in an
+ * interesting way (see internal/spe/regions.go):
+ *
+ *   - sel() sits just before main(), and main() keeps exactly one
+ *     variable of each type in scope so it enumerates to a single
+ *     filling. That makes sel's filling index the least significant
+ *     moving digit of the file's mixed-radix partition space: the
+ *     strided campaign walk sweeps sel's fillings directly, while the
+ *     padding functions above it (whose digit weights dwarf the walk
+ *     bound) never leave their original fillings. The engine's region
+ *     cuts slice the walk into contiguous stretches of sel fillings.
+ *
+ *   - sel has exactly ten holes over three int candidates (seed, r, k),
+ *     so its canonical count (3^10 = 59049) sits just above the walk
+ *     bound and the walk sweeps most of sel's space: sel's leading
+ *     guard hole is the region-scale digit. The source spells the
+ *     boring filling (seed < 2 is false at runtime, so the shift never
+ *     executes and r/k folds), while the guard hole's second candidate
+ *     (r, reached halfway through the walk) makes the guard
+ *     constant-true: every variant in the back regions executes the
+ *     shift/divide block, surfacing coverage sites (vm.bin.shl,
+ *     constfold.bin.lt, runtime divides) that no front-region variant
+ *     reaches. A fifo or per-file-score walk only meets them ~310
+ *     variants in; region probes meet them in the first shard of any
+ *     back region, which is the steering win BENCH_schedule.json
+ *     records.
+ *
+ *   - The padding functions are ordinary c-torture-style code: their
+ *     fillings are pinned, so their coverage contribution is identical
+ *     in every variant and exhausted by the first shard of any
+ *     schedule.
+ *
+ * Used by the "schedule" spebench experiment (BENCH_schedule.json) and
+ * mirrored as a Go string in internal/corpus (corpus.RegionsSeed, with a
+ * test pinning the two copies identical).
+ */
+int pad_mix(int x) {
+    int m = x, n = 7;
+    m = m * 2;
+    n = n - m;
+    if (n < 0)
+        n = m - n;
+    return n;
+}
+int pad_fold(void) {
+    int u = 3, v = 9;
+    v = v - u;
+    u = u + v;
+    return u * v;
+}
+double pad_float(double f) {
+    unsigned k = 2u;
+    f = f * 0.5;
+    f = f + 1.5;
+    k = k + 3u;
+    return f + (double)k;
+}
+int pad_loop(int bound) {
+    int s = 0, t = bound;
+    unsigned i = 0u;
+    for (i = 0u; i < 4u; i = i + 1u)
+        s = s + t;
+    return s;
+}
+int pad_ptr(void) {
+    int cell = 5;
+    int *p = &cell;
+    *p = *p + 3;
+    return cell;
+}
+int sel(int seed) {
+    int r = 1, k = 6;
+    if (seed < 2)
+        k = k << 1;
+    if (k > 9)
+        r = r / k;
+    k = r ^ seed;
+    return 0;
+}
+int main() {
+    int acc = 0;
+    double df = 2.0;
+    acc = acc + pad_mix(3);
+    acc = acc + pad_fold();
+    df = pad_float(df);
+    acc = acc + pad_loop(2);
+    acc = acc + pad_ptr();
+    acc = acc + sel(2);
+    acc = acc + sel(acc);
+    printf("%d %d\n", acc, (int)df);
+    return 0;
+}

@@ -76,10 +76,14 @@ type Config struct {
 	// checkpoint writes; zero means 8.
 	CheckpointEvery int
 	// Schedule selects the shard dispatch policy: ScheduleFIFO (the
-	// default) dispatches shards in canonical enumeration order, while
+	// default) dispatches shards in canonical enumeration order;
 	// ScheduleCoverage re-orders pending shards by expected coverage
-	// novelty — regions whose recent shards hit new minicc instrumentation
-	// sites are drained first, stale regions decay. The dispatch order
+	// novelty — corpus files whose recent shards hit new minicc
+	// instrumentation sites are drained first, stale files decay; and
+	// ScheduleRegion applies the same novelty model per region (contiguous
+	// hole-group ranges of one file's walk, derived from the skeleton's
+	// per-function partition counts), so large multi-function files steer
+	// internally instead of draining as one block. The dispatch order
 	// never affects the Report: the aggregator always merges in canonical
 	// order, so fifo and coverage campaigns produce identical findings.
 	Schedule string
@@ -100,7 +104,8 @@ type Config struct {
 	// CoverageCurve records the coverage-over-time curve (Report.
 	// CoverageCurve) even under ScheduleFIFO. Coverage collection is
 	// otherwise skipped for fifo campaigns, sparing the VM instrumentation
-	// cost when nothing consumes the data; ScheduleCoverage implies it.
+	// cost when nothing consumes the data; ScheduleCoverage and
+	// ScheduleRegion imply it.
 	CoverageCurve bool
 	// Paranoid cross-checks the AST-resident hot path on every variant:
 	// holes are rebound with the sema invariants asserted, and the typed
@@ -210,6 +215,7 @@ type Config struct {
 const (
 	ScheduleFIFO     = "fifo"
 	ScheduleCoverage = "coverage"
+	ScheduleRegion   = "region"
 )
 
 // Oracle values for Config.Oracle.
@@ -289,7 +295,7 @@ func (c Config) withDefaults() Config {
 // telemetry under fifo. Otherwise recording is skipped — per-instruction VM
 // instrumentation is not free, and a fifo campaign would discard the data.
 func (c Config) collectCoverage() bool {
-	return c.Schedule == ScheduleCoverage || c.CoverageCurve
+	return c.Schedule == ScheduleCoverage || c.Schedule == ScheduleRegion || c.CoverageCurve
 }
 
 // Finding is one deduplicated bug discovery.
@@ -360,6 +366,10 @@ type PlanInfo struct {
 	// Skipped marks files over the canonical-count threshold (no variants
 	// walked at all).
 	Skipped bool
+	// Regions is how many scheduling regions the file's walk was cut into
+	// (spe.Space.RegionCuts; 1 means one opaque region). Advisory dispatch
+	// metadata — task identity and findings never depend on it.
+	Regions int
 }
 
 // CoveragePoint is one step of a campaign's coverage-over-time curve: after

@@ -10,8 +10,16 @@ import (
 )
 
 // checkpointVersion guards the on-disk format. Version 2 added the
-// scheduler steering block (coverage frontier, cost model, region scores).
-const checkpointVersion = 2
+// scheduler steering block (coverage frontier, cost model, per-file
+// scores); version 3 added the region scheduler's per-region steering
+// (scores, EWMA costs, and frontiers keyed "seed:region"). Version 2
+// files still load — steering is advisory, so a resumed region campaign
+// simply restarts its per-region state from the optimistic init while
+// the campaign-wide frontier carries over, and the report is identical.
+const checkpointVersion = 3
+
+// minCheckpointVersion is the oldest format loadCheckpoint accepts.
+const minCheckpointVersion = 2
 
 // checkpointFile is the JSON document written at shard-merge boundaries.
 // It captures the full aggregator state after the first NextSeq shard
@@ -79,9 +87,9 @@ func loadCheckpoint(path string) (Config, *aggState, error) {
 	if err := json.Unmarshal(data, &ck); err != nil {
 		return Config{}, nil, fmt.Errorf("campaign: resume %s: %w", path, err)
 	}
-	if ck.Version != checkpointVersion {
-		return Config{}, nil, fmt.Errorf("campaign: resume %s: checkpoint version %d, want %d",
-			path, ck.Version, checkpointVersion)
+	if ck.Version < minCheckpointVersion || ck.Version > checkpointVersion {
+		return Config{}, nil, fmt.Errorf("campaign: resume %s: checkpoint version %d, want %d..%d",
+			path, ck.Version, minCheckpointVersion, checkpointVersion)
 	}
 	st := newAggState()
 	st.nextSeq = ck.NextSeq

@@ -222,3 +222,101 @@ func TestResumeMissingFile(t *testing.T) {
 		t.Fatal("resume of missing checkpoint succeeded")
 	}
 }
+
+// TestCheckpointMigrateV2 resumes a region-scheduled campaign from a
+// version-2 checkpoint — the format an older build would have left
+// behind, with no per-region steering block. The v3 fields are advisory:
+// the resumed scheduler restarts region scores from the optimistic init,
+// and the final report must stay byte-identical to an uninterrupted run.
+func TestCheckpointMigrateV2(t *testing.T) {
+	base := Config{
+		Corpus:             append([]string{corpus.RegionsSeed()}, corpus.Seeds()[:3]...),
+		Versions:           []string{"trunk"},
+		Threshold:          -1,
+		MaxVariantsPerFile: 120,
+		Workers:            2,
+		ShardSize:          4,
+		Schedule:           ScheduleRegion,
+		Lookahead:          24, // keep checkpoints close behind dispatch
+		CheckpointEvery:    1,
+	}
+	ref, err := Run(base) // uninterrupted, no checkpointing
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "region.ckpt.json")
+	cfg := base
+	cfg.CheckpointPath = path
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Millisecond):
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				continue
+			}
+			var ck checkpointFile
+			if json.Unmarshal(data, &ck) == nil && ck.NextSeq >= 3 {
+				cancel()
+				return
+			}
+		}
+	}()
+	if _, err := RunContext(ctx, cfg); err == nil {
+		t.Log("campaign completed before cancellation; the downgraded resume below still replays the tail")
+	}
+	cancel()
+	<-done
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no checkpoint survived the kill: %v", err)
+	}
+
+	// Downgrade the surviving checkpoint to exactly what a v2 writer
+	// would have produced: version 2, no per-region steering keys.
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["Version"] = json.RawMessage("2")
+	if raw, ok := doc["Steering"]; ok && string(raw) != "null" {
+		var steer map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &steer); err != nil {
+			t.Fatal(err)
+		}
+		delete(steer, "RegionScoresV3")
+		delete(steer, "RegionCostNs")
+		delete(steer, "RegionFrontiers")
+		if doc["Steering"], err = json.Marshal(steer); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if data, err = json.Marshal(doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := Resume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resumed.Format(), ref.Format(); got != want {
+		t.Errorf("v2-resumed report diverges from uninterrupted run:\n--- resumed ---\n%s--- uninterrupted ---\n%s", got, want)
+	}
+	if !reflect.DeepEqual(resumed.Findings, ref.Findings) {
+		t.Error("v2-resumed findings differ structurally")
+	}
+	if !reflect.DeepEqual(resumed.Stats, ref.Stats) {
+		t.Errorf("v2-resumed stats differ: %+v vs %+v", resumed.Stats, ref.Stats)
+	}
+}

@@ -30,10 +30,13 @@ func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 
 // taskResult is one shard's worth of worker output, merged by seq order.
 type taskResult struct {
-	seq      int
-	err      error
-	plan     *filePlan
-	newFile  bool
+	seq     int
+	err     error
+	plan    *filePlan
+	newFile bool
+	// region is the shard's scheduling region (task.region), the key the
+	// region policy credits coverage novelty and cost samples to.
+	region   int
 	variants []variantResult
 	// sites is the sorted set of instrumentation sites the shard's
 	// compilations hit — the coverage feedback the scheduler steers by.
@@ -62,6 +65,7 @@ func runEngine(ctx context.Context, cfg Config, st *aggState) (*Report, error) {
 	sched := newScheduler(cfg, all, st.nextSeq, st.steer)
 	tel := cfg.Telemetry
 	tel.campaignStarted(cfg, all, st.nextSeq)
+	tel.attachRegions(cfg, sched)
 	st.tel = tel
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -168,9 +172,9 @@ func runEngine(ctx context.Context, cfg Config, st *aggState) (*Report, error) {
 			cancel()
 			continue
 		}
-		point, novel := sched.observe(r)
+		point, novel, rp := sched.observe(r)
 		if tel != nil {
-			tel.observeSteering(sched.costSample(), point, novel)
+			tel.observeSteering(sched.costSample(), point, novel, rp)
 		}
 		pending[r.seq] = r
 		for {
@@ -252,7 +256,7 @@ func runEngine(ctx context.Context, cfg Config, st *aggState) (*Report, error) {
 // once per skeleton, patch the hole-dependent IR sites per fill). With
 // Config.NoBackendReuse both backends run cold, byte-identically.
 func runTask(ctx context.Context, cfg Config, t *task) *taskResult {
-	res := &taskResult{seq: t.seq, plan: t.plan, newFile: t.newFile}
+	res := &taskResult{seq: t.seq, plan: t.plan, newFile: t.newFile, region: t.region}
 	if t.plan.skip {
 		return res
 	}

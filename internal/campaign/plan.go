@@ -3,6 +3,7 @@ package campaign
 import (
 	"fmt"
 	"math/big"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -95,6 +96,35 @@ type filePlan struct {
 	// backends pools the per-worker execution backends the same way (nil
 	// when Config.NoBackendReuse disables reuse).
 	backends *backendPool
+	// regionStarts are the sorted tested-space start positions of the
+	// file's scheduling regions (spe.Space.RegionCuts): contiguous
+	// hole-group ranges the region scheduler scores independently. Nil or
+	// single-element means the file is one opaque region. Regions are
+	// advisory scheduling metadata only — task identity, seq numbers, and
+	// the merged report never depend on them.
+	regionStarts []int64
+}
+
+// maxRegionsPerFile bounds how many scheduling regions one file's walk
+// is cut into, keeping per-region score/frontier state small even for
+// very large multi-function files.
+const maxRegionsPerFile = 16
+
+// regions returns how many scheduling regions the plan has (>= 1).
+func (p *filePlan) regions() int {
+	if len(p.regionStarts) == 0 {
+		return 1
+	}
+	return len(p.regionStarts)
+}
+
+// regionOf maps a tested-space position to its region index.
+func (p *filePlan) regionOf(fromJ int64) int {
+	r := sort.Search(len(p.regionStarts), func(i int) bool { return p.regionStarts[i] > fromJ }) - 1
+	if r < 0 {
+		r = 0
+	}
+	return r
 }
 
 // info exports the plan's schedule facts for the report.
@@ -111,6 +141,7 @@ func (p *filePlan) info() PlanInfo {
 		Tested:          p.tested,
 		Clamped:         p.clamped,
 		Skipped:         p.skip,
+		Regions:         p.regions(),
 	}
 }
 
@@ -188,6 +219,11 @@ func buildPlan(cfg Config, seedIdx int, src string) (*filePlan, error) {
 	} else {
 		plan.tested = ceil.Int64()
 	}
+	if plan.tested > 1 {
+		sp := plan.pool.Get()
+		plan.regionStarts = sp.RegionCuts(plan.stride, plan.tested, maxRegionsPerFile)
+		plan.pool.Put(sp)
+	}
 	return plan, nil
 }
 
@@ -225,6 +261,9 @@ type task struct {
 	// includeOriginal tests the unmodified seed source before the range.
 	includeOriginal bool
 	fromJ, toJ      int64 // tested-variant positions [fromJ, toJ)
+	// region is the scheduling region the range starts in (plan.regionOf
+	// of fromJ): advisory dispatch metadata, never part of task identity.
+	region int
 }
 
 // tasks cuts the plan into shard tasks of at most cfg.ShardSize variants.
@@ -246,7 +285,7 @@ func (p *filePlan) tasks(cfg Config) []*task {
 			out[0].fromJ, out[0].toJ = from, to
 			continue
 		}
-		out = append(out, &task{plan: p, fromJ: from, toJ: to})
+		out = append(out, &task{plan: p, fromJ: from, toJ: to, region: p.regionOf(from)})
 	}
 	return out
 }

@@ -38,6 +38,10 @@ func TestScheduleEquivalenceAtFourWorkers(t *testing.T) {
 		{"coverage-8-workers", func(c *Config) { c.Schedule = ScheduleCoverage; c.Workers = 8 }},
 		{"coverage-small-lookahead", func(c *Config) { c.Schedule = ScheduleCoverage; c.Lookahead = 33 }},
 		{"coverage-adaptive", func(c *Config) { c.Schedule = ScheduleCoverage; c.TargetShardMillis = 20 }},
+		{"region", func(c *Config) { c.Schedule = ScheduleRegion }},
+		{"region-8-workers", func(c *Config) { c.Schedule = ScheduleRegion; c.Workers = 8 }},
+		{"region-small-lookahead", func(c *Config) { c.Schedule = ScheduleRegion; c.Lookahead = 33 }},
+		{"region-adaptive", func(c *Config) { c.Schedule = ScheduleRegion; c.TargetShardMillis = 20 }},
 		{"fifo-adaptive", func(c *Config) { c.TargetShardMillis = 5 }},
 	} {
 		cfg := base
@@ -60,8 +64,8 @@ func TestScheduleEquivalenceAtFourWorkers(t *testing.T) {
 
 // TestScheduleEquivalenceProperty is a randomized property test: across
 // random corpus subsets, shard sizes, worker counts, lookaheads, and
-// duration targets, fifo and coverage schedules converge to identical
-// final findings.
+// duration targets, the fifo, coverage, and region schedules converge to
+// identical final findings.
 func TestScheduleEquivalenceProperty(t *testing.T) {
 	if testing.Short() {
 		t.Skip("property test is slow")
@@ -85,22 +89,25 @@ func TestScheduleEquivalenceProperty(t *testing.T) {
 		}
 		name := fmt.Sprintf("trial %d (corpus[%d:%d] variants=%d workers=%d shard=%d lookahead=%d target=%dms)",
 			trial, lo, hi, cfg.MaxVariantsPerFile, cfg.Workers, cfg.ShardSize, cfg.Lookahead, cfg.TargetShardMillis)
-		fifoCfg, covCfg := cfg, cfg
+		fifoCfg := cfg
 		fifoCfg.Schedule = ScheduleFIFO
-		covCfg.Schedule = ScheduleCoverage
 		fifoRep, err := Run(fifoCfg)
 		if err != nil {
 			t.Fatalf("%s: fifo: %v", name, err)
 		}
-		covRep, err := Run(covCfg)
-		if err != nil {
-			t.Fatalf("%s: coverage: %v", name, err)
-		}
-		if got, want := covRep.Format(), fifoRep.Format(); got != want {
-			t.Errorf("%s: coverage report diverges:\n--- coverage ---\n%s--- fifo ---\n%s", name, got, want)
-		}
-		if !reflect.DeepEqual(covRep.Findings, fifoRep.Findings) {
-			t.Errorf("%s: findings differ structurally", name)
+		for _, schedule := range []string{ScheduleCoverage, ScheduleRegion} {
+			altCfg := cfg
+			altCfg.Schedule = schedule
+			altRep, err := Run(altCfg)
+			if err != nil {
+				t.Fatalf("%s: %s: %v", name, schedule, err)
+			}
+			if got, want := altRep.Format(), fifoRep.Format(); got != want {
+				t.Errorf("%s: %s report diverges:\n--- %s ---\n%s--- fifo ---\n%s", name, schedule, schedule, got, want)
+			}
+			if !reflect.DeepEqual(altRep.Findings, fifoRep.Findings) {
+				t.Errorf("%s: %s findings differ structurally", name, schedule)
+			}
 		}
 	}
 }
@@ -152,13 +159,62 @@ func TestCoverageScheduleConvergesFaster(t *testing.T) {
 // the bundled corpus campaign needs to reach full site coverage — the
 // metric CI watches for scheduling regressions (lower is better).
 func BenchmarkVariantsToFullCoverage(b *testing.B) {
-	for _, schedule := range []string{ScheduleFIFO, ScheduleCoverage} {
+	for _, schedule := range []string{ScheduleFIFO, ScheduleCoverage, ScheduleRegion} {
 		b.Run(schedule, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				_, n := scheduleCurve(b, schedule)
 				b.ReportMetric(float64(n), "variants-to-cov")
 			}
 		})
+	}
+}
+
+// regionCurve mirrors the schedule spebench experiment: a single-worker
+// campaign over the large multi-function region corpus file, reporting
+// how many variants the given schedule needed to reach full coverage.
+func regionCurve(tb testing.TB, schedule string) (rep *Report, variantsToFull int) {
+	rep, err := Run(Config{
+		Corpus:             []string{corpus.RegionsSeed()},
+		Versions:           []string{"trunk"},
+		Threshold:          -1,
+		MaxVariantsPerFile: 600,
+		Workers:            1,
+		ShardSize:          4,
+		Lookahead:          1 << 12, // cover the whole campaign
+		Schedule:           schedule,
+		CoverageCurve:      true,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return rep, rep.VariantsToSites(rep.FinalSites())
+}
+
+// TestRegionScheduleConvergesFaster asserts the point of the region
+// scheduler: on a file whose novel coverage hides in the back half of the
+// walk (per-file scores cannot see inside a single file), region-granular
+// probing reaches full site coverage in strictly fewer variants than both
+// the per-file coverage schedule and fifo order.
+func TestRegionScheduleConvergesFaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("single-worker convergence comparison is slow and has no concurrency to race-check")
+	}
+	covRep, covN := regionCurve(t, ScheduleCoverage)
+	regRep, regN := regionCurve(t, ScheduleRegion)
+	if covRep.FinalSites() != regRep.FinalSites() {
+		t.Fatalf("final frontiers differ: coverage %d sites, region %d sites",
+			covRep.FinalSites(), regRep.FinalSites())
+	}
+	if covN < 0 || regN < 0 {
+		t.Fatalf("curve never reached the final frontier (coverage=%d region=%d)", covN, regN)
+	}
+	if got, want := regRep.Format(), covRep.Format(); got != want {
+		t.Errorf("region report diverges from coverage:\n--- region ---\n%s--- coverage ---\n%s", got, want)
+	}
+	t.Logf("variants to full coverage (%d sites): coverage=%d region=%d", regRep.FinalSites(), covN, regN)
+	if regN >= covN {
+		t.Errorf("region schedule needed %d variants to full coverage, per-file coverage needed %d — no speedup",
+			regN, covN)
 	}
 }
 

@@ -37,6 +37,11 @@ type TaskSpec struct {
 	IncludeOriginal bool  `json:"include_original,omitempty"`
 	FromJ           int64 `json:"from_j"`
 	ToJ             int64 `json:"to_j"`
+	// Region is the task's scheduling region (plan.regionOf of FromJ).
+	// Both sides derive it from the same plan, so it agrees by
+	// construction; it rides the wire so the drift check covers the
+	// region cuts too.
+	Region int `json:"region,omitempty"`
 }
 
 // specOf exports a task's wire identity.
@@ -48,6 +53,7 @@ func specOf(t *task) TaskSpec {
 		IncludeOriginal: t.includeOriginal,
 		FromJ:           t.fromJ,
 		ToJ:             t.toJ,
+		Region:          t.region,
 	}
 }
 
@@ -83,9 +89,9 @@ type ShardResult struct {
 // in-process engine and both remote halves so a coordinator and its
 // workers fail identically on a bad config.
 func (c Config) validate() error {
-	if c.Schedule != ScheduleFIFO && c.Schedule != ScheduleCoverage {
-		return fmt.Errorf("campaign: unknown schedule %q (want %q or %q)",
-			c.Schedule, ScheduleFIFO, ScheduleCoverage)
+	if c.Schedule != ScheduleFIFO && c.Schedule != ScheduleCoverage && c.Schedule != ScheduleRegion {
+		return fmt.Errorf("campaign: unknown schedule %q (want %q, %q, or %q)",
+			c.Schedule, ScheduleFIFO, ScheduleCoverage, ScheduleRegion)
 	}
 	if c.Oracle != OracleTree && c.Oracle != OracleBytecode {
 		return fmt.Errorf("campaign: unknown oracle %q (want %q or %q)",
@@ -254,6 +260,7 @@ func newRemoteEngine(cfg Config, st *aggState) (*RemoteEngine, error) {
 	}
 	st.tel = e.tel
 	e.tel.campaignStarted(cfg, all, st.nextSeq)
+	e.tel.attachRegions(cfg, e.sched)
 	return e, nil
 }
 
@@ -357,9 +364,9 @@ func (e *RemoteEngine) Deliver(res *ShardResult) (accepted bool, err error) {
 	r := taskResultOf(res, t)
 	// steering feedback on arrival, exactly as the in-process aggregator
 	// feeds the scheduler before the ordered merge
-	point, novel := e.sched.observe(r)
+	point, novel, rp := e.sched.observe(r)
 	if e.tel != nil {
-		e.tel.observeSteering(e.sched.costSample(), point, novel)
+		e.tel.observeSteering(e.sched.costSample(), point, novel, rp)
 	}
 	e.pending[res.Seq] = r
 	if e.issued[res.Seq] {
@@ -405,6 +412,7 @@ func taskResultOf(w *ShardResult, t *task) *taskResult {
 		seq:         w.Seq,
 		plan:        t.plan,
 		newFile:     t.newFile,
+		region:      t.region,
 		sites:       w.Sites,
 		elapsedNs:   w.ElapsedNs,
 		ranVariants: w.RanVariants,

@@ -70,6 +70,10 @@ type Telemetry struct {
 	mergeLagShards   *obs.Gauge
 	coverageSites    *obs.Gauge
 
+	regionsTotal      *obs.Gauge
+	regionsVisited    *obs.Gauge
+	regionCurvePoints *obs.Counter
+
 	checkpointWriteMs *obs.Histogram
 	checkpointsTotal  *obs.Counter
 	paranoidChecks    *obs.Counter
@@ -94,6 +98,9 @@ type Telemetry struct {
 	curveTail []CoveragePoint
 	pools     []*spe.Pool
 	bpools    []*backendPool
+	// regionStats snapshots the region scheduler's live per-region state
+	// for /status; nil unless the current campaign runs ScheduleRegion.
+	regionStats func() []RegionStatus
 }
 
 // curveTailLen bounds how many trailing coverage points /status carries.
@@ -142,6 +149,10 @@ func NewTelemetry() *Telemetry {
 		reorderPending:   reg.Gauge("spe_reorder_pending_shards", "Shard results buffered awaiting in-order merge."),
 		mergeLagShards:   reg.Gauge("spe_merge_lag_shards", "Dispatched-but-not-yet-merged shard tasks."),
 		coverageSites:    reg.Gauge("spe_coverage_sites", "Distinct minicc instrumentation sites on the coverage frontier."),
+
+		regionsTotal:      reg.Gauge("spe_regions_total", "Scheduling regions (seed, region pairs) in the campaign plan."),
+		regionsVisited:    reg.Gauge("spe_regions_visited", "Scheduling regions that have completed at least one shard."),
+		regionCurvePoints: reg.Counter("spe_region_curve_points_total", "Per-region coverage-curve samples published to the event ring."),
 
 		checkpointWriteMs: reg.Histogram("spe_checkpoint_write_ms", "Checkpoint write latency, milliseconds.", obs.ExpBuckets(0.25, 2, 12)),
 		checkpointsTotal:  reg.Counter("spe_checkpoints_total", "Checkpoint files written."),
@@ -346,12 +357,18 @@ func (t *Telemetry) observeAggregator(pending int) {
 // observeSteering samples the scheduler's EWMA cost model and coverage
 // frontier after a shard observation; when the frontier grew, the new
 // coverage point is published to the event stream and kept in the
-// /status curve tail.
-func (t *Telemetry) observeSteering(costNs float64, point CoveragePoint, novel bool) {
+// /status curve tail. rp, non-nil only under the region policy when the
+// shard pushed its own region's frontier, streams the per-region
+// coverage curve to the event ring.
+func (t *Telemetry) observeSteering(costNs float64, point CoveragePoint, novel bool, rp *RegionCoveragePoint) {
 	if t == nil {
 		return
 	}
 	t.costNsPerVariant.Set(costNs)
+	if rp != nil {
+		t.regionCurvePoints.Inc()
+		t.ring.Publish("region_coverage", rp)
+	}
 	if !novel {
 		return
 	}
@@ -363,6 +380,26 @@ func (t *Telemetry) observeSteering(costNs float64, point CoveragePoint, novel b
 	}
 	t.mu.Unlock()
 	t.ring.Publish("coverage", point)
+}
+
+// attachRegions hooks the region scheduler's live state into /status and
+// the spe_region_* gauges. A no-op unless the campaign runs
+// ScheduleRegion; the scheduler callback is scrape-time only (never on
+// the variant hot path).
+func (t *Telemetry) attachRegions(cfg Config, sched *scheduler) {
+	if t == nil {
+		return
+	}
+	if cfg.Schedule != ScheduleRegion {
+		t.mu.Lock()
+		t.regionStats = nil
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Lock()
+	t.regionStats = sched.regionStatuses
+	t.mu.Unlock()
+	t.regionsTotal.Set(float64(len(sched.units)))
 }
 
 // observeCheckpoint records one checkpoint write.
@@ -447,6 +484,11 @@ type Status struct {
 	CoverageSites     int64           `json:"coverage_sites"`
 	CoverageCurveTail []CoveragePoint `json:"coverage_curve_tail,omitempty"`
 
+	// Regions is the region scheduler's live per-region steering state
+	// (score, frontier size, EWMA cost, pending shards); present only
+	// when the campaign runs -schedule=region.
+	Regions []RegionStatus `json:"regions,omitempty"`
+
 	Shards struct {
 		Dispatched int64 `json:"dispatched"`
 		Merged     int64 `json:"merged"`
@@ -463,6 +505,7 @@ func (t *Telemetry) Status() Status {
 	resumed := t.resumed
 	running := t.running
 	tail := append([]CoveragePoint(nil), t.curveTail...)
+	regionStats := t.regionStats
 	t.mu.Unlock()
 
 	var s Status
@@ -498,6 +541,16 @@ func (t *Telemetry) Status() Status {
 	s.Shards.Dispatched = t.shardsDispatched.Load()
 	s.Shards.Merged = t.shardsMerged.Load()
 	s.Shards.Pending = s.Shards.Dispatched - s.Shards.Merged
+	if regionStats != nil {
+		s.Regions = regionStats()
+		visited := 0
+		for _, r := range s.Regions {
+			if r.Variants > 0 {
+				visited++
+			}
+		}
+		t.regionsVisited.Set(float64(visited))
+	}
 	return s
 }
 

@@ -8,6 +8,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spe/internal/campaign"
@@ -37,6 +38,12 @@ type FabricBenchResult struct {
 	// OverheadPercent is (inprocess-fabric)/inprocess*100; negative means
 	// the fabric round happened to be faster (noise).
 	OverheadPercent float64 `json:"fabric_overhead_percent"`
+	// LeaseRPCs counts the lease round trips the fleet made in the last
+	// fabric round, and GrantsPerLeaseRPC how many shard tasks the average
+	// successful lease call carried — above 1.0 means batched lease grants
+	// (LeaseRequest.Max) are coalescing round trips.
+	LeaseRPCs         int64   `json:"lease_rpcs"`
+	GrantsPerLeaseRPC float64 `json:"grants_per_lease_rpc"`
 	// ReportsIdentical confirms the loopback fabric campaign produced a
 	// byte-identical report to the in-process engine.
 	ReportsIdentical bool `json:"reports_identical"`
@@ -68,6 +75,14 @@ func FabricBench(scale Scale) (string, error) {
 		Workers:            scale.Workers,
 		Telemetry:          scale.Telemetry,
 	}
+	if cfg.Workers <= 0 {
+		// floor the parallelism so each fleet worker runs several slots and
+		// batched lease grants have round trips to coalesce even on small
+		// CI machines; the in-process side uses the same value, keeping the
+		// comparison fair
+		cfg.Workers = 4 * fabricFleetSize
+	}
+	res.Workers = cfg.Workers
 
 	var inProcReport, fabricReport string
 	for round := 0; round < fabricBenchRounds; round++ {
@@ -82,12 +97,16 @@ func FabricBench(scale Scale) (string, error) {
 		inProcReport = rep.Format()
 		res.CampaignVariants = rep.Stats.Variants
 
-		rep, vps, err := fabricCampaign(cfg)
+		rep, vps, rpcs, grants, err := fabricCampaign(cfg)
 		if err != nil {
 			return "", err
 		}
 		if vps > res.FabricVPS {
 			res.FabricVPS = vps
+		}
+		res.LeaseRPCs = rpcs
+		if rpcs > 0 {
+			res.GrantsPerLeaseRPC = float64(grants) / float64(rpcs)
 		}
 		fabricReport = rep.Format()
 	}
@@ -112,22 +131,45 @@ func FabricBench(scale Scale) (string, error) {
 		res.Files, res.CampaignVariants, res.Workers, res.FleetSize, res.Rounds)
 	out += fmt.Sprintf("  full campaign: in-process %8.0f variants/s | fabric %8.0f variants/s | overhead %+.2f%%\n",
 		res.InProcessVPS, res.FabricVPS, res.OverheadPercent)
+	out += fmt.Sprintf("  lease batching: %d lease round trips, %.2f grants per successful lease\n",
+		res.LeaseRPCs, res.GrantsPerLeaseRPC)
 	out += fmt.Sprintf("  reports byte-identical: %v\n", res.ReportsIdentical)
 	return out, nil
+}
+
+// countingTransport wraps a Transport and tallies lease round trips and
+// the shard grants they carried.
+type countingTransport struct {
+	fabric.Transport
+	rpcs   atomic.Int64
+	grants atomic.Int64
+}
+
+func (t *countingTransport) Lease(ctx context.Context, req *fabric.LeaseRequest) (*fabric.LeaseResponse, error) {
+	t.rpcs.Add(1)
+	resp, err := t.Transport.Lease(ctx, req)
+	if err == nil && resp.Status == fabric.StatusTask {
+		n := len(resp.Grants)
+		if n == 0 {
+			n = 1
+		}
+		t.grants.Add(int64(n))
+	}
+	return resp, err
 }
 
 // fabricCampaign runs one loopback fabric round: a coordinator behind a
 // real HTTP listener, fabricFleetSize workers dialing it over TCP, the
 // campaign's shard parallelism split across the fleet.
-func fabricCampaign(cfg campaign.Config) (*campaign.Report, float64, error) {
+func fabricCampaign(cfg campaign.Config) (*campaign.Report, float64, int64, int64, error) {
 	core, err := campaign.NewRemoteEngine(cfg)
 	if err != nil {
-		return nil, 0, fmt.Errorf("experiments: fabric: %w", err)
+		return nil, 0, 0, 0, fmt.Errorf("experiments: fabric: %w", err)
 	}
 	coord := fabric.NewCoordinator(core, fabric.Options{LeaseTimeout: time.Minute})
 	srv, err := obs.Serve("127.0.0.1:0", coord.Handler())
 	if err != nil {
-		return nil, 0, fmt.Errorf("experiments: fabric: %w", err)
+		return nil, 0, 0, 0, fmt.Errorf("experiments: fabric: %w", err)
 	}
 	defer srv.Close()
 
@@ -145,12 +187,14 @@ func fabricCampaign(cfg campaign.Config) (*campaign.Report, float64, error) {
 	start := time.Now()
 	var wg sync.WaitGroup
 	workerErrs := make([]error, fabricFleetSize)
+	transports := make([]*countingTransport, fabricFleetSize)
 	for i := 0; i < fabricFleetSize; i++ {
+		transports[i] = &countingTransport{Transport: fabric.Dial(srv.Addr)}
 		wg.Add(1)
 		go func(slot int) {
 			defer wg.Done()
 			w := &fabric.Worker{
-				Transport:   fabric.Dial(srv.Addr),
+				Transport:   transports[slot],
 				ID:          fmt.Sprintf("bench-%d", slot),
 				Parallelism: perWorker,
 			}
@@ -161,14 +205,17 @@ func fabricCampaign(cfg campaign.Config) (*campaign.Report, float64, error) {
 	cancel()
 	wg.Wait()
 	if waitErr != nil {
-		return nil, 0, fmt.Errorf("experiments: fabric: coordinator: %w", waitErr)
+		return nil, 0, 0, 0, fmt.Errorf("experiments: fabric: coordinator: %w", waitErr)
 	}
 	elapsed := time.Since(start).Seconds()
+	var rpcs, grants int64
 	for i, err := range workerErrs {
 		// cancellation after Wait returned is the normal fleet teardown
 		if err != nil && !errors.Is(err, context.Canceled) {
-			return nil, 0, fmt.Errorf("experiments: fabric: worker %d: %w", i, err)
+			return nil, 0, 0, 0, fmt.Errorf("experiments: fabric: worker %d: %w", i, err)
 		}
+		rpcs += transports[i].rpcs.Load()
+		grants += transports[i].grants.Load()
 	}
-	return rep, float64(rep.Stats.Variants) / elapsed, nil
+	return rep, float64(rep.Stats.Variants) / elapsed, rpcs, grants, nil
 }

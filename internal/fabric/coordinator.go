@@ -134,8 +134,10 @@ func (c *Coordinator) Join(ctx context.Context, req *JoinRequest) (*JoinResponse
 	}, nil
 }
 
-// Lease hands out the next shard task, or tells the worker to wait, exit
-// on completion, or abort on campaign failure.
+// Lease hands out up to req.Max shard tasks in one batch, or tells the
+// worker to wait, exit on completion, or abort on campaign failure. The
+// response's legacy Spec/LeaseID fields mirror the first grant for older
+// workers that predate batching.
 func (c *Coordinator) Lease(ctx context.Context, req *LeaseRequest) (*LeaseResponse, error) {
 	if err := c.checkCampaign(req.CampaignID); err != nil {
 		return nil, err
@@ -150,25 +152,41 @@ func (c *Coordinator) Lease(ctx context.Context, req *LeaseRequest) (*LeaseRespo
 	if c.core.Done() {
 		return &LeaseResponse{Status: StatusDone}, nil
 	}
-	spec, ok := c.core.NextTask()
-	if !ok {
+	max := req.Max
+	if max <= 0 {
+		max = 1 // pre-batching worker
+	}
+	var grants []LeaseGrant
+	for len(grants) < max {
+		spec, ok := c.core.NextTask()
+		if !ok {
+			break
+		}
+		c.nextLease++
+		l := &lease{
+			id:       fmt.Sprintf("%s-%d", c.id, c.nextLease),
+			seq:      spec.Seq,
+			worker:   req.WorkerID,
+			deadline: time.Now().Add(c.opts.LeaseTimeout),
+		}
+		c.leases[l.id] = l
+		c.bySeq[l.seq] = l
+		if c.retries[l.seq] > 0 {
+			c.opts.Metrics.incReleases()
+		}
+		c.opts.Metrics.incLeases()
+		grants = append(grants, LeaseGrant{Spec: spec, LeaseID: l.id})
+	}
+	if len(grants) == 0 {
 		c.opts.Metrics.incWaitPolls()
 		return &LeaseResponse{Status: StatusWait, RetryAfterMs: c.retryAfterMs()}, nil
 	}
-	c.nextLease++
-	l := &lease{
-		id:       fmt.Sprintf("%s-%d", c.id, c.nextLease),
-		seq:      spec.Seq,
-		worker:   req.WorkerID,
-		deadline: time.Now().Add(c.opts.LeaseTimeout),
-	}
-	c.leases[l.id] = l
-	c.bySeq[l.seq] = l
-	if c.retries[l.seq] > 0 {
-		c.opts.Metrics.incReleases()
-	}
-	c.opts.Metrics.incLeases()
-	return &LeaseResponse{Status: StatusTask, Spec: spec, LeaseID: l.id}, nil
+	return &LeaseResponse{
+		Status:  StatusTask,
+		Spec:    grants[0].Spec,
+		LeaseID: grants[0].LeaseID,
+		Grants:  grants,
+	}, nil
 }
 
 // retryAfterMs paces wait polling: a quarter lease timeout, clamped so

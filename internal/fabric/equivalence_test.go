@@ -91,7 +91,7 @@ func TestFabricEquivalenceMatrix(t *testing.T) {
 	want := inProcessBaseline(t, baseConfig())
 
 	workerCounts := []int{1, 2, 4}
-	schedules := []string{campaign.ScheduleFIFO, campaign.ScheduleCoverage}
+	schedules := []string{campaign.ScheduleFIFO, campaign.ScheduleCoverage, campaign.ScheduleRegion}
 	batching := []bool{false, true}
 	if testing.Short() {
 		workerCounts = []int{2} // race CI: one parallel cell per axis
@@ -110,6 +110,31 @@ func TestFabricEquivalenceMatrix(t *testing.T) {
 						workers, schedule, noBatch, got, want)
 				}
 			}
+		}
+	}
+}
+
+// TestFabricRegionSchedule pins the region scheduler's fabric contract
+// on a corpus where regions actually matter: the large multi-function
+// region corpus file cuts into 16 scheduling regions, so leased TaskSpecs
+// carry distinct region IDs and the coordinator's region scoring drives
+// dispatch — while the merged report stays byte-identical to the
+// in-process engine at any worker count.
+func TestFabricRegionSchedule(t *testing.T) {
+	cfg := campaign.Config{
+		Corpus:             append([]string{corpus.RegionsSeed()}, corpus.Seeds()[:2]...),
+		Versions:           []string{"trunk"},
+		Threshold:          -1,
+		MaxVariantsPerFile: 120,
+		ShardSize:          4,
+		Schedule:           campaign.ScheduleRegion,
+	}
+	want := inProcessBaseline(t, cfg)
+	for _, workers := range []int{1, 2} {
+		got := runFabric(t, cfg, workers, Options{LeaseTimeout: 30 * time.Second}, local)
+		if got != want {
+			t.Errorf("region fabric report diverges (workers=%d):\n--- fabric ---\n%s--- in-process ---\n%s",
+				workers, got, want)
 		}
 	}
 }

@@ -69,17 +69,33 @@ const (
 	StatusFailed = "failed"
 )
 
-// LeaseRequest asks for the next shard task.
+// LeaseRequest asks for shard tasks.
 type LeaseRequest struct {
 	CampaignID string `json:"campaign"`
 	WorkerID   string `json:"worker"`
+	// Max is how many tasks the worker can start right now (its free
+	// execution slots), letting the coordinator grant a whole batch in
+	// one round trip instead of one lease per HTTP call. Zero or absent
+	// (an older worker) means one.
+	Max int `json:"max,omitempty"`
 }
 
-// LeaseResponse grants a lease or tells the worker what to do instead.
+// LeaseGrant is one leased shard task inside a (possibly batched)
+// LeaseResponse.
+type LeaseGrant struct {
+	Spec    campaign.TaskSpec `json:"spec"`
+	LeaseID string            `json:"lease"`
+}
+
+// LeaseResponse grants one or more leases or tells the worker what to do
+// instead. On StatusTask the batched Grants slice carries every grant;
+// the legacy Spec/LeaseID fields duplicate the first grant so older
+// workers (which ignore Grants) keep working against a newer coordinator.
 type LeaseResponse struct {
 	Status       string            `json:"status"`
 	Spec         campaign.TaskSpec `json:"spec,omitempty"`
 	LeaseID      string            `json:"lease,omitempty"`
+	Grants       []LeaseGrant      `json:"grants,omitempty"`
 	RetryAfterMs int64             `json:"retry_after_ms,omitempty"`
 	Err          string            `json:"err,omitempty"`
 }

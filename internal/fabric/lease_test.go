@@ -265,3 +265,49 @@ func TestLeaseWindowRecovers(t *testing.T) {
 		t.Fatalf("re-leased %d distinct seqs, want all %d expired ones", len(reled), len(granted))
 	}
 }
+
+// TestLeaseBatchedGrants asks for two tasks in one round trip and
+// asserts the batch carries two distinct leases whose legacy
+// Spec/LeaseID mirror fields duplicate the first grant (what a
+// pre-batching worker reads); a request without Max still gets exactly
+// one grant. tinyConfig cuts exactly three shard tasks, so the batch
+// leaves one for the legacy request.
+func TestLeaseBatchedGrants(t *testing.T) {
+	coord, _ := newTestCoordinator(t, tinyConfig(), Options{LeaseTimeout: time.Minute})
+
+	resp, err := coord.Lease(context.Background(), &LeaseRequest{CampaignID: coord.ID(), WorkerID: "batch", Max: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusTask {
+		t.Fatalf("lease status = %q, want %q", resp.Status, StatusTask)
+	}
+	if len(resp.Grants) != 2 {
+		t.Fatalf("got %d grants, want 2", len(resp.Grants))
+	}
+	if resp.Spec.Seq != resp.Grants[0].Spec.Seq || resp.LeaseID != resp.Grants[0].LeaseID {
+		t.Fatalf("legacy fields (seq %d, lease %q) do not mirror the first grant (seq %d, lease %q)",
+			resp.Spec.Seq, resp.LeaseID, resp.Grants[0].Spec.Seq, resp.Grants[0].LeaseID)
+	}
+	seqs := map[int]bool{}
+	leases := map[string]bool{}
+	for _, g := range resp.Grants {
+		seqs[g.Spec.Seq] = true
+		leases[g.LeaseID] = true
+	}
+	if len(seqs) != 2 || len(leases) != 2 {
+		t.Fatalf("grants not distinct: %d seqs, %d lease IDs", len(seqs), len(leases))
+	}
+	if coord.ActiveLeases() != 2 {
+		t.Fatalf("ActiveLeases = %d, want 2", coord.ActiveLeases())
+	}
+
+	// a legacy request (no Max) gets exactly one grant
+	legacy := mustLeaseTask(t, coord, "legacy")
+	if len(legacy.Grants) != 1 {
+		t.Fatalf("legacy request got %d grants, want 1", len(legacy.Grants))
+	}
+	if seqs[legacy.Spec.Seq] {
+		t.Fatalf("legacy grant re-issued an already-leased seq %d", legacy.Spec.Seq)
+	}
+}

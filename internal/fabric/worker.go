@@ -15,6 +15,11 @@ import (
 // leased shard runs through Planner.RunSpec — the same pooled,
 // batched execution path the in-process engine uses — so distributed and
 // local campaigns share one code path below the lease loop.
+//
+// One lease loop serves all execution slots: each round trip reports how
+// many slots are free (LeaseRequest.Max) and the coordinator grants up to
+// that many tasks at once, so a worker with N idle slots pays one HTTP
+// round trip instead of N.
 type Worker struct {
 	// Transport carries the fabric calls (Dial for HTTP, LocalTransport
 	// for loopback, Chaos to inject faults around either).
@@ -34,7 +39,7 @@ type Worker struct {
 	MaxErrors int
 }
 
-// errCampaignOver signals a clean per-goroutine exit.
+// errCampaignOver signals a clean exit.
 var errCampaignOver = errors.New("fabric: campaign complete")
 
 // Run joins the coordinator, derives the local plan, and drains leases
@@ -71,26 +76,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		return fmt.Errorf("fabric: worker %s derives %d tasks, coordinator has %d: corpus or config drift",
 			id, planner.TotalTasks(), join.TotalTasks)
 	}
-
-	var wg sync.WaitGroup
-	errs := make([]error, parallelism)
-	for i := 0; i < parallelism; i++ {
-		wg.Add(1)
-		go func(slot int) {
-			defer wg.Done()
-			errs[slot] = w.drain(ctx, join.CampaignID, fmt.Sprintf("%s/%d", id, slot), planner, backoff, maxErrs)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil && !errors.Is(err, errCampaignOver) {
-			return err
-		}
-	}
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	return nil
+	return w.drain(ctx, join.CampaignID, id, planner, parallelism, backoff, maxErrs)
 }
 
 // join performs the handshake, retrying transport errors.
@@ -112,60 +98,146 @@ func (w *Worker) join(ctx context.Context, id string, backoff time.Duration, max
 	return nil, fmt.Errorf("fabric: worker %s: join: %w", id, lastErr)
 }
 
-// drain is one lease loop: lease, execute, report, repeat.
-func (w *Worker) drain(ctx context.Context, campaignID, slotID string, planner *campaign.Planner, backoff time.Duration, maxErrs int) error {
-	consecutive := 0
-	for {
-		if err := ctx.Err(); err != nil {
-			return err
+// drain is the single batched lease loop. Execution slots are semaphore
+// tokens: the loop blocks until at least one slot frees, drains whatever
+// others are free without blocking, asks for that many tasks in one
+// lease call, and hands each grant to its own executor goroutine (which
+// returns its token on completion). Unused slots from a short grant go
+// straight back. The first terminal outcome — campaign done, campaign
+// failure, or transport exhaustion — cancels everything.
+func (w *Worker) drain(parent context.Context, campaignID, id string, planner *campaign.Planner, parallelism int, backoff time.Duration, maxErrs int) error {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	tokens := make(chan struct{}, parallelism)
+	for i := 0; i < parallelism; i++ {
+		tokens <- struct{}{}
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		loopErr error
+	)
+	// record notes a terminal outcome and stops the loop. A real failure
+	// outranks the benign errCampaignOver; cancellation noise from
+	// executors aborted by that very stop is ignored (the parent context
+	// check at exit reports genuine cancellation).
+	record := func(err error) {
+		if err == nil || errors.Is(err, context.Canceled) {
+			return
 		}
-		resp, err := w.Transport.Lease(ctx, &LeaseRequest{CampaignID: campaignID, WorkerID: slotID})
+		mu.Lock()
+		if loopErr == nil || (errors.Is(loopErr, errCampaignOver) && !errors.Is(err, errCampaignOver)) {
+			loopErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	refund := func(n int) {
+		for i := 0; i < n; i++ {
+			tokens <- struct{}{}
+		}
+	}
+
+	consecutive := 0
+loop:
+	for {
+		// block until one slot frees, then drain the rest non-blocking
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-tokens:
+		}
+		free := 1
+	drainSlots:
+		for free < parallelism {
+			select {
+			case <-tokens:
+				free++
+			default:
+				break drainSlots
+			}
+		}
+		resp, err := w.Transport.Lease(ctx, &LeaseRequest{CampaignID: campaignID, WorkerID: id, Max: free})
 		if err != nil {
+			refund(free)
 			consecutive++
 			if consecutive >= maxErrs {
-				return fmt.Errorf("fabric: worker %s: lease: %w", slotID, err)
+				record(fmt.Errorf("fabric: worker %s: lease: %w", id, err))
+				break loop
 			}
 			if !sleepCtx(ctx, backoff) {
-				return ctx.Err()
+				break loop
 			}
 			continue
 		}
 		consecutive = 0
 		switch resp.Status {
 		case StatusDone:
-			return errCampaignOver
+			refund(free)
+			record(errCampaignOver)
+			break loop
 		case StatusFailed:
-			return fmt.Errorf("fabric: campaign failed: %s", resp.Err)
+			refund(free)
+			record(fmt.Errorf("fabric: campaign failed: %s", resp.Err))
+			break loop
 		case StatusWait:
+			refund(free)
 			wait := time.Duration(resp.RetryAfterMs) * time.Millisecond
 			if wait <= 0 {
 				wait = backoff
 			}
 			if !sleepCtx(ctx, wait) {
-				return ctx.Err()
+				break loop
 			}
-			continue
 		case StatusTask:
-			if err := w.execute(ctx, campaignID, slotID, planner, resp, backoff, maxErrs); err != nil {
-				return err
+			grants := resp.Grants
+			if len(grants) == 0 {
+				// pre-batching coordinator: single grant in legacy fields
+				grants = []LeaseGrant{{Spec: resp.Spec, LeaseID: resp.LeaseID}}
+			}
+			if len(grants) > free {
+				// over-grant from a misbehaving coordinator: run what fits,
+				// let the excess leases expire and re-lease harmlessly
+				grants = grants[:free]
+			}
+			refund(free - len(grants))
+			for _, g := range grants {
+				wg.Add(1)
+				go func(g LeaseGrant) {
+					defer wg.Done()
+					defer refund(1)
+					record(w.execute(ctx, campaignID, id, planner, g, backoff, maxErrs))
+				}(g)
 			}
 		default:
-			return fmt.Errorf("fabric: worker %s: unknown lease status %q", slotID, resp.Status)
+			refund(free)
+			record(fmt.Errorf("fabric: worker %s: unknown lease status %q", id, resp.Status))
+			break loop
 		}
 	}
+	wg.Wait()
+	mu.Lock()
+	err := loopErr
+	mu.Unlock()
+	if err != nil && !errors.Is(err, errCampaignOver) {
+		return err
+	}
+	return parent.Err()
 }
 
 // execute runs one leased shard and reports the outcome. A worker-side
 // shard error is reported to the coordinator (it charges a retry and
-// re-leases); only transport exhaustion and cancellation abort the loop.
-func (w *Worker) execute(ctx context.Context, campaignID, slotID string, planner *campaign.Planner, l *LeaseResponse, backoff time.Duration, maxErrs int) error {
-	res, runErr := planner.RunSpec(ctx, l.Spec)
+// re-leases); it returns errCampaignOver when the report confirms the
+// campaign completed, a terminal error on transport exhaustion or
+// campaign failure, and nil when the loop should simply continue.
+func (w *Worker) execute(ctx context.Context, campaignID, id string, planner *campaign.Planner, g LeaseGrant, backoff time.Duration, maxErrs int) error {
+	res, runErr := planner.RunSpec(ctx, g.Spec)
 	if runErr != nil && ctx.Err() != nil {
 		// canceled mid-shard: exit quietly, the lease will expire and the
 		// task re-leases elsewhere
 		return ctx.Err()
 	}
-	req := &ResultRequest{CampaignID: campaignID, WorkerID: slotID, LeaseID: l.LeaseID, Seq: l.Spec.Seq}
+	req := &ResultRequest{CampaignID: campaignID, WorkerID: id, LeaseID: g.LeaseID, Seq: g.Spec.Seq}
 	if runErr != nil {
 		req.Err = runErr.Error()
 	} else {
@@ -177,7 +249,7 @@ func (w *Worker) execute(ctx context.Context, campaignID, slotID string, planner
 		if err != nil {
 			consecutive++
 			if consecutive >= maxErrs {
-				return fmt.Errorf("fabric: worker %s: report task %d: %w", slotID, l.Spec.Seq, err)
+				return fmt.Errorf("fabric: worker %s: report task %d: %w", id, g.Spec.Seq, err)
 			}
 			if !sleepCtx(ctx, backoff) {
 				return ctx.Err()

@@ -247,6 +247,21 @@ func (s Snapshot) Contains(site string) bool {
 	return i < len(s) && s[i] == site
 }
 
+// AddTo inserts the snapshot's sites into a frontier set and reports how
+// many were new — the one-pass novelty accounting the campaign scheduler
+// runs per shard against both the campaign-wide and the per-region
+// frontier.
+func (s Snapshot) AddTo(frontier map[string]bool) int {
+	novel := 0
+	for _, site := range s {
+		if !frontier[site] {
+			frontier[site] = true
+			novel++
+		}
+	}
+	return novel
+}
+
 // SiteCount returns the hit count of a site.
 func (c *Coverage) SiteCount(site string) int {
 	if c == nil {
